@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	degradable "degradable"
+)
+
+func TestParseFaults(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      string
+		want    int
+		wantErr bool
+	}{
+		{"empty", "", 0, false},
+		{"single silent", "3:silent", 1, false},
+		{"lie with value", "3:lie:99", 1, false},
+		{"random with seed", "3:random:99:7", 1, false},
+		{"multiple", "3:lie:99,4:silent,0:twofaced:7", 3, false},
+		{"crash", "2:crash", 1, false},
+		{"missing kind", "3", 0, true},
+		{"bad node", "x:silent", 0, true},
+		{"bad kind", "3:explode", 0, true},
+		{"bad value", "3:lie:x", 0, true},
+		{"bad seed", "3:random:9:x", 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := parseFaults(tt.in)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("parseFaults(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			}
+			if err == nil && len(got) != tt.want {
+				t.Errorf("parseFaults(%q) = %d faults, want %d", tt.in, len(got), tt.want)
+			}
+		})
+	}
+}
+
+func TestParseFaultsValues(t *testing.T) {
+	faults, err := parseFaults("3:lie:99,0:random:5:42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults[0].Node != 3 || faults[0].Kind != degradable.FaultLie || faults[0].Value != 99 {
+		t.Errorf("fault 0 = %+v", faults[0])
+	}
+	if faults[1].Node != 0 || faults[1].Kind != degradable.FaultRandom ||
+		faults[1].Value != 5 || faults[1].Seed != 42 {
+		t.Errorf("fault 1 = %+v", faults[1])
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "5", "-m", "1", "-u", "2", "-faults", "3:silent"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"node 3 [receiver] (FAULTY)", "condition D.1: SATISFIED", "graceful"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "4", "-m", "1", "-u", "2"}, &buf); err == nil {
+		t.Error("undersized system should error")
+	}
+	if err := run([]string{"-faults", "bogus"}, &buf); err == nil {
+		t.Error("bad fault syntax should error")
+	}
+	if err := run([]string{"-notaflag"}, &buf); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

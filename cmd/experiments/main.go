@@ -1,0 +1,104 @@
+// Command experiments regenerates every table and figure of the paper (the
+// E1–E8 index in DESIGN.md) and prints them with their machine-checked
+// claims. With -markdown it emits the EXPERIMENTS.md payload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"degradable/internal/harness"
+)
+
+func main() {
+	var (
+		markdown = flag.Bool("markdown", false, "emit Markdown (EXPERIMENTS.md payload)")
+		seed     = flag.Int64("seed", 42, "experiment seed")
+		only     = flag.String("only", "", "run only this experiment ID (e.g. E3)")
+		list     = flag.Bool("list", false, "list experiment IDs and titles, then exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, e := range harness.AllWithExtensions() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if err := run(os.Stdout, *markdown, *seed, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, markdown bool, seed int64, only string) error {
+	failures := 0
+	for _, e := range harness.AllWithExtensions() {
+		if only != "" && e.ID != only {
+			continue
+		}
+		res, err := e.Run(seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if markdown {
+			writeMarkdown(w, res)
+		} else {
+			writeText(w, res)
+		}
+		if !res.AllOK() {
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) had failing checks", failures)
+	}
+	return nil
+}
+
+func writeText(w io.Writer, res *harness.Result) {
+	fmt.Fprintf(w, "=== %s: %s ===\n\n", res.ID, res.Title)
+	fmt.Fprintln(w, res.Table.String())
+	for _, c := range res.Checks {
+		status := "PASS"
+		if !c.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  [%s] %s", status, c.Name)
+		if c.Detail != "" && !c.OK {
+			fmt.Fprintf(w, " — %s", c.Detail)
+		}
+		fmt.Fprintln(w)
+	}
+	if res.Notes != "" {
+		fmt.Fprintf(w, "\n  Note: %s\n", res.Notes)
+	}
+	fmt.Fprintln(w)
+}
+
+func writeMarkdown(w io.Writer, res *harness.Result) {
+	fmt.Fprintf(w, "## %s — %s\n\n", res.ID, res.Title)
+	fmt.Fprintln(w, "```text")
+	fmt.Fprint(w, res.Table.String())
+	fmt.Fprintln(w, "```")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Checks:")
+	fmt.Fprintln(w)
+	for _, c := range res.Checks {
+		mark := "x"
+		if !c.OK {
+			mark = " "
+		}
+		line := fmt.Sprintf("- [%s] %s", mark, c.Name)
+		if c.Detail != "" && !c.OK {
+			line += " — " + c.Detail
+		}
+		fmt.Fprintln(w, line)
+	}
+	if res.Notes != "" {
+		fmt.Fprintf(w, "\n> %s\n", strings.ReplaceAll(res.Notes, "\n", " "))
+	}
+	fmt.Fprintln(w)
+}

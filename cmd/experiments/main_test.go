@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperimentText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, false, 42, "E3"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"=== E3", "Figure 2", "[PASS]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "E1") {
+		t.Error("-only E3 should not run E1")
+	}
+}
+
+func TestRunSingleExperimentMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, true, 42, "E5"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"## E5", "```text", "- [x]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnknownIDIsNoop(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, false, 42, "E99"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("unknown -only should produce no output")
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunMission(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-steps", "50", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Mission: 50 steps",
+		"condition violations within bounds",
+		"All paper conditions held",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "3"}, &buf); err == nil {
+		t.Error("undersized system should error")
+	}
+	if err := run([]string{"-fail", "2.0"}, &buf); err == nil {
+		t.Error("bad rate should error")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

@@ -1,0 +1,31 @@
+// Command minnodes prints the paper's §2 table: the minimum number of nodes
+// necessary for m/u-degradable agreement (2m+u+1; cells with m > u are
+// infeasible).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"degradable/internal/core"
+	"degradable/internal/stats"
+)
+
+func main() {
+	table := stats.NewTable(
+		"Minimum number of nodes for m/u-degradable agreement (2m+u+1; '-' infeasible)",
+		"u", "m=0", "m=1", "m=2", "m=3")
+	for u := 1; u <= 6; u++ {
+		row := []interface{}{u}
+		for m := 0; m <= 3; m++ {
+			if n, err := core.MinNodes(m, u); err == nil {
+				row = append(row, n)
+			} else {
+				row = append(row, "-")
+			}
+		}
+		table.AddRow(row...)
+	}
+	fmt.Fprint(os.Stdout, table.String())
+	fmt.Println("\nExamples with 7 nodes: 2/2-, 1/4-, or 0/6-degradable agreement (the paper's trade-off).")
+}

@@ -1,0 +1,111 @@
+// Command netinfo analyzes network topologies for degradable agreement:
+// given a graph family and parameters, it reports vertex connectivity, the
+// (m, u) pairs the topology can support per Theorem 3 (connectivity ≥
+// m+u+1), and sample disjoint-path routings.
+//
+// Usage:
+//
+//	netinfo -graph harary -k 4 -n 9
+//	netinfo -graph bridge -n1 3 -cut 4 -n2 3
+//	netinfo -graph hypercube -dim 4
+//	netinfo -graph complete -n 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"degradable/internal/core"
+	"degradable/internal/stats"
+	"degradable/internal/topology"
+	"degradable/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "netinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("netinfo", flag.ContinueOnError)
+	var (
+		graph = fs.String("graph", "harary", "graph family: complete, cycle, hypercube, harary, bridge")
+		n     = fs.Int("n", 9, "node count (complete, cycle, harary)")
+		k     = fs.Int("k", 4, "harary connectivity parameter")
+		dim   = fs.Int("dim", 3, "hypercube dimension")
+		n1    = fs.Int("n1", 3, "bridge: size of G1")
+		cut   = fs.Int("cut", 4, "bridge: cut size")
+		n2    = fs.Int("n2", 3, "bridge: size of G2")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := build(*graph, *n, *k, *dim, *n1, *cut, *n2)
+	if err != nil {
+		return err
+	}
+	kappa := g.VertexConnectivity()
+	fmt.Fprintf(out, "graph: %s  nodes=%d  edges=%d  vertex connectivity κ=%d\n\n",
+		*graph, g.N(), g.Edges(), kappa)
+
+	table := stats.NewTable("m/u-degradable agreement supported by this topology (Theorem 3: κ ≥ m+u+1; Theorem 2: N ≥ 2m+u+1)",
+		"m", "u", "needs κ", "needs N", "supported")
+	for m := 0; m <= 3; m++ {
+		for u := max(m, 1); u <= 6; u++ {
+			needK, err := core.MinConnectivity(m, u)
+			if err != nil {
+				continue
+			}
+			needN, err := core.MinNodes(m, u)
+			if err != nil {
+				continue
+			}
+			ok := kappa >= needK && g.N() >= needN
+			if !ok && u > max(m, 1)+2 {
+				continue // keep the table short past the feasibility edge
+			}
+			table.AddRow(m, u, needK, needN, ok)
+		}
+	}
+	fmt.Fprintln(out, table.String())
+
+	// Sample routing between the two most distant node IDs.
+	s, t := types.NodeID(0), types.NodeID(g.N()-1)
+	paths, err := g.DisjointPaths(s, t, kappa)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "sample disjoint paths %d → %d (%d found):\n", int(s), int(t), len(paths))
+	for _, p := range paths {
+		fmt.Fprintf(out, "  %v\n", p)
+	}
+	return nil
+}
+
+func build(kind string, n, k, dim, n1, cut, n2 int) (*topology.Graph, error) {
+	switch kind {
+	case "complete":
+		return topology.Complete(n)
+	case "cycle":
+		return topology.Cycle(n)
+	case "hypercube":
+		return topology.Hypercube(dim)
+	case "harary":
+		return topology.Harary(k, n)
+	case "bridge":
+		return topology.Bridge(n1, cut, n2)
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", kind)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunHarary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "harary", "-k", "4", "-n", "9"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "κ=4") {
+		t.Errorf("missing connectivity:\n%s", out)
+	}
+	if !strings.Contains(out, "sample disjoint paths") {
+		t.Error("missing path section")
+	}
+}
+
+func TestRunBridge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "bridge", "-n1", "3", "-cut", "4", "-n2", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "κ=4") {
+		t.Errorf("bridge connectivity wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunAllFamilies(t *testing.T) {
+	for _, args := range [][]string{
+		{"-graph", "complete", "-n", "6"},
+		{"-graph", "cycle", "-n", "6"},
+		{"-graph", "hypercube", "-dim", "3"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Errorf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "nope"}, &buf); err == nil {
+		t.Error("unknown family should error")
+	}
+	if err := run([]string{"-graph", "harary", "-k", "3", "-n", "7"}, &buf); err == nil {
+		t.Error("infeasible harary should error")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

@@ -1,0 +1,361 @@
+// Package degradable implements m/u-degradable agreement in the presence of
+// Byzantine faults (Vaidya, 1993), together with the substrates the paper
+// builds on: Lamport's OM oral-messages algorithm and Dolev's Crusader
+// agreement as baselines, a synchronous message-passing simulator with fully
+// Byzantine nodes, disjoint-path transport over incompletely connected
+// networks (Theorem 3), the Figure-1 multi-channel application, and the §6
+// degradable clock synchronization formulation.
+//
+// # The guarantee
+//
+// An m/u-degradable agreement instance (0 ≤ m ≤ u, N ≥ 2m+u+1 nodes) lets a
+// sender distribute a value to receivers so that, with f faulty nodes:
+//
+//   - f ≤ m: classic Byzantine agreement. All fault-free receivers decide
+//     the sender's value (fault-free sender) or one identical value (faulty
+//     sender).
+//   - m < f ≤ u: degraded agreement. Fault-free receivers split into at
+//     most two classes; one class holds the distinguished default value
+//     V_d, the other holds the sender's value (fault-free sender) or some
+//     identical value. In particular at least m+1 fault-free nodes always
+//     agree on one value — graceful degradation.
+//
+// # Quick start
+//
+//	cfg := degradable.Config{N: 5, M: 1, U: 2}
+//	res, err := degradable.Agree(cfg, 42,
+//		degradable.Fault{Node: 3, Kind: degradable.FaultLie, Value: 99})
+//	// res.Decisions holds every node's decision; res.OK reports whether
+//	// the applicable paper condition (D.1–D.4) held.
+//
+// The examples/ directory contains runnable programs, cmd/experiments
+// regenerates every table and figure of the paper, and DESIGN.md maps each
+// paper artifact to the module that reproduces it.
+package degradable
+
+import (
+	"fmt"
+
+	"degradable/internal/adversary"
+	"degradable/internal/core"
+	"degradable/internal/protocol/crusader"
+	"degradable/internal/protocol/om"
+	"degradable/internal/protocol/sm"
+	"degradable/internal/runner"
+	"degradable/internal/types"
+)
+
+// Core vocabulary, re-exported from the internal packages so that public
+// signatures and internal machinery share one set of types.
+type (
+	// Value is an agreement value; Default is the paper's V_d.
+	Value = types.Value
+	// NodeID identifies a node; the sender defaults to node 0.
+	NodeID = types.NodeID
+	// NodeSet is a compact set of node IDs.
+	NodeSet = types.NodeSet
+	// Strategy is the full Byzantine behaviour interface — the escape
+	// hatch for callers who need adversaries beyond the Fault kinds.
+	Strategy = adversary.Strategy
+	// Message is one protocol message, observable via AgreeObserved.
+	Message = types.Message
+)
+
+// Default is the distinguished default value V_d, distinguishable from all
+// application values.
+const Default = types.Default
+
+// Sentinel errors from parameter validation, matchable with errors.Is.
+var (
+	// ErrInfeasible marks parameter pairs outside 0 ≤ m ≤ u, u ≥ 1.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrTooFewNodes marks N ≤ 2m+u (Theorem 2).
+	ErrTooFewNodes = core.ErrTooFewNodes
+)
+
+// Config parameterizes an m/u-degradable agreement instance.
+type Config struct {
+	// N is the number of nodes, sender included. Must exceed 2M+U.
+	N int
+	// M is the classic-agreement fault bound.
+	M int
+	// U is the degraded-agreement fault bound (M ≤ U).
+	U int
+	// Sender is the distributing node (default 0).
+	Sender NodeID
+}
+
+// MinNodes returns the minimum system size for m/u-degradable agreement:
+// 2m+u+1 (Theorem 2).
+func MinNodes(m, u int) (int, error) { return core.MinNodes(m, u) }
+
+// MinConnectivity returns the minimum network vertex connectivity for
+// m/u-degradable agreement: m+u+1 (Theorem 3).
+func MinConnectivity(m, u int) (int, error) { return core.MinConnectivity(m, u) }
+
+// FaultKind selects a built-in Byzantine behaviour for a faulty node.
+type FaultKind int
+
+// Built-in fault behaviours.
+const (
+	// FaultSilent never sends.
+	FaultSilent FaultKind = iota + 1
+	// FaultCrash behaves honestly in round 1 then falls silent.
+	FaultCrash
+	// FaultLie sends Fault.Value everywhere.
+	FaultLie
+	// FaultTwoFaced tells even-numbered recipients the honest value and
+	// everyone else Fault.Value.
+	FaultTwoFaced
+	// FaultRandom sends pseudo-random values (deterministic per
+	// Fault.Seed), occasionally omitting messages.
+	FaultRandom
+)
+
+// Fault arms one node with a built-in Byzantine behaviour.
+type Fault struct {
+	// Node is the faulty node (the sender may be faulty).
+	Node NodeID
+	// Kind selects the behaviour.
+	Kind FaultKind
+	// Value parameterizes FaultLie and FaultTwoFaced.
+	Value Value
+	// Seed parameterizes FaultRandom.
+	Seed int64
+}
+
+// Strategy converts the fault into its Byzantine behaviour for an N-node
+// system — the same conversion Agree applies, exported for callers (such as
+// cmd/degrade) that compose AgreeObserved or AgreeCustom themselves.
+func (f Fault) Strategy(n int) (Strategy, error) { return f.strategy(n) }
+
+func (f Fault) strategy(n int) (adversary.Strategy, error) {
+	switch f.Kind {
+	case FaultSilent:
+		return adversary.Silent{}, nil
+	case FaultCrash:
+		return adversary.Crash{After: 1}, nil
+	case FaultLie:
+		return adversary.Lie{Value: f.Value}, nil
+	case FaultTwoFaced:
+		// Even-numbered recipients receive the honest value; odd-numbered
+		// ones receive the lie.
+		vals := make(map[NodeID]Value, n/2)
+		for i := 1; i < n; i += 2 {
+			vals[NodeID(i)] = f.Value
+		}
+		return adversary.PerRecipient{Values: vals}, nil
+	case FaultRandom:
+		return adversary.NewRandomLie(f.Seed, []Value{f.Value}), nil
+	default:
+		return nil, fmt.Errorf("degradable: unknown fault kind %d", int(f.Kind))
+	}
+}
+
+// Result reports one agreement run.
+type Result struct {
+	// Decisions maps every node to its decided value. Faulty nodes report
+	// Default; the fault-free sender reports its own value.
+	Decisions map[NodeID]Value
+	// Condition is the paper condition that applied ("D.1".."D.4", or
+	// "none" beyond u faults).
+	Condition string
+	// OK reports whether the condition held. It is always true for the
+	// protocol in this package within its fault bounds; it exists so
+	// callers can assert it.
+	OK bool
+	// Reason explains a violation (empty when OK).
+	Reason string
+	// Graceful reports whether at least m+1 fault-free nodes agreed on one
+	// value (meaningful for f ≤ u).
+	Graceful bool
+	// Classes is the decision histogram over fault-free receivers.
+	Classes map[Value]int
+	// Messages is the total number of protocol messages sent.
+	Messages int
+	// Rounds is the number of message rounds (m+1).
+	Rounds int
+}
+
+// Agree runs one m/u-degradable agreement instance with the given faults
+// armed and returns every node's decision together with the spec verdict.
+func Agree(cfg Config, senderValue Value, faults ...Fault) (*Result, error) {
+	strategies := make(map[NodeID]Strategy, len(faults))
+	for _, f := range faults {
+		if _, dup := strategies[f.Node]; dup {
+			return nil, fmt.Errorf("degradable: node %d armed twice", int(f.Node))
+		}
+		s, err := f.strategy(cfg.N)
+		if err != nil {
+			return nil, err
+		}
+		strategies[f.Node] = s
+	}
+	return AgreeCustom(cfg, senderValue, strategies)
+}
+
+// AgreeCustom is Agree with fully custom Byzantine strategies.
+func AgreeCustom(cfg Config, senderValue Value, strategies map[NodeID]Strategy) (*Result, error) {
+	return AgreeObserved(cfg, senderValue, strategies, nil)
+}
+
+// AgreeObserved is AgreeCustom with a message observer: trace receives every
+// delivered protocol message, in deterministic order, as the run proceeds.
+func AgreeObserved(cfg Config, senderValue Value, strategies map[NodeID]Strategy,
+	trace func(Message)) (*Result, error) {
+	p := core.Params{N: cfg.N, M: cfg.M, U: cfg.U, Sender: cfg.Sender}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return run(p, senderValue, strategies, trace)
+}
+
+// AgreeOM runs the Lamport–Shostak–Pease OM(m) baseline (N > 3m) under the
+// same fault interface; the verdict checks the m/m (classic) conditions.
+func AgreeOM(n, m int, senderValue Value, faults ...Fault) (*Result, error) {
+	strategies := make(map[NodeID]Strategy, len(faults))
+	for _, f := range faults {
+		s, err := f.strategy(n)
+		if err != nil {
+			return nil, err
+		}
+		strategies[f.Node] = s
+	}
+	p := om.Params{N: n, M: m}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return run(p, senderValue, strategies, nil)
+}
+
+// AgreeCrusader runs Dolev's Crusader agreement baseline (N > 3f) under the
+// same fault interface; the verdict checks the 0/f (degraded) conditions,
+// which correspond to Crusader's correct-or-detect guarantee.
+func AgreeCrusader(n, f int, senderValue Value, faults ...Fault) (*Result, error) {
+	strategies := make(map[NodeID]Strategy, len(faults))
+	for _, flt := range faults {
+		s, err := flt.strategy(n)
+		if err != nil {
+			return nil, err
+		}
+		strategies[flt.Node] = s
+	}
+	p := crusader.Params{N: n, F: f}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return run(p, senderValue, strategies, nil)
+}
+
+func run(p runner.Protocol, senderValue Value, strategies map[NodeID]Strategy,
+	trace func(Message)) (*Result, error) {
+	in := runner.Instance{Protocol: p, SenderValue: senderValue, Strategies: strategies, Trace: trace}
+	res, verdict, err := in.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Decisions: res.Decisions,
+		Condition: verdict.Condition,
+		OK:        verdict.OK,
+		Reason:    verdict.Reason,
+		Graceful:  verdict.Graceful,
+		Classes:   verdict.Classes,
+		Messages:  res.Messages,
+		Rounds:    len(res.PerRound),
+	}, nil
+}
+
+// AgreeSM runs Lamport's authenticated SM(m) algorithm (N ≥ m+2) under the
+// same fault interface; faults translate to pre-signing egress behaviours
+// (a faulty node signs its own lies but can never forge other signatures).
+// The verdict reports the signed-messages guarantee: with f ≤ m faults all
+// fault-free receivers decide one identical value, the sender's own value
+// when the sender is fault-free.
+func AgreeSM(n, m int, senderValue Value, faults ...Fault) (*Result, error) {
+	p := sm.Params{N: n, M: m}
+	inst, err := sm.NewInstance(p, senderValue)
+	if err != nil {
+		return nil, err
+	}
+	var faultySet NodeSet
+	for _, f := range faults {
+		if faultySet.Contains(f.Node) {
+			return nil, fmt.Errorf("degradable: node %d armed twice", int(f.Node))
+		}
+		faultySet = faultySet.Add(f.Node)
+		eg, err := smEgress(f)
+		if err != nil {
+			return nil, err
+		}
+		if err := inst.Arm(f.Node, senderValue, eg); err != nil {
+			return nil, err
+		}
+	}
+	runRes, err := inst.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Decisions: runRes.Decisions,
+		Condition: "SM",
+		OK:        true,
+		Classes:   make(map[Value]int),
+		Messages:  runRes.Messages,
+		Rounds:    len(runRes.PerRound),
+	}
+	senderFaulty := faultySet.Contains(0)
+	var ref Value
+	first := true
+	for i := 0; i < n; i++ {
+		id := NodeID(i)
+		if id == 0 || faultySet.Contains(id) {
+			continue
+		}
+		d := runRes.Decisions[id]
+		res.Classes[d]++
+		if !senderFaulty && d != senderValue {
+			res.OK = false
+			res.Reason = fmt.Sprintf("node %d decided %s, want sender's %s", i, d, senderValue)
+		}
+		if first {
+			ref, first = d, false
+		} else if d != ref {
+			res.OK = false
+			res.Reason = fmt.Sprintf("receivers disagree: %s vs %s", ref, d)
+		}
+	}
+	res.Graceful = res.OK
+	return res, nil
+}
+
+// smEgress maps a Fault to an SM pre-signing egress behaviour.
+func smEgress(f Fault) (sm.Egress, error) {
+	switch f.Kind {
+	case FaultSilent:
+		return func(types.Message) (Value, bool) { return Default, false }, nil
+	case FaultCrash:
+		return func(m Message) (Value, bool) {
+			if m.Round > 1 {
+				return Default, false
+			}
+			return m.Value, true
+		}, nil
+	case FaultLie:
+		v := f.Value
+		return func(Message) (Value, bool) { return v, true }, nil
+	case FaultTwoFaced:
+		v := f.Value
+		return func(m Message) (Value, bool) {
+			if m.To%2 == 1 {
+				return v, true
+			}
+			return m.Value, true
+		}, nil
+	case FaultRandom:
+		rl := adversary.NewRandomLie(f.Seed, []Value{f.Value})
+		return func(m Message) (Value, bool) { return rl.Corrupt(f.Node, m) }, nil
+	default:
+		return nil, fmt.Errorf("degradable: unknown fault kind %d", int(f.Kind))
+	}
+}

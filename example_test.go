@@ -1,0 +1,75 @@
+package degradable_test
+
+import (
+	"fmt"
+	"sort"
+
+	degradable "degradable"
+)
+
+// The basic flow: configure an instance, arm some faults, inspect decisions.
+func ExampleAgree() {
+	cfg := degradable.Config{N: 5, M: 1, U: 2} // 1/2-degradable, minimum size
+	res, err := degradable.Agree(cfg, 42,
+		degradable.Fault{Node: 3, Kind: degradable.FaultLie, Value: 99},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ids := make([]int, 0, len(res.Decisions))
+	for id := range res.Decisions {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Printf("node %d: %s\n", id, res.Decisions[degradable.NodeID(id)])
+	}
+	fmt.Println(res.Condition, res.OK)
+	// Output:
+	// node 0: 42
+	// node 1: 42
+	// node 2: 42
+	// node 3: V_d
+	// node 4: 42
+	// D.1 true
+}
+
+// Degraded regime: with m < f ≤ u faults the fault-free receivers split
+// into at most two classes, one of them the default value.
+func ExampleAgree_degraded() {
+	cfg := degradable.Config{N: 5, M: 1, U: 2}
+	res, err := degradable.Agree(cfg, 7,
+		degradable.Fault{Node: 3, Kind: degradable.FaultSilent},
+		degradable.Fault{Node: 4, Kind: degradable.FaultSilent},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Condition, res.OK, res.Graceful)
+	for _, id := range []degradable.NodeID{1, 2} {
+		d := res.Decisions[id]
+		fmt.Println(d == 7 || d == degradable.Default)
+	}
+	// Output:
+	// D.3 true true
+	// true
+	// true
+}
+
+// The sizing theorems are exposed directly.
+func ExampleMinNodes() {
+	n, _ := degradable.MinNodes(1, 2)
+	c, _ := degradable.MinConnectivity(1, 2)
+	fmt.Println(n, c)
+	// Output: 5 4
+}
+
+// Authenticated agreement: SM(m) needs only m+2 nodes.
+func ExampleAgreeSM() {
+	res, _ := degradable.AgreeSM(3, 1, 42,
+		degradable.Fault{Node: 2, Kind: degradable.FaultLie, Value: 99})
+	fmt.Println(res.Decisions[1], res.OK)
+	// Output: 42 true
+}

@@ -1,0 +1,78 @@
+// Tradeoff: the paper's seven-node example.
+//
+//	go run ./examples/tradeoff
+//
+// Seven nodes can run 2/2-degradable agreement (= Byzantine agreement with
+// m = 2), 1/4-degradable agreement, or 0/6-degradable agreement. The same
+// hardware trades full-agreement tolerance (m) for degraded reach (u). We
+// subject each configuration to the same escalating attack and report what
+// survives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	degradable "degradable"
+)
+
+func main() {
+	attacks := []struct {
+		name   string
+		faults []degradable.Fault
+	}{
+		{"f=1 liar", []degradable.Fault{
+			{Node: 6, Kind: degradable.FaultLie, Value: 99},
+		}},
+		{"f=2 colluding liars", []degradable.Fault{
+			{Node: 5, Kind: degradable.FaultLie, Value: 99},
+			{Node: 6, Kind: degradable.FaultLie, Value: 99},
+		}},
+		{"f=4 mixed", []degradable.Fault{
+			{Node: 3, Kind: degradable.FaultSilent},
+			{Node: 4, Kind: degradable.FaultTwoFaced, Value: 99},
+			{Node: 5, Kind: degradable.FaultLie, Value: 99},
+			{Node: 6, Kind: degradable.FaultRandom, Value: 99, Seed: 3},
+		}},
+		{"f=6 overwhelming", []degradable.Fault{
+			{Node: 1, Kind: degradable.FaultLie, Value: 99},
+			{Node: 2, Kind: degradable.FaultLie, Value: 99},
+			{Node: 3, Kind: degradable.FaultLie, Value: 99},
+			{Node: 4, Kind: degradable.FaultLie, Value: 99},
+			{Node: 5, Kind: degradable.FaultLie, Value: 99},
+			{Node: 6, Kind: degradable.FaultLie, Value: 99},
+		}},
+	}
+	configs := []degradable.Config{
+		{N: 7, M: 2, U: 2},
+		{N: 7, M: 1, U: 4},
+		{N: 7, M: 0, U: 6},
+	}
+	fmt.Println("Seven nodes, three personalities (paper §2):")
+	fmt.Println("  2/2: full Byzantine agreement up to 2 faults, nothing beyond")
+	fmt.Println("  1/4: full agreement up to 1 fault, degraded up to 4")
+	fmt.Println("  0/6: degraded agreement all the way to 6 faults")
+	fmt.Println()
+	for _, atk := range attacks {
+		fmt.Printf("--- attack: %s ---\n", atk.name)
+		for _, cfg := range configs {
+			res, err := degradable.Agree(cfg, 42, atk.faults...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			f := len(atk.faults)
+			guarantee := "no guarantee (f > u)"
+			switch {
+			case f <= cfg.M:
+				guarantee = "full agreement promised"
+			case f <= cfg.U:
+				guarantee = "degraded agreement promised"
+			}
+			fmt.Printf("  %d/%d: condition=%-4s ok=%-5v graceful=%-5v  [%s]\n",
+				cfg.M, cfg.U, res.Condition, res.OK, res.Graceful, guarantee)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Note how 1/4 and 0/6 keep their (degraded) promises at fault counts")
+	fmt.Println("where 2/2 promises nothing — the paper's central trade-off.")
+}

@@ -1,0 +1,3 @@
+module degradable
+
+go 1.22

@@ -1,0 +1,120 @@
+package ablation
+
+import (
+	"testing"
+
+	"degradable/internal/core"
+	"degradable/internal/types"
+)
+
+const (
+	alpha types.Value = 100
+	beta  types.Value = 200
+	gamma types.Value = 300
+)
+
+func TestRuleString(t *testing.T) {
+	if RulePaper.String() != "paper" || RuleMajority.String() != "majority" ||
+		RuleFixedThreshold.String() != "fixed-threshold" {
+		t.Error("rule strings")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	p := core.Params{N: 3, M: 1, U: 2} // invalid
+	if _, _, err := Run(p, RulePaper, alpha, nil); err == nil {
+		t.Error("invalid params should error")
+	}
+	if _, _, err := Run(core.Params{N: 5, M: 1, U: 2}, Rule(99), alpha, nil); err == nil {
+		t.Error("unknown rule should error")
+	}
+}
+
+// The control: the paper's rule passes both break scenarios.
+func TestPaperRuleSurvivesBreakScenarios(t *testing.T) {
+	p1, strat1 := MajorityBreakScenario(beta, gamma)
+	v, decisions, err := Run(p1, RulePaper, alpha, strat1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK {
+		t.Errorf("paper rule failed the majority-break scenario: %s (decisions %v)", v.Reason, decisions)
+	}
+
+	p2, strat2 := FixedThresholdBreakScenario()
+	v, decisions, err = Run(p2, RulePaper, alpha, strat2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK {
+		t.Errorf("paper rule failed the fixed-threshold scenario: %s (decisions %v)", v.Reason, decisions)
+	}
+	// And D.1 specifically: everyone decides α despite two silent faults.
+	for _, id := range []types.NodeID{1, 2, 3, 4} {
+		if decisions[id] != alpha {
+			t.Errorf("node %d decided %v under the paper rule", int(id), decisions[id])
+		}
+	}
+}
+
+// Ablation 1: majority resolution violates D.4 under the scripted split.
+func TestMajorityAblationBreaksD4(t *testing.T) {
+	p, strategies := MajorityBreakScenario(beta, gamma)
+	v, decisions, err := Run(p, RuleMajority, alpha, strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK {
+		t.Fatalf("majority ablation should violate D.4; decisions %v", decisions)
+	}
+	if v.Condition != "D.4" {
+		t.Errorf("violated condition = %s, want D.4", v.Condition)
+	}
+	// The split is exactly the predicted one.
+	if decisions[1] != beta {
+		t.Errorf("receiver 1 decided %v, want β", decisions[1])
+	}
+	if decisions[2] != gamma || decisions[3] != gamma {
+		t.Errorf("receivers 2,3 decided %v,%v, want γ", decisions[2], decisions[3])
+	}
+}
+
+// Ablation 2: a fixed top-level threshold violates D.1 at f = m.
+func TestFixedThresholdAblationBreaksD1(t *testing.T) {
+	p, strategies := FixedThresholdBreakScenario()
+	v, decisions, err := Run(p, RuleFixedThreshold, alpha, strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK {
+		t.Fatalf("fixed-threshold ablation should violate D.1; decisions %v", decisions)
+	}
+	if v.Condition != "D.1" {
+		t.Errorf("violated condition = %s, want D.1", v.Condition)
+	}
+}
+
+// The tie rule never fires inside BYZ(m,m): thresholds exceed half at every
+// level for every feasible configuration.
+func TestTieUnreachable(t *testing.T) {
+	for _, p := range []core.Params{
+		{N: 5, M: 1, U: 2},
+		{N: 6, M: 1, U: 3},
+		{N: 7, M: 2, U: 2},
+		{N: 8, M: 2, U: 3},
+		{N: 10, M: 3, U: 3},
+		{N: 12, M: 3, U: 5},
+		{N: 3, M: 0, U: 2},
+	} {
+		ok, err := TieUnreachable(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("tie reachable for %+v", p)
+		}
+	}
+	if _, err := TieUnreachable(core.Params{N: 3, M: 1, U: 2}); err == nil {
+		t.Error("invalid params should error")
+	}
+}

@@ -1,0 +1,87 @@
+package adversary
+
+import (
+	"degradable/internal/eig"
+	"degradable/internal/types"
+)
+
+// BandwagonLie is an adaptive strategy: at every round it inspects the
+// claims the faulty node has actually received so far and lies with the
+// value that currently has the MOST support among direct claims — piling
+// onto the likely winner to push borderline receivers over a threshold for
+// a wrong value, or with the runner-up to manufacture ties. Swing selects
+// which.
+type BandwagonLie struct {
+	// Swing true lies with the second-most supported value (tie
+	// manufacturing); false reinforces the leader.
+	Swing   bool
+	current types.Value
+	seen    bool
+}
+
+// Observe implements Observer.
+func (b *BandwagonLie) Observe(round int, tree *eig.Tree) {
+	counts := make(map[types.Value]int)
+	for l := 1; l <= tree.Depth(); l++ {
+		tree.ForEachPath(l, -1, func(p types.Path) bool {
+			if tree.Has(p) {
+				counts[tree.Get(p)]++
+			}
+			return true
+		})
+	}
+	var lead, second types.Value
+	leadC, secondC := -1, -1
+	// Deterministic order: iterate values sorted by (count desc, value asc).
+	for v, c := range counts {
+		switch {
+		case c > leadC || (c == leadC && v < lead):
+			second, secondC = lead, leadC
+			lead, leadC = v, c
+		case c > secondC || (c == secondC && v < second):
+			second, secondC = v, c
+		}
+	}
+	b.seen = leadC >= 0
+	if b.Swing && secondC >= 0 {
+		b.current = second
+		return
+	}
+	b.current = lead
+}
+
+// Corrupt implements Strategy.
+func (b *BandwagonLie) Corrupt(_ types.NodeID, m types.Message) (types.Value, bool) {
+	if !b.seen {
+		return types.Default, true
+	}
+	return b.current, true
+}
+
+var (
+	_ Strategy = (*BandwagonLie)(nil)
+	_ Observer = (*BandwagonLie)(nil)
+)
+
+// DeepPathLie targets the inner levels of the EIG tree: it relays round-1
+// traffic honestly (staying inconspicuous) and corrupts only claims at
+// depth ≥ 2, where the recursive sub-protocols have fewer participants and
+// thresholds are tighter. Values alternate between Value and V_d keyed on
+// the path's last relayer, maximizing disagreement between receivers'
+// subtree resolutions.
+type DeepPathLie struct {
+	Value types.Value
+}
+
+// Corrupt implements Strategy.
+func (d DeepPathLie) Corrupt(_ types.NodeID, m types.Message) (types.Value, bool) {
+	if len(m.Path) < 2 {
+		return m.Value, true
+	}
+	if m.Path[len(m.Path)-2]%2 == 0 {
+		return d.Value, true
+	}
+	return types.Default, true
+}
+
+var _ Strategy = DeepPathLie{}

@@ -1,0 +1,87 @@
+package adversary
+
+import (
+	"testing"
+
+	"degradable/internal/eig"
+	"degradable/internal/types"
+)
+
+func seedTree(t *testing.T, vals map[string]types.Value) *eig.Tree {
+	t.Helper()
+	tree, err := eig.New(5, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := func(p types.Path, v types.Value) {
+		if err := tree.Set(p, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k, v := range vals {
+		switch k {
+		case "direct":
+			set(types.Path{0}, v)
+		default:
+			// keys "1".."4": echo from that node
+			set(types.Path{0, types.NodeID(k[0] - '0')}, v)
+		}
+	}
+	return tree
+}
+
+func TestBandwagonFollowsLeader(t *testing.T) {
+	b := &BandwagonLie{}
+	tree := seedTree(t, map[string]types.Value{
+		"direct": 7, "1": 7, "2": 9,
+	})
+	b.Observe(2, tree)
+	v, ok := b.Corrupt(3, types.Message{To: 1, Round: 2, Path: types.Path{0, 3}, Value: 0})
+	if !ok || v != 7 {
+		t.Errorf("bandwagon lied %v, want leader 7", v)
+	}
+}
+
+func TestBandwagonSwingPicksRunnerUp(t *testing.T) {
+	b := &BandwagonLie{Swing: true}
+	tree := seedTree(t, map[string]types.Value{
+		"direct": 7, "1": 7, "2": 9,
+	})
+	b.Observe(2, tree)
+	v, _ := b.Corrupt(3, types.Message{To: 1, Round: 2, Path: types.Path{0, 3}, Value: 0})
+	if v != 9 {
+		t.Errorf("swing lied %v, want runner-up 9", v)
+	}
+}
+
+func TestBandwagonBeforeAnyObservation(t *testing.T) {
+	b := &BandwagonLie{}
+	v, ok := b.Corrupt(3, types.Message{To: 1, Round: 1, Value: 5})
+	if !ok || v != types.Default {
+		t.Errorf("unseeded bandwagon = (%v, %v), want (V_d, true)", v, ok)
+	}
+	// An empty tree observation keeps it at V_d.
+	tree, err := eig.New(5, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Observe(1, tree)
+	if v, _ := b.Corrupt(3, types.Message{To: 1, Round: 1, Value: 5}); v != types.Default {
+		t.Errorf("empty-tree bandwagon lied %v", v)
+	}
+}
+
+func TestDeepPathLie(t *testing.T) {
+	d := DeepPathLie{Value: 9}
+	// Round-1-style single-element path: honest.
+	if v, _ := d.Corrupt(1, types.Message{Path: types.Path{0}, Value: 5}); v != 5 {
+		t.Errorf("depth-1 corrupted to %v", v)
+	}
+	// Depth ≥ 2: keyed on second-to-last relayer parity.
+	if v, _ := d.Corrupt(1, types.Message{Path: types.Path{0, 2, 1}, Value: 5}); v != 9 {
+		t.Errorf("even relayer path = %v, want lie 9", v)
+	}
+	if v, _ := d.Corrupt(1, types.Message{Path: types.Path{0, 3, 1}, Value: 5}); v != types.Default {
+		t.Errorf("odd relayer path = %v, want V_d", v)
+	}
+}

@@ -1,0 +1,305 @@
+// Package adversary implements Byzantine node behaviours for the agreement
+// protocols.
+//
+// A faulty node is modelled as the honest relay node plus an egress
+// corruption strategy: the node absorbs protocol traffic normally (so its
+// lies can be informed), computes the full honest message schedule for each
+// round, and then rewrites values or omits messages per the strategy. The
+// schedule covers every claim the node could legitimately relay — including
+// claims it never received — so fabrication, equivocation, selective
+// silence, and crashes are all expressible while traffic stays well-formed
+// enough to pass honest validation (arbitrary garbage would simply be
+// discarded by receivers, making it a weaker attack).
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"degradable/internal/eig"
+	"degradable/internal/netsim"
+	"degradable/internal/protocol/relay"
+	"degradable/internal/types"
+)
+
+// Strategy decides what a Byzantine node sends in place of each scheduled
+// message. Corrupt receives the scheduled message with the honest value
+// filled in and returns the value to send; ok=false omits the message
+// entirely (the recipient will detect absence and substitute V_d).
+//
+// Implementations are called from a single goroutine per node and need not
+// be safe for concurrent use, but one Strategy value may be shared by
+// several faulty nodes (colluding adversaries); such strategies must be
+// stateless or synchronized.
+type Strategy interface {
+	Corrupt(self types.NodeID, m types.Message) (types.Value, bool)
+}
+
+// Observer is an optional extension of Strategy: strategies that implement
+// it are shown the faulty node's accumulated EIG tree at the start of every
+// round, enabling adaptive attacks that react to what the node has actually
+// learned (e.g. lying with whatever value is currently winning).
+type Observer interface {
+	Observe(round int, tree *eig.Tree)
+}
+
+// Node is a Byzantine participant: honest state, corrupted egress.
+type Node struct {
+	honest *relay.Node
+	strat  Strategy
+}
+
+var _ netsim.Node = (*Node)(nil)
+
+// NewNode wraps a Byzantine node with the given identity and strategy.
+// The arguments mirror relay.New; value matters only when id == sender.
+func NewNode(n, depth int, sender, id types.NodeID, value types.Value, strat Strategy) (*Node, error) {
+	if strat == nil {
+		return nil, fmt.Errorf("adversary: nil strategy")
+	}
+	honest, err := relay.New(n, depth, sender, id, value, func(int, []types.Value) types.Value {
+		return types.Default // a faulty node's own decision is irrelevant
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Node{honest: honest, strat: strat}, nil
+}
+
+// ID implements netsim.Node.
+func (b *Node) ID() types.NodeID { return b.honest.ID() }
+
+// Step implements netsim.Node.
+func (b *Node) Step(round int, inbox []types.Message) []types.Message {
+	scheduled := b.honest.Step(round, inbox)
+	if obs, ok := b.strat.(Observer); ok {
+		obs.Observe(round, b.honest.Tree())
+	}
+	out := make([]types.Message, 0, len(scheduled))
+	for _, m := range scheduled {
+		v, ok := b.strat.Corrupt(b.ID(), m)
+		if !ok {
+			continue
+		}
+		m.Value = v
+		out = append(out, m)
+	}
+	return out
+}
+
+// Finish implements netsim.Node.
+func (b *Node) Finish(inbox []types.Message) { b.honest.Finish(inbox) }
+
+// Decide implements netsim.Node. A faulty node's decision carries no
+// guarantee; it reports V_d.
+func (b *Node) Decide() types.Value { return types.Default }
+
+// Wrap replaces the entries of nodes named in strategies with Byzantine
+// wrappers. nodes must be the honest complement (e.g. from core.Params.Nodes)
+// of a protocol with the given shape. senderValue is the faulty sender's
+// nominal input, used as the honest baseline its strategy corrupts.
+func Wrap(nodes []netsim.Node, n, depth int, sender types.NodeID, senderValue types.Value,
+	strategies map[types.NodeID]Strategy) error {
+	for id, strat := range strategies {
+		if id < 0 || int(id) >= len(nodes) {
+			return fmt.Errorf("adversary: faulty id %d out of range", int(id))
+		}
+		bn, err := NewNode(n, depth, sender, id, senderValue, strat)
+		if err != nil {
+			return err
+		}
+		nodes[int(id)] = bn
+	}
+	return nil
+}
+
+//
+// Strategies
+//
+
+// Honest performs no corruption: a "faulty" node that happens to behave
+// correctly. The worst case over adversaries always includes it.
+type Honest struct{}
+
+// Corrupt implements Strategy.
+func (Honest) Corrupt(_ types.NodeID, m types.Message) (types.Value, bool) { return m.Value, true }
+
+// Silent omits every message: a fail-silent (crashed-from-start) node.
+type Silent struct{}
+
+// Corrupt implements Strategy.
+func (Silent) Corrupt(types.NodeID, types.Message) (types.Value, bool) {
+	return types.Default, false
+}
+
+// Crash behaves honestly through round After, then falls silent.
+type Crash struct {
+	After int
+}
+
+// Corrupt implements Strategy.
+func (c Crash) Corrupt(_ types.NodeID, m types.Message) (types.Value, bool) {
+	if m.Round > c.After {
+		return types.Default, false
+	}
+	return m.Value, true
+}
+
+// Lie replaces every value with a fixed one (V_d is allowed).
+type Lie struct {
+	Value types.Value
+}
+
+// Corrupt implements Strategy.
+func (l Lie) Corrupt(types.NodeID, types.Message) (types.Value, bool) { return l.Value, true }
+
+// TwoFaced tells recipients in A one value and everyone else another — the
+// classic equivocating sender of the Figure 2 scenarios.
+type TwoFaced struct {
+	A       types.NodeSet
+	ValueA  types.Value
+	ValueB  types.Value
+	OnlyOwn bool // corrupt only round-1 own-value sends, relay honestly
+}
+
+// Corrupt implements Strategy.
+func (t TwoFaced) Corrupt(_ types.NodeID, m types.Message) (types.Value, bool) {
+	if t.OnlyOwn && m.Round != 1 {
+		return m.Value, true
+	}
+	if t.A.Contains(m.To) {
+		return t.ValueA, true
+	}
+	return t.ValueB, true
+}
+
+// PerRecipient sends each recipient a scripted value (falling back to the
+// honest value when unscripted). Used by the exact Figure 2 scenarios.
+type PerRecipient struct {
+	Values map[types.NodeID]types.Value
+}
+
+// Corrupt implements Strategy.
+func (p PerRecipient) Corrupt(_ types.NodeID, m types.Message) (types.Value, bool) {
+	if v, ok := p.Values[m.To]; ok {
+		return v, true
+	}
+	return m.Value, true
+}
+
+// Scripted sends each recipient a fixed value (honest when unscripted) and
+// omits messages to recipients in Omit entirely. It is the workhorse of the
+// exhaustive small-system adversary enumeration: every deterministic
+// per-recipient behaviour of a depth-2 protocol is a Scripted instance.
+type Scripted struct {
+	Values map[types.NodeID]types.Value
+	Omit   types.NodeSet
+}
+
+// Corrupt implements Strategy.
+func (s Scripted) Corrupt(_ types.NodeID, m types.Message) (types.Value, bool) {
+	if s.Omit.Contains(m.To) {
+		return types.Default, false
+	}
+	if v, ok := s.Values[m.To]; ok {
+		return v, true
+	}
+	return m.Value, true
+}
+
+// ClaimSender pretends, on every relay, to have received a fixed value from
+// the sender regardless of the truth, while round-1 sends (if it is the
+// sender) stay honest. This is node A's behaviour in Figure 2(a): "A
+// pretends to have received α from S".
+type ClaimSender struct {
+	Claim types.Value
+}
+
+// Corrupt implements Strategy.
+func (c ClaimSender) Corrupt(_ types.NodeID, m types.Message) (types.Value, bool) {
+	if m.Round >= 2 {
+		return c.Claim, true
+	}
+	return m.Value, true
+}
+
+// RandomLie replaces each value with a uniform draw from Domain,
+// deterministically per seed. Each faulty node should get its own instance.
+type RandomLie struct {
+	rng    *rand.Rand
+	domain []types.Value
+}
+
+// NewRandomLie returns a RandomLie strategy over the given domain. The
+// domain always implicitly includes V_d.
+func NewRandomLie(seed int64, domain []types.Value) *RandomLie {
+	d := append([]types.Value{types.Default}, domain...)
+	return &RandomLie{rng: rand.New(rand.NewSource(seed)), domain: d}
+}
+
+// Corrupt implements Strategy.
+func (r *RandomLie) Corrupt(types.NodeID, types.Message) (types.Value, bool) {
+	if r.rng.Float64() < 0.1 {
+		return types.Default, false // occasional omission
+	}
+	return r.domain[r.rng.Intn(len(r.domain))], true
+}
+
+// CampLie is a colluding strategy: the adversary has assigned every node to
+// a camp value, and each faulty node consistently reinforces the recipient's
+// camp on every message. Shared by all colluding nodes, it is the strongest
+// splitting attack expressible without path awareness.
+type CampLie struct {
+	Camps map[types.NodeID]types.Value
+}
+
+// Corrupt implements Strategy.
+func (c CampLie) Corrupt(_ types.NodeID, m types.Message) (types.Value, bool) {
+	if v, ok := c.Camps[m.To]; ok {
+		return v, true
+	}
+	return m.Value, true
+}
+
+// PathLie corrupts only claims whose path key is scripted; everything else
+// is relayed honestly. It enables surgical attacks deep in the EIG tree.
+type PathLie struct {
+	ByPath map[string]types.Value // path key → value
+}
+
+// Corrupt implements Strategy.
+func (p PathLie) Corrupt(_ types.NodeID, m types.Message) (types.Value, bool) {
+	if v, ok := p.ByPath[m.Path.Key()]; ok {
+		return v, true
+	}
+	return m.Value, true
+}
+
+// FlipFlop alternates between two values by round parity — a strategy that
+// defeats naive "repeat last value" heuristics.
+type FlipFlop struct {
+	Even, Odd types.Value
+}
+
+// Corrupt implements Strategy.
+func (f FlipFlop) Corrupt(_ types.NodeID, m types.Message) (types.Value, bool) {
+	if m.Round%2 == 0 {
+		return f.Even, true
+	}
+	return f.Odd, true
+}
+
+var (
+	_ Strategy = Honest{}
+	_ Strategy = Silent{}
+	_ Strategy = Crash{}
+	_ Strategy = Lie{}
+	_ Strategy = TwoFaced{}
+	_ Strategy = PerRecipient{}
+	_ Strategy = Scripted{}
+	_ Strategy = ClaimSender{}
+	_ Strategy = (*RandomLie)(nil)
+	_ Strategy = CampLie{}
+	_ Strategy = PathLie{}
+	_ Strategy = FlipFlop{}
+)

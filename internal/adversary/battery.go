@@ -1,0 +1,201 @@
+package adversary
+
+import (
+	"degradable/internal/types"
+)
+
+// Context describes the instance under attack, giving strategies the
+// information a real coordinated adversary would have.
+type Context struct {
+	// N is the system size.
+	N int
+	// Sender is the distributing node.
+	Sender types.NodeID
+	// SenderValue is the value an honest sender distributes.
+	SenderValue types.Value
+	// Alt is a second application value distinct from SenderValue and V_d,
+	// used for lies and splitting attacks.
+	Alt types.Value
+	// Honest lists the fault-free nodes in ascending order.
+	Honest []types.NodeID
+}
+
+// Scenario is a named way of arming a fault set. Build returns one strategy
+// per faulty node; strategies may be shared for collusion.
+type Scenario struct {
+	Name  string
+	Build func(faulty []types.NodeID, seed int64, ctx Context) map[types.NodeID]Strategy
+}
+
+// Battery returns the standard set of adversarial scenarios used by the
+// experiments and the property tests: a diverse mix of silence, crashes,
+// consistent lies, equivocation, collusion, and randomized behaviour.
+func Battery() []Scenario {
+	return []Scenario{
+		{
+			Name: "honest-faulty",
+			Build: func(faulty []types.NodeID, _ int64, _ Context) map[types.NodeID]Strategy {
+				return uniform(faulty, Honest{})
+			},
+		},
+		{
+			Name: "silent",
+			Build: func(faulty []types.NodeID, _ int64, _ Context) map[types.NodeID]Strategy {
+				return uniform(faulty, Silent{})
+			},
+		},
+		{
+			Name: "crash-after-1",
+			Build: func(faulty []types.NodeID, _ int64, _ Context) map[types.NodeID]Strategy {
+				return uniform(faulty, Crash{After: 1})
+			},
+		},
+		{
+			Name: "lie-alt",
+			Build: func(faulty []types.NodeID, _ int64, ctx Context) map[types.NodeID]Strategy {
+				return uniform(faulty, Lie{Value: ctx.Alt})
+			},
+		},
+		{
+			Name: "lie-default",
+			Build: func(faulty []types.NodeID, _ int64, _ Context) map[types.NodeID]Strategy {
+				return uniform(faulty, Lie{Value: types.Default})
+			},
+		},
+		{
+			Name: "claim-alt-from-sender",
+			Build: func(faulty []types.NodeID, _ int64, ctx Context) map[types.NodeID]Strategy {
+				return uniform(faulty, ClaimSender{Claim: ctx.Alt})
+			},
+		},
+		{
+			Name: "two-faced",
+			Build: func(faulty []types.NodeID, _ int64, ctx Context) map[types.NodeID]Strategy {
+				var a types.NodeSet
+				for i, id := range ctx.Honest {
+					if i%2 == 0 {
+						a = a.Add(id)
+					}
+				}
+				return uniform(faulty, TwoFaced{A: a, ValueA: ctx.SenderValue, ValueB: ctx.Alt})
+			},
+		},
+		{
+			Name: "camp-split",
+			Build: func(faulty []types.NodeID, _ int64, ctx Context) map[types.NodeID]Strategy {
+				camps := make(map[types.NodeID]types.Value, len(ctx.Honest))
+				for i, id := range ctx.Honest {
+					if i%2 == 0 {
+						camps[id] = ctx.SenderValue
+					} else {
+						camps[id] = ctx.Alt
+					}
+				}
+				return uniform(faulty, CampLie{Camps: camps})
+			},
+		},
+		{
+			Name: "camp-split-default",
+			Build: func(faulty []types.NodeID, _ int64, ctx Context) map[types.NodeID]Strategy {
+				camps := make(map[types.NodeID]types.Value, len(ctx.Honest))
+				for i, id := range ctx.Honest {
+					if i%2 == 0 {
+						camps[id] = ctx.Alt
+					} else {
+						camps[id] = types.Default
+					}
+				}
+				return uniform(faulty, CampLie{Camps: camps})
+			},
+		},
+		{
+			Name: "flip-flop",
+			Build: func(faulty []types.NodeID, _ int64, ctx Context) map[types.NodeID]Strategy {
+				return uniform(faulty, FlipFlop{Even: ctx.Alt, Odd: types.Default})
+			},
+		},
+		{
+			Name: "bandwagon",
+			Build: func(faulty []types.NodeID, _ int64, _ Context) map[types.NodeID]Strategy {
+				out := make(map[types.NodeID]Strategy, len(faulty))
+				for i, id := range faulty {
+					out[id] = &BandwagonLie{Swing: i%2 == 1}
+				}
+				return out
+			},
+		},
+		{
+			Name: "deep-path",
+			Build: func(faulty []types.NodeID, _ int64, ctx Context) map[types.NodeID]Strategy {
+				return uniform(faulty, DeepPathLie{Value: ctx.Alt})
+			},
+		},
+		{
+			Name: "random",
+			Build: func(faulty []types.NodeID, seed int64, ctx Context) map[types.NodeID]Strategy {
+				out := make(map[types.NodeID]Strategy, len(faulty))
+				for i, id := range faulty {
+					out[id] = NewRandomLie(seed+int64(i)*7919, []types.Value{ctx.SenderValue, ctx.Alt})
+				}
+				return out
+			},
+		},
+		{
+			Name: "mixed",
+			Build: func(faulty []types.NodeID, seed int64, ctx Context) map[types.NodeID]Strategy {
+				out := make(map[types.NodeID]Strategy, len(faulty))
+				for i, id := range faulty {
+					switch i % 3 {
+					case 0:
+						out[id] = Silent{}
+					case 1:
+						out[id] = Lie{Value: ctx.Alt}
+					default:
+						out[id] = NewRandomLie(seed+int64(i)*104729, []types.Value{ctx.SenderValue, ctx.Alt})
+					}
+				}
+				return out
+			},
+		},
+	}
+}
+
+func uniform(faulty []types.NodeID, s Strategy) map[types.NodeID]Strategy {
+	out := make(map[types.NodeID]Strategy, len(faulty))
+	for _, id := range faulty {
+		out[id] = s
+	}
+	return out
+}
+
+// EnumerateAssignments calls fn with every assignment of a domain value to
+// each target, in deterministic order (|domain|^len(targets) assignments).
+// The map passed to fn is reused; fn must not retain it. fn returning false
+// stops enumeration.
+func EnumerateAssignments(targets []types.NodeID, domain []types.Value, fn func(map[types.NodeID]types.Value) bool) {
+	if len(domain) == 0 {
+		return
+	}
+	idx := make([]int, len(targets))
+	assign := make(map[types.NodeID]types.Value, len(targets))
+	for {
+		for i, t := range targets {
+			assign[t] = domain[idx[i]]
+		}
+		if !fn(assign) {
+			return
+		}
+		// Odometer increment.
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < len(domain) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			return
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package approx implements synchronous approximate agreement — the
+// Dolev–Lynch–Pinter–Stark–Weihl fault-tolerant midpoint iteration — and an
+// m/u-degradable variant.
+//
+// Approximate agreement is the natural formal tool for the paper's §6
+// investigation: clock resynchronization IS approximate agreement on clock
+// values, and the paper's degradable clock synchronization problem maps to
+// a degradable approximate agreement problem on real values:
+//
+//	classic (N > 3m, f ≤ m):   every fault-free node repeatedly broadcasts
+//	  its value and applies the m-trimmed midpoint. Two invariants hold per
+//	  round: VALIDITY (new values stay within the previous fault-free range)
+//	  and CONVERGENCE (the fault-free diameter at least halves).
+//	degradable (N > 2m+u):     same update, but a node first requires at
+//	  least N−m of its readings to fall within a window ε; otherwise it
+//	  flags "more than m faults" and freezes (the detection arm of the §6
+//	  formulation). With f ≤ m the check always passes once values are
+//	  ε-close, so the classic guarantees carry over; with m < f ≤ u each
+//	  round ends with either ≥ m+1 fault-free nodes still mutually
+//	  converging or ≥ m+1 flags raised.
+//
+// Faulty nodes are fully Byzantine: the value they show is an arbitrary
+// function of (reader, round) — two-faced readings included.
+package approx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"degradable/internal/types"
+)
+
+// Reading is the value a faulty node shows a particular reader in a round.
+type Reading func(reader types.NodeID, round int) float64
+
+// Params configures an instance.
+type Params struct {
+	// N is the number of nodes.
+	N int
+	// M and U are the degradable thresholds. For classic approximate
+	// agreement set U = M (the window check then never trips for f ≤ m
+	// once values are within Epsilon).
+	M, U int
+	// Epsilon is the degradable variant's coherence window; it bounds the
+	// spread the protocol tolerates before declaring an overload.
+	Epsilon float64
+}
+
+// Validate checks N > 2m+u and ranges.
+func (p Params) Validate() error {
+	if p.M < 0 || p.U < p.M || p.U < 1 {
+		return fmt.Errorf("approx: infeasible m=%d u=%d", p.M, p.U)
+	}
+	if p.N <= 2*p.M+p.U {
+		return fmt.Errorf("approx: need N > 2m+u, got N=%d", p.N)
+	}
+	if p.Epsilon <= 0 {
+		return fmt.Errorf("approx: epsilon must be positive")
+	}
+	return nil
+}
+
+// System is a running instance.
+type System struct {
+	p       Params
+	values  map[types.NodeID]float64
+	faulty  map[types.NodeID]Reading
+	flagged types.NodeSet
+}
+
+// New builds a system from the fault-free nodes' initial values (indexed by
+// node) and the faulty nodes' reading behaviours. values entries for faulty
+// nodes are ignored.
+func New(p Params, values []float64, faulty map[types.NodeID]Reading) (*System, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(values) != p.N {
+		return nil, fmt.Errorf("approx: %d values for N=%d", len(values), p.N)
+	}
+	if len(faulty) > p.U {
+		return nil, fmt.Errorf("approx: %d faulty exceeds u=%d", len(faulty), p.U)
+	}
+	s := &System{p: p, values: make(map[types.NodeID]float64, p.N), faulty: faulty}
+	for i, v := range values {
+		id := types.NodeID(i)
+		if _, bad := faulty[id]; bad {
+			continue
+		}
+		s.values[id] = v
+	}
+	return s, nil
+}
+
+// Value returns node id's current value (meaningless for faulty nodes).
+func (s *System) Value(id types.NodeID) float64 { return s.values[id] }
+
+// Flagged reports whether node id has declared more than m faults.
+func (s *System) Flagged(id types.NodeID) bool { return s.flagged.Contains(id) }
+
+// Diameter returns the spread of the fault-free, unflagged nodes' values.
+func (s *System) Diameter() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for id, v := range s.values {
+		if s.flagged.Contains(id) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// RoundReport describes one update round.
+type RoundReport struct {
+	// Updated lists the fault-free nodes that applied the trimmed midpoint.
+	Updated types.NodeSet
+	// Flagged lists the fault-free nodes that declared >m faults this
+	// round (cumulative state via System.Flagged).
+	Flagged types.NodeSet
+	// DiameterBefore and DiameterAfter are the fault-free unflagged
+	// spreads around the update.
+	DiameterBefore, DiameterAfter float64
+}
+
+// Round performs one synchronous broadcast-and-update round. Flagged nodes
+// stay frozen.
+func (s *System) Round(round int) *RoundReport {
+	rep := &RoundReport{DiameterBefore: s.Diameter()}
+	next := make(map[types.NodeID]float64, len(s.values))
+	for id, own := range s.values {
+		if s.flagged.Contains(id) {
+			next[id] = own
+			continue
+		}
+		readings := make([]float64, 0, s.p.N)
+		for j := 0; j < s.p.N; j++ {
+			peer := types.NodeID(j)
+			if rf, bad := s.faulty[peer]; bad {
+				readings = append(readings, rf(id, round))
+				continue
+			}
+			readings = append(readings, s.values[peer])
+		}
+		sort.Float64s(readings)
+		if !coherent(readings, s.p.Epsilon, s.p.N-s.p.M) {
+			s.flagged = s.flagged.Add(id)
+			rep.Flagged = rep.Flagged.Add(id)
+			next[id] = own
+			continue
+		}
+		next[id] = trimmedMidpoint(readings, s.p.M)
+		rep.Updated = rep.Updated.Add(id)
+	}
+	s.values = next
+	rep.DiameterAfter = s.Diameter()
+	return rep
+}
+
+// coherent reports whether some window of width eps contains at least need
+// of the sorted readings.
+func coherent(sorted []float64, eps float64, need int) bool {
+	lo := 0
+	for hi := range sorted {
+		for sorted[hi]-sorted[lo] > eps {
+			lo++
+		}
+		if hi-lo+1 >= need {
+			return true
+		}
+	}
+	return false
+}
+
+// trimmedMidpoint discards the m lowest and m highest readings and returns
+// the midpoint of the remaining extremes (clamping the trim for tiny
+// slices).
+func trimmedMidpoint(sorted []float64, m int) float64 {
+	trim := m
+	if max := (len(sorted) - 1) / 2; trim > max {
+		trim = max
+	}
+	return (sorted[trim] + sorted[len(sorted)-1-trim]) / 2
+}
+
+// ConditionHolds checks the degradable approximate agreement condition
+// after a round, mirroring the §6 formulation: with f ≤ m every fault-free
+// node updated and the diameter did not grow beyond the fault-free input
+// range; with m < f ≤ u, at least m+1 fault-free nodes remain mutually
+// within epsilon, or at least m+1 have flagged.
+func (s *System) ConditionHolds(f int) bool {
+	if f <= s.p.M {
+		return s.flagged.Empty()
+	}
+	if s.flagged.Len() >= s.p.M+1 {
+		return true
+	}
+	// m+1 unflagged fault-free nodes within epsilon of each other.
+	var vals []float64
+	for id, v := range s.values {
+		if !s.flagged.Contains(id) {
+			vals = append(vals, v)
+		}
+	}
+	sort.Float64s(vals)
+	lo := 0
+	for hi := range vals {
+		for vals[hi]-vals[lo] > s.p.Epsilon {
+			lo++
+		}
+		if hi-lo+1 >= s.p.M+1 {
+			return true
+		}
+	}
+	return false
+}

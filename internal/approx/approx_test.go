@@ -1,0 +1,212 @@
+package approx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"degradable/internal/types"
+)
+
+// twoFaced shows readers in set a the value t+hi and everyone else t+lo,
+// anchored around anchor.
+func twoFaced(a types.NodeSet, anchor, hi, lo float64) Reading {
+	return func(reader types.NodeID, _ int) float64 {
+		if a.Contains(reader) {
+			return anchor + hi
+		}
+		return anchor + lo
+	}
+}
+
+func constant(v float64) Reading {
+	return func(types.NodeID, int) float64 { return v }
+}
+
+func TestValidate(t *testing.T) {
+	ok := Params{N: 7, M: 2, U: 2, Epsilon: 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{N: 6, M: 2, U: 2, Epsilon: 1},  // N too small
+		{N: 7, M: 2, U: 1, Epsilon: 1},  // u < m
+		{N: 7, M: 2, U: 2, Epsilon: 0},  // bad epsilon
+		{N: 7, M: -1, U: 2, Epsilon: 1}, // negative m
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	p := Params{N: 5, M: 1, U: 2, Epsilon: 1}
+	if _, err := New(p, make([]float64, 4), nil); err == nil {
+		t.Error("wrong value count should error")
+	}
+	if _, err := New(p, make([]float64, 5), map[types.NodeID]Reading{
+		0: constant(0), 1: constant(0), 2: constant(0),
+	}); err == nil {
+		t.Error("faulty > u should error")
+	}
+}
+
+// Classic regime: validity and halving convergence with f ≤ m, N > 3m.
+func TestValidityAndConvergence(t *testing.T) {
+	p := Params{N: 7, M: 2, U: 2, Epsilon: 100}
+	vals := []float64{0, 1, 2, 3, 4, 0, 0}
+	faulty := map[types.NodeID]Reading{
+		5: twoFaced(types.NewNodeSet(0, 1), 2, +1000, -1000),
+		6: constant(-500),
+	}
+	s, err := New(p, vals, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loIn, hiIn := 0.0, 4.0
+	prev := s.Diameter()
+	for r := 1; r <= 6; r++ {
+		rep := s.Round(r)
+		if rep.Updated.Len() != 5 {
+			t.Fatalf("round %d: updated %v", r, rep.Updated)
+		}
+		// Validity: all fault-free values stay within the initial range.
+		for _, id := range []types.NodeID{0, 1, 2, 3, 4} {
+			v := s.Value(id)
+			if v < loIn-1e-9 || v > hiIn+1e-9 {
+				t.Fatalf("round %d: node %d escaped the input range: %v", r, int(id), v)
+			}
+		}
+		// Convergence: diameter at least halves (with slack for fp).
+		if rep.DiameterAfter > prev/2+1e-9 {
+			t.Fatalf("round %d: diameter %v did not halve from %v", r, rep.DiameterAfter, prev)
+		}
+		prev = rep.DiameterAfter
+	}
+	if prev > 0.2 {
+		t.Errorf("diameter after 6 rounds: %v", prev)
+	}
+}
+
+// Degraded regime: with u two-faced faults the §6-style condition holds —
+// either m+1 fault-free keep converging together or m+1 flag.
+func TestDegradedCondition(t *testing.T) {
+	p := Params{N: 5, M: 1, U: 2, Epsilon: 1.0}
+	vals := []float64{0, 0.2, 0.4, 0, 0}
+	attacks := []map[types.NodeID]Reading{
+		{
+			3: twoFaced(types.NewNodeSet(0), 0.2, +50, -50),
+			4: twoFaced(types.NewNodeSet(1), 0.2, -50, +50),
+		},
+		{
+			3: constant(1e6),
+			4: constant(-1e6),
+		},
+		{
+			3: twoFaced(types.NewNodeSet(0, 1), 0.2, +0.45, -0.45),
+			4: constant(0.2),
+		},
+	}
+	for i, faulty := range attacks {
+		s, err := New(p, vals, faulty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 1; r <= 5; r++ {
+			s.Round(r)
+			if !s.ConditionHolds(2) {
+				t.Errorf("attack %d round %d: degradable condition failed", i, r)
+			}
+		}
+	}
+}
+
+// Wild scattered faulty readings starve the coherence window and force
+// detection rather than a bad update.
+func TestDetectionOnIncoherence(t *testing.T) {
+	p := Params{N: 5, M: 1, U: 2, Epsilon: 0.5}
+	// Fault-free values already spread past epsilon: window of n-m=4
+	// cannot exist no matter what the faulty show.
+	vals := []float64{0, 10, 20, 0, 0}
+	faulty := map[types.NodeID]Reading{
+		3: constant(40),
+		4: constant(80),
+	}
+	s, err := New(p, vals, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Round(1)
+	if rep.Flagged.Len() != 3 {
+		t.Errorf("flagged %v, want all 3 fault-free", rep.Flagged)
+	}
+	if !s.ConditionHolds(2) {
+		t.Error("detection arm should satisfy the condition")
+	}
+	// Flagged nodes freeze.
+	if s.Value(0) != 0 || s.Value(1) != 10 {
+		t.Error("flagged nodes must not update")
+	}
+}
+
+// Property: validity holds for random fault-free inputs and random
+// two-faced faults in the classic regime.
+func TestValidityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{N: 7, M: 2, U: 2, Epsilon: 1e6}
+		vals := make([]float64, 7)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 5; i++ {
+			vals[i] = rng.Float64()*100 - 50
+			if vals[i] < lo {
+				lo = vals[i]
+			}
+			if vals[i] > hi {
+				hi = vals[i]
+			}
+		}
+		faulty := map[types.NodeID]Reading{
+			5: twoFaced(types.NewNodeSet(0, 2), 0, rng.Float64()*1e4, -rng.Float64()*1e4),
+			6: constant(rng.Float64()*1e4 - 5e3),
+		}
+		s, err := New(p, vals, faulty)
+		if err != nil {
+			return false
+		}
+		for r := 1; r <= 3; r++ {
+			s.Round(r)
+			for i := 0; i < 5; i++ {
+				v := s.Value(types.NodeID(i))
+				if v < lo-1e-9 || v > hi+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrimmedMidpointClamp(t *testing.T) {
+	if got := trimmedMidpoint([]float64{1, 2, 3}, 5); got != 2 {
+		t.Errorf("clamped midpoint = %v", got)
+	}
+	if got := trimmedMidpoint([]float64{4}, 1); got != 4 {
+		t.Errorf("single midpoint = %v", got)
+	}
+}
+
+func TestCoherent(t *testing.T) {
+	if !coherent([]float64{1, 1.2, 1.4, 9}, 0.5, 3) {
+		t.Error("three readings within 0.5 should be coherent")
+	}
+	if coherent([]float64{1, 2, 3, 4}, 0.5, 2) {
+		t.Error("no two readings within 0.5")
+	}
+}

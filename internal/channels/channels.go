@@ -1,0 +1,285 @@
+// Package channels implements the multiple-channel computation system of
+// the paper's Figure 1 and Section 3 — the motivating application for
+// degradable agreement.
+//
+// Per step, a sender (a sensor) distributes an input to a bank of
+// computation channels via an agreement protocol; each channel applies the
+// same deterministic computation to its agreed input and presents the result
+// to an external entity (a controller), which takes a k-out-of-n vote:
+//
+//   - Figure 1(a): 3m channels fed by Lamport's OM(m); the entity majority-
+//     votes. Condition B.1 holds up to m faults and *nothing* is promised
+//     beyond — two faults can drive the entity to an incorrect (unsafe)
+//     output.
+//   - Figure 1(b): 2m+u channels fed by m/u-degradable agreement; the
+//     entity takes an (m+u)-out-of-(2m+u) vote (condition C.1). Up to m
+//     faults the entity obtains the correct value (forward recovery, C.1);
+//     up to u faults with a fault-free sender it obtains the correct value
+//     or the default (C.2); and fault-free channels are in at most two
+//     states, one of them the safe default state (C.3).
+//
+// A fault-free channel that agrees on V_d parks in the safe state for the
+// step and presents V_d. When the entity obtains V_d it performs backward
+// recovery: it re-runs the distribution (re-does the computation) up to a
+// retry budget, then falls back to the safe default action. The mission
+// driver counts correct, default (safe), and unsafe entity outputs — this
+// is experiment E4.
+package channels
+
+import (
+	"fmt"
+
+	"degradable/internal/adversary"
+	"degradable/internal/core"
+	"degradable/internal/protocol/om"
+	"degradable/internal/runner"
+	"degradable/internal/types"
+	"degradable/internal/vote"
+)
+
+// Kind selects the distribution protocol.
+type Kind int
+
+// The two system variants of Figure 1.
+const (
+	// KindOM is Figure 1(a): OM(m) distribution, majority voter.
+	KindOM Kind = iota + 1
+	// KindDegradable is Figure 1(b): m/u-degradable distribution,
+	// (m+u)-out-of-(2m+u) voter.
+	KindDegradable
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindOM:
+		return "OM"
+	case KindDegradable:
+		return "degradable"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config describes a multi-channel system. Node 0 is the sender; channels
+// are nodes 1..Channels in the distribution instance.
+type Config struct {
+	// Kind selects Figure 1(a) or 1(b).
+	Kind Kind
+	// M is the forward-recovery fault bound.
+	M int
+	// U is the degraded bound (ignored for KindOM, where U = M).
+	U int
+	// Channels is the number of computation channels: 3m for KindOM and
+	// 2m+u for KindDegradable, per the paper.
+	Channels int
+}
+
+// OMConfig returns the Figure 1(a) system for the given m.
+func OMConfig(m int) Config {
+	return Config{Kind: KindOM, M: m, U: m, Channels: 3 * m}
+}
+
+// DegradableConfig returns the Figure 1(b) system for the given m, u.
+func DegradableConfig(m, u int) Config {
+	return Config{Kind: KindDegradable, M: m, U: u, Channels: 2*m + u}
+}
+
+// Validate checks the configuration against the paper's sizing.
+func (c Config) Validate() error {
+	switch c.Kind {
+	case KindOM:
+		if c.M < 1 {
+			return fmt.Errorf("channels: OM system needs m >= 1")
+		}
+		if c.Channels != 3*c.M {
+			return fmt.Errorf("channels: OM system wants 3m=%d channels, got %d", 3*c.M, c.Channels)
+		}
+	case KindDegradable:
+		if c.M < 0 || c.U < c.M || c.U < 1 {
+			return fmt.Errorf("channels: infeasible m=%d u=%d", c.M, c.U)
+		}
+		if c.Channels != 2*c.M+c.U {
+			return fmt.Errorf("channels: degradable system wants 2m+u=%d channels, got %d", 2*c.M+c.U, c.Channels)
+		}
+	default:
+		return fmt.Errorf("channels: unknown kind %d", int(c.Kind))
+	}
+	return nil
+}
+
+// N returns the node count of the distribution instance (sender + channels).
+func (c Config) N() int { return c.Channels + 1 }
+
+// Protocol returns the distribution protocol instance.
+func (c Config) Protocol() runner.Protocol {
+	if c.Kind == KindOM {
+		return om.Params{N: c.N(), M: c.M}
+	}
+	return core.Params{N: c.N(), M: c.M, U: c.U}
+}
+
+// VoterK returns the external entity's vote threshold.
+func (c Config) VoterK() int {
+	if c.Kind == KindOM {
+		return c.Channels/2 + 1 // strict majority, e.g. 2-out-of-3
+	}
+	return c.M + c.U // (m+u)-out-of-(2m+u), condition C.1
+}
+
+// Compute is the channels' deterministic computation on an agreed input. It
+// is injective, so a wrong agreed input yields a wrong output and the
+// voter's classification reflects agreement quality faithfully.
+func Compute(input types.Value) types.Value {
+	if input == types.Default {
+		return types.Default // safe state presents the default
+	}
+	return 2*input + 1
+}
+
+// Outcome classifies one entity output.
+type Outcome int
+
+// Entity output classes.
+const (
+	// OutcomeCorrect: the entity obtained the reference value.
+	OutcomeCorrect Outcome = iota + 1
+	// OutcomeDefault: the entity obtained V_d and takes the safe action.
+	OutcomeDefault
+	// OutcomeUnsafe: the entity obtained a wrong non-default value.
+	OutcomeUnsafe
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCorrect:
+		return "correct"
+	case OutcomeDefault:
+		return "default"
+	case OutcomeUnsafe:
+		return "unsafe"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// StepResult reports one mission step.
+type StepResult struct {
+	// EntityOutput is the voter's value.
+	EntityOutput types.Value
+	// Outcome classifies EntityOutput against Compute(input).
+	Outcome Outcome
+	// Redos is the number of backward-recovery re-distributions performed.
+	Redos int
+	// SafeChannels is the number of fault-free channels that parked in the
+	// safe state on the final attempt (condition C.3 diagnostics).
+	SafeChannels int
+	// StateClasses is the number of distinct states among fault-free
+	// channels on the final attempt (C.3 requires ≤ 2, one of them safe).
+	StateClasses int
+}
+
+// Step distributes input to the channels with the given fault set armed,
+// computes, votes, and applies backward recovery: when the entity obtains
+// V_d it re-runs the distribution up to maxRedo times before accepting the
+// safe default action. Faults persist across redos.
+func Step(cfg Config, input types.Value, strategies map[types.NodeID]adversary.Strategy, maxRedo int) (*StepResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if input == types.Default {
+		return nil, fmt.Errorf("channels: V_d is not a valid sensor input")
+	}
+	res := &StepResult{}
+	for attempt := 0; ; attempt++ {
+		out, safe, classes, err := attemptStep(cfg, input, strategies)
+		if err != nil {
+			return nil, err
+		}
+		res.EntityOutput = out
+		res.SafeChannels = safe
+		res.StateClasses = classes
+		if out != types.Default || attempt >= maxRedo {
+			break
+		}
+		res.Redos++
+	}
+	switch res.EntityOutput {
+	case Compute(input):
+		res.Outcome = OutcomeCorrect
+	case types.Default:
+		res.Outcome = OutcomeDefault
+	default:
+		res.Outcome = OutcomeUnsafe
+	}
+	return res, nil
+}
+
+// attemptStep runs one distribution + computation + vote pass. It returns
+// the entity's value, the number of fault-free channels in the safe state,
+// and the number of distinct fault-free channel states.
+func attemptStep(cfg Config, input types.Value, strategies map[types.NodeID]adversary.Strategy) (types.Value, int, int, error) {
+	in := runner.Instance{
+		Protocol:    cfg.Protocol(),
+		SenderValue: input,
+		Strategies:  strategies,
+	}
+	runRes, _, err := in.Run()
+	if err != nil {
+		return types.Default, 0, 0, err
+	}
+	outputs := make([]types.Value, 0, cfg.Channels)
+	safe := 0
+	states := make(map[types.Value]bool)
+	for i := 1; i <= cfg.Channels; i++ {
+		id := types.NodeID(i)
+		if strat, faulty := strategies[id]; faulty {
+			outputs = append(outputs, faultyOutput(cfg, id, input, strat))
+			continue
+		}
+		decision := runRes.Decisions[id]
+		out := Compute(decision)
+		states[out] = true
+		if out == types.Default {
+			safe++
+		}
+		outputs = append(outputs, out)
+	}
+	v, err := vote.KOfN(cfg.VoterK(), outputs)
+	if err != nil {
+		return types.Default, 0, 0, err
+	}
+	return v, safe, len(states), nil
+}
+
+// faultyOutput models a faulty channel's presented output: it coordinates
+// with the node's agreement-level lies. The strategy is probed once per
+// possible recipient and the channel presses Compute of the value it tells
+// most often (ties broken toward the smallest value, omissions toward V_d) —
+// so colluding channels threaten the voter with the same consistent wrong
+// value they feed the agreement.
+func faultyOutput(cfg Config, id types.NodeID, input types.Value, strat adversary.Strategy) types.Value {
+	counts := make(map[types.Value]int)
+	for to := 0; to < cfg.N(); to++ {
+		if types.NodeID(to) == id {
+			continue
+		}
+		probe := types.Message{
+			From: id, To: types.NodeID(to), Round: 2,
+			Path: types.Path{0, id}, Value: input,
+		}
+		v, ok := strat.Corrupt(id, probe)
+		if !ok {
+			v = types.Default
+		}
+		counts[v]++
+	}
+	best, bestCount := types.Default, -1
+	for v, c := range counts {
+		if c > bestCount || (c == bestCount && v < best) {
+			best, bestCount = v, c
+		}
+	}
+	return Compute(best)
+}

@@ -1,0 +1,259 @@
+package channels
+
+import (
+	"testing"
+
+	"degradable/internal/adversary"
+	"degradable/internal/types"
+)
+
+const (
+	input types.Value = 50
+	lieV  types.Value = 77
+)
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"OM m=1", OMConfig(1), false},
+		{"OM m=2", OMConfig(2), false},
+		{"degradable 1/2", DegradableConfig(1, 2), false},
+		{"degradable 0/3", DegradableConfig(0, 3), false},
+		{"OM wrong channels", Config{Kind: KindOM, M: 1, Channels: 4}, true},
+		{"OM m=0", Config{Kind: KindOM, M: 0, Channels: 0}, true},
+		{"degradable m>u", Config{Kind: KindDegradable, M: 2, U: 1, Channels: 5}, true},
+		{"degradable wrong channels", Config{Kind: KindDegradable, M: 1, U: 2, Channels: 5}, true},
+		{"unknown kind", Config{}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestVoterK(t *testing.T) {
+	if k := OMConfig(1).VoterK(); k != 2 {
+		t.Errorf("OM(1) voter k = %d, want 2 (2-out-of-3)", k)
+	}
+	if k := DegradableConfig(1, 2).VoterK(); k != 3 {
+		t.Errorf("degradable 1/2 voter k = %d, want 3 (3-out-of-4)", k)
+	}
+}
+
+func TestCompute(t *testing.T) {
+	if Compute(types.Default) != types.Default {
+		t.Error("safe state must present V_d")
+	}
+	if Compute(5) != 11 {
+		t.Errorf("Compute(5) = %v", Compute(5))
+	}
+	if Compute(5) == Compute(6) {
+		t.Error("Compute must be injective")
+	}
+}
+
+func TestStepFaultFree(t *testing.T) {
+	for _, cfg := range []Config{OMConfig(1), DegradableConfig(1, 2)} {
+		sr, err := Step(cfg, input, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Outcome != OutcomeCorrect {
+			t.Errorf("%v fault-free outcome = %v", cfg.Kind, sr.Outcome)
+		}
+		if sr.EntityOutput != Compute(input) {
+			t.Errorf("%v output = %v", cfg.Kind, sr.EntityOutput)
+		}
+		if sr.StateClasses != 1 {
+			t.Errorf("%v state classes = %d", cfg.Kind, sr.StateClasses)
+		}
+	}
+}
+
+func TestStepRejectsDefaultInput(t *testing.T) {
+	if _, err := Step(OMConfig(1), types.Default, nil, 0); err == nil {
+		t.Error("V_d input should error")
+	}
+}
+
+// Condition B.1/C.1: one fault (≤ m) is masked by both systems — forward
+// recovery.
+func TestForwardRecoveryOneFault(t *testing.T) {
+	strategies := map[types.NodeID]adversary.Strategy{
+		2: adversary.Lie{Value: lieV},
+	}
+	for _, cfg := range []Config{OMConfig(1), DegradableConfig(1, 2)} {
+		sr, err := Step(cfg, input, strategies, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Outcome != OutcomeCorrect {
+			t.Errorf("%v with one fault: %v, want correct", cfg.Kind, sr.Outcome)
+		}
+	}
+}
+
+// The headline contrast (Figure 1, condition C.2): with two faults and a
+// fault-free sender, the OM system can emit an unsafe value while the
+// degradable system emits correct or default — never unsafe.
+func TestC2Contrast(t *testing.T) {
+	// Colluding camp-split: the faulty channels confirm each honest
+	// channel's worst-case view.
+	mkStrategies := func(honest []types.NodeID) map[types.NodeID]adversary.Strategy {
+		camps := make(map[types.NodeID]types.Value)
+		for i, id := range honest {
+			if i%2 == 0 {
+				camps[id] = input
+			} else {
+				camps[id] = lieV
+			}
+		}
+		s := adversary.CampLie{Camps: camps}
+		return map[types.NodeID]adversary.Strategy{2: s, 3: s}
+	}
+
+	// OM system (channels 1..3, sender 0; honest = 1).
+	omUnsafe := false
+	srOM, err := Step(OMConfig(1), input, mkStrategies([]types.NodeID{1}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srOM.Outcome == OutcomeUnsafe {
+		omUnsafe = true
+	}
+	if !omUnsafe {
+		t.Logf("OM outcome with camp-split: %v (unsafe not forced by this adversary; E4 sweeps more)", srOM.Outcome)
+	}
+
+	// Degradable system (channels 1..4; honest = 1, 4): must never be
+	// unsafe with a fault-free sender and f ≤ u, for ANY battery scenario.
+	cfg := DegradableConfig(1, 2)
+	ctx := adversary.Context{
+		N: cfg.N(), Sender: 0, SenderValue: input, Alt: lieV,
+		Honest: []types.NodeID{1, 4},
+	}
+	for _, sc := range adversary.Battery() {
+		strategies := sc.Build([]types.NodeID{2, 3}, 3, ctx)
+		sr, err := Step(cfg, input, strategies, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Outcome == OutcomeUnsafe {
+			t.Errorf("degradable system unsafe under %s (C.2 violated)", sc.Name)
+		}
+	}
+}
+
+// Exhaustive C.2 check for the 4-channel degradable system: over every pair
+// of faulty channels and every deterministic per-recipient behaviour at the
+// voter level, the entity output is correct or default.
+func TestC2AllChannelFaultPairs(t *testing.T) {
+	cfg := DegradableConfig(1, 2)
+	chans := []types.NodeID{1, 2, 3, 4}
+	types.Subsets(chans, 2, func(faulty types.NodeSet) bool {
+		honest := make([]types.NodeID, 0, 4)
+		for _, id := range chans {
+			if !faulty.Contains(id) {
+				honest = append(honest, id)
+			}
+		}
+		ctx := adversary.Context{N: cfg.N(), Sender: 0, SenderValue: input, Alt: lieV, Honest: honest}
+		for _, sc := range adversary.Battery() {
+			sr, err := Step(cfg, input, sc.Build(faulty.IDs(), 11, ctx), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sr.Outcome == OutcomeUnsafe {
+				t.Errorf("faulty=%v scenario=%s: unsafe output (C.2 violated)", faulty, sc.Name)
+			}
+			if sr.StateClasses > 2 {
+				t.Errorf("faulty=%v scenario=%s: %d state classes (C.3 violated)", faulty, sc.Name, sr.StateClasses)
+			}
+		}
+		return !t.Failed()
+	})
+}
+
+func TestBackwardRecoveryRedos(t *testing.T) {
+	// Silent channels force default agreement; redo budget is consumed and
+	// the entity eventually takes the safe action.
+	cfg := DegradableConfig(1, 2)
+	strategies := map[types.NodeID]adversary.Strategy{
+		3: adversary.Silent{},
+		4: adversary.Silent{},
+	}
+	sr, err := Step(cfg, input, strategies, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Outcome == OutcomeUnsafe {
+		t.Fatalf("unsafe output under silence")
+	}
+	if sr.Outcome == OutcomeDefault && sr.Redos != 2 {
+		t.Errorf("default outcome consumed %d redos, want 2", sr.Redos)
+	}
+}
+
+func TestRunMissionFaultFree(t *testing.T) {
+	res, err := RunMission(DegradableConfig(1, 2), Mission{Steps: 10, Seed: 1, MaxRedo: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Correct != 10 || res.Default != 0 || res.Unsafe != 0 {
+		t.Errorf("fault-free mission = %+v", res)
+	}
+}
+
+func TestRunMissionWithTransientFaults(t *testing.T) {
+	plan := func(step int) map[types.NodeID]adversary.Strategy {
+		switch {
+		case step < 3:
+			return nil
+		case step < 6: // one fault: masked
+			return map[types.NodeID]adversary.Strategy{2: adversary.Lie{Value: lieV}}
+		default: // two faults: degraded but safe
+			return map[types.NodeID]adversary.Strategy{
+				2: adversary.Lie{Value: lieV},
+				3: adversary.Lie{Value: lieV},
+			}
+		}
+	}
+	res, err := RunMission(DegradableConfig(1, 2), Mission{Steps: 9, Seed: 2, MaxRedo: 1, FaultPlan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsafe != 0 || res.C2Violations != 0 {
+		t.Errorf("degradable mission went unsafe: %+v", res)
+	}
+	if res.Correct < 6 {
+		t.Errorf("expected at least the first six steps correct: %+v", res)
+	}
+	if res.MaxStateClasses > 2 {
+		t.Errorf("C.3 violated during mission: %d classes", res.MaxStateClasses)
+	}
+}
+
+func TestRunMissionValidation(t *testing.T) {
+	if _, err := RunMission(DegradableConfig(1, 2), Mission{Steps: 0}); err == nil {
+		t.Error("zero steps should error")
+	}
+	if _, err := RunMission(Config{}, Mission{Steps: 1}); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if OutcomeCorrect.String() != "correct" || OutcomeDefault.String() != "default" ||
+		OutcomeUnsafe.String() != "unsafe" {
+		t.Error("outcome strings")
+	}
+	if KindOM.String() != "OM" || KindDegradable.String() != "degradable" {
+		t.Error("kind strings")
+	}
+}

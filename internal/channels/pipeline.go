@@ -1,0 +1,217 @@
+package channels
+
+import (
+	"fmt"
+
+	"degradable/internal/adversary"
+	"degradable/internal/runner"
+	"degradable/internal/types"
+	"degradable/internal/vote"
+)
+
+// Pipeline is the stateful variant of the Figure-1 system: channels carry
+// state across steps (an integrator control law — state is the running sum
+// of accepted inputs), the way the FTMP-class machines the paper cites
+// actually operate. It realizes the full backward-recovery story:
+//
+//   - Every step starts from a synchronized checkpoint. The input is
+//     distributed by the agreement protocol; each fault-free channel folds
+//     its agreed input into a candidate state (or parks on V_d) and presents
+//     the candidate to the external entity.
+//   - The entity takes the (m+u)-out-of-(2m+u) vote. On V_d it orders a
+//     ROLLBACK: every channel discards its candidate and the distribution is
+//     re-done (up to the retry budget) — the paper's "re-do the computation".
+//   - The entity's accepted value is fed back (voted outputs are broadcast
+//     in such architectures). A fault-free channel whose candidate disagrees
+//     resynchronizes by adopting the entity value, so every step ends with
+//     all fault-free channels back in one state — the checkpoint for the
+//     next step. If even the redo defaults, the entity takes the safe
+//     action, the input is skipped system-wide, and states stay at the
+//     previous checkpoint.
+//
+// The invariant maintained (and tested): at every step boundary, all
+// fault-free channels hold the same state, and with a fault-free sender and
+// f ≤ u that state equals the reference (the sum of accepted inputs) — the
+// entity never commits an unsafe value into the channels' state.
+type Pipeline struct {
+	cfg    Config
+	states map[types.NodeID]types.Value
+	// committed is the reference state: the sum of inputs the entity
+	// accepted so far.
+	committed types.Value
+	// skipped counts inputs abandoned to the safe default action.
+	skipped int
+}
+
+// NewPipeline returns a pipeline with all channel states at zero.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pl := &Pipeline{cfg: cfg, states: make(map[types.NodeID]types.Value, cfg.Channels)}
+	for i := 1; i <= cfg.Channels; i++ {
+		pl.states[types.NodeID(i)] = 0
+	}
+	return pl, nil
+}
+
+// Committed returns the reference state (sum of accepted inputs).
+func (pl *Pipeline) Committed() types.Value { return pl.committed }
+
+// Skipped returns the number of inputs abandoned to the safe action.
+func (pl *Pipeline) Skipped() int { return pl.skipped }
+
+// State returns channel id's current state.
+func (pl *Pipeline) State(id types.NodeID) types.Value { return pl.states[id] }
+
+// PipelineStep reports one pipeline step.
+type PipelineStep struct {
+	// EntityOutput is the voter's final value for the step (V_d = the safe
+	// action was taken and the input skipped).
+	EntityOutput types.Value
+	// Outcome classifies EntityOutput against the reference trajectory.
+	Outcome Outcome
+	// Redos counts rollback-and-redo cycles.
+	Redos int
+	// Resynced counts fault-free channels that adopted the entity value
+	// after disagreeing (parked or diverged candidates).
+	Resynced int
+	// InSync reports whether all fault-free channels hold one identical
+	// state after the step (the pipeline invariant).
+	InSync bool
+}
+
+// Step processes one sensor input with the given fault set armed.
+func (pl *Pipeline) Step(input types.Value, strategies map[types.NodeID]adversary.Strategy, maxRedo int) (*PipelineStep, error) {
+	if input == types.Default {
+		return nil, fmt.Errorf("channels: V_d is not a valid sensor input")
+	}
+	res := &PipelineStep{}
+	var entity types.Value
+	var candidates map[types.NodeID]types.Value
+	for attempt := 0; ; attempt++ {
+		var err error
+		entity, candidates, err = pl.attempt(input, strategies)
+		if err != nil {
+			return nil, err
+		}
+		if entity != types.Default || attempt >= maxRedo {
+			break
+		}
+		res.Redos++ // rollback: candidates discarded, distribution redone
+	}
+	res.EntityOutput = entity
+
+	if entity == types.Default {
+		// Safe action: the input is skipped system-wide; states stay at
+		// the checkpoint.
+		pl.skipped++
+		res.Outcome = OutcomeDefault
+	} else {
+		// Feedback commit: channels adopt the entity value.
+		want := pl.committed + input
+		switch entity {
+		case want:
+			res.Outcome = OutcomeCorrect
+		default:
+			res.Outcome = OutcomeUnsafe
+		}
+		pl.committed = entity
+		for i := 1; i <= pl.cfg.Channels; i++ {
+			id := types.NodeID(i)
+			if strategies[id] != nil {
+				continue // faulty channels' states are their own problem
+			}
+			if candidates[id] != entity {
+				res.Resynced++
+			}
+			pl.states[id] = entity
+		}
+	}
+
+	// Invariant check: all fault-free channels share one state.
+	res.InSync = true
+	var ref types.Value
+	first := true
+	for i := 1; i <= pl.cfg.Channels; i++ {
+		id := types.NodeID(i)
+		if strategies[id] != nil {
+			continue
+		}
+		if first {
+			ref, first = pl.states[id], false
+		} else if pl.states[id] != ref {
+			res.InSync = false
+		}
+	}
+	return res, nil
+}
+
+// attempt runs one distribution and returns the entity vote plus each
+// fault-free channel's candidate state.
+func (pl *Pipeline) attempt(input types.Value, strategies map[types.NodeID]adversary.Strategy) (types.Value, map[types.NodeID]types.Value, error) {
+	in := runner.Instance{
+		Protocol:    pl.cfg.Protocol(),
+		SenderValue: input,
+		Strategies:  strategies,
+	}
+	runRes, _, err := in.Run()
+	if err != nil {
+		return types.Default, nil, err
+	}
+	outputs := make([]types.Value, 0, pl.cfg.Channels)
+	candidates := make(map[types.NodeID]types.Value, pl.cfg.Channels)
+	for i := 1; i <= pl.cfg.Channels; i++ {
+		id := types.NodeID(i)
+		if strat, faulty := strategies[id]; faulty {
+			// A faulty channel presses a plausible-but-lying state built
+			// from its coordinated lie.
+			lie := faultyPipelineLie(pl.cfg, id, input, strat)
+			outputs = append(outputs, lie)
+			continue
+		}
+		decision := runRes.Decisions[id]
+		if decision == types.Default {
+			// Parked: no candidate; presents V_d.
+			candidates[id] = types.Default
+			outputs = append(outputs, types.Default)
+			continue
+		}
+		cand := pl.states[id] + decision
+		candidates[id] = cand
+		outputs = append(outputs, cand)
+	}
+	v, err := vote.KOfN(pl.cfg.VoterK(), outputs)
+	if err != nil {
+		return types.Default, nil, err
+	}
+	return v, candidates, nil
+}
+
+// faultyPipelineLie models a faulty channel's presented state: the committed
+// reference plus the value its strategy presses most often — the strongest
+// consistent collusion against the state voter.
+func faultyPipelineLie(cfg Config, id types.NodeID, input types.Value, strat adversary.Strategy) types.Value {
+	counts := make(map[types.Value]int)
+	for to := 0; to < cfg.N(); to++ {
+		if types.NodeID(to) == id {
+			continue
+		}
+		probe := types.Message{From: id, To: types.NodeID(to), Round: 2, Path: types.Path{0, id}, Value: input}
+		v, ok := strat.Corrupt(id, probe)
+		if !ok {
+			v = types.Default
+		}
+		counts[v]++
+	}
+	best, bestCount := types.Default, -1
+	for v, c := range counts {
+		if c > bestCount || (c == bestCount && v < best) {
+			best, bestCount = v, c
+		}
+	}
+	if best == types.Default {
+		return types.Default
+	}
+	return best // presented as an absolute state claim
+}

@@ -1,0 +1,189 @@
+package channels
+
+import (
+	"testing"
+
+	"degradable/internal/adversary"
+	"degradable/internal/types"
+)
+
+func TestNewPipelineValidation(t *testing.T) {
+	if _, err := NewPipeline(Config{}); err == nil {
+		t.Error("invalid config should error")
+	}
+	pl, err := NewPipeline(DegradableConfig(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Committed() != 0 || pl.State(1) != 0 {
+		t.Error("fresh pipeline not zeroed")
+	}
+}
+
+func TestPipelineRejectsDefaultInput(t *testing.T) {
+	pl, _ := NewPipeline(DegradableConfig(1, 2))
+	if _, err := pl.Step(types.Default, nil, 0); err == nil {
+		t.Error("V_d input should error")
+	}
+}
+
+func TestPipelineFaultFreeAccumulates(t *testing.T) {
+	pl, err := NewPipeline(DegradableConfig(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum types.Value
+	for _, input := range []types.Value{10, 20, 30} {
+		sr, err := pl.Step(input, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += input
+		if sr.Outcome != OutcomeCorrect || sr.EntityOutput != sum {
+			t.Fatalf("step %+v, want correct %d", sr, sum)
+		}
+		if !sr.InSync || sr.Resynced != 0 {
+			t.Errorf("fault-free step out of sync: %+v", sr)
+		}
+	}
+	if pl.Committed() != 60 {
+		t.Errorf("committed = %v", pl.Committed())
+	}
+	for i := 1; i <= 4; i++ {
+		if pl.State(types.NodeID(i)) != 60 {
+			t.Errorf("channel %d state = %v", i, pl.State(types.NodeID(i)))
+		}
+	}
+}
+
+// One fault: masked every step (forward recovery), state tracks reference.
+func TestPipelineForwardRecovery(t *testing.T) {
+	pl, err := NewPipeline(DegradableConfig(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := map[types.NodeID]adversary.Strategy{
+		2: adversary.Lie{Value: 5},
+	}
+	for _, input := range []types.Value{7, 9} {
+		sr, err := pl.Step(input, strategies, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Outcome != OutcomeCorrect {
+			t.Fatalf("outcome = %v", sr.Outcome)
+		}
+		if !sr.InSync {
+			t.Error("fault-free channels diverged")
+		}
+	}
+	if pl.Committed() != 16 {
+		t.Errorf("committed = %v", pl.Committed())
+	}
+}
+
+// Two colluding faults: steps degrade to the safe action (rollback+skip) or
+// stay correct, never unsafe; fault-free channels stay in one state.
+func TestPipelineDegradedStaysSafeAndInSync(t *testing.T) {
+	cfg := DegradableConfig(1, 2)
+	honest := []types.NodeID{1, 4}
+	camps := map[types.NodeID]types.Value{honest[0]: 50, honest[1]: 77}
+	scenarios := []map[types.NodeID]adversary.Strategy{
+		{2: adversary.Silent{}, 3: adversary.Silent{}},
+		{2: adversary.CampLie{Camps: camps}, 3: adversary.CampLie{Camps: camps}},
+		{2: adversary.Lie{Value: 50}, 3: adversary.Lie{Value: 50}},
+		{2: &adversary.BandwagonLie{}, 3: &adversary.BandwagonLie{Swing: true}},
+	}
+	for si, strategies := range scenarios {
+		pl, err := NewPipeline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var accepted types.Value
+		for step := 0; step < 5; step++ {
+			input := types.Value(10 + step)
+			sr, err := pl.Step(input, strategies, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sr.Outcome == OutcomeUnsafe {
+				t.Fatalf("scenario %d step %d: unsafe entity output (C.2 violated)", si, step)
+			}
+			if sr.Outcome == OutcomeCorrect {
+				accepted += input
+			}
+			if !sr.InSync {
+				t.Fatalf("scenario %d step %d: fault-free channels diverged", si, step)
+			}
+		}
+		if pl.Committed() != accepted {
+			t.Errorf("scenario %d: committed %v, accepted inputs sum %v", si, pl.Committed(), accepted)
+		}
+		if pl.Committed()+0 != pl.State(honest[0]) || pl.State(honest[0]) != pl.State(honest[1]) {
+			t.Errorf("scenario %d: states %v/%v vs committed %v",
+				si, pl.State(honest[0]), pl.State(honest[1]), pl.Committed())
+		}
+	}
+}
+
+// Transient faults: once the faults clear, parked/diverged channels are
+// already resynced by the feedback commit and the mission continues
+// correctly.
+func TestPipelineRecoveryAfterTransientFaults(t *testing.T) {
+	pl, err := NewPipeline(DegradableConfig(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := map[types.NodeID]adversary.Strategy{
+		2: adversary.Silent{},
+		3: adversary.Silent{},
+	}
+	sawDefault := false
+	for step := 0; step < 3; step++ {
+		sr, err := pl.Step(types.Value(100+step), faulty, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Outcome == OutcomeDefault {
+			sawDefault = true
+		}
+	}
+	// Faults clear; everything must be correct and synchronized again.
+	for step := 0; step < 3; step++ {
+		sr, err := pl.Step(types.Value(200+step), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Outcome != OutcomeCorrect || !sr.InSync {
+			t.Fatalf("post-recovery step %d: %+v", step, sr)
+		}
+	}
+	if !sawDefault {
+		t.Log("silent pair never forced a default in this run (acceptable)")
+	}
+	if pl.Skipped() > 3 {
+		t.Errorf("skipped = %d", pl.Skipped())
+	}
+}
+
+// The redo budget is consumed before the safe action is taken.
+func TestPipelineRedoBudget(t *testing.T) {
+	pl, err := NewPipeline(DegradableConfig(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := map[types.NodeID]adversary.Strategy{
+		3: adversary.Silent{},
+		4: adversary.Silent{},
+	}
+	sr, err := pl.Step(55, strategies, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Outcome == OutcomeDefault && sr.Redos != 2 {
+		t.Errorf("default outcome after %d redos, want 2", sr.Redos)
+	}
+	if sr.Outcome == OutcomeUnsafe {
+		t.Error("unsafe under silence")
+	}
+}

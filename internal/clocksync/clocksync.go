@@ -1,0 +1,289 @@
+// Package clocksync implements Section 6 of the paper: clock synchronization
+// for degradable agreement, including the paper's proposed (and conjectured
+// achievable) m/u-degradable clock synchronization problem:
+//
+//  1. if at most m clocks are faulty, all fault-free clocks must be
+//     synchronized and approximate real time;
+//  2. if more than m but at most u clocks are faulty, then either at least
+//     m+1 fault-free clocks are synchronized and approximate real time, or
+//     at least m+1 fault-free clocks detect the existence of more than m
+//     faulty clocks.
+//
+// The simulated hardware clock is the standard drifting clock
+// C(t) = offset + (1+drift)·t. Fault-free nodes resynchronize periodically
+// with a clustering rule in the spirit of interactive convergence: a node
+// reads every clock, finds the largest group of readings within a window ε,
+// and
+//
+//   - adopts the group's midpoint when the group has at least n−m members
+//     (with f ≤ m every fault-free reading is in one group, so this always
+//     fires and bounds skew), or
+//   - declares the presence of more than m faulty clocks otherwise — the
+//     detection arm of the degradable formulation.
+//
+// Faulty clocks are fully Byzantine: they may show different readers
+// different values (two-faced clocks, the classic ingredient of the
+// clock-sync impossibility results the paper cites).
+//
+// The paper conjectures but does not prove that 2m+u+1 clocks suffice;
+// experiment E7 records how the rule fares empirically, clearly labelled as
+// a conjecture check in EXPERIMENTS.md.
+package clocksync
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"degradable/internal/types"
+)
+
+// Clock is a drifting hardware clock.
+type Clock struct {
+	// Offset is the clock's value at real time zero.
+	Offset float64
+	// Drift is the rate error: the clock advances (1+Drift) per real
+	// second.
+	Drift float64
+}
+
+// Read returns the clock's value at real time t.
+func (c Clock) Read(t float64) float64 {
+	return c.Offset + (1+c.Drift)*t
+}
+
+// ReadFunc is the value a faulty clock shows a particular reader at real
+// time t — two-faced behaviour is allowed and expected.
+type ReadFunc func(reader types.NodeID, t float64) float64
+
+// Params configures a clock system.
+type Params struct {
+	// N is the number of clocks (one per node).
+	N int
+	// M and U are the degradable thresholds.
+	M, U int
+	// Epsilon is the clustering window: readings within Epsilon of each
+	// other are considered mutually synchronized.
+	Epsilon float64
+	// MaxDrift bounds |Drift| of fault-free clocks (used for validation
+	// and reporting only).
+	MaxDrift float64
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.M < 0 || p.U < p.M || p.U < 1 {
+		return fmt.Errorf("clocksync: infeasible m=%d u=%d", p.M, p.U)
+	}
+	if p.N <= 2*p.M+p.U {
+		return fmt.Errorf("clocksync: need N > 2m+u, got N=%d", p.N)
+	}
+	if p.Epsilon <= 0 {
+		return fmt.Errorf("clocksync: epsilon must be positive")
+	}
+	return nil
+}
+
+// System is a running clock ensemble.
+type System struct {
+	p           Params
+	clocks      []Clock
+	corrections []float64
+	faulty      map[types.NodeID]ReadFunc
+	detected    types.NodeSet
+}
+
+// NewSystem builds a system from per-node hardware clocks and the faulty
+// read behaviours. clocks must have length N; entries for faulty nodes are
+// ignored.
+func NewSystem(p Params, clocks []Clock, faulty map[types.NodeID]ReadFunc) (*System, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(clocks) != p.N {
+		return nil, fmt.Errorf("clocksync: %d clocks for N=%d", len(clocks), p.N)
+	}
+	if len(faulty) > p.U {
+		return nil, fmt.Errorf("clocksync: %d faulty clocks exceeds u=%d", len(faulty), p.U)
+	}
+	for id := range faulty {
+		if id < 0 || int(id) >= p.N {
+			return nil, fmt.Errorf("clocksync: faulty id %d out of range", int(id))
+		}
+	}
+	return &System{
+		p:           p,
+		clocks:      clocks,
+		corrections: make([]float64, p.N),
+		faulty:      faulty,
+	}, nil
+}
+
+// LogicalTime returns node id's logical clock at real time t (hardware
+// reading plus accumulated corrections). Meaningless for faulty nodes.
+func (s *System) LogicalTime(id types.NodeID, t float64) float64 {
+	return s.clocks[id].Read(t) + s.corrections[id]
+}
+
+// Detected reports whether node id has declared the presence of more than m
+// faulty clocks.
+func (s *System) Detected(id types.NodeID) bool { return s.detected.Contains(id) }
+
+// reading is what reader sees of target's clock at real time t.
+func (s *System) reading(reader, target types.NodeID, t float64) float64 {
+	if rf, bad := s.faulty[target]; bad {
+		return rf(reader, t)
+	}
+	return s.LogicalTime(target, t)
+}
+
+// SyncReport describes one resynchronization round.
+type SyncReport struct {
+	// Synced lists the fault-free nodes that found a qualifying cluster
+	// and adjusted.
+	Synced types.NodeSet
+	// Detected lists the fault-free nodes that instead declared >m faults
+	// this round (cumulative detection is available via System.Detected).
+	Detected types.NodeSet
+	// SkewSynced is the maximum pairwise logical-clock difference among
+	// the synced fault-free nodes immediately after adjustment.
+	SkewSynced float64
+	// SkewAll is the maximum pairwise difference among all fault-free
+	// nodes after adjustment.
+	SkewAll float64
+	// Accuracy is the maximum |logical − real| over synced nodes after
+	// adjustment.
+	Accuracy float64
+}
+
+// SyncRound performs one resynchronization at real time t.
+func (s *System) SyncRound(t float64) *SyncReport {
+	rep := &SyncReport{}
+	// Compute all adjustments first (simultaneous resync), then apply.
+	adjust := make(map[types.NodeID]float64)
+	for i := 0; i < s.p.N; i++ {
+		id := types.NodeID(i)
+		if _, bad := s.faulty[id]; bad {
+			continue
+		}
+		readings := make([]float64, 0, s.p.N)
+		for j := 0; j < s.p.N; j++ {
+			readings = append(readings, s.reading(id, types.NodeID(j), t))
+		}
+		members, ok := cluster(readings, s.p.Epsilon, s.p.N-s.p.M)
+		if !ok {
+			rep.Detected = rep.Detected.Add(id)
+			s.detected = s.detected.Add(id)
+			continue
+		}
+		rep.Synced = rep.Synced.Add(id)
+		adjust[id] = trimmedMidpoint(members, s.p.M) - s.LogicalTime(id, t)
+	}
+	for id, d := range adjust {
+		s.corrections[id] += d
+	}
+	// Skew metrics.
+	rep.SkewSynced = s.maxSkew(rep.Synced, t)
+	var all types.NodeSet
+	for i := 0; i < s.p.N; i++ {
+		if _, bad := s.faulty[types.NodeID(i)]; !bad {
+			all = all.Add(types.NodeID(i))
+		}
+	}
+	rep.SkewAll = s.maxSkew(all, t)
+	for _, id := range rep.Synced.IDs() {
+		if a := math.Abs(s.LogicalTime(id, t) - t); a > rep.Accuracy {
+			rep.Accuracy = a
+		}
+	}
+	return rep
+}
+
+func (s *System) maxSkew(set types.NodeSet, t float64) float64 {
+	ids := set.IDs()
+	var worst float64
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			d := math.Abs(s.LogicalTime(ids[i], t) - s.LogicalTime(ids[j], t))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// cluster finds the largest group of readings within a window of width eps.
+// If the group has at least need members it returns them (sorted) and true;
+// otherwise false.
+func cluster(readings []float64, eps float64, need int) ([]float64, bool) {
+	sorted := append([]float64(nil), readings...)
+	sort.Float64s(sorted)
+	bestLo, bestHi, bestCount := 0, 0, 0
+	lo := 0
+	for hi := range sorted {
+		for sorted[hi]-sorted[lo] > eps {
+			lo++
+		}
+		if c := hi - lo + 1; c > bestCount {
+			bestCount, bestLo, bestHi = c, lo, hi
+		}
+	}
+	if bestCount < need {
+		return nil, false
+	}
+	return sorted[bestLo : bestHi+1], true
+}
+
+// trimmedMidpoint is the Welch–Lynch-style fault-tolerant midpoint: discard
+// the m lowest and m highest members and take the midpoint of the remaining
+// extremes. With at most m faulty readings inside the cluster, the result is
+// always within the range of the fault-free members, so faulty clocks at the
+// window edges cannot steadily drag logical time away from real time.
+func trimmedMidpoint(sorted []float64, m int) float64 {
+	trim := m
+	if max := (len(sorted) - 1) / 2; trim > max {
+		trim = max
+	}
+	return (sorted[trim] + sorted[len(sorted)-1-trim]) / 2
+}
+
+// ConditionHolds checks the m/u-degradable clock synchronization conditions
+// against a sync report, with delta the allowed post-sync skew/accuracy
+// bound:
+//
+//	f ≤ m:       every fault-free node synced, skew ≤ delta, accuracy ≤ delta.
+//	m < f ≤ u:   ≥ m+1 fault-free synced with mutual skew ≤ delta and
+//	             accuracy ≤ delta, or ≥ m+1 fault-free detected > m faults.
+func (s *System) ConditionHolds(rep *SyncReport, t, delta float64) bool {
+	f := len(s.faulty)
+	faultFree := s.p.N - f
+	if f <= s.p.M {
+		return rep.Synced.Len() == faultFree &&
+			rep.SkewSynced <= delta && rep.Accuracy <= delta
+	}
+	if rep.Detected.Len() >= s.p.M+1 {
+		return true
+	}
+	// Look for m+1 synced fault-free nodes within delta of each other and
+	// of real time.
+	ids := rep.Synced.IDs()
+	times := make([]float64, len(ids))
+	for i, id := range ids {
+		times[i] = s.LogicalTime(id, t)
+	}
+	sort.Float64s(times)
+	lo := 0
+	for hi := range times {
+		for times[hi]-times[lo] > delta {
+			lo++
+		}
+		if hi-lo+1 >= s.p.M+1 {
+			mid := (times[lo] + times[hi]) / 2
+			if math.Abs(mid-t) <= delta {
+				return true
+			}
+		}
+	}
+	return false
+}

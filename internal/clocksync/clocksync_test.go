@@ -1,0 +1,250 @@
+package clocksync
+
+import (
+	"math"
+	"testing"
+
+	"degradable/internal/types"
+)
+
+const (
+	eps   = 1.0
+	drift = 1e-4
+)
+
+func params(n, m, u int) Params {
+	return Params{N: n, M: m, U: u, Epsilon: eps, MaxDrift: drift}
+}
+
+func TestClockRead(t *testing.T) {
+	c := Clock{Offset: 2, Drift: 0.5}
+	if got := c.Read(10); got != 17 {
+		t.Errorf("Read = %v, want 17", got)
+	}
+	if got := (Clock{}).Read(4); got != 4 {
+		t.Errorf("perfect clock Read = %v", got)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := params(5, 1, 2).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{N: 4, M: 1, U: 2, Epsilon: eps},  // N too small
+		{N: 9, M: 2, U: 1, Epsilon: eps},  // m > u
+		{N: 5, M: 1, U: 2, Epsilon: 0},    // bad epsilon
+		{N: 5, M: -1, U: 2, Epsilon: eps}, // negative m
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	p := params(5, 1, 2)
+	if _, err := NewSystem(p, make([]Clock, 4), nil); err == nil {
+		t.Error("wrong clock count should error")
+	}
+	if _, err := NewSystem(p, make([]Clock, 5), map[types.NodeID]ReadFunc{
+		0: StuckAtZero(), 1: StuckAtZero(), 2: StuckAtZero(),
+	}); err == nil {
+		t.Error("more than u faulty should error")
+	}
+	if _, err := NewSystem(p, make([]Clock, 5), map[types.NodeID]ReadFunc{
+		9: StuckAtZero(),
+	}); err == nil {
+		t.Error("out-of-range faulty id should error")
+	}
+}
+
+func TestCluster(t *testing.T) {
+	// Five readings, window 1.0: {10.0, 10.2, 10.4} cluster, outliers 0, 50.
+	members, ok := cluster([]float64{10.0, 0, 10.4, 50, 10.2}, 1.0, 3)
+	if !ok {
+		t.Fatal("cluster not found")
+	}
+	if len(members) != 3 || members[0] != 10.0 || members[2] != 10.4 {
+		t.Errorf("members = %v", members)
+	}
+	if _, ok := cluster([]float64{0, 10, 20, 30}, 1.0, 2); ok {
+		t.Error("no cluster of size 2 exists within window 1.0")
+	}
+}
+
+func TestTrimmedMidpoint(t *testing.T) {
+	// m=1 trims the extremes: midpoint of {2,3,4} from {1,2,3,4,9} is 3.
+	if got := trimmedMidpoint([]float64{1, 2, 3, 4, 9}, 1); got != 3 {
+		t.Errorf("trimmedMidpoint = %v, want 3", got)
+	}
+	// Over-trimming clamps: a 3-member cluster with m=2 trims 1 per side.
+	if got := trimmedMidpoint([]float64{1, 5, 9}, 2); got != 5 {
+		t.Errorf("clamped trimmedMidpoint = %v, want 5", got)
+	}
+	// Single member.
+	if got := trimmedMidpoint([]float64{7}, 3); got != 7 {
+		t.Errorf("single trimmedMidpoint = %v, want 7", got)
+	}
+	// m=0: plain midpoint of extremes.
+	if got := trimmedMidpoint([]float64{2, 4, 10}, 0); got != 6 {
+		t.Errorf("untrimmed midpoint = %v, want 6", got)
+	}
+}
+
+// Condition 1: with f ≤ m every fault-free clock syncs tightly.
+func TestSyncAllFaultFreeUpToM(t *testing.T) {
+	p := params(5, 1, 2)
+	clocks := DriftedClocks(5, 7, 0.4, drift)
+	sys, err := NewSystem(p, clocks, map[types.NodeID]ReadFunc{
+		3: TwoFacedClock(types.NewNodeSet(0, 1), +100, -100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.SyncRound(10)
+	if rep.Synced.Len() != 4 {
+		t.Fatalf("synced %v, want all 4 fault-free", rep.Synced)
+	}
+	if rep.SkewSynced > eps {
+		t.Errorf("post-sync skew %v > eps", rep.SkewSynced)
+	}
+	if !sys.ConditionHolds(rep, 10, eps) {
+		t.Error("condition 1 should hold")
+	}
+}
+
+// Condition 2 detection arm: with f = u extreme two-faced clocks, either
+// enough nodes stay mutually synced or enough detect.
+func TestDegradedRegimeConditionHolds(t *testing.T) {
+	p := params(5, 1, 2)
+	clocks := DriftedClocks(5, 11, 0.4, drift)
+	faultSets := []map[types.NodeID]ReadFunc{
+		{
+			3: TwoFacedClock(types.NewNodeSet(0), +50, -50),
+			4: TwoFacedClock(types.NewNodeSet(1), -50, +50),
+		},
+		{
+			3: StuckAtZero(),
+			4: ConstantClock(1e6),
+		},
+		{
+			3: EdgePullClock(+eps * 0.45),
+			4: EdgePullClock(-eps * 0.45),
+		},
+		{
+			3: RandomClock(5, 3),
+			4: RandomClock(9, 3),
+		},
+	}
+	for i, faulty := range faultSets {
+		sys, err := NewSystem(p, clocks, faulty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := sys.SyncRound(10)
+		if !sys.ConditionHolds(rep, 10, 2*eps) {
+			t.Errorf("fault set %d: degradable clock condition failed: synced=%v detected=%v skew=%v",
+				i, rep.Synced, rep.Detected, rep.SkewSynced)
+		}
+	}
+}
+
+// A silent majority attack that starves the cluster forces detection, not
+// wrong adjustment.
+func TestDetectionWhenNoCluster(t *testing.T) {
+	p := params(5, 1, 2)
+	// Fault-free clocks far apart (pre-sync chaos) plus two scattered
+	// faulty clocks: no window of size n−m = 4 exists.
+	clocks := []Clock{
+		{Offset: 0}, {Offset: 10}, {Offset: 20}, {Offset: 0}, {Offset: 0},
+	}
+	sys, err := NewSystem(p, clocks, map[types.NodeID]ReadFunc{
+		3: ConstantClock(40),
+		4: ConstantClock(80),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.SyncRound(0)
+	if rep.Detected.Len() != 3 {
+		t.Errorf("detected = %v, want all 3 fault-free", rep.Detected)
+	}
+	if !sys.Detected(0) {
+		t.Error("cumulative detection flag not set")
+	}
+}
+
+// Long mission: skew stays bounded across repeated resynchronization with
+// f ≤ m, despite drift between rounds.
+func TestMissionSkewBounded(t *testing.T) {
+	p := params(7, 2, 2)
+	clocks := DriftedClocks(7, 3, 0.3, drift)
+	sys, err := NewSystem(p, clocks, map[types.NodeID]ReadFunc{
+		5: TwoFacedClock(types.NewNodeSet(0, 1, 2), +30, -30),
+		6: RandomClock(17, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.RunMission(Mission{Period: 100, Rounds: 50, Delta: 2 * eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ConditionViolations != 0 {
+		t.Errorf("condition violated in %d rounds", rep.ConditionViolations)
+	}
+	if rep.WorstSkewSynced > eps {
+		t.Errorf("worst synced skew %v > eps", rep.WorstSkewSynced)
+	}
+	if rep.MinSynced != 5 {
+		t.Errorf("MinSynced = %d, want 5", rep.MinSynced)
+	}
+}
+
+// Accuracy: logical clocks track real time within offset+drift bounds.
+func TestAccuracyApproximatesRealTime(t *testing.T) {
+	p := params(5, 1, 2)
+	clocks := DriftedClocks(5, 23, 0.2, drift)
+	sys, err := NewSystem(p, clocks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.SyncRound(100)
+	// Offsets ≤ 0.2 and drift·t ≤ 0.01 at t=100: accuracy well within eps.
+	if rep.Accuracy > eps {
+		t.Errorf("accuracy = %v", rep.Accuracy)
+	}
+}
+
+func TestLogicalTimeAndDetectedAccessors(t *testing.T) {
+	p := params(5, 1, 2)
+	clocks := make([]Clock, 5)
+	clocks[1] = Clock{Offset: 3}
+	sys, err := NewSystem(p, clocks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.LogicalTime(1, 2); got != 5 {
+		t.Errorf("LogicalTime = %v, want 5", got)
+	}
+	if sys.Detected(1) {
+		t.Error("no detection expected")
+	}
+}
+
+func TestDriftedClocksDeterministic(t *testing.T) {
+	a := DriftedClocks(4, 9, 1, drift)
+	b := DriftedClocks(4, 9, 1, drift)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should give same clocks")
+		}
+	}
+	for _, c := range a {
+		if c.Offset < 0 || c.Offset > 1 || math.Abs(c.Drift) > drift {
+			t.Errorf("clock out of range: %+v", c)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package clocksync
+
+// This file implements the classic interactive convergence algorithm CNV
+// (Lamport & Melliar-Smith) as the baseline the degradable rule is compared
+// against. CNV is the §6-cited state of the art for software clock
+// synchronization: it tolerates m faulty clocks for N > 3m, and — the point
+// the paper builds on — it CANNOT be pushed past a third, which is exactly
+// why degradable agreement needs the §6 treatment when u ≥ N/3.
+
+import (
+	"fmt"
+	"math"
+
+	"degradable/internal/types"
+)
+
+// CNVSystem runs interactive convergence: at each resynchronization every
+// fault-free node reads all clocks, replaces any reading farther than Delta
+// from its own by its own value (the egocentric filter), and adjusts to the
+// average.
+type CNVSystem struct {
+	n           int
+	m           int
+	delta       float64
+	clocks      []Clock
+	corrections []float64
+	faulty      map[types.NodeID]ReadFunc
+}
+
+// NewCNVSystem builds a CNV ensemble. delta is the egocentric filter window;
+// the classic analysis requires N > 3m.
+func NewCNVSystem(n, m int, delta float64, clocks []Clock, faulty map[types.NodeID]ReadFunc) (*CNVSystem, error) {
+	if m < 0 || n <= 3*m {
+		return nil, fmt.Errorf("clocksync: CNV requires N > 3m, got N=%d m=%d", n, m)
+	}
+	if delta <= 0 {
+		return nil, fmt.Errorf("clocksync: delta must be positive")
+	}
+	if len(clocks) != n {
+		return nil, fmt.Errorf("clocksync: %d clocks for N=%d", len(clocks), n)
+	}
+	if len(faulty) > m {
+		return nil, fmt.Errorf("clocksync: %d faulty clocks exceeds m=%d", len(faulty), m)
+	}
+	return &CNVSystem{
+		n: n, m: m, delta: delta,
+		clocks:      clocks,
+		corrections: make([]float64, n),
+		faulty:      faulty,
+	}, nil
+}
+
+// LogicalTime returns node id's logical clock at real time t.
+func (s *CNVSystem) LogicalTime(id types.NodeID, t float64) float64 {
+	return s.clocks[id].Read(t) + s.corrections[id]
+}
+
+func (s *CNVSystem) reading(reader, target types.NodeID, t float64) float64 {
+	if rf, bad := s.faulty[target]; bad {
+		return rf(reader, t)
+	}
+	return s.LogicalTime(target, t)
+}
+
+// SyncRound performs one CNV resynchronization at real time t and returns
+// the post-adjustment skew among fault-free nodes.
+func (s *CNVSystem) SyncRound(t float64) float64 {
+	adjust := make(map[types.NodeID]float64, s.n)
+	for i := 0; i < s.n; i++ {
+		id := types.NodeID(i)
+		if _, bad := s.faulty[id]; bad {
+			continue
+		}
+		own := s.LogicalTime(id, t)
+		var sum float64
+		for j := 0; j < s.n; j++ {
+			r := s.reading(id, types.NodeID(j), t)
+			if math.Abs(r-own) > s.delta {
+				r = own // egocentric filter
+			}
+			sum += r
+		}
+		adjust[id] = sum/float64(s.n) - own
+	}
+	for id, d := range adjust {
+		s.corrections[id] += d
+	}
+	return s.Skew(t)
+}
+
+// Skew returns the maximum pairwise logical difference among fault-free
+// nodes at real time t.
+func (s *CNVSystem) Skew(t float64) float64 {
+	var ids []types.NodeID
+	for i := 0; i < s.n; i++ {
+		if _, bad := s.faulty[types.NodeID(i)]; !bad {
+			ids = append(ids, types.NodeID(i))
+		}
+	}
+	var worst float64
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if d := math.Abs(s.LogicalTime(ids[i], t) - s.LogicalTime(ids[j], t)); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

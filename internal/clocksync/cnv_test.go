@@ -1,0 +1,89 @@
+package clocksync
+
+import (
+	"testing"
+
+	"degradable/internal/types"
+)
+
+func TestNewCNVSystemValidation(t *testing.T) {
+	clocks := make([]Clock, 4)
+	if _, err := NewCNVSystem(3, 1, 1.0, make([]Clock, 3), nil); err == nil {
+		t.Error("N <= 3m should error")
+	}
+	if _, err := NewCNVSystem(4, 1, 0, clocks, nil); err == nil {
+		t.Error("zero delta should error")
+	}
+	if _, err := NewCNVSystem(4, 1, 1.0, make([]Clock, 3), nil); err == nil {
+		t.Error("clock count mismatch should error")
+	}
+	if _, err := NewCNVSystem(4, 1, 1.0, clocks, map[types.NodeID]ReadFunc{
+		0: StuckAtZero(), 1: StuckAtZero(),
+	}); err == nil {
+		t.Error("faulty > m should error")
+	}
+}
+
+// CNV keeps fault-free clocks synchronized with one two-faced clock (f = m,
+// N = 4 > 3m).
+func TestCNVWithinBound(t *testing.T) {
+	clocks := DriftedClocks(4, 3, 0.3, 1e-4)
+	sys, err := NewCNVSystem(4, 1, 1.0, clocks, map[types.NodeID]ReadFunc{
+		3: TwoFacedClock(types.NewNodeSet(0), +0.9, -0.9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for r := 1; r <= 30; r++ {
+		if skew := sys.SyncRound(float64(r) * 100); skew > worst {
+			worst = skew
+		}
+	}
+	// Classic CNV bound: skew stays within roughly (m/N)·2Δ plus drift —
+	// well under Δ here.
+	if worst > 1.0 {
+		t.Errorf("CNV skew reached %v", worst)
+	}
+}
+
+// The motivation for §6: CNV cannot be instantiated past a third — the
+// constructor refuses, which is exactly the gap degradable clock
+// synchronization (and the witness-clock trick) addresses.
+func TestCNVRefusesBeyondAThird(t *testing.T) {
+	if _, err := NewCNVSystem(5, 2, 1.0, make([]Clock, 5), nil); err == nil {
+		t.Error("CNV with N=5, m=2 should be refused (5 ≤ 3·2)")
+	}
+}
+
+// Baseline comparison: on the same ensemble and attack, the degradable
+// cluster rule and CNV both hold skew; the degradable rule additionally
+// provides the detection arm CNV lacks (exercised in clocksync_test.go).
+func TestCNVComparableSkewToDegradableRule(t *testing.T) {
+	clocks := DriftedClocks(4, 9, 0.3, 1e-4)
+	attack := map[types.NodeID]ReadFunc{
+		3: TwoFacedClock(types.NewNodeSet(0, 1), +0.8, -0.8),
+	}
+	cnv, err := NewCNVSystem(4, 1, 1.0, clocks, attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := NewSystem(Params{N: 4, M: 1, U: 1, Epsilon: 1.0, MaxDrift: 1e-4}, clocks, attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cnvWorst, degWorst float64
+	for r := 1; r <= 20; r++ {
+		t64 := float64(r) * 100
+		if s := cnv.SyncRound(t64); s > cnvWorst {
+			cnvWorst = s
+		}
+		rep := deg.SyncRound(t64)
+		if rep.SkewAll > degWorst {
+			degWorst = rep.SkewAll
+		}
+	}
+	if cnvWorst > 1.0 || degWorst > 1.0 {
+		t.Errorf("skews: CNV=%v degradable=%v", cnvWorst, degWorst)
+	}
+}

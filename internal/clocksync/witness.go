@@ -1,0 +1,202 @@
+package clocksync
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"degradable/internal/types"
+)
+
+// This file implements §6.2's second approach to the clock problem: clock
+// hardware decoupled from processors, optionally with *witness* clocks —
+// more clocks than processors, "analogous to the concept of witnesses
+// proposed for maintaining consistency in replicated file systems" [8].
+//
+// Clock hardware is orders of magnitude simpler than a processor, so clock
+// fault bounds can be kept below a third even when processor fault bounds
+// (the u of degradable agreement) exceed a third. Every processor derives
+// its time base by reading the whole clock pool and taking a fault-tolerant
+// (φ-trimmed) midpoint; the fault-free clocks themselves resynchronize
+// periodically the same way. Adding witness clocks raises the tolerable
+// clock-fault count φ without adding processors: the paper's example adds
+// two clocks to the four-node Figure 1(b) system to tolerate two clock
+// failures.
+
+// WitnessParams configures a decoupled clock pool.
+type WitnessParams struct {
+	// Nodes is the number of processors reading the pool.
+	Nodes int
+	// Clocks is the pool size; Clocks ≥ Nodes, with Clocks−Nodes witnesses.
+	Clocks int
+	// Phi is the clock fault bound the pool must tolerate. The pool
+	// resynchronization converges for Clocks > 3·Phi (the classic bound
+	// §6.2 assumes for hardware clock synchronization).
+	Phi int
+	// Epsilon is the per-round precision target (reporting only).
+	Epsilon float64
+}
+
+// Validate checks structural constraints. It deliberately does NOT enforce
+// Clocks > 3·Phi: the witness experiment runs under-provisioned pools to
+// show exactly how they fail.
+func (p WitnessParams) Validate() error {
+	if p.Nodes < 1 {
+		return fmt.Errorf("clocksync: need at least one node")
+	}
+	if p.Clocks < p.Nodes {
+		return fmt.Errorf("clocksync: pool (%d) smaller than node count (%d)", p.Clocks, p.Nodes)
+	}
+	if p.Phi < 0 || p.Phi >= p.Clocks {
+		return fmt.Errorf("clocksync: phi=%d out of range", p.Phi)
+	}
+	if p.Epsilon <= 0 {
+		return fmt.Errorf("clocksync: epsilon must be positive")
+	}
+	return nil
+}
+
+// Sufficient reports whether the pool satisfies the classic hardware bound
+// Clocks > 3·Phi.
+func (p WitnessParams) Sufficient() bool { return p.Clocks > 3*p.Phi }
+
+// WitnessSystem is a running decoupled clock pool.
+type WitnessSystem struct {
+	p           WitnessParams
+	clocks      []Clock
+	corrections []float64
+	faulty      map[int]ReadFunc // clock index → Byzantine behaviour
+}
+
+// NewWitnessSystem builds the pool. clocks must have length Clocks; faulty
+// maps clock indices (not node IDs) to behaviours and must not exceed Phi
+// entries — the experiment's premise is "at most φ clock faults".
+func NewWitnessSystem(p WitnessParams, clocks []Clock, faulty map[int]ReadFunc) (*WitnessSystem, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(clocks) != p.Clocks {
+		return nil, fmt.Errorf("clocksync: %d clocks for pool of %d", len(clocks), p.Clocks)
+	}
+	if len(faulty) > p.Phi {
+		return nil, fmt.Errorf("clocksync: %d faulty clocks exceeds phi=%d", len(faulty), p.Phi)
+	}
+	for idx := range faulty {
+		if idx < 0 || idx >= p.Clocks {
+			return nil, fmt.Errorf("clocksync: faulty clock index %d out of range", idx)
+		}
+	}
+	return &WitnessSystem{
+		p:           p,
+		clocks:      clocks,
+		corrections: make([]float64, p.Clocks),
+		faulty:      faulty,
+	}, nil
+}
+
+// clockReading is what reader sees of pool clock idx at real time t.
+// Readers are identified by NodeID so two-faced clocks can discriminate.
+func (s *WitnessSystem) clockReading(reader types.NodeID, idx int, t float64) float64 {
+	if rf, bad := s.faulty[idx]; bad {
+		return rf(reader, t)
+	}
+	return s.clocks[idx].Read(t) + s.corrections[idx]
+}
+
+// NodeTime is processor reader's derived time base: the φ-trimmed midpoint
+// of the full pool as that processor reads it.
+func (s *WitnessSystem) NodeTime(reader types.NodeID, t float64) float64 {
+	readings := make([]float64, 0, s.p.Clocks)
+	for idx := 0; idx < s.p.Clocks; idx++ {
+		readings = append(readings, s.clockReading(reader, idx, t))
+	}
+	sort.Float64s(readings)
+	return trimmedMidpoint(readings, s.p.Phi)
+}
+
+// PoolSyncRound resynchronizes the fault-free clocks: each adjusts to the
+// φ-trimmed midpoint of the pool as read from its own position (hardware
+// sync uses a fixed observation port; we model it as reader −1−idx so
+// two-faced clocks may also discriminate between clocks).
+func (s *WitnessSystem) PoolSyncRound(t float64) {
+	adjust := make(map[int]float64, s.p.Clocks)
+	for idx := 0; idx < s.p.Clocks; idx++ {
+		if _, bad := s.faulty[idx]; bad {
+			continue
+		}
+		reader := types.NodeID(-1 - idx)
+		readings := make([]float64, 0, s.p.Clocks)
+		for j := 0; j < s.p.Clocks; j++ {
+			readings = append(readings, s.clockReading(reader, j, t))
+		}
+		sort.Float64s(readings)
+		adjust[idx] = trimmedMidpoint(readings, s.p.Phi) - (s.clocks[idx].Read(t) + s.corrections[idx])
+	}
+	for idx, d := range adjust {
+		s.corrections[idx] += d
+	}
+}
+
+// ReaderSkew returns the maximum difference between any two processors'
+// derived time bases at real time t — the quantity that must stay small for
+// the agreement layer's timeout detection to work.
+func (s *WitnessSystem) ReaderSkew(t float64) float64 {
+	var worst float64
+	for a := 0; a < s.p.Nodes; a++ {
+		ta := s.NodeTime(types.NodeID(a), t)
+		for b := a + 1; b < s.p.Nodes; b++ {
+			tb := s.NodeTime(types.NodeID(b), t)
+			if d := math.Abs(ta - tb); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// WitnessMissionReport aggregates a pool mission.
+type WitnessMissionReport struct {
+	// WorstReaderSkew is the maximum processor time-base divergence
+	// observed across the mission.
+	WorstReaderSkew float64
+	// WorstPoolSpread is the maximum spread among fault-free pool clocks
+	// immediately after each resync.
+	WorstPoolSpread float64
+}
+
+// RunWitnessMission resyncs the pool for the given number of rounds,
+// measuring processor skew before each resync (worst case within a period).
+func (s *WitnessSystem) RunWitnessMission(period float64, rounds int) *WitnessMissionReport {
+	rep := &WitnessMissionReport{}
+	for r := 1; r <= rounds; r++ {
+		t := float64(r) * period
+		if skew := s.ReaderSkew(t); skew > rep.WorstReaderSkew {
+			rep.WorstReaderSkew = skew
+		}
+		s.PoolSyncRound(t)
+		if spread := s.poolSpread(t); spread > rep.WorstPoolSpread {
+			rep.WorstPoolSpread = spread
+		}
+	}
+	return rep
+}
+
+func (s *WitnessSystem) poolSpread(t float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for idx := 0; idx < s.p.Clocks; idx++ {
+		if _, bad := s.faulty[idx]; bad {
+			continue
+		}
+		v := s.clocks[idx].Read(t) + s.corrections[idx]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,125 @@
+package clocksync
+
+import (
+	"testing"
+
+	"degradable/internal/types"
+)
+
+func witnessParams(nodes, clocks, phi int) WitnessParams {
+	return WitnessParams{Nodes: nodes, Clocks: clocks, Phi: phi, Epsilon: 1.0}
+}
+
+func TestWitnessParamsValidate(t *testing.T) {
+	if err := witnessParams(4, 6, 2).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []WitnessParams{
+		witnessParams(0, 4, 1),
+		witnessParams(4, 3, 1),  // pool smaller than nodes
+		witnessParams(4, 4, 4),  // phi >= clocks
+		witnessParams(4, 4, -1), // negative phi
+		{Nodes: 4, Clocks: 6, Phi: 2, Epsilon: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestSufficient(t *testing.T) {
+	if !witnessParams(4, 7, 2).Sufficient() {
+		t.Error("7 > 3·2 should be sufficient")
+	}
+	if witnessParams(4, 6, 2).Sufficient() {
+		t.Error("6 ≤ 3·2 is not sufficient by the classic bound")
+	}
+}
+
+func TestNewWitnessSystemValidation(t *testing.T) {
+	p := witnessParams(4, 6, 2)
+	if _, err := NewWitnessSystem(p, make([]Clock, 4), nil); err == nil {
+		t.Error("wrong clock count should error")
+	}
+	if _, err := NewWitnessSystem(p, make([]Clock, 6), map[int]ReadFunc{
+		0: StuckAtZero(), 1: StuckAtZero(), 2: StuckAtZero(),
+	}); err == nil {
+		t.Error("faulty > phi should error")
+	}
+	if _, err := NewWitnessSystem(p, make([]Clock, 6), map[int]ReadFunc{9: StuckAtZero()}); err == nil {
+		t.Error("out-of-range clock index should error")
+	}
+}
+
+// The §6.2 example, executable: four clocks cannot tolerate two two-faced
+// clock faults (processor time bases diverge wildly), but adding two
+// witness clocks fixes it.
+func TestWitnessClocksFixTwoFaults(t *testing.T) {
+	faulty := map[int]ReadFunc{
+		2: TwoFacedClock(types.NewNodeSet(0, 1), +100, -100),
+		3: TwoFacedClock(types.NewNodeSet(0, 1), +100, -100),
+	}
+
+	// Under-provisioned: 4 clocks, 2 faulty.
+	small, err := NewWitnessSystem(witnessParams(4, 4, 2), DriftedClocks(4, 5, 0.3, 1e-4), faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallSkew := small.ReaderSkew(100)
+
+	// With two witnesses: 6 clocks, same 2 faulty.
+	big, err := NewWitnessSystem(witnessParams(4, 6, 2), DriftedClocks(6, 5, 0.3, 1e-4), faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigSkew := big.ReaderSkew(100)
+
+	if smallSkew < 10 {
+		t.Errorf("4-clock pool with 2 two-faced faults should diverge; skew = %v", smallSkew)
+	}
+	if bigSkew > 1.0 {
+		t.Errorf("6-clock pool should bound reader skew by the fault-free spread; skew = %v", bigSkew)
+	}
+}
+
+func TestWitnessMissionConvergence(t *testing.T) {
+	faulty := map[int]ReadFunc{
+		4: TwoFacedClock(types.NewNodeSet(0), +50, -50),
+		5: RandomClock(3, 20),
+	}
+	sys, err := NewWitnessSystem(witnessParams(4, 7, 2), DriftedClocks(7, 9, 0.3, 1e-4), faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.RunWitnessMission(100, 50)
+	if rep.WorstReaderSkew > 1.0 {
+		t.Errorf("reader skew = %v over mission", rep.WorstReaderSkew)
+	}
+	if rep.WorstPoolSpread > 1.0 {
+		t.Errorf("pool spread = %v after resyncs", rep.WorstPoolSpread)
+	}
+}
+
+func TestNodeTimeTracksRealTime(t *testing.T) {
+	sys, err := NewWitnessSystem(witnessParams(3, 5, 1), DriftedClocks(5, 13, 0.2, 1e-4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt := sys.NodeTime(0, 1000)
+	if nt < 1000 || nt > 1001 {
+		t.Errorf("NodeTime = %v for t=1000 with offsets ≤ 0.2", nt)
+	}
+}
+
+func TestPoolSpreadEmptyFaultFree(t *testing.T) {
+	// All clocks faulty is rejected at construction; spread of a healthy
+	// pool is bounded by offsets.
+	sys, err := NewWitnessSystem(witnessParams(2, 4, 1), DriftedClocks(4, 1, 0.5, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.poolSpread(0); got > 0.5 {
+		t.Errorf("spread = %v", got)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"degradable/internal/adversary"
+	"degradable/internal/eig"
+	"degradable/internal/runner"
+	"degradable/internal/types"
+)
+
+// The depth-3 instances (m = 2) cannot be enumerated exhaustively, so this
+// file probes them with randomized *path-targeted* adversaries: every faulty
+// node corrupts an independently sampled subset of EIG claims (per path, per
+// value) — attacks the scenario battery cannot express. Theorem 1 must hold
+// for all of them.
+
+// randomPathLie builds a PathLie corrupting each claim independently.
+func randomPathLie(t *testing.T, p Params, rng *rand.Rand) adversary.PathLie {
+	t.Helper()
+	tree, err := eig.New(p.N, p.Depth(), p.Sender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := make(map[string]types.Value)
+	domain := []types.Value{alpha, beta, types.Default}
+	for l := 1; l < p.Depth(); l++ {
+		tree.ForEachPath(l, -1, func(path types.Path) bool {
+			if rng.Intn(2) == 0 {
+				byPath[path.Key()] = domain[rng.Intn(len(domain))]
+			}
+			return true
+		})
+	}
+	return adversary.PathLie{ByPath: byPath}
+}
+
+func probeDeep(t *testing.T, p Params, trials int) {
+	t.Helper()
+	all := make([]types.NodeID, p.N)
+	for i := range all {
+		all[i] = types.NodeID(i)
+	}
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < trials; trial++ {
+		f := rng.Intn(p.U + 1)
+		perm := rng.Perm(p.N)
+		strategies := make(map[types.NodeID]adversary.Strategy, f)
+		for i := 0; i < f; i++ {
+			id := types.NodeID(perm[i])
+			if rng.Intn(3) == 0 {
+				strategies[id] = &adversary.BandwagonLie{Swing: rng.Intn(2) == 1}
+			} else {
+				strategies[id] = randomPathLie(t, p, rng)
+			}
+		}
+		in := runner.Instance{Protocol: p, SenderValue: alpha, Strategies: strategies}
+		_, verdict, err := in.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !verdict.OK {
+			t.Fatalf("trial %d faulty=%v: %s violated: %s",
+				trial, in.Faulty(), verdict.Condition, verdict.Reason)
+		}
+		if !verdict.Graceful {
+			t.Fatalf("trial %d faulty=%v: graceful degradation failed (classes %v)",
+				trial, in.Faulty(), verdict.Classes)
+		}
+	}
+}
+
+func TestDeepAdversaries2of2(t *testing.T) {
+	trials := 150
+	if testing.Short() {
+		trials = 25
+	}
+	probeDeep(t, Params{N: 7, M: 2, U: 2}, trials)
+}
+
+func TestDeepAdversaries2of3(t *testing.T) {
+	trials := 100
+	if testing.Short() {
+		trials = 15
+	}
+	probeDeep(t, Params{N: 8, M: 2, U: 3}, trials)
+}
+
+func TestDeepAdversaries3of3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("depth-4 probing skipped in -short mode")
+	}
+	probeDeep(t, Params{N: 10, M: 3, U: 3}, 10)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"degradable/internal/adversary"
+	"degradable/internal/runner"
+	"degradable/internal/types"
+)
+
+// FuzzAgreement drives the protocol with fuzzer-chosen configurations and
+// per-node scripted behaviours and asserts the spec verdict — a randomized
+// extension of the exhaustive depth-2 enumeration to arbitrary shapes.
+func FuzzAgreement(f *testing.F) {
+	f.Add(uint8(0), uint8(0), []byte{0, 1, 2, 3})
+	f.Add(uint8(1), uint8(2), []byte{4, 4, 4, 4, 4})
+	f.Add(uint8(2), uint8(7), []byte{9, 0, 9, 0, 9, 0})
+	f.Fuzz(func(t *testing.T, cfgRaw, faultRaw uint8, script []byte) {
+		configs := []Params{
+			{N: 4, M: 1, U: 1},
+			{N: 5, M: 1, U: 2},
+			{N: 6, M: 1, U: 3},
+			{N: 3, M: 0, U: 2},
+			{N: 7, M: 2, U: 2},
+		}
+		p := configs[int(cfgRaw)%len(configs)]
+
+		// Choose up to u faulty nodes from the fault byte's bits.
+		var faulty []types.NodeID
+		for i := 0; i < p.N && len(faulty) < p.U; i++ {
+			if faultRaw&(1<<uint(i)) != 0 {
+				faulty = append(faulty, types.NodeID(i))
+			}
+		}
+		// Script each faulty node from the fuzz bytes.
+		strategies := make(map[types.NodeID]adversary.Strategy, len(faulty))
+		cursor := 0
+		next := func() byte {
+			if len(script) == 0 {
+				return 0
+			}
+			b := script[cursor%len(script)]
+			cursor++
+			return b
+		}
+		for _, id := range faulty {
+			switch next() % 6 {
+			case 0:
+				strategies[id] = adversary.Silent{}
+			case 1:
+				strategies[id] = adversary.Crash{After: int(next()%2) + 1}
+			case 2:
+				strategies[id] = adversary.Lie{Value: types.Value(next() % 4)}
+			case 3:
+				strategies[id] = adversary.Lie{Value: types.Default}
+			case 4:
+				vals := make(map[types.NodeID]types.Value, p.N)
+				var omit types.NodeSet
+				for j := 0; j < p.N; j++ {
+					b := next()
+					if b%5 == 4 {
+						omit = omit.Add(types.NodeID(j))
+						continue
+					}
+					vals[types.NodeID(j)] = types.Value(b % 4)
+				}
+				strategies[id] = adversary.Scripted{Values: vals, Omit: omit}
+			default:
+				strategies[id] = adversary.FlipFlop{Even: types.Value(next() % 4), Odd: types.Default}
+			}
+		}
+		in := runner.Instance{Protocol: p, SenderValue: 3, Strategies: strategies}
+		_, verdict, err := in.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !verdict.OK {
+			t.Fatalf("N=%d m=%d u=%d faulty=%v: %s violated: %s",
+				p.N, p.M, p.U, faulty, verdict.Condition, verdict.Reason)
+		}
+		if !verdict.Graceful {
+			t.Fatalf("N=%d m=%d u=%d faulty=%v: graceful degradation failed",
+				p.N, p.M, p.U, faulty)
+		}
+	})
+}

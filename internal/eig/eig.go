@@ -1,0 +1,192 @@
+// Package eig implements the exponential-information-gathering (EIG) tree
+// that underlies every recursive oral-messages protocol in this module.
+//
+// A relay path σ = (s, j1, ..., jk) labels the claim "jk said that j(k-1)
+// said ... that the sender s sent v". A protocol with depth d exchanges d
+// rounds of messages: round 1 carries the sender's direct values (paths of
+// length 1), and round r carries relays of round r-1's paths (length r).
+// After the final round each receiver resolves the tree bottom-up with a
+// protocol-specific per-level voting rule:
+//
+//   - The paper's BYZ(t, m) resolves path σ with VOTE(n_σ−1−m, n_σ−1) where
+//     n_σ = N − |σ| + 1 is the number of participants of the sub-protocol in
+//     which σ's last node acted as sender (Section 4).
+//   - Lamport's OM(m) resolves with a simple majority.
+//
+// The tree is the *local state of one receiver*: the receiver's own directly
+// received value for σ sits at val(σ), and the resolved values of children
+// σ·j supply the other receivers' reports, exactly matching the w_1..w_{n−1}
+// vector of the paper's step 3.
+package eig
+
+import (
+	"fmt"
+
+	"degradable/internal/types"
+)
+
+// Rule decides the resolved value at an internal path from the gathered
+// values. nSub is the number of participants of the sub-protocol rooted at
+// that path (n_σ in the package comment); vals always has length nSub−1.
+type Rule func(nSub int, vals []types.Value) types.Value
+
+// Tree is one receiver's EIG tree for a system of n nodes and a protocol of
+// the given depth (number of relay rounds). The zero value is not usable;
+// construct with New.
+type Tree struct {
+	n      int
+	depth  int
+	sender types.NodeID
+	vals   map[string]types.Value
+}
+
+// New returns an empty tree for a system of n nodes whose protocol performs
+// depth rounds, rooted at sender. depth must be in [1, n-1] so that paths
+// never exhaust the node population.
+func New(n, depth int, sender types.NodeID) (*Tree, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("eig: need at least 2 nodes, got %d", n)
+	}
+	if depth < 1 || depth > n-1 {
+		return nil, fmt.Errorf("eig: depth %d out of range [1, %d]", depth, n-1)
+	}
+	if sender < 0 || int(sender) >= n {
+		return nil, fmt.Errorf("eig: sender %d out of range", int(sender))
+	}
+	return &Tree{
+		n:      n,
+		depth:  depth,
+		sender: sender,
+		vals:   make(map[string]types.Value),
+	}, nil
+}
+
+// N returns the number of nodes in the top-level system.
+func (t *Tree) N() int { return t.n }
+
+// Depth returns the number of relay rounds (maximum path length).
+func (t *Tree) Depth() int { return t.depth }
+
+// Sender returns the root sender of the tree.
+func (t *Tree) Sender() types.NodeID { return t.sender }
+
+// ValidPath reports whether p is a well-formed path for this tree: rooted at
+// the sender, length in [1, depth], and no repeated nodes.
+func (t *Tree) ValidPath(p types.Path) bool {
+	if len(p) < 1 || len(p) > t.depth {
+		return false
+	}
+	if p[0] != t.sender {
+		return false
+	}
+	return p.Valid(t.n)
+}
+
+// Set records the value received for path p. The first write wins; protocols
+// ignore duplicate deliveries of the same claim. Invalid paths are rejected.
+func (t *Tree) Set(p types.Path, v types.Value) error {
+	if !t.ValidPath(p) {
+		return fmt.Errorf("eig: invalid path %s for n=%d depth=%d sender=%d",
+			p, t.n, t.depth, int(t.sender))
+	}
+	k := p.Key()
+	if _, dup := t.vals[k]; dup {
+		return nil
+	}
+	t.vals[k] = v
+	return nil
+}
+
+// Get returns the value recorded for p, or types.Default when the message
+// carrying it was absent (the paper's assumption (b): absence is detectable,
+// and a missing value is treated as the default).
+func (t *Tree) Get(p types.Path) types.Value {
+	if v, ok := t.vals[p.Key()]; ok {
+		return v
+	}
+	return types.Default
+}
+
+// Has reports whether a value was recorded for p.
+func (t *Tree) Has(p types.Path) bool {
+	_, ok := t.vals[p.Key()]
+	return ok
+}
+
+// Stored returns the number of recorded values.
+func (t *Tree) Stored() int { return len(t.vals) }
+
+// Resolve computes the decision of receiver self by resolving the tree
+// bottom-up from the root path (sender). rule is applied at every internal
+// path; leaf paths (length == depth) evaluate to their stored value.
+func (t *Tree) Resolve(self types.NodeID, rule Rule) types.Value {
+	return t.resolve(types.Path{t.sender}, self, rule)
+}
+
+func (t *Tree) resolve(p types.Path, self types.NodeID, rule Rule) types.Value {
+	if len(p) == t.depth {
+		return t.Get(p)
+	}
+	// n_σ: participants of the sub-protocol whose sender is p.Last().
+	// The top-level protocol has n participants; each recursion level
+	// excludes one prior sender.
+	nSub := t.n - (len(p) - 1)
+	vals := make([]types.Value, 0, nSub-1)
+	// The receiver's own directly received value for this path (w_i in the
+	// paper's step 3).
+	vals = append(vals, t.Get(p))
+	for j := 0; j < t.n; j++ {
+		id := types.NodeID(j)
+		if id == self || p.Contains(id) {
+			continue
+		}
+		vals = append(vals, t.resolve(p.Append(id), self, rule))
+	}
+	return rule(nSub, vals)
+}
+
+// ForEachPath enumerates every valid path of exactly the given length
+// (rooted at the sender, distinct nodes) that does not contain exclude.
+// Pass exclude < 0 to enumerate all paths. Enumeration order is
+// deterministic (lexicographic in node IDs). fn returning false stops the
+// walk early.
+func (t *Tree) ForEachPath(length int, exclude types.NodeID, fn func(types.Path) bool) {
+	if length < 1 || length > t.depth {
+		return
+	}
+	if exclude >= 0 && t.sender == exclude {
+		return
+	}
+	p := make(types.Path, 1, length)
+	p[0] = t.sender
+	t.walk(p, length, exclude, fn)
+}
+
+func (t *Tree) walk(p types.Path, length int, exclude types.NodeID, fn func(types.Path) bool) bool {
+	if len(p) == length {
+		return fn(p.Clone())
+	}
+	for j := 0; j < t.n; j++ {
+		id := types.NodeID(j)
+		if id == exclude || p.Contains(id) {
+			continue
+		}
+		if !t.walk(append(p, id), length, exclude, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// PathCount returns the number of distinct paths of the given length
+// (excluding none): (n-1)(n-2)...(n-length+1) for length ≥ 1.
+func (t *Tree) PathCount(length int) int {
+	if length < 1 || length > t.depth {
+		return 0
+	}
+	count := 1
+	for i := 1; i < length; i++ {
+		count *= t.n - i
+	}
+	return count
+}

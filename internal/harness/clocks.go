@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+
+	"degradable/internal/clocksync"
+	"degradable/internal/stats"
+	"degradable/internal/types"
+)
+
+// ClockSyncTable exercises §6's m/u-degradable clock synchronization
+// formulation. The paper *conjectures* achievability with 2m+u+1 clocks and
+// leaves it open; this experiment checks the two conditions empirically for
+// the clustering rule over drifting clocks and Byzantine (two-faced, stuck,
+// random, edge-pulling) clock behaviours.
+func ClockSyncTable(seed int64) (*Result, error) {
+	res := &Result{
+		ID:    "E7",
+		Title: "m/u-degradable clock synchronization (§6 formulation, conjecture check)",
+	}
+	const (
+		eps   = 1.0
+		drift = 1e-4
+	)
+	table := stats.NewTable("50 sync rounds, period 100, ε=1.0, δ=2ε; 'CNV' = classic interactive convergence baseline ('-' where N ≤ 3m or f > m puts it out of spec)",
+		"N", "m/u", "f", "attack", "min synced", "max detected", "worst skew", "violations", "CNV skew")
+
+	type attack struct {
+		name  string
+		build func(ids []types.NodeID) map[types.NodeID]clocksync.ReadFunc
+	}
+	attacks := []attack{
+		{"two-faced", func(ids []types.NodeID) map[types.NodeID]clocksync.ReadFunc {
+			out := make(map[types.NodeID]clocksync.ReadFunc, len(ids))
+			for i, id := range ids {
+				sign := float64(1 - 2*(i%2))
+				out[id] = clocksync.TwoFacedClock(types.NewNodeSet(0, 1), sign*40, -sign*40)
+			}
+			return out
+		}},
+		{"stuck", func(ids []types.NodeID) map[types.NodeID]clocksync.ReadFunc {
+			out := make(map[types.NodeID]clocksync.ReadFunc, len(ids))
+			for _, id := range ids {
+				out[id] = clocksync.StuckAtZero()
+			}
+			return out
+		}},
+		{"edge-pull", func(ids []types.NodeID) map[types.NodeID]clocksync.ReadFunc {
+			out := make(map[types.NodeID]clocksync.ReadFunc, len(ids))
+			for i, id := range ids {
+				sign := float64(1 - 2*(i%2))
+				out[id] = clocksync.EdgePullClock(sign * eps * 0.45)
+			}
+			return out
+		}},
+		{"random", func(ids []types.NodeID) map[types.NodeID]clocksync.ReadFunc {
+			out := make(map[types.NodeID]clocksync.ReadFunc, len(ids))
+			for i, id := range ids {
+				out[id] = clocksync.RandomClock(seed+int64(i), 5)
+			}
+			return out
+		}},
+	}
+
+	for _, cfg := range []struct{ n, m, u int }{{5, 1, 2}, {7, 2, 2}, {7, 1, 4}} {
+		p := clocksync.Params{N: cfg.n, M: cfg.m, U: cfg.u, Epsilon: eps, MaxDrift: drift}
+		for f := 0; f <= cfg.u; f++ {
+			for _, atk := range attacks {
+				if f == 0 && atk.name != "two-faced" {
+					continue // one fault-free row is enough
+				}
+				ids := make([]types.NodeID, 0, f)
+				for i := 0; i < f; i++ {
+					ids = append(ids, types.NodeID(cfg.n-1-i))
+				}
+				sys, err := clocksync.NewSystem(p, clocksync.DriftedClocks(cfg.n, seed, 0.3, drift), atk.build(ids))
+				if err != nil {
+					return nil, err
+				}
+				rep, err := sys.RunMission(clocksync.Mission{Period: 100, Rounds: 50, Delta: 2 * eps})
+				if err != nil {
+					return nil, err
+				}
+				cnvSkew := "-"
+				if f <= cfg.m && cfg.n > 3*cfg.m {
+					cnv, err := clocksync.NewCNVSystem(cfg.n, cfg.m, 2*eps,
+						clocksync.DriftedClocks(cfg.n, seed, 0.3, drift), atk.build(ids))
+					if err != nil {
+						return nil, err
+					}
+					worst := 0.0
+					for r := 1; r <= 50; r++ {
+						if s := cnv.SyncRound(float64(r) * 100); s > worst {
+							worst = s
+						}
+					}
+					cnvSkew = fmt.Sprintf("%.3f", worst)
+				}
+				table.AddRow(cfg.n, fmt.Sprintf("%d/%d", cfg.m, cfg.u), f, atk.name,
+					rep.MinSynced, rep.MaxDetected, rep.WorstSkewSynced, rep.ConditionViolations, cnvSkew)
+				res.Checks = append(res.Checks, Check{
+					Name:   fmt.Sprintf("N=%d %d/%d f=%d %s: condition holds all rounds", cfg.n, cfg.m, cfg.u, f, atk.name),
+					OK:     rep.ConditionViolations == 0,
+					Detail: fmt.Sprintf("%d violations", rep.ConditionViolations),
+				})
+			}
+		}
+	}
+	res.Table = table
+	res.Notes = "CNV (the §6-cited software baseline) is only defined for N > 3m and f ≤ m — " +
+		"its column stops exactly where the degradable rule's detection arm takes over. " +
+		"The paper CONJECTURES m/u-degradable clock synchronization is achievable with " +
+		"2m+u+1 clocks (§6.1) and leaves the proof open. This table is an empirical check of the " +
+		"conjecture for one clustering rule against four adversarial clock behaviours — supporting " +
+		"evidence, not a proof."
+	return res, nil
+}

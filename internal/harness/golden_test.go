@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden experiment tables")
+
+// TestGoldenTables pins the rendered experiment tables byte for byte:
+// experiments are fully deterministic given a seed, so any drift in a table
+// is either an intentional change (run with -update) or a regression in the
+// protocols, the adversaries, or the engine's determinism.
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden regeneration runs the full experiments; skipped in -short mode")
+	}
+	for _, e := range AllWithExtensions() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Table.String()
+			path := filepath.Join("testdata", e.ID+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("table drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s",
+					path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must run green: these are the paper's tables and figures,
+// and a failing check means the reproduction no longer matches the paper.
+func TestAllExperiments(t *testing.T) {
+	for _, e := range AllWithExtensions() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if testing.Short() && (e.ID == "E2" || e.ID == "E4" || e.ID == "E8") {
+				t.Skip("battery-sweep experiment skipped in -short mode")
+			}
+			res, err := e.Run(42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != e.ID {
+				t.Errorf("result ID %s, want %s", res.ID, e.ID)
+			}
+			if res.Table == nil || res.Table.Rows() == 0 {
+				t.Error("experiment produced no table rows")
+			}
+			if len(res.Checks) == 0 {
+				t.Error("experiment produced no checks")
+			}
+			if !res.AllOK() {
+				t.Errorf("checks failed: %s", res.FailedChecks())
+			}
+		})
+	}
+}
+
+func TestExperimentIDsUniqueAndOrdered(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range AllWithExtensions() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if len(seen) != 15 {
+		t.Errorf("expected 15 experiments, got %d", len(seen))
+	}
+}
+
+func TestMinNodesTableShape(t *testing.T) {
+	res, err := MinNodesTable(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table.String()
+	// Spot values straight from the paper's table: N(1,2)=5, N(2,2)=7,
+	// N(0,6)=7; infeasible cells dashed.
+	for _, want := range []string{"m=0", "m=3", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if res.Table.Rows() != 6 {
+		t.Errorf("rows = %d, want 6 (u=1..6)", res.Table.Rows())
+	}
+}
+
+func TestFailedChecksRendering(t *testing.T) {
+	r := &Result{Checks: []Check{
+		{Name: "good", OK: true},
+		{Name: "bad", OK: false, Detail: "boom"},
+	}}
+	if r.AllOK() {
+		t.Error("AllOK should be false")
+	}
+	if got := r.FailedChecks(); !strings.Contains(got, "bad: boom") {
+		t.Errorf("FailedChecks = %q", got)
+	}
+}

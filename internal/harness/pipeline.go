@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"degradable/internal/adversary"
+	"degradable/internal/channels"
+	"degradable/internal/stats"
+	"degradable/internal/types"
+)
+
+// PipelineTable (E15) exercises the stateful Figure-1 pipeline: channels
+// carry integrator state across steps, the entity's vote is fed back, and
+// backward recovery is a genuine rollback-and-redo. The mission sweeps an
+// escalating fault plan and checks the pipeline invariants: fault-free
+// channels end every step in one identical state equal to the committed
+// reference, the entity never commits an unsafe value while the sender is
+// healthy and f ≤ u, and skipped inputs are exactly the safe-action steps.
+func PipelineTable(seed int64) (*Result, error) {
+	res := &Result{
+		ID:    "E15",
+		Title: "Stateful channel pipeline: rollback, feedback resync, and state invariants",
+	}
+	table := stats.NewTable("40-step missions, redo budget 1, escalating faults at steps 10 and 25",
+		"system", "plan", "correct", "safe skips", "unsafe", "redos", "resyncs", "always in sync")
+
+	plans := []struct {
+		name string
+		mk   func(rng *rand.Rand) func(step int) map[types.NodeID]adversary.Strategy
+	}{
+		{"lie→collude", func(rng *rand.Rand) func(int) map[types.NodeID]adversary.Strategy {
+			camps := map[types.NodeID]types.Value{1: Alpha, 4: Beta}
+			return func(step int) map[types.NodeID]adversary.Strategy {
+				switch {
+				case step < 10:
+					return nil
+				case step < 25:
+					return map[types.NodeID]adversary.Strategy{2: adversary.Lie{Value: Beta}}
+				default:
+					c := adversary.CampLie{Camps: camps}
+					return map[types.NodeID]adversary.Strategy{2: c, 3: c}
+				}
+			}
+		}},
+		{"silence bursts", func(rng *rand.Rand) func(int) map[types.NodeID]adversary.Strategy {
+			return func(step int) map[types.NodeID]adversary.Strategy {
+				switch {
+				case step < 10:
+					return nil
+				case step < 25:
+					return map[types.NodeID]adversary.Strategy{3: adversary.Silent{}}
+				default:
+					return map[types.NodeID]adversary.Strategy{
+						3: adversary.Silent{}, 4: adversary.Crash{After: 1},
+					}
+				}
+			}
+		}},
+	}
+
+	cfg := channels.DegradableConfig(1, 2)
+	for _, plan := range plans {
+		rng := rand.New(rand.NewSource(seed))
+		pl, err := channels.NewPipeline(cfg)
+		if err != nil {
+			return nil, err
+		}
+		fp := plan.mk(rng)
+		var correct, skips, unsafe, redos, resyncs int
+		alwaysInSync := true
+		var c2bad int
+		for step := 0; step < 40; step++ {
+			input := types.Value(rng.Intn(900) + 1)
+			strategies := fp(step)
+			sr, err := pl.Step(input, strategies, 1)
+			if err != nil {
+				return nil, err
+			}
+			switch sr.Outcome {
+			case channels.OutcomeCorrect:
+				correct++
+			case channels.OutcomeDefault:
+				skips++
+			case channels.OutcomeUnsafe:
+				unsafe++
+				if strategies[0] == nil && len(strategies) <= cfg.U {
+					c2bad++
+				}
+			}
+			redos += sr.Redos
+			resyncs += sr.Resynced
+			if !sr.InSync {
+				alwaysInSync = false
+			}
+		}
+		table.AddRow("1/2-degradable quad", plan.name, correct, skips, unsafe, redos, resyncs, alwaysInSync)
+		res.Checks = append(res.Checks, Check{
+			Name: fmt.Sprintf("%s: no unsafe commits with healthy sender and f ≤ u", plan.name),
+			OK:   c2bad == 0,
+		})
+		res.Checks = append(res.Checks, Check{
+			Name: fmt.Sprintf("%s: fault-free channels in one state at every step boundary", plan.name),
+			OK:   alwaysInSync,
+		})
+		res.Checks = append(res.Checks, Check{
+			Name:   fmt.Sprintf("%s: skipped inputs == safe-action steps", plan.name),
+			OK:     pl.Skipped() == skips,
+			Detail: fmt.Sprintf("skipped=%d safe=%d", pl.Skipped(), skips),
+		})
+	}
+	res.Table = table
+	res.Notes = "The entity feedback makes recovery immediate: a channel that parked or diverged " +
+		"adopts the voted value at commit time, so the system re-enters every step from one " +
+		"checkpoint — the mechanism behind the paper's backward-recovery claim, realized."
+	return res, nil
+}

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"fmt"
+
+	"degradable/internal/adversary"
+	"degradable/internal/core"
+	"degradable/internal/netsim"
+	"degradable/internal/runner"
+	"degradable/internal/stats"
+	"degradable/internal/types"
+)
+
+// RelaxedTimeoutTable reproduces §6.1: when more than m nodes are faulty,
+// clock synchronization can no longer be guaranteed, so fault-free nodes may
+// spuriously time out messages from other fault-free nodes. The paper argues
+// the algorithm still achieves m/u-degradable agreement under this
+// relaxation. The experiment injects message drops with increasing
+// probability on top of the adversary battery for every fault set with
+// m < f ≤ u and verifies the spec.
+func RelaxedTimeoutTable(seed int64) (*Result, error) {
+	res := &Result{
+		ID:    "E8",
+		Title: "§6.1 relaxed message model: spurious timeouts beyond m faults",
+	}
+	table := stats.NewTable("Degraded-regime runs with random message drops (battery × all fault sets)",
+		"N", "m/u", "f", "drop prob", "runs", "spec held", "graceful held")
+
+	for _, cfg := range []struct{ n, m, u int }{{5, 1, 2}, {6, 1, 3}} {
+		p := core.Params{N: cfg.n, M: cfg.m, U: cfg.u}
+		all := make([]types.NodeID, p.N)
+		for i := range all {
+			all[i] = types.NodeID(i)
+		}
+		for f := cfg.m + 1; f <= cfg.u; f++ {
+			for _, prob := range []float64{0.1, 0.3} {
+				runs, held, graceful := 0, 0, 0
+				var firstFail string
+				var runErr error
+				types.Subsets(all, f, func(faulty types.NodeSet) bool {
+					honest := make([]types.NodeID, 0, p.N)
+					for _, id := range all {
+						if !faulty.Contains(id) {
+							honest = append(honest, id)
+						}
+					}
+					ctx := adversary.Context{N: p.N, Sender: 0, SenderValue: Alpha, Alt: Beta, Honest: honest}
+					for i, sc := range adversary.Battery() {
+						in := runner.Instance{
+							Protocol:    p,
+							SenderValue: Alpha,
+							Strategies:  sc.Build(faulty.IDs(), seed, ctx),
+							// §6.1: drops hit any message; faulty nodes'
+							// traffic is already adversarial, so exempting
+							// them only strengthens the drop adversary's
+							// focus on fault-free links.
+							Channel: netsim.NewRelaxedChannel(prob, seed+int64(i)*31+int64(faulty), faulty),
+						}
+						_, verdict, err := in.Run()
+						if err != nil {
+							runErr = err
+							return false
+						}
+						runs++
+						if verdict.OK {
+							held++
+						} else if firstFail == "" {
+							firstFail = fmt.Sprintf("faulty=%v sc=%s: %s", faulty, sc.Name, verdict.Reason)
+						}
+						if verdict.Graceful {
+							graceful++
+						}
+					}
+					return true
+				})
+				if runErr != nil {
+					return nil, runErr
+				}
+				table.AddRow(cfg.n, fmt.Sprintf("%d/%d", cfg.m, cfg.u), f, prob, runs, held, graceful)
+				res.Checks = append(res.Checks, Check{
+					Name:   fmt.Sprintf("N=%d %d/%d f=%d drop=%.1f: spec holds in all runs", cfg.n, cfg.m, cfg.u, f, prob),
+					OK:     held == runs,
+					Detail: firstFail,
+				})
+				res.Checks = append(res.Checks, Check{
+					Name: fmt.Sprintf("N=%d %d/%d f=%d drop=%.1f: graceful degradation holds", cfg.n, cfg.m, cfg.u, f, prob),
+					OK:   graceful == runs,
+				})
+			}
+		}
+	}
+	res.Table = table
+	res.Notes = "Dropped messages surface as detectable absences (the default value), which the " +
+		"degraded conditions D.3/D.4 absorb — the §6.1 argument, executed. With f ≤ m no drops are " +
+		"injected because clock synchronization (and hence timeout correctness) is guaranteed there."
+	return res, nil
+}

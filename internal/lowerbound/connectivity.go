@@ -1,0 +1,121 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"degradable/internal/adversary"
+	"degradable/internal/core"
+	"degradable/internal/netsim"
+	"degradable/internal/protocol/relay"
+	"degradable/internal/spec"
+	"degradable/internal/topology"
+	"degradable/internal/transport"
+	"degradable/internal/types"
+)
+
+// ConnectivityResult reports one run of the Theorem-3 experiment.
+type ConnectivityResult struct {
+	// Cut is the vertex connectivity of the topology used.
+	Cut int
+	// F is the number of faulty nodes (the proof's F2 cut subset).
+	F int
+	// Verdict is the m/u spec check of the run.
+	Verdict spec.Verdict
+	// Decisions maps nodes to decisions (diagnostics).
+	Decisions map[types.NodeID]types.Value
+	// DegradedDeliveries counts channel deliveries replaced by V_d.
+	DegradedDeliveries int
+}
+
+// ConnectivityScenario runs the Theorem-3 proof's second fault scenario on a
+// Bridge topology whose cut has the given size: the sender (in G1, value
+// beta) is fault-free, and u faulty cut nodes rewrite every copy of a
+// crossing message to alpha while behaving as alpha-liars in the protocol.
+//
+//   - cut = m+u:   the forged value alpha gathers u ≥ m+1 path copies and is
+//     accepted by G2's channels; G2 decides alpha and condition D.3 is
+//     violated — connectivity m+u is insufficient.
+//   - cut = m+u+1: the true value holds m+1 copies too, the acceptance rule
+//     degrades crossing deliveries to V_d at worst, and the spec holds.
+//
+// sideSize controls |G1| and |G2| (each at least 2 so that G2 has fault-free
+// receivers). The protocol is built directly (bypassing the N > 2m+u check
+// is unnecessary: N = 2·sideSize + cut always exceeds it here).
+func ConnectivityScenario(m, u, cut, sideSize int, alpha, beta types.Value) (*ConnectivityResult, error) {
+	if m < 0 || u < max(m, 1) {
+		return nil, fmt.Errorf("lowerbound: infeasible m=%d u=%d", m, u)
+	}
+	if cut < u {
+		return nil, fmt.Errorf("lowerbound: cut %d smaller than u=%d faulty cut nodes", cut, u)
+	}
+	if sideSize < 2 {
+		return nil, fmt.Errorf("lowerbound: sideSize must be >= 2")
+	}
+	g, err := topology.Bridge(sideSize, cut, sideSize)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	_, cutNodes, _ := topology.BridgeParts(sideSize, cut, sideSize)
+
+	// G1-side membership for the crossing-flip corruptor: G1 plus the cut.
+	var side1 types.NodeSet
+	for i := 0; i < sideSize; i++ {
+		side1 = side1.Add(types.NodeID(i))
+	}
+
+	// The faulty cut subset F2: the last u cut nodes.
+	faultyIDs := cutNodes[len(cutNodes)-u:]
+	var faulty types.NodeSet
+	corrupt := make(map[types.NodeID]transport.RelayCorruptor, u)
+	strategies := make(map[types.NodeID]adversary.Strategy, u)
+	for _, id := range faultyIDs {
+		faulty = faulty.Add(id)
+		corrupt[id] = transport.FlipTo(alpha)
+		strategies[id] = adversary.Lie{Value: alpha}
+	}
+
+	p := core.Params{N: n, M: m, U: u}
+	depth := p.Depth()
+	rule := p.Rule()
+	nodes := make([]netsim.Node, n)
+	for i := 0; i < n; i++ {
+		nd, err := relay.New(n, depth, 0, types.NodeID(i), beta, rule)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = nd
+	}
+	if err := adversary.Wrap(nodes, n, depth, 0, beta, strategies); err != nil {
+		return nil, err
+	}
+	ch, err := transport.NewLoose(g, m, u, corrupt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := netsim.Run(nodes, netsim.Config{Rounds: depth, Channel: ch})
+	if err != nil {
+		return nil, err
+	}
+	verdict := spec.Check(spec.Execution{
+		M: m, U: u,
+		Sender:      0,
+		SenderValue: beta,
+		Faulty:      faulty,
+		Decisions:   res.Decisions,
+	})
+	return &ConnectivityResult{
+		Cut:                cut,
+		F:                  u,
+		Verdict:            verdict,
+		Decisions:          res.Decisions,
+		DegradedDeliveries: ch.Degraded,
+	}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

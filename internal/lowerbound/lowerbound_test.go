@@ -1,0 +1,191 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"degradable/internal/spec"
+	"degradable/internal/types"
+)
+
+const (
+	alpha types.Value = 100
+	beta  types.Value = 200
+)
+
+func TestFig2Validation(t *testing.T) {
+	if _, err := Fig2Scenarios(alpha, alpha); err == nil {
+		t.Error("equal values should error")
+	}
+	if _, err := Fig2Scenarios(alpha, types.Default); err == nil {
+		t.Error("default value should error")
+	}
+}
+
+// The core Theorem 2 artifact: the three Figure-2 scenarios reproduce the
+// proof's indistinguishability structure and force a violation.
+func TestFig2Scenarios(t *testing.T) {
+	rep, err := Fig2Scenarios(alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ViewBEqualAB {
+		t.Error("node B's view must be identical in scenarios (a) and (b)")
+	}
+	if !rep.ViewAEqualBC {
+		t.Error("node A's view must be identical in scenarios (b) and (c)")
+	}
+	if len(rep.Violated) == 0 {
+		t.Fatal("Theorem 2: at least one scenario must violate at N=4")
+	}
+	// Because views force B to decide beta in (b) and hence A to decide
+	// beta in (b) and (c), scenario (c) is the one that breaks: A decides
+	// beta where D.3 demands alpha or V_d.
+	if rep.C.Verdict.OK {
+		t.Error("scenario (c) should be the violated one")
+	}
+	if got := rep.C.Decisions[NodeA]; got != beta {
+		t.Errorf("node A decided %v in (c), the proof predicts beta", got)
+	}
+	// And the benign scenarios hold.
+	if !rep.A.Verdict.OK {
+		t.Errorf("scenario (a) should satisfy D.1: %s", rep.A.Verdict.Reason)
+	}
+	if !rep.B.Verdict.OK {
+		t.Errorf("scenario (b) should satisfy D.2: %s", rep.B.Verdict.Reason)
+	}
+	// Decisions follow the proof's chain: B and C decide beta in (a), all
+	// decide beta in (b).
+	if rep.A.Decisions[NodeB] != beta || rep.A.Decisions[NodeC] != beta {
+		t.Errorf("scenario (a) decisions = %v", rep.A.Decisions)
+	}
+	for _, id := range []types.NodeID{NodeA, NodeB, NodeC} {
+		if rep.B.Decisions[id] != beta {
+			t.Errorf("scenario (b): node %d decided %v", int(id), rep.B.Decisions[id])
+		}
+	}
+}
+
+func TestViewsEqual(t *testing.T) {
+	a := []types.Message{{From: 0, To: 1, Round: 1, Path: types.Path{0}, Value: 5}}
+	b := []types.Message{{From: 0, To: 1, Round: 1, Path: types.Path{0}, Value: 5}}
+	if !ViewsEqual(a, b) {
+		t.Error("identical views should compare equal")
+	}
+	b[0].Value = 6
+	if ViewsEqual(a, b) {
+		t.Error("differing values should not compare equal")
+	}
+	if ViewsEqual(a, nil) {
+		t.Error("length mismatch should not compare equal")
+	}
+	c := []types.Message{{From: 0, To: 1, Round: 1, Path: types.Path{0, 1}, Value: 5}}
+	if ViewsEqual(a, c) {
+		t.Error("differing paths should not compare equal")
+	}
+}
+
+// Lift carries the (c) violation to the 3m+δ system of Part II.
+func TestLift(t *testing.T) {
+	rep, err := Fig2Scenarios(alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ m, delta int }{{1, 1}, {2, 1}, {2, 2}, {3, 2}} {
+		exec, err := Lift(rep.C, tc.m, tc.delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Scenario (c)'s fault set {B, C} lifts to B_m ∪ C_δ: m+δ nodes.
+		if exec.Faulty.Len() != tc.m+tc.delta {
+			t.Errorf("m=%d δ=%d: lifted fault set %v, want %d nodes",
+				tc.m, tc.delta, exec.Faulty, tc.m+tc.delta)
+		}
+		v := spec.Check(exec)
+		if v.OK {
+			t.Errorf("m=%d δ=%d: lifted scenario (c) should still violate, got %+v", tc.m, tc.delta, v)
+		}
+		if v.Condition != "D.3" {
+			t.Errorf("m=%d δ=%d: lifted condition = %s, want D.3", tc.m, tc.delta, v.Condition)
+		}
+	}
+	// The benign scenario (a) lifts to a satisfied execution.
+	execA, err := Lift(rep.A, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := spec.Check(execA); !v.OK {
+		t.Errorf("lifted scenario (a) should hold: %s", v.Reason)
+	}
+}
+
+func TestLiftValidation(t *testing.T) {
+	rep, err := Fig2Scenarios(alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lift(rep.A, 0, 1); err == nil {
+		t.Error("m=0 should error")
+	}
+	if _, err := Lift(rep.A, 1, 0); err == nil {
+		t.Error("delta=0 should error")
+	}
+	if _, err := Lift(rep.A, 30, 1); err == nil {
+		t.Error("oversized lift should error")
+	}
+}
+
+// Theorem 3: connectivity m+u is insufficient, m+u+1 is sufficient.
+func TestConnectivityScenario(t *testing.T) {
+	const m, u = 1, 2
+	// Insufficient cut: m+u = 3.
+	bad, err := ConnectivityScenario(m, u, m+u, 2, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Verdict.OK {
+		t.Errorf("cut=%d should violate the spec, got %+v (decisions %v)",
+			m+u, bad.Verdict, bad.Decisions)
+	}
+	// Sufficient cut: m+u+1 = 4.
+	good, err := ConnectivityScenario(m, u, m+u+1, 2, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good.Verdict.OK {
+		t.Errorf("cut=%d should satisfy the spec: %s (decisions %v)",
+			m+u+1, good.Verdict.Reason, good.Decisions)
+	}
+}
+
+func TestConnectivityScenarioLarger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger connectivity scenario skipped in -short mode")
+	}
+	const m, u = 2, 3
+	bad, err := ConnectivityScenario(m, u, m+u, 2, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Verdict.OK {
+		t.Errorf("cut=%d should violate, decisions %v", m+u, bad.Decisions)
+	}
+	good, err := ConnectivityScenario(m, u, m+u+1, 2, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good.Verdict.OK {
+		t.Errorf("cut=%d should hold: %s", m+u+1, good.Verdict.Reason)
+	}
+}
+
+func TestConnectivityScenarioValidation(t *testing.T) {
+	if _, err := ConnectivityScenario(2, 1, 3, 2, alpha, beta); err == nil {
+		t.Error("u < m should error")
+	}
+	if _, err := ConnectivityScenario(1, 2, 1, 2, alpha, beta); err == nil {
+		t.Error("cut < u should error")
+	}
+	if _, err := ConnectivityScenario(1, 2, 4, 1, alpha, beta); err == nil {
+		t.Error("sideSize < 2 should error")
+	}
+}

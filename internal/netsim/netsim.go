@@ -1,0 +1,211 @@
+// Package netsim provides a deterministic synchronous round engine for
+// message-passing agreement protocols.
+//
+// Each node runs in its own goroutine. In every round the engine delivers the
+// messages addressed to a node (sorted deterministically), the node computes
+// its sends for the round, and a barrier closes the round. The engine
+// provides the three assumptions of the paper's §4: (a) messages between
+// fault-free nodes are delivered correctly, (b) absence of a message is
+// detectable (a missing claim simply never arrives; protocols substitute the
+// default value), and (c) the source of a message is identified (the engine
+// stamps the true sender, so even Byzantine nodes cannot spoof From).
+//
+// An optional Channel interposes on every delivery, which is how the
+// incomplete-topology transport (Theorem 3) and the §6.1 relaxed-timeout
+// model (fault-free messages may be falsely declared absent when more than m
+// nodes are faulty) are injected without touching protocol code.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+
+	"degradable/internal/types"
+)
+
+// Node is a protocol participant. The engine calls Step for rounds 1..R,
+// passing the messages sent to the node in the previous round (round 1 gets
+// an empty inbox); the returned messages are delivered at the start of the
+// next round. After round R, Finish delivers the final batch, then Decide is
+// read. Implementations need not be safe for concurrent use; the engine
+// serializes all calls to a given node.
+type Node interface {
+	ID() types.NodeID
+	Step(round int, inbox []types.Message) []types.Message
+	Finish(inbox []types.Message)
+	Decide() types.Value
+}
+
+// Channel interposes on message delivery. Deliver may rewrite the message
+// (e.g. a relay network corrupting values in flight) or drop it entirely by
+// returning false.
+type Channel interface {
+	Deliver(m types.Message) (types.Message, bool)
+}
+
+// PerfectChannel delivers every message unchanged: the complete-graph,
+// fully synchronous assumption of §4.
+type PerfectChannel struct{}
+
+// Deliver implements Channel.
+func (PerfectChannel) Deliver(m types.Message) (types.Message, bool) { return m, true }
+
+var _ Channel = PerfectChannel{}
+
+// Config controls a run.
+type Config struct {
+	// Rounds is the number of message rounds (R). The engine performs R
+	// Step calls plus a Finish delivery per node.
+	Rounds int
+	// Channel interposes on deliveries; nil means PerfectChannel.
+	Channel Channel
+	// RecordViews captures each node's full delivered-message transcript in
+	// the result. Used by the lower-bound indistinguishability checks.
+	RecordViews bool
+	// Trace, when non-nil, observes every delivered message.
+	Trace func(types.Message)
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Decisions maps every node to its decided value.
+	Decisions map[types.NodeID]types.Value
+	// Messages is the total number of messages sent (before channel drops).
+	Messages int
+	// Delivered is the total number of messages actually delivered.
+	Delivered int
+	// Bytes approximates the wire volume of delivered traffic: 8 bytes of
+	// value plus 4 per relay-path element per message.
+	Bytes int
+	// PerRound is the number of messages sent in each round, indexed from
+	// round 1 at position 0.
+	PerRound []int
+	// Views is each node's delivered transcript (only when RecordViews).
+	Views map[types.NodeID][]types.Message
+}
+
+type stepReq struct {
+	round int
+	inbox []types.Message
+	final bool
+}
+
+// Run executes the protocol to completion and returns the result. Nodes must
+// have distinct IDs in [0, len(nodes)). The engine enforces source
+// identification by stamping each message's From field with the true sender.
+func Run(nodes []Node, cfg Config) (*Result, error) {
+	n := len(nodes)
+	if n == 0 {
+		return nil, fmt.Errorf("netsim: no nodes")
+	}
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("netsim: rounds must be >= 1, got %d", cfg.Rounds)
+	}
+	byID := make(map[types.NodeID]Node, n)
+	for _, nd := range nodes {
+		id := nd.ID()
+		if id < 0 || int(id) >= n {
+			return nil, fmt.Errorf("netsim: node ID %d out of range [0,%d)", int(id), n)
+		}
+		if _, dup := byID[id]; dup {
+			return nil, fmt.Errorf("netsim: duplicate node ID %d", int(id))
+		}
+		byID[id] = nd
+	}
+	ch := cfg.Channel
+	if ch == nil {
+		ch = PerfectChannel{}
+	}
+
+	// One worker goroutine per node; the engine is the barrier.
+	reqs := make([]chan stepReq, n)
+	resps := make([]chan []types.Message, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		reqs[i] = make(chan stepReq)
+		resps[i] = make(chan []types.Message)
+		wg.Add(1)
+		go func(nd Node, req <-chan stepReq, resp chan<- []types.Message) {
+			defer wg.Done()
+			for r := range req {
+				if r.final {
+					nd.Finish(r.inbox)
+					resp <- nil
+					continue
+				}
+				resp <- nd.Step(r.round, r.inbox)
+			}
+		}(byID[types.NodeID(i)], reqs[i], resps[i])
+	}
+
+	res := &Result{
+		Decisions: make(map[types.NodeID]types.Value, n),
+		PerRound:  make([]int, cfg.Rounds),
+	}
+	if cfg.RecordViews {
+		res.Views = make(map[types.NodeID][]types.Message, n)
+	}
+
+	deliver := func(pending []types.Message) [][]types.Message {
+		inboxes := make([][]types.Message, n)
+		for _, m := range pending {
+			dm, ok := ch.Deliver(m)
+			if !ok {
+				continue
+			}
+			res.Delivered++
+			res.Bytes += 8 + 4*len(dm.Path)
+			if cfg.Trace != nil {
+				cfg.Trace(dm)
+			}
+			inboxes[int(dm.To)] = append(inboxes[int(dm.To)], dm)
+		}
+		for i := range inboxes {
+			types.SortMessages(inboxes[i])
+			if cfg.RecordViews {
+				res.Views[types.NodeID(i)] = append(res.Views[types.NodeID(i)], inboxes[i]...)
+			}
+		}
+		return inboxes
+	}
+
+	var pending []types.Message
+	for round := 1; round <= cfg.Rounds; round++ {
+		inboxes := deliver(pending)
+		pending = pending[:0]
+		// Fan out the round to all workers, then collect.
+		for i := 0; i < n; i++ {
+			reqs[i] <- stepReq{round: round, inbox: inboxes[i]}
+		}
+		for i := 0; i < n; i++ {
+			out := <-resps[i]
+			for _, m := range out {
+				// Enforce assumption (c): the true source is stamped.
+				m.From = types.NodeID(i)
+				m.Round = round
+				if m.To < 0 || int(m.To) >= n || m.To == m.From {
+					continue // drop malformed or self-addressed sends
+				}
+				res.Messages++
+				res.PerRound[round-1]++
+				pending = append(pending, m)
+			}
+		}
+	}
+	// Final delivery of round-R messages.
+	inboxes := deliver(pending)
+	for i := 0; i < n; i++ {
+		reqs[i] <- stepReq{final: true, inbox: inboxes[i]}
+	}
+	for i := 0; i < n; i++ {
+		<-resps[i]
+	}
+	for i := 0; i < n; i++ {
+		close(reqs[i])
+	}
+	wg.Wait()
+	for id, nd := range byID {
+		res.Decisions[id] = nd.Decide()
+	}
+	return res, nil
+}

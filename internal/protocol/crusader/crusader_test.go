@@ -1,0 +1,104 @@
+package crusader_test
+
+import (
+	"testing"
+
+	"degradable/internal/adversary"
+	"degradable/internal/protocol/crusader"
+	"degradable/internal/runner"
+	"degradable/internal/types"
+)
+
+const (
+	alpha types.Value = 100
+	beta  types.Value = 200
+)
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       crusader.Params
+		wantErr bool
+	}{
+		{"minimal", crusader.Params{N: 4, F: 1}, false},
+		{"bigger", crusader.Params{N: 7, F: 2}, false},
+		{"too few", crusader.Params{N: 3, F: 1}, true},
+		{"zero f", crusader.Params{N: 4, F: 0}, true},
+		{"bad sender", crusader.Params{N: 4, F: 1, Sender: -1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDepthAlwaysTwo(t *testing.T) {
+	if d := (crusader.Params{N: 10, F: 3}).Depth(); d != 2 {
+		t.Errorf("Depth = %d, want 2", d)
+	}
+}
+
+// Crusader agreement's guarantee, exercised over the battery and all fault
+// sets up to f:
+//   - sender fault-free → every fault-free receiver decides the sender's
+//     value (stronger than D.3: no default allowed while f ≤ F and N > 3F);
+//   - sender faulty → at most one distinct non-default decision (= D.4).
+func TestCrusaderGuarantees(t *testing.T) {
+	p := crusader.Params{N: 7, F: 2}
+	all := make([]types.NodeID, p.N)
+	for i := range all {
+		all[i] = types.NodeID(i)
+	}
+	for f := 0; f <= p.F; f++ {
+		types.Subsets(all, f, func(faulty types.NodeSet) bool {
+			honest := make([]types.NodeID, 0, p.N)
+			for _, id := range all {
+				if !faulty.Contains(id) {
+					honest = append(honest, id)
+				}
+			}
+			ctx := adversary.Context{N: p.N, Sender: 0, SenderValue: alpha, Alt: beta, Honest: honest}
+			for _, sc := range adversary.Battery() {
+				in := runner.Instance{Protocol: p, SenderValue: alpha, Strategies: sc.Build(faulty.IDs(), 17, ctx)}
+				res, _, err := in.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				senderFaulty := faulty.Contains(0)
+				nonDefault := make(map[types.Value]bool)
+				for id, d := range res.Decisions {
+					if id == 0 || faulty.Contains(id) {
+						continue
+					}
+					if !senderFaulty && d != alpha {
+						t.Errorf("faulty=%v scenario=%s: node %d decided %v with fault-free sender",
+							faulty, sc.Name, int(id), d)
+					}
+					if d != types.Default {
+						nonDefault[d] = true
+					}
+				}
+				if senderFaulty && len(nonDefault) > 1 {
+					t.Errorf("faulty=%v scenario=%s: crusader split into %v", faulty, sc.Name, nonDefault)
+				}
+			}
+			return !t.Failed()
+		})
+	}
+}
+
+func TestThresholdsShape(t *testing.T) {
+	m, u := (crusader.Params{N: 7, F: 2}).Thresholds()
+	if m != 0 || u != 2 {
+		t.Errorf("Thresholds = (%d,%d), want (0,2)", m, u)
+	}
+}
+
+func TestNodesError(t *testing.T) {
+	if _, err := (crusader.Params{N: 3, F: 1}).Nodes(alpha); err == nil {
+		t.Error("invalid params should fail")
+	}
+}

@@ -1,0 +1,130 @@
+package ic
+
+import (
+	"fmt"
+
+	"degradable/internal/adversary"
+	"degradable/internal/netsim"
+	"degradable/internal/types"
+)
+
+// RunBatched executes interactive consistency with all N per-sender
+// agreement instances multiplexed over a single engine run, the way a real
+// deployment would: every relay message is rooted at its instance's sender
+// (Path[0]), so one node per participant demultiplexes traffic into N EIG
+// trees and the whole exchange completes in depth rounds instead of
+// N × depth.
+//
+// Semantics match Run exactly for stateless adversary strategies (the
+// per-message corruption decisions are identical; only their interleaving
+// differs). The equivalence is covered by tests; stateful strategies such as
+// RandomLie may diverge between the two schedules, as they would between any
+// two message orderings.
+func RunBatched(p Params, values []types.Value, plan StrategyPlan) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(values) != p.N {
+		return nil, fmt.Errorf("ic: %d values for N=%d", len(values), p.N)
+	}
+	_, depth, _ := p.senderProtocol(0).System()
+
+	// Build one multiplexed node per participant: its parts[s] is its role
+	// in the instance rooted at sender s.
+	muxes := make([]netsim.Node, p.N)
+	parts := make([][]netsim.Node, p.N) // parts[node][sender]
+	for i := 0; i < p.N; i++ {
+		parts[i] = make([]netsim.Node, p.N)
+	}
+	for s := 0; s < p.N; s++ {
+		sender := types.NodeID(s)
+		var strategies map[types.NodeID]adversary.Strategy
+		if plan != nil {
+			strategies = plan(sender)
+		}
+		proto := p.senderProtocol(sender)
+		nodes, err := proto.Nodes(values[s])
+		if err != nil {
+			return nil, err
+		}
+		if err := adversary.Wrap(nodes, p.N, depth, sender, values[s], strategies); err != nil {
+			return nil, err
+		}
+		for i := 0; i < p.N; i++ {
+			parts[i][s] = nodes[i]
+		}
+	}
+	for i := 0; i < p.N; i++ {
+		muxes[i] = &muxNode{id: types.NodeID(i), parts: parts[i]}
+	}
+
+	runRes, err := netsim.Run(muxes, netsim.Config{Rounds: depth})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Vectors:  make(map[types.NodeID][]types.Value, p.N),
+		Messages: runRes.Messages,
+	}
+	for i := 0; i < p.N; i++ {
+		id := types.NodeID(i)
+		vec := make([]types.Value, p.N)
+		for s := 0; s < p.N; s++ {
+			if s == i {
+				vec[s] = values[s] // own entry: own private value
+				continue
+			}
+			vec[s] = parts[i][s].Decide()
+		}
+		res.Vectors[id] = vec
+	}
+	return res, nil
+}
+
+// muxNode multiplexes one participant's roles across the N instances,
+// routing messages by their path root.
+type muxNode struct {
+	id    types.NodeID
+	parts []netsim.Node
+}
+
+var _ netsim.Node = (*muxNode)(nil)
+
+// ID implements netsim.Node.
+func (m *muxNode) ID() types.NodeID { return m.id }
+
+// Step implements netsim.Node, demultiplexing by instance root.
+func (m *muxNode) Step(round int, inbox []types.Message) []types.Message {
+	split := m.demux(inbox)
+	var out []types.Message
+	for s, part := range m.parts {
+		out = append(out, part.Step(round, split[s])...)
+	}
+	return out
+}
+
+// Finish implements netsim.Node.
+func (m *muxNode) Finish(inbox []types.Message) {
+	split := m.demux(inbox)
+	for s, part := range m.parts {
+		part.Finish(split[s])
+	}
+}
+
+// Decide is unused for multiplexed nodes (decisions are read per part).
+func (m *muxNode) Decide() types.Value { return types.Default }
+
+func (m *muxNode) demux(inbox []types.Message) [][]types.Message {
+	split := make([][]types.Message, len(m.parts))
+	for _, msg := range inbox {
+		if len(msg.Path) == 0 {
+			continue // not attributable to an instance; discard
+		}
+		root := int(msg.Path[0])
+		if root < 0 || root >= len(m.parts) {
+			continue
+		}
+		split[root] = append(split[root], msg)
+	}
+	return split
+}

@@ -1,0 +1,120 @@
+package ic
+
+import (
+	"reflect"
+	"testing"
+
+	"degradable/internal/adversary"
+	"degradable/internal/types"
+)
+
+func TestBatchedFaultFreeMatchesSequential(t *testing.T) {
+	for _, p := range []Params{
+		{N: 4, M: 1, U: 1},
+		{N: 5, M: 1, U: 2, Degradable: true},
+	} {
+		vals := values(p.N)
+		seq, err := Run(p, vals, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, err := RunBatched(p, vals, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq.Vectors, bat.Vectors) {
+			t.Errorf("%+v: batched vectors differ from sequential", p)
+		}
+		if seq.Messages != bat.Messages {
+			t.Errorf("%+v: messages differ: seq=%d bat=%d", p, seq.Messages, bat.Messages)
+		}
+	}
+}
+
+// Equivalence under stateless adversaries: every stateless battery scenario
+// yields identical vectors whether instances run sequentially or batched.
+func TestBatchedEquivalenceUnderAdversaries(t *testing.T) {
+	p := Params{N: 5, M: 1, U: 2, Degradable: true}
+	vals := values(5)
+	faultyIDs := []types.NodeID{0, 3}
+	honest := []types.NodeID{1, 2, 4}
+	stateless := map[string]bool{
+		"honest-faulty": true, "silent": true, "crash-after-1": true,
+		"lie-alt": true, "lie-default": true, "claim-alt-from-sender": true,
+		"two-faced": true, "camp-split": true, "camp-split-default": true,
+		"flip-flop": true,
+	}
+	for _, sc := range adversary.Battery() {
+		if !stateless[sc.Name] {
+			continue
+		}
+		sc := sc
+		plan := func(sender types.NodeID) map[types.NodeID]adversary.Strategy {
+			ctx := adversary.Context{N: 5, Sender: sender, SenderValue: vals[sender], Alt: 999, Honest: honest}
+			return sc.Build(faultyIDs, 3, ctx)
+		}
+		seq, err := Run(p, vals, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, err := RunBatched(p, vals, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq.Vectors, bat.Vectors) {
+			t.Errorf("scenario %s: batched vectors differ from sequential", sc.Name)
+		}
+	}
+}
+
+func TestBatchedSpecHolds(t *testing.T) {
+	p := Params{N: 5, M: 1, U: 2, Degradable: true}
+	vals := values(5)
+	faultyIDs := []types.NodeID{2, 4}
+	faulty := types.NewNodeSet(faultyIDs...)
+	plan := func(sender types.NodeID) map[types.NodeID]adversary.Strategy {
+		return map[types.NodeID]adversary.Strategy{
+			2: adversary.Lie{Value: 777},
+			4: adversary.Silent{},
+		}
+	}
+	res, err := RunBatched(p, vals, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict := Check(p, vals, faulty, res)
+	if !verdict.OK || !verdict.Graceful {
+		t.Errorf("batched verdict = %+v", verdict)
+	}
+}
+
+func TestBatchedValidation(t *testing.T) {
+	if _, err := RunBatched(Params{N: 4, M: 1, U: 2, Degradable: true}, values(4), nil); err == nil {
+		t.Error("invalid params should error")
+	}
+	if _, err := RunBatched(Params{N: 5, M: 1, U: 2, Degradable: true}, values(3), nil); err == nil {
+		t.Error("wrong value count should error")
+	}
+}
+
+func BenchmarkICSequential(b *testing.B) {
+	p := Params{N: 5, M: 1, U: 2, Degradable: true}
+	vals := values(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, vals, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkICBatched(b *testing.B) {
+	p := Params{N: 5, M: 1, U: 2, Degradable: true}
+	vals := values(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunBatched(p, vals, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package ic implements interactive consistency (Pease, Shostak, Lamport
+// [9]) and its degradable variant, supporting the paper's §2 discussion of
+// Bhandari's impossibility result.
+//
+// Interactive consistency requires every node to agree on a *vector* of N
+// values, one per node, such that the entry for every fault-free node is
+// that node's private value. The classic realization runs one Byzantine
+// agreement instance per sender; this package runs either OM(m) instances
+// (classic IC, N > 3m) or m/u-degradable instances per sender.
+//
+// Bhandari [1] proved that IC algorithms that are resilient to ⌊(N−1)/3⌋
+// faults cannot degrade gracefully beyond N/3 faults. The paper's §2
+// observes this does not contradict m/u-degradable agreement because the
+// degradable protocol deliberately trades resilience: it achieves full
+// agreement only up to m < ⌊(N−1)/3⌋, buying per-entry graceful degradation
+// all the way to u. Experiment E9 makes both sides of that boundary
+// executable: a maximally-resilient classic IC breaks non-gracefully one
+// fault past N/3, while the degradable IC of the same size keeps every
+// entry in two classes (value-or-default) out to u.
+package ic
+
+import (
+	"fmt"
+
+	"degradable/internal/adversary"
+	"degradable/internal/core"
+	"degradable/internal/protocol/om"
+	"degradable/internal/runner"
+	"degradable/internal/spec"
+	"degradable/internal/types"
+)
+
+// Params configures an interactive-consistency instance.
+type Params struct {
+	// N is the number of nodes; every node is the sender of one entry.
+	N int
+	// M is the full-agreement fault bound.
+	M int
+	// U is the degraded bound. Set U = M for classic IC semantics.
+	U int
+	// Degradable selects the per-sender protocol: m/u-degradable BYZ when
+	// true, OM(m) when false.
+	Degradable bool
+}
+
+// Validate checks the per-sender protocol's constraints.
+func (p Params) Validate() error {
+	if p.Degradable {
+		return core.Params{N: p.N, M: p.M, U: p.U}.Validate()
+	}
+	return om.Params{N: p.N, M: p.M}.Validate()
+}
+
+// senderProtocol returns the agreement instance rooted at s.
+func (p Params) senderProtocol(s types.NodeID) runner.Protocol {
+	if p.Degradable {
+		return core.Params{N: p.N, M: p.M, U: p.U, Sender: s}
+	}
+	return om.Params{N: p.N, M: p.M, Sender: s}
+}
+
+// StrategyPlan arms the fault set for the instance rooted at sender. The
+// same nodes must be faulty in every instance (faults are node properties);
+// the behaviours may differ per instance.
+type StrategyPlan func(sender types.NodeID) map[types.NodeID]adversary.Strategy
+
+// Result holds the outcome of one IC execution.
+type Result struct {
+	// Vectors maps each node to its agreed vector (length N). Entries for
+	// faulty nodes' vectors are present but meaningless.
+	Vectors map[types.NodeID][]types.Value
+	// Messages is the total message count across all N instances.
+	Messages int
+}
+
+// Run executes interactive consistency: one agreement instance per sender.
+// values[i] is node i's private value. plan may be nil (no faults).
+func Run(p Params, values []types.Value, plan StrategyPlan) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(values) != p.N {
+		return nil, fmt.Errorf("ic: %d values for N=%d", len(values), p.N)
+	}
+	res := &Result{Vectors: make(map[types.NodeID][]types.Value, p.N)}
+	for i := 0; i < p.N; i++ {
+		res.Vectors[types.NodeID(i)] = make([]types.Value, p.N)
+	}
+	for s := 0; s < p.N; s++ {
+		sender := types.NodeID(s)
+		var strategies map[types.NodeID]adversary.Strategy
+		if plan != nil {
+			strategies = plan(sender)
+		}
+		in := runner.Instance{
+			Protocol:    p.senderProtocol(sender),
+			SenderValue: values[s],
+			Strategies:  strategies,
+		}
+		runRes, _, err := in.Run()
+		if err != nil {
+			return nil, fmt.Errorf("ic: instance rooted at %d: %w", s, err)
+		}
+		res.Messages += runRes.Messages
+		for i := 0; i < p.N; i++ {
+			id := types.NodeID(i)
+			if id == sender {
+				// A node's own entry is its own value.
+				res.Vectors[id][s] = values[s]
+				continue
+			}
+			res.Vectors[id][s] = runRes.Decisions[id]
+		}
+	}
+	return res, nil
+}
+
+// Verdict reports the spec check of an IC execution.
+type Verdict struct {
+	// F is the fault count.
+	F int
+	// OK reports whether every entry satisfied its applicable condition.
+	OK bool
+	// Reason describes the first violated entry.
+	Reason string
+	// EntryConditions records the condition checked per entry ("IC",
+	// "D.1".."D.4", or "none").
+	EntryConditions []string
+	// Graceful reports whether every entry individually satisfied graceful
+	// degradation (≥ m+1 fault-free nodes sharing the entry value).
+	Graceful bool
+}
+
+// Check validates an IC outcome. For f ≤ m it demands classic interactive
+// consistency (identical vectors, correct entries for fault-free senders).
+// For m < f ≤ u (degradable variant) it demands the per-entry degradable
+// conditions: each fault-free sender's entry is value-or-default at every
+// fault-free node, and each faulty sender's entry has at most one distinct
+// non-default value across fault-free nodes.
+func Check(p Params, values []types.Value, faulty types.NodeSet, res *Result) Verdict {
+	v := Verdict{F: faulty.Len(), OK: true, Graceful: true}
+	for s := 0; s < p.N; s++ {
+		sender := types.NodeID(s)
+		decisions := make(map[types.NodeID]types.Value)
+		for i := 0; i < p.N; i++ {
+			id := types.NodeID(i)
+			if id == sender || faulty.Contains(id) {
+				continue
+			}
+			decisions[id] = res.Vectors[id][s]
+		}
+		entry := spec.Check(spec.Execution{
+			M: p.M, U: p.U,
+			Sender:      sender,
+			SenderValue: values[s],
+			Faulty:      faulty,
+			Decisions:   decisions,
+		})
+		v.EntryConditions = append(v.EntryConditions, entry.Condition)
+		if !entry.OK && v.OK {
+			v.OK = false
+			v.Reason = fmt.Sprintf("entry %d: %s", s, entry.Reason)
+		}
+		if !entry.Graceful {
+			v.Graceful = false
+		}
+	}
+	// Classic regime additionally requires vector identity across
+	// fault-free nodes (entries for faulty senders must also match).
+	if v.F <= p.M {
+		if reason, same := vectorsIdentical(p.N, faulty, res); !same {
+			v.OK = false
+			if v.Reason == "" {
+				v.Reason = reason
+			}
+		}
+	}
+	return v
+}
+
+func vectorsIdentical(n int, faulty types.NodeSet, res *Result) (string, bool) {
+	var ref []types.Value
+	var refID types.NodeID
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		if faulty.Contains(id) {
+			continue
+		}
+		vec := res.Vectors[id]
+		if ref == nil {
+			ref, refID = vec, id
+			continue
+		}
+		for s := 0; s < n; s++ {
+			// Each node holds its own private value at its own entry;
+			// other nodes hold the agreed value. Identity is required on
+			// entries neither node owns.
+			if types.NodeID(s) == id || types.NodeID(s) == refID {
+				continue
+			}
+			if vec[s] != ref[s] {
+				return fmt.Sprintf("nodes %d and %d disagree on entry %d (%s vs %s)",
+					int(refID), int(id), s, ref[s], vec[s]), false
+			}
+		}
+	}
+	return "", true
+}

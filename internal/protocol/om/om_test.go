@@ -1,0 +1,160 @@
+package om_test
+
+import (
+	"fmt"
+	"testing"
+
+	"degradable/internal/adversary"
+	"degradable/internal/protocol/om"
+	"degradable/internal/runner"
+	"degradable/internal/types"
+)
+
+const (
+	alpha types.Value = 100
+	beta  types.Value = 200
+)
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       om.Params
+		wantErr bool
+	}{
+		{"OM(1) minimal", om.Params{N: 4, M: 1}, false},
+		{"OM(2) minimal", om.Params{N: 7, M: 2}, false},
+		{"OM(0)", om.Params{N: 2, M: 0}, false},
+		{"too few", om.Params{N: 3, M: 1}, true},
+		{"negative m", om.Params{N: 4, M: -1}, true},
+		{"bad sender", om.Params{N: 4, M: 1, Sender: 4}, true},
+		{"single node", om.Params{N: 1, M: 0}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	m, u := om.Params{N: 7, M: 2}.Thresholds()
+	if m != 2 || u != 2 {
+		t.Errorf("Thresholds = (%d,%d), want (2,2)", m, u)
+	}
+	n, depth, sender := om.Params{N: 7, M: 2, Sender: 3}.System()
+	if n != 7 || depth != 3 || sender != 3 {
+		t.Errorf("System = (%d,%d,%d)", n, depth, int(sender))
+	}
+}
+
+// OM(m) must satisfy D.1/D.2 for every fault set of size ≤ m under the full
+// battery — the Lamport-Shostak-Pease correctness theorem.
+func TestOMCorrectUpToM(t *testing.T) {
+	for _, p := range []om.Params{{N: 4, M: 1}, {N: 7, M: 2}} {
+		p := p
+		t.Run(fmt.Sprintf("OM(%d)_N%d", p.M, p.N), func(t *testing.T) {
+			all := make([]types.NodeID, p.N)
+			for i := range all {
+				all[i] = types.NodeID(i)
+			}
+			for f := 0; f <= p.M; f++ {
+				types.Subsets(all, f, func(faulty types.NodeSet) bool {
+					honest := make([]types.NodeID, 0, p.N)
+					for _, id := range all {
+						if !faulty.Contains(id) {
+							honest = append(honest, id)
+						}
+					}
+					ctx := adversary.Context{N: p.N, Sender: 0, SenderValue: alpha, Alt: beta, Honest: honest}
+					for _, sc := range adversary.Battery() {
+						in := runner.Instance{
+							Protocol:    p,
+							SenderValue: alpha,
+							Strategies:  sc.Build(faulty.IDs(), 5, ctx),
+						}
+						_, verdict, err := in.Run()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !verdict.OK {
+							t.Errorf("faulty=%v scenario=%s: %s: %s",
+								faulty, sc.Name, verdict.Condition, verdict.Reason)
+						}
+					}
+					return !t.Failed()
+				})
+			}
+		})
+	}
+}
+
+// Beyond m faults OM(m) can be made to violate agreement outright — the gap
+// that motivates degradable agreement (the contrast behind experiment E4).
+// At the tight size N = 3m+1 = 4, two colluding faults (a two-faced sender
+// plus a camp-confirming receiver) drive the two fault-free receivers to two
+// different non-default values, which even the degraded conditions D.3/D.4
+// forbid. Degradable agreement at its own tight size never does this (see
+// core's exhaustive tests).
+func TestOMBreaksBeyondM(t *testing.T) {
+	p := om.Params{N: 4, M: 1}
+	all := []types.NodeID{0, 1, 2, 3}
+	violated := false
+	types.Subsets(all, 2, func(faulty types.NodeSet) bool {
+		honest := make([]types.NodeID, 0, 4)
+		for _, id := range all {
+			if !faulty.Contains(id) {
+				honest = append(honest, id)
+			}
+		}
+		ctx := adversary.Context{N: 4, Sender: 0, SenderValue: alpha, Alt: beta, Honest: honest}
+		for _, sc := range adversary.Battery() {
+			in := runner.Instance{Protocol: p, SenderValue: alpha, Strategies: sc.Build(faulty.IDs(), 5, ctx)}
+			res, _, err := in.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Check the *degradable* conditions D.3/D.4 against OM's
+			// decisions: if some fault-free receiver lands on a value that
+			// is neither the sender's nor V_d (sender honest), or two
+			// distinct non-default values appear (sender faulty), OM has
+			// degraded non-gracefully.
+			senderFaulty := faulty.Contains(0)
+			distinct := make(map[types.Value]bool)
+			for id, d := range res.Decisions {
+				if id == 0 || faulty.Contains(id) {
+					continue
+				}
+				distinct[d] = true
+				if !senderFaulty && d != alpha && d != types.Default {
+					violated = true
+				}
+			}
+			if senderFaulty {
+				nonDefault := 0
+				for d := range distinct {
+					if d != types.Default {
+						nonDefault++
+					}
+				}
+				if nonDefault > 1 {
+					violated = true
+				}
+			}
+			if violated {
+				return false
+			}
+		}
+		return true
+	})
+	if !violated {
+		t.Error("no battery adversary broke OM(1) beyond m faults; the baseline contrast is vacuous")
+	}
+}
+
+func TestNodesError(t *testing.T) {
+	if _, err := (om.Params{N: 3, M: 1}).Nodes(alpha); err == nil {
+		t.Error("invalid params should fail")
+	}
+}

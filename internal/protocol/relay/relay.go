@@ -1,0 +1,196 @@
+// Package relay implements the honest participant of a depth-d EIG relay
+// protocol over the netsim engine. It is the message-passing realization of
+// the paper's algorithm skeleton (§4):
+//
+//	round 1:     the sender sends its value to all receivers;
+//	round r ≥ 2: every receiver relays, for each claim σ of length r−1 it
+//	             holds (with itself not on σ), the value it recorded for σ,
+//	             labelled σ·self — "self says the value along σ is v";
+//	after the last round each receiver resolves its EIG tree with the
+//	protocol's voting rule.
+//
+// The same node serves the paper's BYZ(m,m) (rule = VOTE(n_σ−1−m, n_σ−1))
+// and the OM(m) baseline (rule = majority); only the rule differs. Honest
+// nodes always send every scheduled message (the paper assumes a node always
+// sends when it is supposed to); a claim that never arrived is relayed as
+// the default value, which is also what receivers substitute for absent
+// messages.
+package relay
+
+import (
+	"fmt"
+
+	"degradable/internal/eig"
+	"degradable/internal/netsim"
+	"degradable/internal/types"
+)
+
+// Node is an honest protocol participant (sender or receiver).
+type Node struct {
+	id       types.NodeID
+	n        int
+	sender   types.NodeID
+	value    types.Value // sender's input; unused for receivers
+	tree     *eig.Tree
+	rule     eig.Rule
+	decision types.Value
+	decided  bool
+}
+
+var _ netsim.Node = (*Node)(nil)
+
+// New returns an honest node. If id == sender, value is the input to
+// distribute; receivers ignore it. depth is the number of message rounds.
+func New(n, depth int, sender, id types.NodeID, value types.Value, rule eig.Rule) (*Node, error) {
+	if id < 0 || int(id) >= n {
+		return nil, fmt.Errorf("relay: id %d out of range", int(id))
+	}
+	if rule == nil {
+		return nil, fmt.Errorf("relay: nil rule")
+	}
+	tree, err := eig.New(n, depth, sender)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{id: id, n: n, sender: sender, value: value, tree: tree, rule: rule}, nil
+}
+
+// ID implements netsim.Node.
+func (nd *Node) ID() types.NodeID { return nd.id }
+
+// Tree exposes the node's EIG tree (read-only use by tests and the
+// adversary's schedule generator).
+func (nd *Node) Tree() *eig.Tree { return nd.tree }
+
+// Step implements netsim.Node.
+func (nd *Node) Step(round int, inbox []types.Message) []types.Message {
+	nd.absorb(round, inbox)
+	return nd.Outbox(round)
+}
+
+// Outbox computes the honest sends for the given round from the node's
+// current tree. It is exported so the Byzantine wrapper in the adversary
+// package can obtain the honest schedule and corrupt it.
+func (nd *Node) Outbox(round int) []types.Message {
+	if round == 1 {
+		if nd.id != nd.sender {
+			return nil
+		}
+		out := make([]types.Message, 0, nd.n-1)
+		for j := 0; j < nd.n; j++ {
+			if types.NodeID(j) == nd.id {
+				continue
+			}
+			out = append(out, types.Message{
+				To:    types.NodeID(j),
+				Round: round,
+				Path:  types.Path{nd.sender},
+				Value: nd.value,
+			})
+		}
+		return out
+	}
+	if round > nd.tree.Depth() {
+		return nil
+	}
+	// Relay every claim of length round-1 that does not involve self,
+	// labelled with self appended.
+	var out []types.Message
+	nd.tree.ForEachPath(round-1, nd.id, func(p types.Path) bool {
+		v := nd.tree.Get(p) // Default when the claim never arrived
+		lbl := p.Append(nd.id)
+		for j := 0; j < nd.n; j++ {
+			if types.NodeID(j) == nd.id {
+				continue
+			}
+			out = append(out, types.Message{To: types.NodeID(j), Round: round, Path: lbl, Value: v})
+		}
+		return true
+	})
+	return out
+}
+
+// absorb validates and stores the round's deliveries. A message delivered at
+// Step(r) was sent in round r−1 and must carry a path of length r−1 whose
+// last element is its true source; anything else is discarded, since a
+// Byzantine node may send arbitrary garbage.
+func (nd *Node) absorb(round int, inbox []types.Message) {
+	want := round - 1
+	if want < 1 {
+		return
+	}
+	for _, m := range inbox {
+		if len(m.Path) != want {
+			continue
+		}
+		if m.Path.Last() != m.From {
+			continue // claim not signed by its relayer
+		}
+		if m.Path.Contains(nd.id) {
+			continue // not addressed to our role in this sub-protocol
+		}
+		if !nd.tree.ValidPath(m.Path) {
+			continue
+		}
+		_ = nd.tree.Set(m.Path, m.Value) // first write wins by tree contract
+	}
+}
+
+// Finish implements netsim.Node: it stores the last round's deliveries and
+// resolves the tree.
+func (nd *Node) Finish(inbox []types.Message) {
+	nd.absorb(nd.tree.Depth()+1, inbox)
+	if nd.id == nd.sender {
+		nd.decision = nd.value
+	} else {
+		nd.decision = nd.tree.Resolve(nd.id, nd.rule)
+	}
+	nd.decided = true
+}
+
+// Decide implements netsim.Node.
+func (nd *Node) Decide() types.Value {
+	if !nd.decided {
+		return types.Default
+	}
+	return nd.decision
+}
+
+// Schedule enumerates the message templates an arbitrary (possibly faulty)
+// node of the given identity is *expected* to send in the given round,
+// with the honest value filled in from tree (Default when absent). Byzantine
+// wrappers corrupt this schedule rather than inventing their own, which
+// keeps adversarial traffic well-formed enough to be accepted by honest
+// validators while leaving values (and omissions) fully adversarial.
+func Schedule(tree *eig.Tree, self types.NodeID, value types.Value, round int) []types.Message {
+	n := tree.N()
+	if round == 1 {
+		if self != tree.Sender() {
+			return nil
+		}
+		out := make([]types.Message, 0, n-1)
+		for j := 0; j < n; j++ {
+			if types.NodeID(j) == self {
+				continue
+			}
+			out = append(out, types.Message{To: types.NodeID(j), Round: round, Path: types.Path{self}, Value: value})
+		}
+		return out
+	}
+	if round > tree.Depth() {
+		return nil
+	}
+	var out []types.Message
+	tree.ForEachPath(round-1, self, func(p types.Path) bool {
+		v := tree.Get(p)
+		lbl := p.Append(self)
+		for j := 0; j < n; j++ {
+			if types.NodeID(j) == self {
+				continue
+			}
+			out = append(out, types.Message{To: types.NodeID(j), Round: round, Path: lbl, Value: v})
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,242 @@
+package sm
+
+import (
+	"fmt"
+	"testing"
+
+	"degradable/internal/types"
+)
+
+const (
+	alpha types.Value = 100
+	beta  types.Value = 200
+)
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Params
+		wantErr bool
+	}{
+		{"SM(1) minimal", Params{N: 3, M: 1}, false},
+		{"SM(2) minimal", Params{N: 4, M: 2}, false},
+		{"SM(3) roomy", Params{N: 7, M: 3}, false},
+		{"too few", Params{N: 2, M: 1}, true},
+		{"zero m", Params{N: 4, M: 0}, true},
+		{"bad sender", Params{N: 4, M: 1, Sender: 4}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestFaultFree(t *testing.T) {
+	in, err := NewInstance(Params{N: 4, M: 2}, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, d := range res.Decisions {
+		if d != alpha {
+			t.Errorf("node %d decided %v", int(id), d)
+		}
+	}
+}
+
+// The authenticated algorithm's headline: agreement with N = m+2 — far
+// below the oral-messages 3m+1 — for every fault placement and a set of
+// adversarial egress behaviours.
+func TestAgreementAtMPlusTwo(t *testing.T) {
+	for _, m := range []int{1, 2, 3} {
+		m := m
+		t.Run(fmt.Sprintf("SM(%d)_N%d", m, m+2), func(t *testing.T) {
+			p := Params{N: m + 2, M: m}
+			all := make([]types.NodeID, p.N)
+			for i := range all {
+				all[i] = types.NodeID(i)
+			}
+			for f := 0; f <= m; f++ {
+				types.Subsets(all, f, func(faulty types.NodeSet) bool {
+					for _, eg := range egressBattery() {
+						runSM(t, p, faulty, eg)
+					}
+					return !t.Failed()
+				})
+			}
+		})
+	}
+}
+
+// egressBattery enumerates adversarial pre-signing behaviours.
+func egressBattery() []struct {
+	name string
+	mk   func(self types.NodeID) Egress
+} {
+	return []struct {
+		name string
+		mk   func(self types.NodeID) Egress
+	}{
+		{"silent", func(types.NodeID) Egress {
+			return func(types.Message) (types.Value, bool) { return 0, false }
+		}},
+		{"lie-beta", func(types.NodeID) Egress {
+			return func(types.Message) (types.Value, bool) { return beta, true }
+		}},
+		{"equivocate-by-parity", func(types.NodeID) Egress {
+			return func(m types.Message) (types.Value, bool) {
+				if m.To%2 == 0 {
+					return alpha, true
+				}
+				return beta, true
+			}
+		}},
+		{"selective-silence", func(types.NodeID) Egress {
+			return func(m types.Message) (types.Value, bool) {
+				if m.To%2 == 0 {
+					return 0, false
+				}
+				return m.Value, true
+			}
+		}},
+		{"honest", func(types.NodeID) Egress {
+			return func(m types.Message) (types.Value, bool) { return m.Value, true }
+		}},
+	}
+}
+
+func runSM(t *testing.T, p Params, faulty types.NodeSet, eg struct {
+	name string
+	mk   func(self types.NodeID) Egress
+}) {
+	t.Helper()
+	in, err := NewInstance(p, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range faulty.IDs() {
+		if err := in.Arm(id, alpha, eg.mk(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IC1': all fault-free receivers decide the same value; IC2': if the
+	// sender is fault-free they decide its value.
+	senderFaulty := faulty.Contains(p.Sender)
+	var ref types.Value
+	first := true
+	for i := 0; i < p.N; i++ {
+		id := types.NodeID(i)
+		if id == p.Sender || faulty.Contains(id) {
+			continue
+		}
+		d := res.Decisions[id]
+		if !senderFaulty && d != alpha {
+			t.Errorf("faulty=%v egress=%s: node %d decided %v with fault-free sender",
+				faulty, eg.name, int(id), d)
+		}
+		if first {
+			ref, first = d, false
+		} else if d != ref {
+			t.Errorf("faulty=%v egress=%s: receivers disagree (%v vs %v)", faulty, eg.name, ref, d)
+		}
+	}
+}
+
+// An equivocating faulty sender drives everyone to the default — both
+// values are certified, so choice(V) with |V| = 2 yields V_d.
+func TestEquivocatingSenderYieldsDefault(t *testing.T) {
+	p := Params{N: 4, M: 1}
+	in, err := NewInstance(p, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = in.Arm(0, alpha, func(m types.Message) (types.Value, bool) {
+		if m.To == 1 {
+			return alpha, true
+		}
+		return beta, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []types.NodeID{1, 2, 3} {
+		if d := res.Decisions[id]; d != types.Default {
+			t.Errorf("node %d decided %v, want V_d", int(id), d)
+		}
+	}
+}
+
+// A faulty relayer cannot launder a changed value: its re-signed chain
+// fails prefix verification and is discarded, so agreement is unaffected.
+func TestRelayTamperingIsImpotent(t *testing.T) {
+	p := Params{N: 4, M: 2}
+	in, err := NewInstance(p, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = in.Arm(2, alpha, func(m types.Message) (types.Value, bool) {
+		if m.Round >= 2 {
+			return beta, true // tamper every relay
+		}
+		return m.Value, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []types.NodeID{1, 3} {
+		if d := res.Decisions[id]; d != alpha {
+			t.Errorf("node %d decided %v despite signature protection", int(id), d)
+		}
+	}
+}
+
+func TestInstanceArmValidation(t *testing.T) {
+	in, err := NewInstance(Params{N: 4, M: 1}, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Arm(9, alpha, nil); err == nil {
+		t.Error("out-of-range arm should error")
+	}
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	p := Params{N: 4, M: 1}
+	if _, err := NewNode(p, 0, alpha, nil, nil); err == nil {
+		t.Error("nil authority should error")
+	}
+	if _, err := NewNode(p, 9, alpha, nil, nil); err == nil {
+		t.Error("bad id should error")
+	}
+	if _, err := NewInstance(Params{N: 2, M: 1}, alpha); err == nil {
+		t.Error("invalid params should error")
+	}
+}
+
+func TestDecideBeforeFinish(t *testing.T) {
+	in, err := NewInstance(Params{N: 4, M: 1}, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Nodes[1].Decide(); got != types.Default {
+		t.Errorf("undecided node reports %v", got)
+	}
+}

@@ -1,0 +1,201 @@
+// Package routednet executes agreement protocols over an incompletely
+// connected network with TRUE hop-by-hop forwarding: every logical message
+// between non-adjacent nodes is physically split into copies, one per
+// vertex-disjoint path, and each copy traverses its route one hop at a
+// time, with Byzantine relays corrupting or dropping copies as they pass.
+// The destination accepts the value carried by at least m+1 copies when
+// unique (VOTE(m+1, copies)), else the default value.
+//
+// This is the uncompressed counterpart of internal/transport, which folds
+// the whole traversal into a single delivery function. DESIGN.md claims the
+// two are equivalent for corruption behaviours that depend only on (relay,
+// message, value); the tests in this package verify that claim by running
+// identical instances both ways and comparing every decision. The
+// uncompressed engine also reports true link-level traffic (hop count),
+// which the compressed channel can only estimate.
+package routednet
+
+import (
+	"fmt"
+
+	"degradable/internal/netsim"
+	"degradable/internal/topology"
+	"degradable/internal/transport"
+	"degradable/internal/types"
+	"degradable/internal/vote"
+)
+
+// Config describes a routed execution.
+type Config struct {
+	// Graph is the physical topology.
+	Graph *topology.Graph
+	// M and U are the agreement thresholds (routing uses m+u+1 paths and
+	// the m+1 acceptance threshold).
+	M, U int
+	// Faulty maps nodes to their relay corruption behaviour (protocol-level
+	// Byzantine behaviour is configured on the nodes themselves).
+	Faulty map[types.NodeID]transport.RelayCorruptor
+	// Rounds is the number of protocol rounds.
+	Rounds int
+	// Strict rejects pairs with fewer than m+u+1 disjoint paths; loose
+	// mode routes over what exists (for lower-bound demonstrations).
+	Strict bool
+}
+
+// Result mirrors netsim.Result with link-level accounting.
+type Result struct {
+	// Decisions maps every node to its decision.
+	Decisions map[types.NodeID]types.Value
+	// LogicalMessages counts protocol-level sends.
+	LogicalMessages int
+	// Hops counts physical link traversals (every copy, every hop).
+	Hops int
+	// Degraded counts logical deliveries replaced by V_d by the
+	// acceptance rule.
+	Degraded int
+}
+
+// token is one in-flight copy of a logical message.
+type token struct {
+	route []types.NodeID
+	pos   int // index of the node currently holding the copy
+	value types.Value
+	orig  types.Message
+	dead  bool
+}
+
+// Run executes the protocol with hop-by-hop forwarding.
+func Run(nodes []netsim.Node, cfg Config) (*Result, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("routednet: nil graph")
+	}
+	n := len(nodes)
+	if n != cfg.Graph.N() {
+		return nil, fmt.Errorf("routednet: %d nodes on a %d-vertex graph", n, cfg.Graph.N())
+	}
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("routednet: rounds must be >= 1")
+	}
+	if cfg.M < 0 || cfg.U < cfg.M || cfg.U < 1 {
+		return nil, fmt.Errorf("routednet: infeasible m=%d u=%d", cfg.M, cfg.U)
+	}
+	need := cfg.M + cfg.U + 1
+	// Precompute routes for every ordered non-adjacent pair.
+	routes := make(map[[2]types.NodeID][][]types.NodeID)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			s, t := types.NodeID(a), types.NodeID(b)
+			if cfg.Graph.HasEdge(s, t) {
+				continue
+			}
+			ps, err := cfg.Graph.DisjointPaths(s, t, need)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Strict && len(ps) < need {
+				return nil, fmt.Errorf("routednet: only %d paths for %d→%d, need %d", len(ps), a, b, need)
+			}
+			routes[[2]types.NodeID{s, t}] = ps
+		}
+	}
+
+	byID := make(map[types.NodeID]netsim.Node, n)
+	for _, nd := range nodes {
+		if _, dup := byID[nd.ID()]; dup {
+			return nil, fmt.Errorf("routednet: duplicate node %d", int(nd.ID()))
+		}
+		byID[nd.ID()] = nd
+	}
+
+	res := &Result{Decisions: make(map[types.NodeID]types.Value, n)}
+	deliverRound := func(pending []types.Message) [][]types.Message {
+		inboxes := make([][]types.Message, n)
+		for _, m := range pending {
+			if cfg.Graph.HasEdge(m.From, m.To) {
+				res.Hops++
+				inboxes[int(m.To)] = append(inboxes[int(m.To)], m)
+				continue
+			}
+			ps := routes[[2]types.NodeID{m.From, m.To}]
+			if len(ps) == 0 {
+				continue // unroutable
+			}
+			// Launch one token per path and forward to completion.
+			tokens := make([]*token, 0, len(ps))
+			for _, route := range ps {
+				tokens = append(tokens, &token{route: route, value: m.Value, orig: m})
+			}
+			inFlight := len(tokens)
+			for inFlight > 0 {
+				inFlight = 0
+				for _, tk := range tokens {
+					if tk.dead || tk.pos == len(tk.route)-1 {
+						continue
+					}
+					// Advance one hop.
+					tk.pos++
+					res.Hops++
+					hop := tk.route[tk.pos]
+					if tk.pos < len(tk.route)-1 {
+						if corrupt, bad := cfg.Faulty[hop]; bad {
+							v, keep := corrupt(hop, tk.orig, tk.value)
+							if !keep {
+								tk.dead = true
+								continue
+							}
+							tk.value = v
+						}
+						inFlight++
+					}
+				}
+			}
+			// Acceptance at the destination.
+			copies := make([]types.Value, 0, len(tokens))
+			for _, tk := range tokens {
+				if !tk.dead {
+					copies = append(copies, tk.value)
+				}
+			}
+			accepted := vote.Vote(cfg.M+1, copies)
+			if accepted != m.Value {
+				res.Degraded++
+			}
+			dm := m
+			dm.Value = accepted
+			inboxes[int(dm.To)] = append(inboxes[int(dm.To)], dm)
+		}
+		for i := range inboxes {
+			types.SortMessages(inboxes[i])
+		}
+		return inboxes
+	}
+
+	var pending []types.Message
+	for round := 1; round <= cfg.Rounds; round++ {
+		inboxes := deliverRound(pending)
+		pending = pending[:0]
+		for i := 0; i < n; i++ {
+			id := types.NodeID(i)
+			out := byID[id].Step(round, inboxes[i])
+			for _, m := range out {
+				m.From = id
+				m.Round = round
+				if m.To < 0 || int(m.To) >= n || m.To == m.From {
+					continue
+				}
+				res.LogicalMessages++
+				pending = append(pending, m)
+			}
+		}
+	}
+	inboxes := deliverRound(pending)
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		byID[id].Finish(inboxes[i])
+		res.Decisions[id] = byID[id].Decide()
+	}
+	return res, nil
+}

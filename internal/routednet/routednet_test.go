@@ -1,0 +1,192 @@
+package routednet_test
+
+import (
+	"reflect"
+	"testing"
+
+	"degradable/internal/adversary"
+	"degradable/internal/core"
+	"degradable/internal/netsim"
+	"degradable/internal/routednet"
+	"degradable/internal/spec"
+	"degradable/internal/topology"
+	"degradable/internal/transport"
+	"degradable/internal/types"
+)
+
+const (
+	alpha types.Value = 100
+	beta  types.Value = 200
+)
+
+func must(g *topology.Graph, err error) *topology.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestValidation(t *testing.T) {
+	g := must(topology.Harary(4, 9))
+	p := core.Params{N: 9, M: 1, U: 2}
+	nodes, err := p.Nodes(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := routednet.Run(nodes, routednet.Config{Graph: nil, M: 1, U: 2, Rounds: 2}); err == nil {
+		t.Error("nil graph should error")
+	}
+	if _, err := routednet.Run(nodes[:5], routednet.Config{Graph: g, M: 1, U: 2, Rounds: 2}); err == nil {
+		t.Error("node/graph mismatch should error")
+	}
+	if _, err := routednet.Run(nodes, routednet.Config{Graph: g, M: 1, U: 2, Rounds: 0}); err == nil {
+		t.Error("zero rounds should error")
+	}
+	if _, err := routednet.Run(nodes, routednet.Config{Graph: g, M: 2, U: 1, Rounds: 2}); err == nil {
+		t.Error("m > u should error")
+	}
+	// Strict mode rejects insufficient connectivity.
+	cyc := must(topology.Cycle(9))
+	if _, err := routednet.Run(nodes, routednet.Config{Graph: cyc, M: 1, U: 2, Rounds: 2, Strict: true}); err == nil {
+		t.Error("strict mode should reject a 2-connected cycle for m+u+1=4")
+	}
+}
+
+func TestHonestRunOverSparseGraph(t *testing.T) {
+	g := must(topology.Harary(4, 9))
+	p := core.Params{N: 9, M: 1, U: 2}
+	nodes, err := p.Nodes(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := routednet.Run(nodes, routednet.Config{Graph: g, M: 1, U: 2, Rounds: p.Depth(), Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, d := range res.Decisions {
+		if d != alpha {
+			t.Errorf("node %d decided %v", int(id), d)
+		}
+	}
+	if res.Hops <= res.LogicalMessages {
+		t.Errorf("hop count %d should exceed logical messages %d on a sparse graph",
+			res.Hops, res.LogicalMessages)
+	}
+	if res.Degraded != 0 {
+		t.Errorf("fault-free run degraded %d deliveries", res.Degraded)
+	}
+}
+
+// The headline: hop-by-hop forwarding and the compressed transport channel
+// produce identical decisions for deterministic relay corruption, across
+// fault placements and protocol-level strategies.
+func TestEquivalenceWithCompressedTransport(t *testing.T) {
+	g := must(topology.Harary(4, 9))
+	p := core.Params{N: 9, M: 1, U: 2}
+	cases := []struct {
+		name       string
+		faulty     []types.NodeID
+		strategyOf func(types.NodeID) adversary.Strategy
+		corruptOf  func(types.NodeID) transport.RelayCorruptor
+	}{
+		{
+			name:       "two liars flipping relays",
+			faulty:     []types.NodeID{3, 7},
+			strategyOf: func(types.NodeID) adversary.Strategy { return adversary.Lie{Value: beta} },
+			corruptOf:  func(types.NodeID) transport.RelayCorruptor { return transport.FlipTo(beta) },
+		},
+		{
+			name:   "faulty sender plus dropper",
+			faulty: []types.NodeID{0, 5},
+			strategyOf: func(id types.NodeID) adversary.Strategy {
+				if id == 0 {
+					return adversary.TwoFaced{A: types.NewNodeSet(1, 2, 3, 4), ValueA: alpha, ValueB: beta}
+				}
+				return adversary.Crash{After: 1}
+			},
+			corruptOf: func(id types.NodeID) transport.RelayCorruptor {
+				if id == 0 {
+					return transport.FlipTo(beta)
+				}
+				return transport.DropAll()
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			strategies := make(map[types.NodeID]adversary.Strategy)
+			corrupt := make(map[types.NodeID]transport.RelayCorruptor)
+			for _, id := range tc.faulty {
+				strategies[id] = tc.strategyOf(id)
+				corrupt[id] = tc.corruptOf(id)
+			}
+
+			// Compressed: netsim + transport channel.
+			nodesA, err := p.Nodes(alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := adversary.Wrap(nodesA, p.N, p.Depth(), 0, alpha, strategies); err != nil {
+				t.Fatal(err)
+			}
+			ch, err := transport.New(g, p.M, p.U, corrupt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resA, err := netsim.Run(nodesA, netsim.Config{Rounds: p.Depth(), Channel: ch})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Uncompressed: hop-by-hop.
+			nodesB, err := p.Nodes(alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := adversary.Wrap(nodesB, p.N, p.Depth(), 0, alpha, strategies); err != nil {
+				t.Fatal(err)
+			}
+			resB, err := routednet.Run(nodesB, routednet.Config{
+				Graph: g, M: p.M, U: p.U, Rounds: p.Depth(), Strict: true,
+				Faulty: corrupt,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(resA.Decisions, resB.Decisions) {
+				t.Errorf("decisions differ:\ncompressed  %v\nhop-by-hop %v", resA.Decisions, resB.Decisions)
+			}
+			// And both satisfy the spec.
+			verdict := spec.Check(spec.Execution{
+				M: p.M, U: p.U, Sender: 0, SenderValue: alpha,
+				Faulty:    types.NewNodeSet(tc.faulty...),
+				Decisions: resB.Decisions,
+			})
+			if !verdict.OK {
+				t.Errorf("hop-by-hop run violated %s: %s", verdict.Condition, verdict.Reason)
+			}
+		})
+	}
+}
+
+func TestLooseModeOnWeakGraph(t *testing.T) {
+	// A cycle (κ=2) cannot support m=1,u=2; loose mode runs anyway, and
+	// with no faults the protocol still succeeds (both paths agree).
+	g := must(topology.Cycle(5))
+	p := core.Params{N: 5, M: 1, U: 2}
+	nodes, err := p.Nodes(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := routednet.Run(nodes, routednet.Config{Graph: g, M: 1, U: 2, Rounds: p.Depth()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, d := range res.Decisions {
+		if d != alpha {
+			t.Errorf("node %d decided %v", int(id), d)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package runner composes a protocol, a fault set armed with adversary
+// strategies, the synchronous engine, and the executable specification into
+// one-call experiment instances. Every experiment and most integration tests
+// go through this package.
+package runner
+
+import (
+	"fmt"
+
+	"degradable/internal/adversary"
+	"degradable/internal/netsim"
+	"degradable/internal/spec"
+	"degradable/internal/types"
+)
+
+// Protocol abstracts an agreement protocol instance (degradable BYZ, OM,
+// Crusader). Implemented by core.Params, om.Params, and crusader.Params.
+type Protocol interface {
+	// System returns the node count, relay depth (= message rounds), and
+	// sender identity.
+	System() (n, depth int, sender types.NodeID)
+	// Thresholds returns the (m, u) pair the protocol promises, used to
+	// select the applicable spec condition.
+	Thresholds() (m, u int)
+	// Nodes returns the fully honest node complement with the sender
+	// holding value.
+	Nodes(value types.Value) ([]netsim.Node, error)
+}
+
+// Instance is one configured run.
+type Instance struct {
+	// Protocol is the agreement protocol under test.
+	Protocol Protocol
+	// SenderValue is the (honest) sender's input.
+	SenderValue types.Value
+	// Strategies arms the fault set: every key is faulty.
+	Strategies map[types.NodeID]adversary.Strategy
+	// Channel optionally interposes on deliveries (nil = perfect network).
+	Channel netsim.Channel
+	// RecordViews captures per-node transcripts.
+	RecordViews bool
+	// Trace, when non-nil, observes every delivered message.
+	Trace func(types.Message)
+}
+
+// Faulty returns the fault set implied by the armed strategies.
+func (in Instance) Faulty() types.NodeSet {
+	var s types.NodeSet
+	for id := range in.Strategies {
+		s = s.Add(id)
+	}
+	return s
+}
+
+// Run executes the instance and checks the outcome against the spec.
+func (in Instance) Run() (*netsim.Result, spec.Verdict, error) {
+	if in.Protocol == nil {
+		return nil, spec.Verdict{}, fmt.Errorf("runner: nil protocol")
+	}
+	n, depth, sender := in.Protocol.System()
+	nodes, err := in.Protocol.Nodes(in.SenderValue)
+	if err != nil {
+		return nil, spec.Verdict{}, err
+	}
+	if err := adversary.Wrap(nodes, n, depth, sender, in.SenderValue, in.Strategies); err != nil {
+		return nil, spec.Verdict{}, err
+	}
+	res, err := netsim.Run(nodes, netsim.Config{
+		Rounds:      depth,
+		Channel:     in.Channel,
+		RecordViews: in.RecordViews,
+		Trace:       in.Trace,
+	})
+	if err != nil {
+		return nil, spec.Verdict{}, err
+	}
+	m, u := in.Protocol.Thresholds()
+	verdict := spec.Check(spec.Execution{
+		M: m, U: u,
+		Sender:      sender,
+		SenderValue: in.SenderValue,
+		Faulty:      in.Faulty(),
+		Decisions:   res.Decisions,
+	})
+	return res, verdict, nil
+}

@@ -1,0 +1,76 @@
+// Package sig simulates the unforgeable signature scheme assumed by
+// authenticated ("signed messages") Byzantine agreement algorithms such as
+// Lamport's SM(m).
+//
+// A central Authority stands in for the cryptography: a signature exists if
+// and only if Sign was actually invoked for exactly that (signer, value,
+// chain) triple. Protocol code passes its own identity to Sign — a Byzantine
+// node can therefore sign any value it likes *as itself* (including
+// equivocations) but can never manufacture another node's signature, which
+// is precisely the power model of the authenticated algorithms: "a loyal
+// general's signature cannot be forged, and anyone can verify its
+// authenticity".
+//
+// Using a bookkeeping authority instead of real asymmetric cryptography
+// keeps the module dependency-free and makes the no-forgery property exact
+// rather than computational; nothing in the protocols depends on signature
+// representation.
+package sig
+
+import (
+	"fmt"
+	"sync"
+
+	"degradable/internal/types"
+)
+
+// Authority records issued signatures and answers verification queries. It
+// is safe for concurrent use (protocol nodes run in separate goroutines).
+type Authority struct {
+	mu     sync.Mutex
+	issued map[string]bool
+}
+
+// NewAuthority returns an empty authority.
+func NewAuthority() *Authority {
+	return &Authority{issued: make(map[string]bool)}
+}
+
+// key identifies one signature act: signer attests to value in the context
+// of the message chain that existed before it signed.
+func key(signer types.NodeID, v types.Value, chain types.Path) string {
+	return fmt.Sprintf("%d|%d|%s", int(signer), int64(v), chain.Key())
+}
+
+// Sign records signer's signature over (value, chain) and returns the
+// extended chain. The chain passed in is the message's relay chain *before*
+// signer was appended; Sign appends it.
+func (a *Authority) Sign(signer types.NodeID, v types.Value, chain types.Path) types.Path {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.issued[key(signer, v, chain)] = true
+	return chain.Append(signer)
+}
+
+// Verify reports whether every link of chain carries a genuine signature
+// over v: chain[i] must have signed (v, chain[:i]) for every i.
+func (a *Authority) Verify(v types.Value, chain types.Path) bool {
+	if len(chain) == 0 {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range chain {
+		if !a.issued[key(chain[i], v, chain[:i])] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of issued signatures (diagnostics).
+func (a *Authority) Count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.issued)
+}

@@ -1,0 +1,86 @@
+package sig
+
+import (
+	"sync"
+	"testing"
+
+	"degradable/internal/types"
+)
+
+func TestSignAndVerify(t *testing.T) {
+	a := NewAuthority()
+	chain := a.Sign(0, 42, nil)
+	if len(chain) != 1 || chain[0] != 0 {
+		t.Fatalf("chain = %v", chain)
+	}
+	if !a.Verify(42, chain) {
+		t.Error("genuine signature rejected")
+	}
+	if a.Verify(43, chain) {
+		t.Error("wrong value verified")
+	}
+}
+
+func TestChainExtension(t *testing.T) {
+	a := NewAuthority()
+	c1 := a.Sign(0, 7, nil)
+	c2 := a.Sign(1, 7, c1)
+	if c2.Key() != "0.1" {
+		t.Fatalf("chain = %v", c2)
+	}
+	if !a.Verify(7, c2) {
+		t.Error("two-link chain rejected")
+	}
+	// A chain whose middle link never signed is rejected.
+	forged := types.Path{0, 2}
+	if a.Verify(7, forged) {
+		t.Error("forged chain verified")
+	}
+}
+
+func TestTamperedValueFailsVerification(t *testing.T) {
+	a := NewAuthority()
+	c1 := a.Sign(0, 7, nil)
+	// Node 1 signs a DIFFERENT value over the same prefix — its own link
+	// exists but node 0's does not verify for the new value.
+	c2 := a.Sign(1, 8, c1)
+	if a.Verify(8, c2) {
+		t.Error("tampered chain verified: prefix signature should not cover new value")
+	}
+}
+
+func TestEmptyChain(t *testing.T) {
+	a := NewAuthority()
+	if a.Verify(1, nil) {
+		t.Error("empty chain verified")
+	}
+}
+
+func TestCount(t *testing.T) {
+	a := NewAuthority()
+	a.Sign(0, 1, nil)
+	a.Sign(1, 1, types.Path{0})
+	a.Sign(0, 1, nil) // duplicate act, same key
+	if got := a.Count(); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	a := NewAuthority()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c := a.Sign(types.NodeID(i), types.Value(j), nil)
+				if !a.Verify(types.Value(j), c) {
+					t.Errorf("lost signature %d/%d", i, j)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

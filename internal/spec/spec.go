@@ -1,0 +1,207 @@
+// Package spec is the executable specification of m/u-degradable agreement.
+//
+// Given one execution's outcome — who was faulty, what the sender's value
+// was, and what every fault-free receiver decided — Check determines which
+// of the paper's conditions applies (D.1/D.2 for f ≤ m, D.3/D.4 for
+// m < f ≤ u) and whether the decisions satisfy it. It also verifies the
+// graceful-degradation observation of §2: with N > 2m+u and f ≤ u, at least
+// m+1 fault-free nodes (sender included) agree on an identical value.
+//
+// The channel-system conditions B.1 and C.1–C.3 (§3) are checked where they
+// live, in internal/channels; interactive-consistency vectors are checked
+// by internal/protocol/ic, which applies this package entry-wise.
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"degradable/internal/types"
+)
+
+// Regime identifies which fault regime an execution fell in.
+type Regime int
+
+// Regimes, by increasing fault count.
+const (
+	// RegimeClassic is f ≤ m: full Byzantine agreement required (D.1, D.2).
+	RegimeClassic Regime = iota + 1
+	// RegimeDegraded is m < f ≤ u: degraded agreement required (D.3, D.4).
+	RegimeDegraded
+	// RegimeBeyond is f > u: the protocol promises nothing.
+	RegimeBeyond
+)
+
+// String implements fmt.Stringer.
+func (r Regime) String() string {
+	switch r {
+	case RegimeClassic:
+		return "classic"
+	case RegimeDegraded:
+		return "degraded"
+	case RegimeBeyond:
+		return "beyond-u"
+	default:
+		return fmt.Sprintf("Regime(%d)", int(r))
+	}
+}
+
+// Execution is the observable outcome of one agreement run.
+type Execution struct {
+	// M and U are the instance parameters.
+	M, U int
+	// Sender is the distributing node.
+	Sender types.NodeID
+	// SenderValue is the value a fault-free sender distributed. Ignored
+	// when the sender is faulty.
+	SenderValue types.Value
+	// Faulty is the fault set (sender included when faulty).
+	Faulty types.NodeSet
+	// Decisions maps each node to its decided value. Entries for faulty
+	// nodes are ignored; every fault-free receiver must be present.
+	Decisions map[types.NodeID]types.Value
+}
+
+// F returns the number of faulty nodes.
+func (e Execution) F() int { return e.Faulty.Len() }
+
+// SenderFaulty reports whether the sender is in the fault set.
+func (e Execution) SenderFaulty() bool { return e.Faulty.Contains(e.Sender) }
+
+// Verdict is the result of checking an execution against the spec.
+type Verdict struct {
+	// Regime and Condition identify what was required ("D.1".."D.4", or
+	// "none" beyond u).
+	Regime    Regime
+	Condition string
+	// OK reports whether the requirement held. Beyond u it is trivially
+	// true.
+	OK bool
+	// Reason explains a violation (empty when OK).
+	Reason string
+	// Classes is the decision histogram over fault-free receivers.
+	Classes map[types.Value]int
+	// Graceful reports the §2 observation: some value is shared by at
+	// least m+1 fault-free nodes (sender counts for its own value). Only
+	// meaningful when f ≤ u.
+	Graceful bool
+}
+
+// Check evaluates the execution against m/u-degradable agreement.
+func Check(e Execution) Verdict {
+	v := Verdict{Classes: make(map[types.Value]int)}
+	decisions := make(map[types.NodeID]types.Value)
+	for id, d := range e.Decisions {
+		if id == e.Sender || e.Faulty.Contains(id) {
+			continue
+		}
+		decisions[id] = d
+		v.Classes[d]++
+	}
+
+	f := e.F()
+	switch {
+	case f <= e.M:
+		v.Regime = RegimeClassic
+	case f <= e.U:
+		v.Regime = RegimeDegraded
+	default:
+		v.Regime = RegimeBeyond
+		v.Condition = "none"
+		v.OK = true
+		return v
+	}
+
+	senderFaulty := e.SenderFaulty()
+	switch {
+	case v.Regime == RegimeClassic && !senderFaulty:
+		v.Condition = "D.1"
+		v.OK, v.Reason = checkD1(decisions, e.SenderValue)
+	case v.Regime == RegimeClassic && senderFaulty:
+		v.Condition = "D.2"
+		v.OK, v.Reason = checkD2(v.Classes)
+	case v.Regime == RegimeDegraded && !senderFaulty:
+		v.Condition = "D.3"
+		v.OK, v.Reason = checkD3(v.Classes, e.SenderValue)
+	default:
+		v.Condition = "D.4"
+		v.OK, v.Reason = checkD4(v.Classes)
+	}
+
+	v.Graceful = graceful(e, v.Classes)
+	return v
+}
+
+// checkD1: every fault-free receiver decided the sender's value.
+func checkD1(decisions map[types.NodeID]types.Value, want types.Value) (bool, string) {
+	for id, d := range decisions {
+		if d != want {
+			return false, fmt.Sprintf("D.1: node %d decided %s, want sender's %s", int(id), d, want)
+		}
+	}
+	return true, ""
+}
+
+// checkD2: all fault-free receivers decided one identical value.
+func checkD2(classes map[types.Value]int) (bool, string) {
+	if len(classes) > 1 {
+		return false, fmt.Sprintf("D.2: %d distinct decisions %s", len(classes), renderClasses(classes))
+	}
+	return true, ""
+}
+
+// checkD3: at most two classes — the sender's value and V_d.
+func checkD3(classes map[types.Value]int, senderValue types.Value) (bool, string) {
+	for d := range classes {
+		if d != senderValue && d != types.Default {
+			return false, fmt.Sprintf("D.3: decision %s is neither sender's %s nor V_d", d, senderValue)
+		}
+	}
+	return true, ""
+}
+
+// checkD4: at most two classes, one of which is V_d — equivalently, at most
+// one distinct non-default decision value.
+func checkD4(classes map[types.Value]int) (bool, string) {
+	var nonDefault int
+	for d := range classes {
+		if d != types.Default {
+			nonDefault++
+		}
+	}
+	if nonDefault > 1 {
+		return false, fmt.Sprintf("D.4: %d distinct non-default decisions %s", nonDefault, renderClasses(classes))
+	}
+	return true, ""
+}
+
+// graceful checks the §2 observation over fault-free *nodes* (receivers plus
+// the sender, which trivially holds its own value when fault-free).
+func graceful(e Execution, classes map[types.Value]int) bool {
+	need := e.M + 1
+	for d, c := range classes {
+		if !e.SenderFaulty() && d == e.SenderValue {
+			c++
+		}
+		if c >= need {
+			return true
+		}
+	}
+	// Degenerate but possible: the sender alone suffices when m = 0 and no
+	// receiver is fault-free.
+	return !e.SenderFaulty() && need <= 1 && len(classes) == 0
+}
+
+func renderClasses(classes map[types.Value]int) string {
+	keys := make([]types.Value, 0, len(classes))
+	for d := range classes {
+		keys = append(keys, d)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	parts := make([]string, len(keys))
+	for i, d := range keys {
+		parts[i] = fmt.Sprintf("%s×%d", d, classes[d])
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

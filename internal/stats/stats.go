@@ -1,0 +1,205 @@
+// Package stats provides the small numeric and rendering utilities shared
+// by the experiment harness: summaries, counters, and fixed-width ASCII
+// tables in the style of the paper's own table.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P95, P99 float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields the zero value.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = percentile(sorted, 0.50)
+	s.P95 = percentile(sorted, 0.95)
+	s.P99 = percentile(sorted, 0.99)
+	return s
+}
+
+// percentile interpolates the p-quantile of a sorted sample.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Counter tallies named outcomes.
+type Counter struct {
+	counts map[string]int
+	total  int
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]int)}
+}
+
+// Add increments name by one.
+func (c *Counter) Add(name string) {
+	c.counts[name]++
+	c.total++
+}
+
+// Get returns name's count.
+func (c *Counter) Get(name string) int { return c.counts[name] }
+
+// Total returns the sum of all counts.
+func (c *Counter) Total() int { return c.total }
+
+// Fraction returns name's share of the total (0 when empty).
+func (c *Counter) Fraction(name string) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.counts[name]) / float64(c.total)
+}
+
+// Names returns the tallied names in sorted order.
+func (c *Counter) Names() []string {
+	names := make([]string, 0, len(c.counts))
+	for n := range c.counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table renders fixed-width ASCII tables.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	for i, h := range t.headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if w := len([]rune(c)); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.headers) > 0 {
+		writeRow(t.headers)
+		sep := make([]string, cols)
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		writeRow(sep)
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if n := w - len([]rune(s)); n > 0 {
+		return s + strings.Repeat(" ", n)
+	}
+	return s
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}

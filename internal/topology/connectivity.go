@@ -1,0 +1,182 @@
+package topology
+
+import (
+	"fmt"
+
+	"degradable/internal/types"
+)
+
+// VertexConnectivity returns κ(G): the minimum number of vertices whose
+// removal disconnects the graph (n−1 for complete graphs, 0 when already
+// disconnected). It is computed from Menger's theorem as the minimum, over
+// non-adjacent pairs (s, t), of the maximum number of internally-vertex-
+// disjoint s–t paths, via unit-capacity max-flow on the vertex-split
+// digraph.
+func (g *Graph) VertexConnectivity() int {
+	if g.n == 1 {
+		return 0
+	}
+	if !g.Connected() {
+		return 0
+	}
+	best := g.n - 1 // complete-graph ceiling
+	for s := 0; s < g.n; s++ {
+		for t := s + 1; t < g.n; t++ {
+			a, b := types.NodeID(s), types.NodeID(t)
+			if g.HasEdge(a, b) {
+				continue
+			}
+			f := newFlow(g, a, b)
+			k := 0
+			for k < best && f.augment() {
+				k++
+			}
+			if k < best {
+				best = k
+			}
+		}
+	}
+	return best
+}
+
+// DisjointPaths returns up to limit internally-vertex-disjoint paths from s
+// to t, each of the form [s, ..., t]. If {s,t} is an edge, the direct
+// two-node path can be among them. The number of returned paths is
+// min(limit, local vertex connectivity of the pair). Results are
+// deterministic for a given graph.
+func (g *Graph) DisjointPaths(s, t types.NodeID, limit int) ([][]types.NodeID, error) {
+	if !g.valid(s) || !g.valid(t) || s == t {
+		return nil, fmt.Errorf("topology: bad path endpoints %d, %d", int(s), int(t))
+	}
+	if limit < 1 {
+		return nil, fmt.Errorf("topology: limit must be positive, got %d", limit)
+	}
+	f := newFlow(g, s, t)
+	for i := 0; i < limit; i++ {
+		if !f.augment() {
+			break
+		}
+	}
+	return f.decompose(), nil
+}
+
+// flow is a unit-capacity max-flow instance on the vertex-split digraph:
+// every vertex v becomes v_in (2v) and v_out (2v+1) joined by a capacity-1
+// arc (capacity n for the endpoints); every undirected edge {u,v} becomes
+// arcs u_out→v_in and v_out→u_in of capacity 1.
+type flow struct {
+	g    *Graph
+	s, t types.NodeID
+	size int
+	cap  [][]int // original capacities
+	res  [][]int // residual capacities
+}
+
+func vin(v types.NodeID) int  { return 2 * int(v) }
+func vout(v types.NodeID) int { return 2*int(v) + 1 }
+
+func newFlow(g *Graph, s, t types.NodeID) *flow {
+	size := 2 * g.n
+	f := &flow{g: g, s: s, t: t, size: size}
+	f.cap = make([][]int, size)
+	f.res = make([][]int, size)
+	for i := range f.cap {
+		f.cap[i] = make([]int, size)
+		f.res[i] = make([]int, size)
+	}
+	set := func(x, y, c int) {
+		f.cap[x][y] = c
+		f.res[x][y] = c
+	}
+	for v := 0; v < g.n; v++ {
+		id := types.NodeID(v)
+		c := 1
+		if id == s || id == t {
+			c = g.n // effectively infinite
+		}
+		set(vin(id), vout(id), c)
+	}
+	for v := 0; v < g.n; v++ {
+		for _, w := range g.Neighbors(types.NodeID(v)) {
+			set(vout(types.NodeID(v)), vin(w), 1)
+		}
+	}
+	return f
+}
+
+// augment finds one augmenting path by BFS (lowest node index first, so
+// results are deterministic) and pushes one unit.
+func (f *flow) augment() bool {
+	src, dst := vout(f.s), vin(f.t)
+	prev := make([]int, f.size)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []int{src}
+	found := false
+	for len(queue) > 0 && !found {
+		x := queue[0]
+		queue = queue[1:]
+		for y := 0; y < f.size; y++ {
+			if f.res[x][y] <= 0 || prev[y] >= 0 {
+				continue
+			}
+			prev[y] = x
+			if y == dst {
+				found = true
+				break
+			}
+			queue = append(queue, y)
+		}
+	}
+	if !found {
+		return false
+	}
+	for y := dst; y != src; {
+		x := prev[y]
+		f.res[x][y]--
+		f.res[y][x]++
+		y = x
+	}
+	return true
+}
+
+// decompose extracts the pushed flow as vertex paths s..t, consuming the
+// flow as it goes.
+func (f *flow) decompose() [][]types.NodeID {
+	flowOn := func(x, y int) int {
+		if d := f.cap[x][y] - f.res[x][y]; d > 0 {
+			return d
+		}
+		return 0
+	}
+	var paths [][]types.NodeID
+	for {
+		cur := vout(f.s)
+		path := []types.NodeID{f.s}
+		progressed := false
+		for cur != vin(f.t) {
+			next := -1
+			for y := 0; y < f.size; y++ {
+				if flowOn(cur, y) > 0 {
+					next = y
+					break
+				}
+			}
+			if next < 0 {
+				break
+			}
+			f.res[cur][next]++ // consume one unit
+			progressed = true
+			cur = next
+			if cur%2 == 0 { // an in-node: record the vertex
+				path = append(path, types.NodeID(cur/2))
+			}
+		}
+		if !progressed || cur != vin(f.t) {
+			return paths
+		}
+		paths = append(paths, path)
+	}
+}

@@ -1,0 +1,232 @@
+// Package topology provides the undirected-graph substrate for the paper's
+// connectivity results (Theorem 3): graph construction, vertex connectivity
+// via Menger's theorem (unit-capacity max-flow on the vertex-split digraph),
+// and extraction of internally-vertex-disjoint paths used by the transport
+// layer to emulate reliable channels over incompletely connected networks.
+package topology
+
+import (
+	"fmt"
+
+	"degradable/internal/types"
+)
+
+// Graph is a simple undirected graph over nodes 0..n-1.
+type Graph struct {
+	n   int
+	adj []types.NodeSet
+}
+
+// NewGraph returns an empty graph on n nodes (n ≤ 64 to match NodeSet).
+func NewGraph(n int) (*Graph, error) {
+	if n < 1 || n > types.MaxNodeSetID+1 {
+		return nil, fmt.Errorf("topology: n=%d out of range [1,%d]", n, types.MaxNodeSetID+1)
+	}
+	return &Graph{n: n, adj: make([]types.NodeSet, n)}, nil
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {a, b}. Self-loops and out-of-range
+// nodes are rejected.
+func (g *Graph) AddEdge(a, b types.NodeID) error {
+	if a == b {
+		return fmt.Errorf("topology: self-loop at %d", int(a))
+	}
+	if !g.valid(a) || !g.valid(b) {
+		return fmt.Errorf("topology: edge {%d,%d} out of range", int(a), int(b))
+	}
+	g.adj[a] = g.adj[a].Add(b)
+	g.adj[b] = g.adj[b].Add(a)
+	return nil
+}
+
+// HasEdge reports whether {a, b} is an edge.
+func (g *Graph) HasEdge(a, b types.NodeID) bool {
+	return g.valid(a) && g.valid(b) && g.adj[a].Contains(b)
+}
+
+// Neighbors returns a's neighbours in ascending order.
+func (g *Graph) Neighbors(a types.NodeID) []types.NodeID {
+	if !g.valid(a) {
+		return nil
+	}
+	return g.adj[a].IDs()
+}
+
+// Degree returns the number of neighbours of a.
+func (g *Graph) Degree(a types.NodeID) int {
+	if !g.valid(a) {
+		return 0
+	}
+	return g.adj[a].Len()
+}
+
+// Edges returns the number of edges.
+func (g *Graph) Edges() int {
+	total := 0
+	for _, s := range g.adj {
+		total += s.Len()
+	}
+	return total / 2
+}
+
+func (g *Graph) valid(a types.NodeID) bool { return a >= 0 && int(a) < g.n }
+
+// Connected reports whether the graph is connected.
+func (g *Graph) Connected() bool {
+	if g.n == 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []types.NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v].IDs() {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Complete returns K_n.
+func Complete(n int) (*Graph, error) {
+	g, err := NewGraph(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := g.AddEdge(types.NodeID(i), types.NodeID(j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// Cycle returns C_n (n ≥ 3), which has vertex connectivity 2.
+func Cycle(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: cycle needs n >= 3, got %d", n)
+	}
+	g, err := NewGraph(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(types.NodeID(i), types.NodeID((i+1)%n)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Hypercube returns the dim-dimensional hypercube Q_dim on 2^dim nodes,
+// which has vertex connectivity dim.
+func Hypercube(dim int) (*Graph, error) {
+	if dim < 1 || dim > 6 {
+		return nil, fmt.Errorf("topology: hypercube dim %d out of range [1,6]", dim)
+	}
+	n := 1 << uint(dim)
+	g, err := NewGraph(n)
+	if err != nil {
+		return nil, err
+	}
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			w := v ^ (1 << uint(b))
+			if v < w {
+				if err := g.AddEdge(types.NodeID(v), types.NodeID(w)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Harary returns the Harary graph H_{k,n}: the k-connected graph on n nodes
+// with the minimum number of edges. Requires 2 ≤ k < n; when k is odd, n
+// must be even.
+func Harary(k, n int) (*Graph, error) {
+	if k < 2 || k >= n {
+		return nil, fmt.Errorf("topology: harary needs 2 <= k < n, got k=%d n=%d", k, n)
+	}
+	if k%2 == 1 && n%2 == 1 {
+		return nil, fmt.Errorf("topology: harary with odd k=%d needs even n, got %d", k, n)
+	}
+	g, err := NewGraph(n)
+	if err != nil {
+		return nil, err
+	}
+	half := k / 2
+	for i := 0; i < n; i++ {
+		for d := 1; d <= half; d++ {
+			if err := g.AddEdge(types.NodeID(i), types.NodeID((i+d)%n)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if k%2 == 1 {
+		for i := 0; i < n/2; i++ {
+			if err := g.AddEdge(types.NodeID(i), types.NodeID(i+n/2)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// Bridge returns the Theorem-3 proof topology: a clique G1 of size n1 and a
+// clique G2 of size n2 joined only through a fully connected cut set F of
+// size cut. Nodes are laid out [G1 | F | G2]; its vertex connectivity is
+// exactly cut (for n1, n2 ≥ 1).
+func Bridge(n1, cut, n2 int) (*Graph, error) {
+	if n1 < 1 || n2 < 1 || cut < 1 {
+		return nil, fmt.Errorf("topology: bridge needs positive sizes, got %d/%d/%d", n1, cut, n2)
+	}
+	n := n1 + cut + n2
+	g, err := NewGraph(n)
+	if err != nil {
+		return nil, err
+	}
+	// G1 ∪ F is a clique; F ∪ G2 is a clique.
+	for i := 0; i < n1+cut; i++ {
+		for j := i + 1; j < n1+cut; j++ {
+			if err := g.AddEdge(types.NodeID(i), types.NodeID(j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := n1; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := g.AddEdge(types.NodeID(i), types.NodeID(j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// BridgeParts returns the three node groups of a Bridge(n1, cut, n2) layout.
+func BridgeParts(n1, cut, n2 int) (g1, f, g2 []types.NodeID) {
+	for i := 0; i < n1; i++ {
+		g1 = append(g1, types.NodeID(i))
+	}
+	for i := n1; i < n1+cut; i++ {
+		f = append(f, types.NodeID(i))
+	}
+	for i := n1 + cut; i < n1+cut+n2; i++ {
+		g2 = append(g2, types.NodeID(i))
+	}
+	return g1, f, g2
+}

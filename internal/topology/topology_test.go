@@ -1,0 +1,300 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"degradable/internal/types"
+)
+
+func must(g *Graph, err error) *Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := NewGraph(0); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := NewGraph(65); err == nil {
+		t.Error("n=65 should error")
+	}
+	if _, err := NewGraph(64); err != nil {
+		t.Errorf("n=64 should be fine: %v", err)
+	}
+}
+
+func TestAddEdge(t *testing.T) {
+	g := must(NewGraph(4))
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge not symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge")
+	}
+	if err := g.AddEdge(2, 2); err == nil {
+		t.Error("self-loop should error")
+	}
+	if err := g.AddEdge(0, 9); err == nil {
+		t.Error("out-of-range should error")
+	}
+	if g.Edges() != 1 {
+		t.Errorf("Edges = %d", g.Edges())
+	}
+	if g.Degree(0) != 1 || g.Degree(3) != 0 {
+		t.Error("degrees wrong")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := must(Complete(5))
+	if g.Edges() != 10 {
+		t.Errorf("K5 edges = %d", g.Edges())
+	}
+	if got := g.VertexConnectivity(); got != 4 {
+		t.Errorf("κ(K5) = %d, want 4", got)
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := must(Cycle(6))
+	if g.Edges() != 6 {
+		t.Errorf("C6 edges = %d", g.Edges())
+	}
+	if got := g.VertexConnectivity(); got != 2 {
+		t.Errorf("κ(C6) = %d, want 2", got)
+	}
+	if _, err := Cycle(2); err == nil {
+		t.Error("C2 should error")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	for dim := 1; dim <= 4; dim++ {
+		g := must(Hypercube(dim))
+		if g.N() != 1<<uint(dim) {
+			t.Errorf("Q%d has %d nodes", dim, g.N())
+		}
+		if got := g.VertexConnectivity(); got != dim {
+			t.Errorf("κ(Q%d) = %d, want %d", dim, got, dim)
+		}
+	}
+	if _, err := Hypercube(0); err == nil {
+		t.Error("Q0 should error")
+	}
+	if _, err := Hypercube(7); err == nil {
+		t.Error("dim beyond NodeSet range should error")
+	}
+}
+
+func TestHarary(t *testing.T) {
+	tests := []struct{ k, n int }{
+		{2, 5}, {3, 8}, {4, 9}, {4, 10}, {5, 12},
+	}
+	for _, tt := range tests {
+		g := must(Harary(tt.k, tt.n))
+		if got := g.VertexConnectivity(); got != tt.k {
+			t.Errorf("κ(H_{%d,%d}) = %d, want %d", tt.k, tt.n, got, tt.k)
+		}
+	}
+	if _, err := Harary(3, 7); err == nil {
+		t.Error("odd k with odd n should error")
+	}
+	if _, err := Harary(1, 5); err == nil {
+		t.Error("k<2 should error")
+	}
+	if _, err := Harary(5, 5); err == nil {
+		t.Error("k>=n should error")
+	}
+}
+
+func TestBridge(t *testing.T) {
+	// Theorem-3 topology: cut of size 3 joining cliques of 4 and 4.
+	g := must(Bridge(4, 3, 4))
+	if g.N() != 11 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if got := g.VertexConnectivity(); got != 3 {
+		t.Errorf("κ(bridge) = %d, want 3", got)
+	}
+	g1, f, g2 := BridgeParts(4, 3, 4)
+	if len(g1) != 4 || len(f) != 3 || len(g2) != 4 {
+		t.Fatalf("parts = %v %v %v", g1, f, g2)
+	}
+	// No direct G1–G2 edges.
+	for _, a := range g1 {
+		for _, b := range g2 {
+			if g.HasEdge(a, b) {
+				t.Errorf("unexpected direct edge %d–%d", int(a), int(b))
+			}
+		}
+	}
+	if _, err := Bridge(0, 1, 1); err == nil {
+		t.Error("empty side should error")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := must(NewGraph(3))
+	if g.Connected() {
+		t.Error("edgeless graph is not connected")
+	}
+	_ = g.AddEdge(0, 1)
+	if g.Connected() {
+		t.Error("still disconnected")
+	}
+	_ = g.AddEdge(1, 2)
+	if !g.Connected() {
+		t.Error("path graph is connected")
+	}
+	single := must(NewGraph(1))
+	if !single.Connected() {
+		t.Error("K1 is connected")
+	}
+	if single.VertexConnectivity() != 0 {
+		t.Error("κ(K1) = 0")
+	}
+}
+
+func TestDisconnectedConnectivity(t *testing.T) {
+	g := must(NewGraph(4))
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(2, 3)
+	if got := g.VertexConnectivity(); got != 0 {
+		t.Errorf("κ(disconnected) = %d, want 0", got)
+	}
+}
+
+func TestDisjointPathsComplete(t *testing.T) {
+	g := must(Complete(5))
+	paths, err := g.DisjointPaths(0, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("K5 disjoint paths = %d, want 4", len(paths))
+	}
+	validateDisjoint(t, g, paths, 0, 4)
+}
+
+func TestDisjointPathsCycle(t *testing.T) {
+	g := must(Cycle(6))
+	paths, err := g.DisjointPaths(0, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("C6 disjoint paths = %d, want 2", len(paths))
+	}
+	validateDisjoint(t, g, paths, 0, 3)
+}
+
+func TestDisjointPathsLimit(t *testing.T) {
+	g := must(Complete(6))
+	paths, err := g.DisjointPaths(0, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("limited paths = %d, want 2", len(paths))
+	}
+}
+
+func TestDisjointPathsValidation(t *testing.T) {
+	g := must(Complete(4))
+	if _, err := g.DisjointPaths(0, 0, 1); err == nil {
+		t.Error("s == t should error")
+	}
+	if _, err := g.DisjointPaths(0, 9, 1); err == nil {
+		t.Error("out of range should error")
+	}
+	if _, err := g.DisjointPaths(0, 1, 0); err == nil {
+		t.Error("limit 0 should error")
+	}
+}
+
+func TestDisjointPathsBridge(t *testing.T) {
+	// Every G1→G2 path must pass through the cut, so path count = cut size.
+	g := must(Bridge(3, 2, 3))
+	g1, f, g2 := BridgeParts(3, 2, 3)
+	paths, err := g.DisjointPaths(g1[0], g2[0], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths through cut = %d, want 2", len(paths))
+	}
+	validateDisjoint(t, g, paths, g1[0], g2[0])
+	for _, p := range paths {
+		throughCut := false
+		for _, v := range p[1 : len(p)-1] {
+			for _, c := range f {
+				if v == c {
+					throughCut = true
+				}
+			}
+		}
+		if !throughCut {
+			t.Errorf("path %v bypasses the cut", p)
+		}
+	}
+}
+
+// validateDisjoint checks each path is a real path from s to t and that the
+// paths share no internal vertices.
+func validateDisjoint(t *testing.T, g *Graph, paths [][]types.NodeID, s, o types.NodeID) {
+	t.Helper()
+	used := make(map[types.NodeID]bool)
+	for _, p := range paths {
+		if len(p) < 2 || p[0] != s || p[len(p)-1] != o {
+			t.Fatalf("bad endpoints in %v", p)
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if !g.HasEdge(p[i], p[i+1]) {
+				t.Fatalf("non-edge %d–%d in %v", int(p[i]), int(p[i+1]), p)
+			}
+		}
+		for _, v := range p[1 : len(p)-1] {
+			if used[v] {
+				t.Fatalf("vertex %d reused across paths", int(v))
+			}
+			used[v] = true
+		}
+	}
+}
+
+// Property: for Harary graphs, DisjointPaths between any pair finds at least
+// κ = k paths (Menger), and VertexConnectivity equals k.
+func TestMengerQuick(t *testing.T) {
+	f := func(kRaw, nRaw uint8) bool {
+		k := int(kRaw%3)*2 + 2 // 2, 4, 6
+		n := k + 2 + int(nRaw%6)
+		g, err := Harary(k, n)
+		if err != nil {
+			return true // skip infeasible
+		}
+		paths, err := g.DisjointPaths(0, types.NodeID(n/2), n)
+		if err != nil {
+			return false
+		}
+		return len(paths) >= k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighborsOutOfRange(t *testing.T) {
+	g := must(Complete(3))
+	if g.Neighbors(-1) != nil || g.Neighbors(5) != nil {
+		t.Error("out-of-range Neighbors should be nil")
+	}
+	if g.Degree(9) != 0 {
+		t.Error("out-of-range Degree should be 0")
+	}
+}

@@ -1,0 +1,121 @@
+package types
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// NodeSet is a compact set of node IDs, limited to IDs 0..63. Systems in this
+// module are small (the protocols are exponential in m), so a 64-bit mask is
+// ample and makes exhaustive enumeration of fault sets cheap.
+type NodeSet uint64
+
+// MaxNodeSetID is the largest NodeID representable in a NodeSet.
+const MaxNodeSetID = 63
+
+// NewNodeSet builds a set from the given IDs.
+func NewNodeSet(ids ...NodeID) NodeSet {
+	var s NodeSet
+	for _, id := range ids {
+		s = s.Add(id)
+	}
+	return s
+}
+
+// Add returns the set with id inserted.
+func (s NodeSet) Add(id NodeID) NodeSet {
+	if id < 0 || id > MaxNodeSetID {
+		panic(fmt.Sprintf("types: NodeID %d out of NodeSet range", int(id)))
+	}
+	return s | 1<<uint(id)
+}
+
+// Remove returns the set with id removed.
+func (s NodeSet) Remove(id NodeID) NodeSet {
+	if id < 0 || id > MaxNodeSetID {
+		return s
+	}
+	return s &^ (1 << uint(id))
+}
+
+// Contains reports whether id is in the set.
+func (s NodeSet) Contains(id NodeID) bool {
+	if id < 0 || id > MaxNodeSetID {
+		return false
+	}
+	return s&(1<<uint(id)) != 0
+}
+
+// Len returns the number of members.
+func (s NodeSet) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Empty reports whether the set has no members.
+func (s NodeSet) Empty() bool { return s == 0 }
+
+// Union returns s ∪ t.
+func (s NodeSet) Union(t NodeSet) NodeSet { return s | t }
+
+// Intersect returns s ∩ t.
+func (s NodeSet) Intersect(t NodeSet) NodeSet { return s & t }
+
+// Minus returns s \ t.
+func (s NodeSet) Minus(t NodeSet) NodeSet { return s &^ t }
+
+// IDs returns the members in ascending order.
+func (s NodeSet) IDs() []NodeID {
+	ids := make([]NodeID, 0, s.Len())
+	for v := uint64(s); v != 0; {
+		b := bits.TrailingZeros64(v)
+		ids = append(ids, NodeID(b))
+		v &^= 1 << uint(b)
+	}
+	return ids
+}
+
+// String renders the set as "{1,3,5}".
+func (s NodeSet) String() string {
+	ids := s.IDs()
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d", int(id))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Subsets calls fn for every subset of size k drawn from the IDs in universe.
+// Enumeration is in deterministic (lexicographic) order. If fn returns false,
+// enumeration stops early.
+func Subsets(universe []NodeID, k int, fn func(NodeSet) bool) {
+	if k < 0 || k > len(universe) {
+		return
+	}
+	u := append([]NodeID(nil), universe...)
+	sort.Slice(u, func(i, j int) bool { return u[i] < u[j] })
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		var s NodeSet
+		for _, i := range idx {
+			s = s.Add(u[i])
+		}
+		if !fn(s) {
+			return
+		}
+		// Advance combination indices.
+		i := k - 1
+		for i >= 0 && idx[i] == len(u)-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		want string
+	}{
+		{"default", Default, "V_d"},
+		{"zero", 0, "0"},
+		{"positive", 42, "42"},
+		{"negative", -7, "-7"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.String(); got != tt.want {
+				t.Errorf("Value(%d).String() = %q, want %q", int64(tt.v), got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIsDefault(t *testing.T) {
+	if !Default.IsDefault() {
+		t.Error("Default.IsDefault() = false")
+	}
+	if Value(0).IsDefault() {
+		t.Error("Value(0).IsDefault() = true")
+	}
+	if Value(-1).IsDefault() {
+		t.Error("Value(-1).IsDefault() = true")
+	}
+}
+
+func TestPathContains(t *testing.T) {
+	p := Path{0, 2, 5}
+	for _, id := range []NodeID{0, 2, 5} {
+		if !p.Contains(id) {
+			t.Errorf("Path %v should contain %d", p, id)
+		}
+	}
+	for _, id := range []NodeID{1, 3, 4, 6} {
+		if p.Contains(id) {
+			t.Errorf("Path %v should not contain %d", p, id)
+		}
+	}
+	if (Path{}).Contains(0) {
+		t.Error("empty path should contain nothing")
+	}
+}
+
+func TestPathAppendDoesNotAlias(t *testing.T) {
+	p := make(Path, 1, 4) // spare capacity to catch aliasing
+	p[0] = 0
+	q := p.Append(1)
+	r := p.Append(2)
+	if q.Key() != "0.1" || r.Key() != "0.2" {
+		t.Fatalf("Append aliasing: q=%s r=%s", q, r)
+	}
+	if len(p) != 1 {
+		t.Fatalf("Append mutated receiver: %v", p)
+	}
+}
+
+func TestPathLast(t *testing.T) {
+	if got := (Path{3, 1, 4}).Last(); got != 4 {
+		t.Errorf("Last = %d, want 4", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Last on empty path should panic")
+		}
+	}()
+	_ = Path{}.Last()
+}
+
+func TestPathValid(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Path
+		n    int
+		want bool
+	}{
+		{"empty", Path{}, 4, true},
+		{"simple", Path{0, 1, 2}, 4, true},
+		{"repeat", Path{0, 1, 0}, 4, false},
+		{"out of range high", Path{0, 4}, 4, false},
+		{"out of range negative", Path{-1}, 4, false},
+		{"boundary", Path{3}, 4, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Valid(tt.n); got != tt.want {
+				t.Errorf("Path(%v).Valid(%d) = %v, want %v", tt.p, tt.n, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPathKeyInjective(t *testing.T) {
+	// Distinct paths must have distinct keys; e.g. [1,12] vs [11,2].
+	a := Path{1, 12}
+	b := Path{11, 2}
+	if a.Key() == b.Key() {
+		t.Errorf("key collision: %v and %v both map to %q", a, b, a.Key())
+	}
+}
+
+func TestPathString(t *testing.T) {
+	if got := (Path{0, 1}).String(); got != "0→1" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Path{}).String(); got != "ε" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestSortMessagesDeterministic(t *testing.T) {
+	ms := []Message{
+		{From: 2, To: 1, Path: Path{0, 2}},
+		{From: 1, To: 3, Path: Path{0, 1}},
+		{From: 1, To: 2, Path: Path{0, 1}},
+		{From: 1, To: 2, Path: Path{0}},
+	}
+	SortMessages(ms)
+	if ms[0].From != 1 || ms[0].Path.Key() != "0" {
+		t.Errorf("unexpected first message: %v", ms[0])
+	}
+	if ms[len(ms)-1].From != 2 {
+		t.Errorf("unexpected last message: %v", ms[len(ms)-1])
+	}
+	// Same From and Path sorted by To.
+	if ms[1].To > ms[2].To {
+		t.Errorf("messages not sorted by To: %v before %v", ms[1], ms[2])
+	}
+}
+
+func TestNodeSetBasics(t *testing.T) {
+	s := NewNodeSet(1, 3, 5)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for _, id := range []NodeID{1, 3, 5} {
+		if !s.Contains(id) {
+			t.Errorf("missing %d", id)
+		}
+	}
+	if s.Contains(0) || s.Contains(2) || s.Contains(63) {
+		t.Error("contains unexpected members")
+	}
+	if s.Contains(-1) || s.Contains(64) {
+		t.Error("out-of-range Contains should be false")
+	}
+	s = s.Remove(3)
+	if s.Contains(3) || s.Len() != 2 {
+		t.Errorf("Remove failed: %v", s)
+	}
+	if got := s.String(); got != "{1,5}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNodeSetOps(t *testing.T) {
+	a := NewNodeSet(0, 1, 2)
+	b := NewNodeSet(2, 3)
+	if got := a.Union(b); got.Len() != 4 {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Contains(2) || got.Len() != 1 {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); got.Contains(2) || got.Len() != 2 {
+		t.Errorf("Minus = %v", got)
+	}
+	if !NodeSet(0).Empty() || a.Empty() {
+		t.Error("Empty misbehaves")
+	}
+}
+
+func TestNodeSetIDsSorted(t *testing.T) {
+	s := NewNodeSet(9, 1, 40, 0)
+	ids := s.IDs()
+	want := []NodeID{0, 1, 9, 40}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestNodeSetAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(64) should panic")
+		}
+	}()
+	NodeSet(0).Add(64)
+}
+
+func TestSubsetsCounts(t *testing.T) {
+	universe := []NodeID{0, 1, 2, 3, 4}
+	// C(5,2) = 10
+	var count int
+	seen := make(map[NodeSet]bool)
+	Subsets(universe, 2, func(s NodeSet) bool {
+		count++
+		if s.Len() != 2 {
+			t.Errorf("subset %v has size %d", s, s.Len())
+		}
+		if seen[s] {
+			t.Errorf("duplicate subset %v", s)
+		}
+		seen[s] = true
+		return true
+	})
+	if count != 10 {
+		t.Errorf("enumerated %d subsets, want 10", count)
+	}
+}
+
+func TestSubsetsEdgeCases(t *testing.T) {
+	var count int
+	Subsets([]NodeID{0, 1}, 0, func(s NodeSet) bool {
+		count++
+		if !s.Empty() {
+			t.Errorf("size-0 subset %v not empty", s)
+		}
+		return true
+	})
+	if count != 1 {
+		t.Errorf("size-0 enumeration count = %d, want 1", count)
+	}
+	Subsets([]NodeID{0, 1}, 3, func(NodeSet) bool {
+		t.Error("k > len(universe) should enumerate nothing")
+		return true
+	})
+	Subsets([]NodeID{0, 1}, -1, func(NodeSet) bool {
+		t.Error("negative k should enumerate nothing")
+		return true
+	})
+}
+
+func TestSubsetsEarlyStop(t *testing.T) {
+	var count int
+	Subsets([]NodeID{0, 1, 2, 3}, 2, func(NodeSet) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop after %d calls, want 3", count)
+	}
+}
+
+func TestNodeSetRoundTripQuick(t *testing.T) {
+	f := func(raw uint64) bool {
+		s := NodeSet(raw)
+		rebuilt := NewNodeSet(s.IDs()...)
+		return rebuilt == s && rebuilt.Len() == s.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsetsLexOrder(t *testing.T) {
+	// Unsorted universe must still enumerate deterministically.
+	var first NodeSet
+	Subsets([]NodeID{3, 0, 2}, 2, func(s NodeSet) bool {
+		first = s
+		return false
+	})
+	if want := NewNodeSet(0, 2); first != want {
+		t.Errorf("first subset = %v, want %v", first, want)
+	}
+}

@@ -1,0 +1,79 @@
+package vote
+
+import (
+	"testing"
+
+	"degradable/internal/types"
+)
+
+// FuzzVote checks the VOTE soundness invariants over arbitrary inputs: the
+// winner (when not V_d) occurs at least threshold times and is the unique
+// value doing so.
+func FuzzVote(f *testing.F) {
+	f.Add([]byte{1, 2, 2, 3}, uint8(2))
+	f.Add([]byte{1, 2, 0, 3}, uint8(2))
+	f.Add([]byte{1, 2, 2, 1}, uint8(2))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7}, uint8(8))
+	f.Fuzz(func(t *testing.T, raw []byte, thRaw uint8) {
+		vals := make([]types.Value, len(raw))
+		for i, b := range raw {
+			v := types.Value(b % 5)
+			if b%7 == 0 {
+				v = types.Default
+			}
+			vals[i] = v
+		}
+		th := int(thRaw%10) + 1
+		got := Vote(th, vals)
+		if got == types.Default {
+			// Permissible always; but if a unique winner existed we must
+			// not have missed it.
+			var winners int
+			for v, c := range tallyForTest(vals) {
+				if c >= th && v != types.Default {
+					winners++
+				}
+			}
+			defCount := Count(types.Default, vals)
+			if winners == 1 && defCount < th {
+				t.Errorf("Vote(%d, %v) = V_d but a unique winner exists", th, vals)
+			}
+			return
+		}
+		if Count(got, vals) < th {
+			t.Errorf("Vote(%d, %v) = %v with insufficient support", th, vals, got)
+		}
+		for v, c := range tallyForTest(vals) {
+			if v != got && c >= th {
+				t.Errorf("Vote(%d, %v) = %v but %v also reaches threshold", th, vals, got, v)
+			}
+		}
+	})
+}
+
+func tallyForTest(vals []types.Value) map[types.Value]int {
+	m := make(map[types.Value]int)
+	for _, v := range vals {
+		m[v]++
+	}
+	return m
+}
+
+// FuzzMajority checks that Majority never elects a value without strict
+// majority support.
+func FuzzMajority(f *testing.F) {
+	f.Add([]byte{1, 1, 2})
+	f.Add([]byte{})
+	f.Add([]byte{3, 3, 3, 3})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		vals := make([]types.Value, len(raw))
+		for i, b := range raw {
+			vals[i] = types.Value(b % 4)
+		}
+		got := Majority(vals)
+		if got != types.Default && 2*Count(got, vals) <= len(vals) {
+			t.Errorf("Majority(%v) = %v without strict majority", vals, got)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+// Package vote implements the voting primitives of the paper.
+//
+// Section 4 defines VOTE(α, β) over β values w_1..w_β: the result is v if at
+// least α of the values equal v, and the default value V_d otherwise. Ties —
+// two distinct values both reaching the threshold — also yield V_d. Section 3
+// additionally uses a k-out-of-n vote at the external entity (condition C.1)
+// and classic majority voting for the OM baseline.
+package vote
+
+import (
+	"fmt"
+
+	"degradable/internal/types"
+)
+
+// Vote computes VOTE(threshold, len(vals)) as defined in §4 of the paper:
+// it returns v when v is the unique value occurring at least threshold times
+// among vals; on insufficient support, or when two or more distinct values
+// reach the threshold (a tie), it returns types.Default.
+//
+// The default value itself may win the vote, in which case the result is
+// simply types.Default.
+func Vote(threshold int, vals []types.Value) types.Value {
+	if threshold <= 0 {
+		// VOTE(α, β) with α ≤ 0 is degenerate: every value trivially
+		// reaches the threshold, which is a tie unless all values are
+		// identical.
+		threshold = 1
+	}
+	counts := tally(vals)
+	winner := types.Default
+	found := false
+	for v, c := range counts {
+		if c < threshold {
+			continue
+		}
+		if found {
+			return types.Default // tie
+		}
+		winner, found = v, true
+	}
+	if !found {
+		return types.Default
+	}
+	return winner
+}
+
+// Majority returns the strict-majority value of vals (> len/2 occurrences),
+// or types.Default when none exists. This is the "majority value among the
+// values v_1...v_{n-1} if it exists, otherwise RETREAT" rule of Lamport's
+// OM(m) algorithm.
+func Majority(vals []types.Value) types.Value {
+	if len(vals) == 0 {
+		return types.Default
+	}
+	counts := tally(vals)
+	for v, c := range counts {
+		if 2*c > len(vals) {
+			return v
+		}
+	}
+	return types.Default
+}
+
+// KOfN implements the external entity's (k)-out-of-(n) vote (condition C.1
+// instantiates it as (m+u)-out-of-(2m+u)): the result is v if at least k of
+// the n values equal v, and V_d otherwise. A tie (possible only when k ≤ n/2)
+// yields V_d, consistent with Vote.
+func KOfN(k int, vals []types.Value) (types.Value, error) {
+	if k < 1 || k > len(vals) {
+		return types.Default, fmt.Errorf("vote: k=%d out of range for %d values", k, len(vals))
+	}
+	return Vote(k, vals), nil
+}
+
+// Unanimous returns v if every value equals v, else types.Default. It is
+// VOTE(β, β), the resolution rule of the m = 0 degradable algorithm.
+func Unanimous(vals []types.Value) types.Value {
+	return Vote(len(vals), vals)
+}
+
+// Count returns the number of occurrences of v in vals.
+func Count(v types.Value, vals []types.Value) int {
+	var c int
+	for _, w := range vals {
+		if w == v {
+			c++
+		}
+	}
+	return c
+}
+
+// Distinct returns the number of distinct values in vals.
+func Distinct(vals []types.Value) int {
+	return len(tally(vals))
+}
+
+func tally(vals []types.Value) map[types.Value]int {
+	counts := make(map[types.Value]int, len(vals))
+	for _, v := range vals {
+		counts[v]++
+	}
+	return counts
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"degradable/internal/core"
+)
+
+func baseConfig() Config {
+	return Config{
+		Params:  core.Params{N: 5, M: 1, U: 2},
+		Steps:   200,
+		Seed:    7,
+		Process: FaultProcess{FailRate: 0.05, RepairRate: 0.5},
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Params.N = 3
+	if _, err := Run(cfg); err == nil {
+		t.Error("invalid params should error")
+	}
+	cfg = baseConfig()
+	cfg.Steps = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero steps should error")
+	}
+	cfg = baseConfig()
+	cfg.Process.FailRate = 1.5
+	if _, err := Run(cfg); err == nil {
+		t.Error("bad rate should error")
+	}
+}
+
+func TestMissionInvariants(t *testing.T) {
+	rep, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Errorf("condition violations within bounds: %d", rep.Violations)
+	}
+	if rep.GracefulFailures != 0 {
+		t.Errorf("graceful-degradation failures within bounds: %d", rep.GracefulFailures)
+	}
+	if rep.Classic+rep.Degraded+rep.BeyondU != rep.Steps {
+		t.Errorf("regime counts don't sum: %+v", rep)
+	}
+	if rep.Messages == 0 {
+		t.Error("no traffic counted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different reports:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestFaultFreeProcess(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Process = FaultProcess{}
+	cfg.Steps = 20
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Classic != 20 || rep.Degraded != 0 || rep.BeyondU != 0 {
+		t.Errorf("fault-free mission regimes: %+v", rep)
+	}
+	if rep.FullAgreement != 20 {
+		t.Errorf("FullAgreement = %d, want 20", rep.FullAgreement)
+	}
+	if rep.PeakFaulty != 0 {
+		t.Errorf("PeakFaulty = %d", rep.PeakFaulty)
+	}
+}
+
+func TestHighChurnReachesDegradedAndBeyond(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Process = FaultProcess{FailRate: 0.4, RepairRate: 0.3}
+	cfg.Steps = 300
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded == 0 {
+		t.Error("high churn never reached the degraded regime")
+	}
+	if rep.BeyondU == 0 {
+		t.Error("high churn never exceeded u (statistically implausible)")
+	}
+	if rep.Violations != 0 || rep.GracefulFailures != 0 {
+		t.Errorf("violations within bounds under churn: %+v", rep)
+	}
+	if rep.MaxConsecutiveDegraded == 0 {
+		t.Error("expected at least one degraded streak")
+	}
+}
+
+func TestBiggerInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long mission skipped in -short mode")
+	}
+	cfg := Config{
+		Params:  core.Params{N: 7, M: 2, U: 2},
+		Steps:   100,
+		Seed:    3,
+		Process: FaultProcess{FailRate: 0.1, RepairRate: 0.4},
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Errorf("violations: %d", rep.Violations)
+	}
+}

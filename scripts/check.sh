@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repository health check: format, vet, full tests (including exhaustive
+# enumerations and the race detector), and a quick benchmark smoke pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+fmtout=$(gofmt -l .)
+if [ -n "$fmtout" ]; then
+	echo "unformatted files:" "$fmtout"
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (short) =="
+go test -race -short ./...
+
+echo "== benchmark smoke =="
+go test -run XXX -bench . -benchtime 1x . >/dev/null
+
+echo "all checks passed"
