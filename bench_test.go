@@ -67,6 +67,22 @@ func BenchmarkWitnessClocks(b *testing.B) { benchExperiment(b, harness.WitnessCl
 // BenchmarkAblations regenerates the voting-rule ablation table (E11).
 func BenchmarkAblations(b *testing.B) { benchExperiment(b, harness.AblationTable) }
 
+// BenchmarkChaosCampaign measures a 200-scenario seeded fault-injection
+// sweep across the default grid (a scaled-down E16) and fails if any
+// scenario violates the spec.
+func BenchmarkChaosCampaign(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := degradable.Chaos(degradable.Config{}, degradable.ChaosCampaign{Seed: 42, Runs: 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Healthy() {
+			b.Fatalf("campaign unhealthy: %d violated, %d failures", rep.Violated, len(rep.Failures))
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Protocol micro-benchmarks: cost of a single agreement instance across the
 // (N, m, u) grid, for the paper's protocol and both baselines.

@@ -1,0 +1,56 @@
+package degradable
+
+import (
+	"encoding/json"
+
+	"degradable/internal/chaos"
+)
+
+// Chaos-engine vocabulary, re-exported so external callers can drive seeded
+// fault-injection campaigns through the facade (the internal import path is
+// not available to them).
+type (
+	// ChaosCampaign sweeps a seeded grid of fault-injection scenarios; see
+	// internal/chaos for the expectation model.
+	ChaosCampaign = chaos.Campaign
+	// ChaosReport is a campaign's outcome classification.
+	ChaosReport = chaos.Report
+	// ChaosScenario is one runnable injection scenario.
+	ChaosScenario = chaos.Scenario
+	// ChaosOutcome is one scenario's judged result.
+	ChaosOutcome = chaos.Outcome
+	// ChaosFault arms one node inside a ChaosScenario.
+	ChaosFault = chaos.FaultSpec
+	// ChaosInjector is one channel-level fault-injection layer.
+	ChaosInjector = chaos.Injector
+)
+
+// Chaos runs a seeded fault-injection campaign. cfg seeds the sweep grid:
+// when the campaign does not name its own grid, the campaign hammers cfg's
+// (N, M, U) point alone. Campaign defaults (runs, probabilities, injector
+// depth) apply as documented on ChaosCampaign.
+func Chaos(cfg Config, c ChaosCampaign) (*ChaosReport, error) {
+	if len(c.Grid) == 0 && cfg.N > 0 {
+		c.Grid = []chaos.GridPoint{{N: cfg.N, M: cfg.M, U: cfg.U}}
+	}
+	return c.Run()
+}
+
+// ChaosReplay re-runs one scenario — typically a shrunk counterexample — and
+// returns its judged outcome. Equal scenarios (same seed included) replay
+// byte-identically.
+func ChaosReplay(sc ChaosScenario) (*ChaosOutcome, error) { return sc.Run() }
+
+// ChaosShrink delta-debugs a scenario that misses its expected verdict down
+// to a locally minimal counterexample that still misses it, returning the
+// minimal outcome and the number of accepted reduction steps. A scenario
+// that meets its expectation shrinks to itself in zero steps.
+func ChaosShrink(sc ChaosScenario) (*ChaosOutcome, int, error) { return chaos.Shrink(sc) }
+
+// ChaosScenarioFromJSON decodes a scenario from the canonical JSON form the
+// chaos CLI and the shrinker's reproductions emit.
+func ChaosScenarioFromJSON(data []byte) (ChaosScenario, error) {
+	var sc ChaosScenario
+	err := json.Unmarshal(data, &sc)
+	return sc, err
+}

@@ -1,0 +1,79 @@
+package degradable_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	degradable "degradable"
+)
+
+// TestBaselinesRejectDoubleArming pins the fix for a silent-overwrite bug:
+// AgreeOM and AgreeCrusader used to let a second Fault for the same node
+// clobber the first, so a test could believe it armed two behaviours while
+// only one ran. They now reject like Agree does.
+func TestBaselinesRejectDoubleArming(t *testing.T) {
+	faults := []degradable.Fault{
+		{Node: 2, Kind: degradable.FaultSilent},
+		{Node: 2, Kind: degradable.FaultLie, Value: 99},
+	}
+	if _, err := degradable.AgreeOM(4, 1, 42, faults...); err == nil ||
+		!strings.Contains(err.Error(), "armed twice") {
+		t.Errorf("AgreeOM double arming: err = %v, want 'armed twice'", err)
+	}
+	if _, err := degradable.AgreeCrusader(4, 1, 42, faults...); err == nil ||
+		!strings.Contains(err.Error(), "armed twice") {
+		t.Errorf("AgreeCrusader double arming: err = %v, want 'armed twice'", err)
+	}
+	if _, err := degradable.Agree(degradable.Config{N: 5, M: 1, U: 2}, 42, faults...); err == nil ||
+		!strings.Contains(err.Error(), "armed twice") {
+		t.Errorf("Agree double arming: err = %v, want 'armed twice'", err)
+	}
+}
+
+func TestChaosFacadeCampaign(t *testing.T) {
+	rep, err := degradable.Chaos(degradable.Config{N: 5, M: 1, U: 2},
+		degradable.ChaosCampaign{Seed: 11, Runs: 100, Shrink: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() {
+		t.Errorf("facade campaign unhealthy: %d violated, %d failures",
+			rep.Violated, len(rep.Failures))
+	}
+	if len(rep.Grid) != 1 || rep.Grid[0].N != 5 {
+		t.Errorf("cfg did not seed the grid: %+v", rep.Grid)
+	}
+}
+
+// TestChaosReplayRoundTrip drives the reproduction path end to end: a
+// scenario serialized the way the shrinker renders it decodes and replays to
+// the same judged outcome.
+func TestChaosReplayRoundTrip(t *testing.T) {
+	sc := degradable.ChaosScenario{
+		N: 5, M: 1, U: 2, Seed: 17,
+		Faults:    []degradable.ChaosFault{{Node: 3, Kind: 3, Value: 2002}},
+		Injectors: []degradable.ChaosInjector{{Kind: 1, P: 0.2}},
+	}
+	enc, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := degradable.ChaosScenarioFromJSON(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := degradable.ChaosReplay(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := degradable.ChaosReplay(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Errorf("round-tripped scenario replayed differently:\n%s\n%s", ja, jb)
+	}
+}

@@ -1,0 +1,191 @@
+// Command chaos runs seeded fault-injection campaigns against the
+// m/u-degradable agreement protocol and classifies every scenario outcome
+// (SpecHeld, GracefulOnly, Violated, Infeasible). Campaigns are fully
+// deterministic: equal seeds and settings produce byte-identical reports.
+//
+// Usage:
+//
+//	chaos -seed 42 -runs 1000                # sweep the default grid
+//	chaos -seed 42 -grid 5:1:2,7:2:2 -json   # pinned grid, JSON report
+//	chaos -replay '<scenario json>'          # re-run one counterexample
+//
+// Grid syntax: comma-separated n:m:u triples. With -shrink, every scenario
+// that misses its expected verdict is delta-debugged to a locally minimal
+// counterexample and rendered as a copy-pasteable reproduction. -replay
+// exits non-zero when the scenario misses its expectation, so shrunk
+// counterexamples keep failing when replayed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	degradable "degradable"
+	"degradable/internal/chaos"
+	"degradable/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	var (
+		seed       = fs.Int64("seed", 1, "campaign seed (drives every scenario and coin flip)")
+		runs       = fs.Int("runs", 1000, "number of scenarios to generate")
+		grid       = fs.String("grid", "", "grid points as n:m:u, comma separated (default: built-in grid)")
+		maxInj     = fs.Int("max-injectors", 3, "maximum injector layers per scenario")
+		infeasible = fs.Bool("infeasible", false, "mix in deliberately undersized (N = 2m+u) scenarios")
+		shrink     = fs.Bool("shrink", true, "shrink expectation failures to minimal counterexamples")
+		asJSON     = fs.Bool("json", false, "emit the full report as JSON")
+		replay     = fs.String("replay", "", "replay one scenario (JSON) instead of running a campaign")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *replay != "" {
+		return replayScenario(out, *replay, *asJSON, *shrink)
+	}
+
+	c := degradable.ChaosCampaign{
+		Seed: *seed, Runs: *runs,
+		MaxInjectors:      *maxInj,
+		IncludeInfeasible: *infeasible,
+		Shrink:            *shrink,
+	}
+	var err error
+	if c.Grid, err = parseGrid(*grid); err != nil {
+		return err
+	}
+	rep, err := degradable.Chaos(degradable.Config{}, c)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		writeReport(out, rep)
+	}
+	if !rep.Healthy() {
+		return fmt.Errorf("campaign unhealthy: %d violated, %d missed expectations",
+			rep.Violated, len(rep.Failures))
+	}
+	return nil
+}
+
+// replayScenario re-runs one scenario and reports its judged outcome,
+// failing when the scenario misses its expectation. With shrink enabled, a
+// failing scenario is first minimized and its reproduction rendered.
+func replayScenario(out io.Writer, encoded string, asJSON bool, shrink bool) error {
+	sc, err := degradable.ChaosScenarioFromJSON([]byte(encoded))
+	if err != nil {
+		return fmt.Errorf("bad -replay scenario: %w", err)
+	}
+	o, err := degradable.ChaosReplay(sc)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(o); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(out, "scenario: N=%d m=%d u=%d f=%d injectors=%d seed=%d\n",
+			sc.N, sc.M, sc.U, sc.F(), len(sc.Injectors), sc.Seed)
+		cond := o.Condition
+		if cond == "" {
+			cond = "-"
+		}
+		fmt.Fprintf(out, "regime %s, condition %s: class %s (level %s)\n",
+			o.Regime, cond, o.Class, o.Level)
+		if o.Reason != "" {
+			fmt.Fprintf(out, "reason: %s\n", o.Reason)
+		}
+	}
+	if !o.ExpectationMet {
+		if shrink {
+			if min, steps, err := degradable.ChaosShrink(sc); err == nil {
+				fmt.Fprintf(out, "shrunk in %d steps to N=%d f=%d injectors=%d\nreproduce:\n  %s\n%s\n",
+					steps, min.Scenario.N, min.Scenario.F(), len(min.Scenario.Injectors),
+					chaos.ReproCommand(min.Scenario), indent(chaos.ReproGo(min.Scenario)))
+			}
+		}
+		return fmt.Errorf("expectation missed: %s", o.ExpectReason)
+	}
+	fmt.Fprintln(out, "expectation met")
+	return nil
+}
+
+// writeReport renders the human-readable campaign summary.
+func writeReport(out io.Writer, rep *degradable.ChaosReport) {
+	fmt.Fprintf(out, "chaos campaign: seed=%d runs=%d grid=%d points\n\n",
+		rep.Seed, rep.Runs, len(rep.Grid))
+	t := stats.NewTable("outcome classes by fault regime",
+		"regime", "scenarios", "SpecHeld", "GracefulOnly", "Violated", "Infeasible")
+	for _, r := range rep.Regimes {
+		t.AddRow(r.Regime, r.Scenarios, r.SpecHeld, r.GracefulOnly, r.Violated, r.Infeasible)
+	}
+	t.AddRow("total", rep.Runs, rep.SpecHeld, rep.GracefulOnly, rep.Violated, rep.Infeasible)
+	fmt.Fprintln(out, t)
+	i := rep.Injections
+	fmt.Fprintf(out, "injections: %d messages inspected, %d dropped, %d delayed-to-absence, %d duplicated, %d corrupted, %d severed\n",
+		i.Inspected, i.Dropped, i.Delayed, i.Duplicated, i.Corrupted, i.Severed)
+	if w := rep.Worst; w != nil {
+		fmt.Fprintf(out, "worst scenario: class %s in %s regime (N=%d m=%d u=%d f=%d)\n",
+			w.Class, w.Regime, w.Scenario.N, w.Scenario.M, w.Scenario.U, w.Scenario.F())
+	}
+	for n, f := range rep.Failures {
+		fmt.Fprintf(out, "\nFAILURE %d: %s\n", n+1, f.Outcome.ExpectReason)
+		if f.Shrunk != nil {
+			fmt.Fprintf(out, "shrunk in %d steps to N=%d f=%d injectors=%d\n",
+				f.ShrinkSteps, f.Shrunk.Scenario.N, f.Shrunk.Scenario.F(), len(f.Shrunk.Scenario.Injectors))
+		}
+		fmt.Fprintf(out, "reproduce:\n  %s\n%s\n", f.ReproCommand, indent(f.ReproGo))
+	}
+	if rep.Healthy() {
+		fmt.Fprintln(out, "campaign healthy: zero violations, zero missed expectations")
+	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}
+
+// parseGrid parses comma-separated n:m:u triples.
+func parseGrid(s string) ([]chaos.GridPoint, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []chaos.GridPoint
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(entry, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad grid point %q: want n:m:u", entry)
+		}
+		var gp chaos.GridPoint
+		for i, dst := range []*int{&gp.N, &gp.M, &gp.U} {
+			v, err := strconv.Atoi(parts[i])
+			if err != nil {
+				return nil, fmt.Errorf("bad grid point %q: %v", entry, err)
+			}
+			*dst = v
+		}
+		out = append(out, gp)
+	}
+	return out, nil
+}

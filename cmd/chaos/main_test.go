@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden campaign report")
+
+// TestJSONReportDeterministicAndGolden runs the same seeded campaign twice
+// and pins the byte-identical JSON report to a checked-in golden: campaigns
+// are the repo's reproducibility showcase, so any drift is a regression in
+// the engine's determinism (or an intentional change, run with -update).
+func TestJSONReportDeterministicAndGolden(t *testing.T) {
+	args := []string{"-seed", "42", "-runs", "200", "-json"}
+	emit := func() string {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := emit(), emit()
+	if a != b {
+		t.Fatal("same seed, different -json reports")
+	}
+	path := filepath.Join("testdata", "campaign_seed42.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(a), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if a != string(want) {
+		t.Errorf("report drifted from golden %s (first diff near byte %d)",
+			path, firstDiff(a, string(want)))
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestReplayFailingScenario feeds a mis-bounded counterexample (f = 3 > u
+// lying nodes, D.1 pinned) through -replay and expects the run to fail, the
+// way a shrunk reproduction must keep failing when re-executed.
+func TestReplayFailingScenario(t *testing.T) {
+	sc := map[string]interface{}{
+		"n": 5, "m": 1, "u": 2, "senderValue": 1001, "seed": 21,
+		"faults": []map[string]interface{}{
+			{"node": 1, "kind": 3, "value": 2002},
+			{"node": 2, "kind": 3, "value": 2002},
+			{"node": 3, "kind": 3, "value": 2002},
+		},
+		"expect": map[string]interface{}{"condition": "D.1"},
+	}
+	enc, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = run([]string{"-replay", string(enc)}, &buf)
+	if err == nil {
+		t.Fatalf("mis-bounded replay exited clean:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "D.1") {
+		t.Errorf("error does not name the pinned condition: %v", err)
+	}
+}
+
+func TestReplayHealthyScenario(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-replay", `{"n":5,"m":1,"u":2,"seed":1}`}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "expectation met") {
+		t.Errorf("healthy replay output:\n%s", buf.String())
+	}
+}
+
+func TestHumanSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", "7", "-runs", "60", "-grid", "5:1:2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"chaos campaign", "classic", "campaign healthy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseGridErrors(t *testing.T) {
+	for _, bad := range []string{"5:1", "5:1:x", "nonsense"} {
+		if _, err := parseGrid(bad); err == nil {
+			t.Errorf("parseGrid(%q) accepted", bad)
+		}
+	}
+	gps, err := parseGrid("5:1:2,7:2:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gps) != 2 || gps[1].N != 7 || gps[1].M != 2 || gps[1].U != 2 {
+		t.Errorf("parseGrid = %+v", gps)
+	}
+}

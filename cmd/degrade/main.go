@@ -5,8 +5,9 @@
 //
 //	degrade -n 5 -m 1 -u 2 -value 42 -faults 3:lie:99,4:silent
 //
-// Fault syntax: comma-separated node:kind[:value] entries, where kind is one
-// of silent, crash, lie, twofaced, random. Node 0 is the sender.
+// Fault syntax: comma-separated node:kind[:value][:seed] entries, where kind
+// is one of silent, crash, lie, twofaced, random; the seed makes a random
+// fault's behaviour reproducible. Node 0 is the sender.
 package main
 
 import (

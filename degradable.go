@@ -130,26 +130,11 @@ type Fault struct {
 func (f Fault) Strategy(n int) (Strategy, error) { return f.strategy(n) }
 
 func (f Fault) strategy(n int) (adversary.Strategy, error) {
-	switch f.Kind {
-	case FaultSilent:
-		return adversary.Silent{}, nil
-	case FaultCrash:
-		return adversary.Crash{After: 1}, nil
-	case FaultLie:
-		return adversary.Lie{Value: f.Value}, nil
-	case FaultTwoFaced:
-		// Even-numbered recipients receive the honest value; odd-numbered
-		// ones receive the lie.
-		vals := make(map[NodeID]Value, n/2)
-		for i := 1; i < n; i += 2 {
-			vals[NodeID(i)] = f.Value
-		}
-		return adversary.PerRecipient{Values: vals}, nil
-	case FaultRandom:
-		return adversary.NewRandomLie(f.Seed, []Value{f.Value}), nil
-	default:
+	s, err := adversary.Kind(f.Kind).Build(n, f.Value, f.Seed)
+	if err != nil {
 		return nil, fmt.Errorf("degradable: unknown fault kind %d", int(f.Kind))
 	}
+	return s, nil
 }
 
 // Result reports one agreement run.
@@ -180,18 +165,29 @@ type Result struct {
 // Agree runs one m/u-degradable agreement instance with the given faults
 // armed and returns every node's decision together with the spec verdict.
 func Agree(cfg Config, senderValue Value, faults ...Fault) (*Result, error) {
+	strategies, err := buildStrategies(cfg.N, faults)
+	if err != nil {
+		return nil, err
+	}
+	return AgreeCustom(cfg, senderValue, strategies)
+}
+
+// buildStrategies converts a fault list to its strategy map, rejecting a node
+// armed twice — silently overwriting an earlier fault would run a weaker
+// adversary than the caller asked for.
+func buildStrategies(n int, faults []Fault) (map[NodeID]Strategy, error) {
 	strategies := make(map[NodeID]Strategy, len(faults))
 	for _, f := range faults {
 		if _, dup := strategies[f.Node]; dup {
 			return nil, fmt.Errorf("degradable: node %d armed twice", int(f.Node))
 		}
-		s, err := f.strategy(cfg.N)
+		s, err := f.strategy(n)
 		if err != nil {
 			return nil, err
 		}
 		strategies[f.Node] = s
 	}
-	return AgreeCustom(cfg, senderValue, strategies)
+	return strategies, nil
 }
 
 // AgreeCustom is Agree with fully custom Byzantine strategies.
@@ -213,13 +209,9 @@ func AgreeObserved(cfg Config, senderValue Value, strategies map[NodeID]Strategy
 // AgreeOM runs the Lamport–Shostak–Pease OM(m) baseline (N > 3m) under the
 // same fault interface; the verdict checks the m/m (classic) conditions.
 func AgreeOM(n, m int, senderValue Value, faults ...Fault) (*Result, error) {
-	strategies := make(map[NodeID]Strategy, len(faults))
-	for _, f := range faults {
-		s, err := f.strategy(n)
-		if err != nil {
-			return nil, err
-		}
-		strategies[f.Node] = s
+	strategies, err := buildStrategies(n, faults)
+	if err != nil {
+		return nil, err
 	}
 	p := om.Params{N: n, M: m}
 	if err := p.Validate(); err != nil {
@@ -232,13 +224,9 @@ func AgreeOM(n, m int, senderValue Value, faults ...Fault) (*Result, error) {
 // same fault interface; the verdict checks the 0/f (degraded) conditions,
 // which correspond to Crusader's correct-or-detect guarantee.
 func AgreeCrusader(n, f int, senderValue Value, faults ...Fault) (*Result, error) {
-	strategies := make(map[NodeID]Strategy, len(faults))
-	for _, flt := range faults {
-		s, err := flt.strategy(n)
-		if err != nil {
-			return nil, err
-		}
-		strategies[flt.Node] = s
+	strategies, err := buildStrategies(n, faults)
+	if err != nil {
+		return nil, err
 	}
 	p := crusader.Params{N: n, F: f}
 	if err := p.Validate(); err != nil {

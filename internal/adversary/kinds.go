@@ -1,0 +1,72 @@
+package adversary
+
+import (
+	"fmt"
+
+	"degradable/internal/types"
+)
+
+// Kind names a built-in fault behaviour. The public facade's FaultKind
+// constants and the chaos engine's fault specifications both map onto this
+// enumeration, so the conversion from a declarative fault description to a
+// Strategy lives in exactly one place.
+type Kind int
+
+// Built-in fault behaviours, in facade order (degradable.FaultSilent == 1).
+const (
+	// KindSilent never sends.
+	KindSilent Kind = iota + 1
+	// KindCrash behaves honestly in round 1 then falls silent.
+	KindCrash
+	// KindLie sends a fixed forged value everywhere.
+	KindLie
+	// KindTwoFaced tells even-numbered recipients the honest value and
+	// everyone else the forged value.
+	KindTwoFaced
+	// KindRandom sends pseudo-random values (deterministic per seed),
+	// occasionally omitting messages.
+	KindRandom
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSilent:
+		return "silent"
+	case KindCrash:
+		return "crash"
+	case KindLie:
+		return "lie"
+	case KindTwoFaced:
+		return "twofaced"
+	case KindRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Build returns the strategy for an N-node system. value parameterizes
+// KindLie and KindTwoFaced; seed parameterizes KindRandom.
+func (k Kind) Build(n int, value types.Value, seed int64) (Strategy, error) {
+	switch k {
+	case KindSilent:
+		return Silent{}, nil
+	case KindCrash:
+		return Crash{After: 1}, nil
+	case KindLie:
+		return Lie{Value: value}, nil
+	case KindTwoFaced:
+		// Even-numbered recipients receive the honest value; odd-numbered
+		// ones receive the lie.
+		vals := make(map[types.NodeID]types.Value, n/2)
+		for i := 1; i < n; i += 2 {
+			vals[types.NodeID(i)] = value
+		}
+		return PerRecipient{Values: vals}, nil
+	case KindRandom:
+		return NewRandomLie(seed, []types.Value{value}), nil
+	default:
+		return nil, fmt.Errorf("adversary: unknown fault kind %d", int(k))
+	}
+}

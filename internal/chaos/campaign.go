@@ -1,0 +1,311 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"degradable/internal/adversary"
+	"degradable/internal/types"
+)
+
+// faultKinds is the pool the generator draws Byzantine behaviours from.
+var faultKinds = []adversary.Kind{
+	adversary.KindSilent, adversary.KindCrash, adversary.KindLie,
+	adversary.KindTwoFaced, adversary.KindRandom,
+}
+
+// lieValues is the forged-value pool; two distinct values let colluding
+// faults attempt splitting attacks.
+var lieValues = []types.Value{2002, 3003}
+
+// GridPoint is one (N, m, u) configuration a campaign sweeps.
+type GridPoint struct {
+	N int `json:"n"`
+	M int `json:"m"`
+	U int `json:"u"`
+}
+
+// DefaultGrid covers minimum-size and slack systems across m ∈ {0,1,2},
+// keeping N small enough that a thousand scenarios stay fast (the protocol
+// is exponential in m).
+func DefaultGrid() []GridPoint {
+	return []GridPoint{
+		{N: 4, M: 1, U: 1}, // minimum 1/1 (pure Byzantine agreement)
+		{N: 5, M: 1, U: 2}, // the paper's running example, minimum size
+		{N: 6, M: 1, U: 2}, // same with one slack node
+		{N: 6, M: 1, U: 3}, // deeper degradation reach
+		{N: 7, M: 2, U: 2}, // depth-3 relays
+		{N: 4, M: 0, U: 2}, // echo-round protocol
+		{N: 5, M: 0, U: 3}, // echo-round, wide degraded band
+		{N: 7, M: 1, U: 4}, // the §2 seven-node 1/4 trade
+	}
+}
+
+// DefaultProbs is the injector probability pool, bounded by the §6.1
+// experiment's tested drop rates.
+func DefaultProbs() []float64 { return []float64{0.05, 0.1, 0.2, 0.3} }
+
+// Campaign sweeps a seeded grid of scenarios and classifies every outcome.
+type Campaign struct {
+	// Seed derives every scenario (fault placement, injector mix, and all
+	// per-message coin flips). Two campaigns with equal Seed and settings
+	// produce identical reports.
+	Seed int64 `json:"seed"`
+	// Runs is the number of scenarios to generate (default 1000).
+	Runs int `json:"runs"`
+	// Grid lists the (N, m, u) points to sweep (default DefaultGrid).
+	Grid []GridPoint `json:"grid,omitempty"`
+	// Probs is the injector probability pool (default DefaultProbs).
+	Probs []float64 `json:"probs,omitempty"`
+	// MaxInjectors bounds each scenario's injector stack (default 3).
+	MaxInjectors int `json:"maxInjectors,omitempty"`
+	// IncludeInfeasible, when set, makes roughly one scenario in twenty
+	// deliberately undersized (N = 2m+u) to exercise parameter rejection.
+	IncludeInfeasible bool `json:"includeInfeasible,omitempty"`
+	// Shrink, when set, delta-debugs every expectation failure to a
+	// locally minimal counterexample before reporting it.
+	Shrink bool `json:"shrink,omitempty"`
+}
+
+// RegimeTally is one fault-regime row of a campaign report.
+type RegimeTally struct {
+	Regime       string `json:"regime"`
+	Scenarios    int    `json:"scenarios"`
+	SpecHeld     int    `json:"specHeld"`
+	GracefulOnly int    `json:"gracefulOnly"`
+	Violated     int    `json:"violated"`
+	Infeasible   int    `json:"infeasible"`
+}
+
+// Failure is one scenario that missed its expected verdict, with its shrunk
+// counterexample when shrinking is enabled.
+type Failure struct {
+	Outcome *Outcome `json:"outcome"`
+	// Shrunk is the minimized failing outcome (nil when shrinking is off).
+	Shrunk *Outcome `json:"shrunk,omitempty"`
+	// ShrinkSteps counts the accepted reduction steps.
+	ShrinkSteps int `json:"shrinkSteps,omitempty"`
+	// ReproCommand replays the (shrunk) counterexample from a shell.
+	ReproCommand string `json:"reproCommand"`
+	// ReproGo is a copy-pasteable degradable.Agree reproduction.
+	ReproGo string `json:"reproGo"`
+}
+
+// Report summarizes a campaign.
+type Report struct {
+	Seed         int64       `json:"seed"`
+	Runs         int         `json:"runs"`
+	Grid         []GridPoint `json:"grid"`
+	SpecHeld     int         `json:"specHeld"`
+	GracefulOnly int         `json:"gracefulOnly"`
+	Violated     int         `json:"violated"`
+	Infeasible   int         `json:"infeasible"`
+	// Regimes breaks the counts down by fault regime (classic f ≤ m,
+	// degraded m < f ≤ u, beyond-u, invalid).
+	Regimes []RegimeTally `json:"regimes"`
+	// Injections aggregates the injector counters across all scenarios.
+	Injections Counters `json:"injections"`
+	// Worst retains the most severe outcome (Violated before GracefulOnly
+	// before SpecHeld; earliest wins ties), for post-mortems even when the
+	// campaign is healthy.
+	Worst *Outcome `json:"worst,omitempty"`
+	// Failures lists every scenario that missed its expectation.
+	Failures []Failure `json:"failures,omitempty"`
+}
+
+// Healthy reports whether the campaign saw no Violated outcome and no missed
+// expectation.
+func (r *Report) Healthy() bool { return r.Violated == 0 && len(r.Failures) == 0 }
+
+// Run executes the campaign.
+func (c Campaign) Run() (*Report, error) {
+	if c.Runs <= 0 {
+		c.Runs = 1000
+	}
+	if len(c.Grid) == 0 {
+		c.Grid = DefaultGrid()
+	}
+	if len(c.Probs) == 0 {
+		c.Probs = DefaultProbs()
+	}
+	if c.MaxInjectors <= 0 {
+		c.MaxInjectors = 3
+	}
+	for _, gp := range c.Grid {
+		if gp.N > int(types.MaxNodeSetID) {
+			return nil, fmt.Errorf("chaos: grid point N=%d exceeds the node-set limit", gp.N)
+		}
+	}
+
+	rep := &Report{Seed: c.Seed, Runs: c.Runs, Grid: c.Grid}
+	tallies := map[string]*RegimeTally{}
+	order := []string{"classic", "degraded", "beyond-u", "invalid"}
+	for _, r := range order {
+		tallies[r] = &RegimeTally{Regime: r}
+	}
+
+	for i := 0; i < c.Runs; i++ {
+		sc := c.generate(i)
+		out, err := sc.Run()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: scenario %d: %w", i, err)
+		}
+		t, ok := tallies[out.Regime]
+		if !ok {
+			t = &RegimeTally{Regime: out.Regime}
+			tallies[out.Regime] = t
+			order = append(order, out.Regime)
+		}
+		t.Scenarios++
+		switch out.ClassValue() {
+		case SpecHeld:
+			rep.SpecHeld++
+			t.SpecHeld++
+		case GracefulOnly:
+			rep.GracefulOnly++
+			t.GracefulOnly++
+		case Violated:
+			rep.Violated++
+			t.Violated++
+		case Infeasible:
+			rep.Infeasible++
+			t.Infeasible++
+		}
+		rep.Injections.Add(out.Counters)
+		if rep.Worst == nil || worse(out, rep.Worst) {
+			rep.Worst = out
+		}
+		if !out.ExpectationMet {
+			rep.Failures = append(rep.Failures, c.fail(out))
+		}
+	}
+	for _, r := range order {
+		if t := tallies[r]; t.Scenarios > 0 {
+			rep.Regimes = append(rep.Regimes, *t)
+		}
+	}
+	return rep, nil
+}
+
+// fail packages one expectation failure, shrinking it when configured.
+func (c Campaign) fail(out *Outcome) Failure {
+	f := Failure{Outcome: out}
+	repro := out.Scenario
+	if c.Shrink {
+		if shrunk, steps, err := Shrink(out.Scenario); err == nil {
+			f.Shrunk = shrunk
+			f.ShrinkSteps = steps
+			repro = shrunk.Scenario
+		}
+	}
+	f.ReproCommand = ReproCommand(repro)
+	f.ReproGo = ReproGo(repro)
+	return f
+}
+
+// worse orders outcomes by severity, preferring missed expectations.
+func worse(a, b *Outcome) bool {
+	if (!a.ExpectationMet) != (!b.ExpectationMet) {
+		return !a.ExpectationMet
+	}
+	return a.ClassValue().severity() > b.ClassValue().severity()
+}
+
+// generate derives scenario i of the campaign. Every choice flows from one
+// per-scenario source so campaigns replay identically at any Runs count.
+func (c Campaign) generate(i int) Scenario {
+	rng := rand.New(rand.NewSource(mix(c.Seed, int64(i)+0x10001)))
+	gp := c.Grid[rng.Intn(len(c.Grid))]
+	sc := Scenario{
+		N: gp.N, M: gp.M, U: gp.U,
+		SenderValue: harnessValue,
+		Seed:        rng.Int63(),
+	}
+	if c.IncludeInfeasible && rng.Intn(20) == 0 {
+		sc.N = 2*gp.M + gp.U // one below the Theorem-2 bound
+		return sc
+	}
+
+	// Fault count and placement: f ≤ u+1 spans classic, degraded, and one
+	// step beyond the promised bounds; the sender is as arming-eligible as
+	// any receiver.
+	f := rng.Intn(gp.U + 2)
+	if f > gp.N {
+		f = gp.N
+	}
+	for _, node := range rng.Perm(gp.N)[:f] {
+		fault := FaultSpec{
+			Node: types.NodeID(node),
+			Kind: faultKinds[rng.Intn(len(faultKinds))],
+		}
+		switch fault.Kind {
+		case adversary.KindLie, adversary.KindTwoFaced:
+			fault.Value = lieValues[rng.Intn(len(lieValues))]
+		case adversary.KindRandom:
+			fault.Value = lieValues[rng.Intn(len(lieValues))]
+			fault.Seed = rng.Int63()
+		}
+		sc.Faults = append(sc.Faults, fault)
+	}
+
+	// Injector stack: 0..MaxInjectors layers. Absence-type injectors may
+	// touch fault-free traffic (the §6.1 relaxed model); value corruption
+	// is confined to faulty senders' traffic by construction.
+	for k := rng.Intn(c.MaxInjectors + 1); k > 0; k-- {
+		sc.Injectors = append(sc.Injectors, c.generateInjector(rng, gp, sc.Faults))
+	}
+	return sc
+}
+
+// generateInjector draws one injector layer.
+func (c Campaign) generateInjector(rng *rand.Rand, gp GridPoint, faults []FaultSpec) Injector {
+	prob := func() float64 { return c.Probs[rng.Intn(len(c.Probs))] }
+	depth := gp.M + 1
+	if gp.M < 1 {
+		depth = 2
+	}
+	switch Drop + InjectorKind(rng.Intn(5)) {
+	case Drop:
+		return Injector{Kind: Drop, P: prob(), Scope: randomScope(rng, faults)}
+	case DelayToAbsence:
+		return Injector{Kind: DelayToAbsence, P: prob(), Scope: randomScope(rng, faults)}
+	case Duplicate:
+		return Injector{Kind: Duplicate, P: prob()}
+	case CorruptValue:
+		return Injector{
+			Kind: CorruptValue, P: prob(), Scope: ScopeFaultyOnly,
+			Domain: []types.Value{lieValues[rng.Intn(len(lieValues))]},
+		}
+	default: // Partition
+		var a, b []types.NodeID
+		for n := 0; n < gp.N; n++ {
+			if rng.Intn(2) == 0 {
+				a = append(a, types.NodeID(n))
+			} else {
+				b = append(b, types.NodeID(n))
+			}
+		}
+		if len(a) == 0 || len(b) == 0 {
+			// Degenerate split: cut the last node off instead.
+			a = []types.NodeID{types.NodeID(gp.N - 1)}
+			b = nil
+			for n := 0; n < gp.N-1; n++ {
+				b = append(b, types.NodeID(n))
+			}
+		}
+		from := 1 + rng.Intn(depth)
+		return Injector{
+			Kind: Partition, Groups: [][]types.NodeID{a, b},
+			FromRound: from, ToRound: from + rng.Intn(depth-from+1),
+		}
+	}
+}
+
+// randomScope picks faulty-only when there are faults to scope to, otherwise
+// anywhere (a faulty-only injector with no faults would be a no-op layer).
+func randomScope(rng *rand.Rand, faults []FaultSpec) Scope {
+	if len(faults) > 0 && rng.Intn(2) == 0 {
+		return ScopeFaultyOnly
+	}
+	return ScopeAnywhere
+}

@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestCampaignThousandScenariosHealthy is the acceptance campaign: ≥ 1,000
+// seeded scenarios across the classic (f ≤ m) and degraded (m < f ≤ u)
+// regimes with zero Violated classifications. It runs in short mode by
+// design — the whole point of the chaos engine is that this sweep is cheap
+// enough to gate every check run.
+func TestCampaignThousandScenariosHealthy(t *testing.T) {
+	rep, err := Campaign{Seed: 7, Runs: 1200, Shrink: true, IncludeInfeasible: true}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violated != 0 {
+		t.Errorf("%d Violated outcomes; worst: %+v", rep.Violated, rep.Worst)
+	}
+	if len(rep.Failures) != 0 {
+		f := rep.Failures[0]
+		t.Errorf("%d missed expectations; first: %s\nrepro: %s",
+			len(rep.Failures), f.Outcome.ExpectReason, f.ReproCommand)
+	}
+	if !rep.Healthy() {
+		t.Error("report not healthy")
+	}
+	var classic, degraded, infeasible int
+	for _, reg := range rep.Regimes {
+		switch reg.Regime {
+		case "classic":
+			classic = reg.Scenarios
+		case "degraded":
+			degraded = reg.Scenarios
+		case "invalid":
+			infeasible = reg.Scenarios
+		}
+	}
+	if classic == 0 || degraded == 0 {
+		t.Errorf("regime coverage: classic=%d degraded=%d, want both > 0", classic, degraded)
+	}
+	if infeasible == 0 {
+		t.Error("IncludeInfeasible produced no infeasible scenarios")
+	}
+	if rep.Injections.Injections() == 0 {
+		t.Error("campaign injected nothing")
+	}
+	if rep.SpecHeld+rep.GracefulOnly+rep.Infeasible != rep.Runs {
+		t.Errorf("class counts %d+%d+%d do not sum to %d runs",
+			rep.SpecHeld, rep.GracefulOnly, rep.Infeasible, rep.Runs)
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	run := func() []byte {
+		rep, err := Campaign{Seed: 99, Runs: 150}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Error("same seed, different campaign reports")
+	}
+	c, err := Campaign{Seed: 100, Runs: 150}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := json.Marshal(c)
+	if string(a) == string(cb) {
+		t.Error("different seeds produced identical reports")
+	}
+}
+
+func TestCampaignSingleGridPoint(t *testing.T) {
+	rep, err := Campaign{Seed: 3, Runs: 120, Grid: []GridPoint{{N: 5, M: 1, U: 2}}}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() {
+		t.Errorf("single-point campaign unhealthy: %d violated, %d failures",
+			rep.Violated, len(rep.Failures))
+	}
+	if rep.Worst == nil {
+		t.Error("no worst scenario retained")
+	} else if sc := rep.Worst.Scenario; sc.N != 5 || sc.M != 1 || sc.U != 2 {
+		t.Errorf("worst scenario off-grid: N=%d M=%d U=%d", sc.N, sc.M, sc.U)
+	}
+}
+
+func TestCampaignRejectsOversizedGrid(t *testing.T) {
+	if _, err := (Campaign{Seed: 1, Runs: 1, Grid: []GridPoint{{N: 64, M: 1, U: 1}}}).Run(); err == nil {
+		t.Error("grid point beyond the node-set limit was accepted")
+	}
+}

@@ -1,0 +1,317 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"degradable/internal/adversary"
+	"degradable/internal/core"
+	"degradable/internal/runner"
+	"degradable/internal/spec"
+	"degradable/internal/types"
+)
+
+// FaultSpec arms one node with a built-in Byzantine behaviour. It mirrors the
+// facade's Fault (the Kind values are shared via internal/adversary), in a
+// form the campaign generator and the JSON replay path can serialize.
+type FaultSpec struct {
+	Node  types.NodeID   `json:"node"`
+	Kind  adversary.Kind `json:"kind"`
+	Value types.Value    `json:"value,omitempty"`
+	Seed  int64          `json:"seed,omitempty"`
+}
+
+// Level is the guarantee a scenario is expected to meet.
+type Level int
+
+// Expectation levels.
+const (
+	// LevelAuto derives the level from the scenario's shape (fault count
+	// and injector scopes); see the package comment for the model.
+	LevelAuto Level = iota
+	// LevelFull expects the applicable D.1–D.4 condition and the m+1
+	// graceful-degradation observation to hold.
+	LevelFull
+	// LevelGraceful expects only the m+1 observation (assumption-violating
+	// scenarios below the degraded regime).
+	LevelGraceful
+	// LevelNone expects nothing (f > u).
+	LevelNone
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelAuto:
+		return "auto"
+	case LevelFull:
+		return "full-spec"
+	case LevelGraceful:
+		return "graceful"
+	case LevelNone:
+		return "none"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Expectation is what a scenario is expected to achieve.
+type Expectation struct {
+	// Level is the guarantee tier. LevelAuto resolves from the scenario.
+	Level Level `json:"level,omitempty"`
+	// Condition, when non-empty, additionally pins one named paper
+	// condition ("D.1".."D.4") that must hold regardless of the fault
+	// count — the mis-bounding knob used to demonstrate the shrinker.
+	Condition string `json:"condition,omitempty"`
+}
+
+// Scenario is one runnable chaos instance: an agreement configuration, a
+// Byzantine fault set, an injector stack, and an expectation.
+type Scenario struct {
+	N      int          `json:"n"`
+	M      int          `json:"m"`
+	U      int          `json:"u"`
+	Sender types.NodeID `json:"sender,omitempty"`
+	// SenderValue is the fault-free sender's input (default harnessValue).
+	SenderValue types.Value `json:"senderValue,omitempty"`
+	Faults      []FaultSpec `json:"faults,omitempty"`
+	Injectors   []Injector  `json:"injectors,omitempty"`
+	// Seed drives every injector coin flip of the run.
+	Seed   int64       `json:"seed"`
+	Expect Expectation `json:"expect,omitempty"`
+}
+
+// harnessValue is the default honest sender value, matching the harness's
+// Alpha so rendered reproductions look like the rest of the repo.
+const harnessValue types.Value = 1001
+
+// F returns the node-fault count.
+func (sc Scenario) F() int { return len(sc.Faults) }
+
+// Faulty returns the armed fault set.
+func (sc Scenario) Faulty() types.NodeSet {
+	var s types.NodeSet
+	for _, f := range sc.Faults {
+		s = s.Add(f.Node)
+	}
+	return s
+}
+
+// relaxed reports whether any injector can suppress fault-free traffic,
+// i.e. whether the run leaves the strict §4 assumptions for the §6.1
+// relaxed message model.
+func (sc Scenario) relaxed() bool {
+	for _, in := range sc.Injectors {
+		if in.absence() {
+			return true
+		}
+	}
+	return false
+}
+
+// ResolveLevel returns the concrete expectation level, deriving LevelAuto
+// from the scenario shape.
+func (sc Scenario) ResolveLevel() Level {
+	if sc.Expect.Level != LevelAuto {
+		return sc.Expect.Level
+	}
+	f := sc.F()
+	switch {
+	case f > sc.U:
+		return LevelNone
+	case sc.relaxed() && f <= sc.M:
+		// Spurious absences below the degraded regime: D.1/D.2 are no
+		// longer guaranteed, the m+1 observation still is.
+		return LevelGraceful
+	default:
+		// Within bounds under strict assumptions, or the §6.1 relaxed
+		// model in the degraded regime: the paper promises the full spec.
+		return LevelFull
+	}
+}
+
+// Class classifies one scenario outcome.
+type Class int
+
+// Outcome classes, from best to worst.
+const (
+	// SpecHeld: the applicable D condition held, and (within bounds) so
+	// did the m+1 graceful-degradation observation.
+	SpecHeld Class = iota + 1
+	// GracefulOnly: the D condition failed but at least m+1 fault-free
+	// nodes still agreed on one value.
+	GracefulOnly
+	// Violated: neither the condition nor the graceful floor held.
+	Violated
+	// Infeasible: the parameters fail validation (N ≤ 2m+u, m > u, …).
+	Infeasible
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case SpecHeld:
+		return "SpecHeld"
+	case GracefulOnly:
+		return "GracefulOnly"
+	case Violated:
+		return "Violated"
+	case Infeasible:
+		return "Infeasible"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// severity orders classes for worst-scenario retention.
+func (c Class) severity() int {
+	switch c {
+	case Violated:
+		return 3
+	case GracefulOnly:
+		return 2
+	case SpecHeld:
+		return 1
+	default: // Infeasible: rejected up front, nothing ran
+		return 0
+	}
+}
+
+// Outcome reports one scenario run.
+type Outcome struct {
+	Scenario Scenario `json:"scenario"`
+	Class    string   `json:"class"`
+	// Regime is the fault regime ("classic", "degraded", "beyond-u"), or
+	// "invalid" for infeasible parameters.
+	Regime string `json:"regime"`
+	// Condition, OK, Graceful, Reason mirror the spec verdict.
+	Condition string `json:"condition,omitempty"`
+	OK        bool   `json:"ok"`
+	Graceful  bool   `json:"graceful"`
+	Reason    string `json:"reason,omitempty"`
+	// Level is the resolved expectation level the outcome was judged by.
+	Level string `json:"level"`
+	// ExpectationMet reports whether the outcome met the expectation
+	// (including any pinned Expect.Condition).
+	ExpectationMet bool `json:"expectationMet"`
+	// ExpectReason explains a missed expectation.
+	ExpectReason string `json:"expectReason,omitempty"`
+	// Counters tallies the injections performed.
+	Counters Counters `json:"counters"`
+	// Messages and Delivered are the engine's traffic counts.
+	Messages  int `json:"messages"`
+	Delivered int `json:"delivered"`
+
+	class Class
+}
+
+// ClassValue returns the typed class (Class is rendered as a string in the
+// JSON form to keep reports self-describing).
+func (o *Outcome) ClassValue() Class { return o.class }
+
+// Run executes the scenario and judges the outcome. Invalid parameters
+// produce an Infeasible outcome, not an error; errors are reserved for
+// malformed scenarios (duplicate faults, bad injectors, out-of-range nodes).
+func (sc Scenario) Run() (*Outcome, error) {
+	if sc.SenderValue == 0 {
+		sc.SenderValue = harnessValue
+	}
+	out := &Outcome{Scenario: sc, Level: sc.ResolveLevel().String()}
+	p := core.Params{N: sc.N, M: sc.M, U: sc.U, Sender: sc.Sender}
+	if err := p.Validate(); err != nil {
+		if !errors.Is(err, core.ErrInfeasible) && !errors.Is(err, core.ErrTooFewNodes) {
+			return nil, err // out-of-range sender etc.: a malformed scenario
+		}
+		out.class = Infeasible
+		out.Class = Infeasible.String()
+		out.Regime = "invalid"
+		out.Reason = err.Error()
+		// Rejecting an infeasible instance is the expected behaviour.
+		out.ExpectationMet = true
+		return out, nil
+	}
+
+	strategies := make(map[types.NodeID]adversary.Strategy, len(sc.Faults))
+	for _, f := range sc.Faults {
+		if f.Node < 0 || int(f.Node) >= sc.N {
+			return nil, fmt.Errorf("chaos: fault node %d out of range [0,%d)", int(f.Node), sc.N)
+		}
+		if _, dup := strategies[f.Node]; dup {
+			return nil, fmt.Errorf("chaos: node %d armed twice", int(f.Node))
+		}
+		s, err := f.Kind.Build(sc.N, f.Value, f.Seed)
+		if err != nil {
+			return nil, err
+		}
+		strategies[f.Node] = s
+	}
+
+	in := runner.Instance{Protocol: p, SenderValue: sc.SenderValue, Strategies: strategies}
+	if len(sc.Injectors) > 0 {
+		ch, err := buildChannel(sc.Injectors, sc.Faulty(), sc.Seed, &out.Counters)
+		if err != nil {
+			return nil, err
+		}
+		in.Channel = ch
+	}
+	res, verdict, err := in.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	out.Regime = verdict.Regime.String()
+	out.Condition = verdict.Condition
+	out.OK = verdict.OK
+	out.Graceful = verdict.Graceful
+	out.Reason = verdict.Reason
+	out.Messages = res.Messages
+	out.Delivered = res.Delivered
+	out.class = classify(verdict, sc.F(), sc.U)
+	out.Class = out.class.String()
+	out.ExpectationMet, out.ExpectReason = sc.judge(out, spec.Execution{
+		M: sc.M, U: sc.U,
+		Sender:      sc.Sender,
+		SenderValue: sc.SenderValue,
+		Faulty:      sc.Faulty(),
+		Decisions:   res.Decisions,
+	})
+	return out, nil
+}
+
+// classify maps a verdict to an outcome class. Beyond u the spec promises
+// nothing, so any outcome is SpecHeld; within bounds a condition that held
+// without the graceful floor would contradict the §2 Observation and counts
+// as Violated.
+func classify(v spec.Verdict, f, u int) Class {
+	switch {
+	case v.OK && (f > u || v.Graceful):
+		return SpecHeld
+	case v.Graceful && f <= u:
+		return GracefulOnly
+	default:
+		return Violated
+	}
+}
+
+// judge evaluates the resolved expectation against the classified outcome.
+func (sc Scenario) judge(out *Outcome, exec spec.Execution) (bool, string) {
+	if sc.Expect.Condition != "" {
+		ok, reason := spec.CheckCondition(sc.Expect.Condition, exec)
+		if !ok {
+			return false, fmt.Sprintf("pinned condition %s failed: %s", sc.Expect.Condition, reason)
+		}
+	}
+	switch sc.ResolveLevel() {
+	case LevelFull:
+		if out.class != SpecHeld {
+			return false, fmt.Sprintf("expected full spec, got %s (%s)", out.Class, out.Reason)
+		}
+	case LevelGraceful:
+		if out.class != SpecHeld && out.class != GracefulOnly {
+			return false, fmt.Sprintf("expected graceful floor, got %s (%s)", out.Class, out.Reason)
+		}
+	case LevelNone:
+		// Nothing promised.
+	}
+	return true, ""
+}

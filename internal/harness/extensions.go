@@ -25,10 +25,11 @@ func Extensions() []Experiment {
 		{ID: "E13", Title: "Safety under random faults (Monte Carlo, §3)", Run: ReliabilityTable},
 		{ID: "E14", Title: "Degradable approximate agreement (§6 conjecture, formalized)", Run: ApproxTable},
 		{ID: "E15", Title: "Stateful channel pipeline: rollback and feedback resync", Run: PipelineTable},
+		{ID: "E16", Title: "Chaos campaign: seeded fault injection across the default grid", Run: ChaosCampaignTable},
 	}
 }
 
-// AllWithExtensions returns E1–E13.
+// AllWithExtensions returns the paper experiments followed by the extensions.
 func AllWithExtensions() []Experiment {
 	return append(All(), Extensions()...)
 }

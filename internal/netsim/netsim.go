@@ -43,6 +43,16 @@ type Channel interface {
 	Deliver(m types.Message) (types.Message, bool)
 }
 
+// Expander is an optional Channel extension for channels that can deliver a
+// message more than once (duplication faults, as injected by the chaos
+// engine). When the configured Channel implements Expander, the engine calls
+// DeliverAll instead of Deliver; every returned message is delivered and
+// counted. An empty slice drops the message.
+type Expander interface {
+	Channel
+	DeliverAll(m types.Message) []types.Message
+}
+
 // PerfectChannel delivers every message unchanged: the complete-graph,
 // fully synchronous assumption of §4.
 type PerfectChannel struct{}
@@ -146,19 +156,24 @@ func Run(nodes []Node, cfg Config) (*Result, error) {
 		res.Views = make(map[types.NodeID][]types.Message, n)
 	}
 
+	expander, _ := ch.(Expander)
 	deliver := func(pending []types.Message) [][]types.Message {
 		inboxes := make([][]types.Message, n)
 		for _, m := range pending {
-			dm, ok := ch.Deliver(m)
-			if !ok {
-				continue
+			var copies []types.Message
+			if expander != nil {
+				copies = expander.DeliverAll(m)
+			} else if dm, ok := ch.Deliver(m); ok {
+				copies = []types.Message{dm}
 			}
-			res.Delivered++
-			res.Bytes += 8 + 4*len(dm.Path)
-			if cfg.Trace != nil {
-				cfg.Trace(dm)
+			for _, dm := range copies {
+				res.Delivered++
+				res.Bytes += 8 + 4*len(dm.Path)
+				if cfg.Trace != nil {
+					cfg.Trace(dm)
+				}
+				inboxes[int(dm.To)] = append(inboxes[int(dm.To)], dm)
 			}
-			inboxes[int(dm.To)] = append(inboxes[int(dm.To)], dm)
 		}
 		for i := range inboxes {
 			types.SortMessages(inboxes[i])

@@ -133,10 +133,16 @@ func Check(e Execution) Verdict {
 	return v
 }
 
-// checkD1: every fault-free receiver decided the sender's value.
+// checkD1: every fault-free receiver decided the sender's value. The lowest
+// offending node is reported so the reason is deterministic.
 func checkD1(decisions map[types.NodeID]types.Value, want types.Value) (bool, string) {
-	for id, d := range decisions {
-		if d != want {
+	ids := make([]types.NodeID, 0, len(decisions))
+	for id := range decisions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if d := decisions[id]; d != want {
 			return false, fmt.Sprintf("D.1: node %d decided %s, want sender's %s", int(id), d, want)
 		}
 	}
@@ -151,9 +157,15 @@ func checkD2(classes map[types.Value]int) (bool, string) {
 	return true, ""
 }
 
-// checkD3: at most two classes — the sender's value and V_d.
+// checkD3: at most two classes — the sender's value and V_d. The lowest
+// offending value is reported so the reason is deterministic.
 func checkD3(classes map[types.Value]int, senderValue types.Value) (bool, string) {
+	keys := make([]types.Value, 0, len(classes))
 	for d := range classes {
+		keys = append(keys, d)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, d := range keys {
 		if d != senderValue && d != types.Default {
 			return false, fmt.Sprintf("D.3: decision %s is neither sender's %s nor V_d", d, senderValue)
 		}

@@ -23,4 +23,7 @@ go test -race -short ./...
 echo "== benchmark smoke =="
 go test -run XXX -bench . -benchtime 1x . >/dev/null
 
+echo "== chaos campaign smoke =="
+go run ./cmd/chaos -seed 42 -runs 250 >/dev/null
+
 echo "all checks passed"
