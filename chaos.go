@@ -1,6 +1,7 @@
 package degradable
 
 import (
+	"context"
 	"encoding/json"
 
 	"degradable/internal/chaos"
@@ -30,10 +31,18 @@ type (
 // (N, M, U) point alone. Campaign defaults (runs, probabilities, injector
 // depth) apply as documented on ChaosCampaign.
 func Chaos(cfg Config, c ChaosCampaign) (*ChaosReport, error) {
+	return ChaosContext(context.Background(), cfg, c)
+}
+
+// ChaosContext is Chaos with cancellation: the campaign stops between
+// scenarios when ctx is cancelled and returns its partial report with
+// Interrupted set — cancellation is not an error, so long campaigns can be
+// cut short without losing the tallies gathered so far.
+func ChaosContext(ctx context.Context, cfg Config, c ChaosCampaign) (*ChaosReport, error) {
 	if len(c.Grid) == 0 && cfg.N > 0 {
 		c.Grid = []chaos.GridPoint{{N: cfg.N, M: cfg.M, U: cfg.U}}
 	}
-	return c.Run()
+	return c.RunContext(ctx)
 }
 
 // ChaosReplay re-runs one scenario — typically a shrunk counterexample — and

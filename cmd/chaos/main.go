@@ -17,13 +17,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	degradable "degradable"
 	"degradable/internal/chaos"
@@ -66,7 +69,11 @@ func run(args []string, out io.Writer) error {
 	if c.Grid, err = parseGrid(*grid); err != nil {
 		return err
 	}
-	rep, err := degradable.Chaos(degradable.Config{}, c)
+	// SIGINT cancels between scenarios: the partial tallies are still
+	// printed (marked interrupted) rather than thrown away.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := degradable.ChaosContext(ctx, degradable.Config{}, c)
 	if err != nil {
 		return err
 	}
@@ -82,6 +89,10 @@ func run(args []string, out io.Writer) error {
 	if !rep.Healthy() {
 		return fmt.Errorf("campaign unhealthy: %d violated, %d missed expectations",
 			rep.Violated, len(rep.Failures))
+	}
+	if rep.Interrupted {
+		return fmt.Errorf("interrupted after %d/%d scenarios (partial tallies above)",
+			rep.Completed, rep.Runs)
 	}
 	return nil
 }
@@ -133,14 +144,19 @@ func replayScenario(out io.Writer, encoded string, asJSON bool, shrink bool) err
 
 // writeReport renders the human-readable campaign summary.
 func writeReport(out io.Writer, rep *degradable.ChaosReport) {
-	fmt.Fprintf(out, "chaos campaign: seed=%d runs=%d grid=%d points\n\n",
-		rep.Seed, rep.Runs, len(rep.Grid))
+	if rep.Interrupted {
+		fmt.Fprintf(out, "chaos campaign: seed=%d runs=%d grid=%d points — INTERRUPTED after %d scenarios\n\n",
+			rep.Seed, rep.Runs, len(rep.Grid), rep.Completed)
+	} else {
+		fmt.Fprintf(out, "chaos campaign: seed=%d runs=%d grid=%d points\n\n",
+			rep.Seed, rep.Runs, len(rep.Grid))
+	}
 	t := stats.NewTable("outcome classes by fault regime",
 		"regime", "scenarios", "SpecHeld", "GracefulOnly", "Violated", "Infeasible")
 	for _, r := range rep.Regimes {
 		t.AddRow(r.Regime, r.Scenarios, r.SpecHeld, r.GracefulOnly, r.Violated, r.Infeasible)
 	}
-	t.AddRow("total", rep.Runs, rep.SpecHeld, rep.GracefulOnly, rep.Violated, rep.Infeasible)
+	t.AddRow("total", rep.Completed, rep.SpecHeld, rep.GracefulOnly, rep.Violated, rep.Infeasible)
 	fmt.Fprintln(out, t)
 	i := rep.Injections
 	fmt.Fprintf(out, "injections: %d messages inspected, %d dropped, %d delayed-to-absence, %d duplicated, %d corrupted, %d severed\n",

@@ -7,7 +7,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden campaign report")
@@ -124,5 +126,37 @@ func TestParseGridErrors(t *testing.T) {
 	}
 	if len(gps) != 2 || gps[1].N != 7 || gps[1].M != 2 || gps[1].U != 2 {
 		t.Errorf("parseGrid = %+v", gps)
+	}
+}
+
+// TestInterruptPrintsPartialTallies delivers SIGINT mid-campaign and checks
+// the CLI prints the partial report instead of discarding it, and exits
+// with the interrupted error.
+func TestInterruptPrintsPartialTallies(t *testing.T) {
+	var buf bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		// A large campaign so the signal lands mid-run; the runs count only
+		// bounds the sweep, interruption cuts it short.
+		done <- run([]string{"-seed", "3", "-runs", "200000"}, &buf)
+	}()
+	time.Sleep(200 * time.Millisecond)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "interrupted") {
+			t.Fatalf("interrupted campaign returned %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("campaign did not stop on SIGINT")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "INTERRUPTED") {
+		t.Errorf("partial report missing interrupted marker:\n%s", out)
+	}
+	if !strings.Contains(out, "outcome classes by fault regime") {
+		t.Errorf("partial tallies not printed:\n%s", out)
 	}
 }

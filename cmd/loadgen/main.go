@@ -1,0 +1,319 @@
+// Command loadgen drives the agreement service with a synthetic workload
+// and reports throughput, latency percentiles, rejection rate, and
+// degraded fraction.
+//
+// Usage:
+//
+//	loadgen -inproc -duration 5s                 # in-process service, closed loop
+//	loadgen -addr 127.0.0.1:7001 -conns 4        # TCP daemon, 4 connections
+//	loadgen -inproc -rate 20000 -json bench.json # paced (open-loop) load, JSON report
+//
+// Closed loop (the default) keeps -conns workers each with one request in
+// flight. -rate N paces the workers to N requests/sec total instead,
+// measuring latency from each request's scheduled start so queueing delay
+// is not hidden (coordinated-omission correction). -fault-prob injects a
+// seeded random Byzantine fault into that fraction of requests.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"degradable/internal/adversary"
+	"degradable/internal/service"
+	"degradable/internal/stats"
+	"degradable/internal/types"
+	"degradable/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the benchmark result, printed as a table and optionally
+// marshalled to JSON (BENCH_service.json).
+type report struct {
+	Mode       string  `json:"mode"` // "inproc" or "tcp"
+	N          int     `json:"n"`
+	M          int     `json:"m"`
+	U          int     `json:"u"`
+	FaultProb  float64 `json:"fault_prob"`
+	Conns      int     `json:"conns"`
+	RateTarget float64 `json:"rate_target,omitempty"` // 0 = closed loop
+	DurationS  float64 `json:"duration_s"`
+
+	Requests  uint64 `json:"requests"`
+	Completed uint64 `json:"completed"`
+	Rejected  uint64 `json:"rejected"`
+	Errors    uint64 `json:"errors"`
+
+	Throughput       float64 `json:"throughput_per_s"`
+	LatencyMeanUs    float64 `json:"latency_mean_us"`
+	LatencyP50Us     float64 `json:"latency_p50_us"`
+	LatencyP95Us     float64 `json:"latency_p95_us"`
+	LatencyP99Us     float64 `json:"latency_p99_us"`
+	RejectionRate    float64 `json:"rejection_rate"`
+	DegradedFraction float64 `json:"degraded_fraction"`
+	SpecChecked      uint64  `json:"spec_checked"`
+	SpecViolations   uint64  `json:"spec_violations"`
+}
+
+// doer abstracts the two transports: the in-process service and a TCP
+// connection to a serve daemon.
+type doer interface {
+	do(ctx context.Context, req service.Request) (service.Response, error)
+	close()
+}
+
+type inprocDoer struct{ svc *service.Service }
+
+func (d inprocDoer) do(ctx context.Context, req service.Request) (service.Response, error) {
+	return d.svc.Do(ctx, req)
+}
+func (d inprocDoer) close() {}
+
+type tcpDoer struct{ c *wire.Client }
+
+func (d tcpDoer) do(ctx context.Context, req service.Request) (service.Response, error) {
+	res, err := d.c.Do(ctx, req)
+	if err != nil {
+		return service.Response{}, err
+	}
+	switch res.Status {
+	case wire.StatusOK:
+		return res.Resp, nil
+	case wire.StatusOverloaded:
+		return service.Response{}, service.ErrOverloaded
+	case wire.StatusClosed:
+		return service.Response{}, service.ErrClosed
+	default:
+		return service.Response{}, fmt.Errorf("server: %s: %s", res.Status, res.Errmsg)
+	}
+}
+func (d tcpDoer) close() { d.c.Close() }
+
+// workerTally is one worker's private counters, merged after the run.
+type workerTally struct {
+	requests, completed, rejected, errs uint64
+	degraded, checked, violations       uint64
+	latenciesUs                         []float64
+	firstErr                            error
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		inproc     = fs.Bool("inproc", false, "drive an in-process service instead of a daemon")
+		addr       = fs.String("addr", "127.0.0.1:7001", "daemon address (ignored with -inproc)")
+		duration   = fs.Duration("duration", 5*time.Second, "run length")
+		conns      = fs.Int("conns", 2, "concurrent workers (one connection each in TCP mode); two keep the shard queues non-empty so batching engages")
+		rate       = fs.Float64("rate", 0, "paced request rate per second, all workers combined (0 = closed loop)")
+		n          = fs.Int("n", 7, "nodes per instance")
+		m          = fs.Int("m", 1, "classic fault tolerance m")
+		u          = fs.Int("u", 2, "degraded fault tolerance u")
+		faultProb  = fs.Float64("fault-prob", 0.25, "fraction of requests carrying a random Byzantine fault")
+		seed       = fs.Int64("seed", 1, "workload seed")
+		shards     = fs.Int("shards", 0, "in-process service shards")
+		queue      = fs.Int("queue", 0, "in-process admission queue depth")
+		batch      = fs.Int("batch", 0, "in-process batch bound")
+		specSample = fs.Int("spec-sample", 0, "in-process spec-sample rate (default 8)")
+		jsonPath   = fs.String("json", "", "write the report as JSON to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *conns < 1 {
+		return fmt.Errorf("need at least one worker")
+	}
+	probe := service.Request{N: *n, M: *m, U: *u, Value: 1}
+	if err := probe.Validate(); err != nil {
+		return err
+	}
+
+	// One doer per worker: TCP mode opens -conns connections; in-process
+	// mode shares one service.
+	doers := make([]doer, *conns)
+	mode := "tcp"
+	if *inproc {
+		mode = "inproc"
+		svc := service.New(service.Config{
+			Shards: *shards, QueueDepth: *queue, Batch: *batch, SpecSample: *specSample,
+		})
+		defer svc.Close()
+		for i := range doers {
+			doers[i] = inprocDoer{svc: svc}
+		}
+	} else {
+		for i := range doers {
+			c, err := wire.Dial(*addr)
+			if err != nil {
+				return fmt.Errorf("dial %s: %w", *addr, err)
+			}
+			defer c.Close()
+			doers[i] = tcpDoer{c: c}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	tallies := make([]workerTally, *conns)
+	var wg sync.WaitGroup
+	var inFault atomic.Uint64 // distinct seeds for injected fault strategies
+	start := time.Now()
+	for w := 0; w < *conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ty := &tallies[w]
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			var interval time.Duration
+			var next time.Time
+			if *rate > 0 {
+				interval = time.Duration(float64(*conns) / *rate * float64(time.Second))
+				next = start.Add(time.Duration(w) * interval / time.Duration(*conns))
+			}
+			kinds := []adversary.Kind{
+				adversary.KindCrash, adversary.KindSilent, adversary.KindLie,
+				adversary.KindTwoFaced, adversary.KindRandom,
+			}
+			for ctx.Err() == nil {
+				var t0 time.Time
+				if interval > 0 {
+					// Open loop: latency counts from the scheduled start,
+					// so server-side queueing is visible in the numbers.
+					if d := time.Until(next); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+							return
+						}
+					}
+					t0 = next
+					next = next.Add(interval)
+				} else {
+					t0 = time.Now()
+				}
+				req := service.Request{N: *n, M: *m, U: *u, Value: types.Value(rng.Int63n(1 << 30))}
+				if rng.Float64() < *faultProb {
+					req.Faults = []service.FaultSpec{{
+						Node:  types.NodeID(rng.Intn(*n)),
+						Kind:  kinds[rng.Intn(len(kinds))],
+						Value: types.Value(rng.Int63n(1 << 30)),
+						Seed:  int64(inFault.Add(1)),
+					}}
+				}
+				ty.requests++
+				resp, err := doers[w].do(ctx, req)
+				switch {
+				case err == nil:
+					ty.completed++
+					ty.latenciesUs = append(ty.latenciesUs, float64(time.Since(t0))/float64(time.Microsecond))
+					if resp.Degraded {
+						ty.degraded++
+					}
+					if resp.Checked {
+						ty.checked++
+						if !resp.OK {
+							ty.violations++
+						}
+					}
+				case ctx.Err() != nil:
+					ty.requests-- // deadline hit mid-flight; not a workload error
+					return
+				case isRetryable(err):
+					ty.rejected++
+				default:
+					ty.errs++
+					if ty.firstErr == nil {
+						ty.firstErr = err
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var rep report
+	rep.Mode, rep.N, rep.M, rep.U = mode, *n, *m, *u
+	rep.FaultProb, rep.Conns, rep.RateTarget = *faultProb, *conns, *rate
+	rep.DurationS = elapsed.Seconds()
+	var lats []float64
+	for i := range tallies {
+		ty := &tallies[i]
+		rep.Requests += ty.requests
+		rep.Completed += ty.completed
+		rep.Rejected += ty.rejected
+		rep.Errors += ty.errs
+		rep.DegradedFraction += float64(ty.degraded)
+		rep.SpecChecked += ty.checked
+		rep.SpecViolations += ty.violations
+		lats = append(lats, ty.latenciesUs...)
+		if ty.firstErr != nil {
+			fmt.Fprintf(out, "loadgen: worker %d error: %v\n", i, ty.firstErr)
+		}
+	}
+	if rep.Completed > 0 {
+		rep.DegradedFraction /= float64(rep.Completed)
+	}
+	if rep.Requests > 0 {
+		rep.RejectionRate = float64(rep.Rejected) / float64(rep.Requests)
+	}
+	rep.Throughput = float64(rep.Completed) / elapsed.Seconds()
+	sum := stats.Summarize(lats)
+	rep.LatencyMeanUs, rep.LatencyP50Us = sum.Mean, sum.P50
+	rep.LatencyP95Us, rep.LatencyP99Us = sum.P95, sum.P99
+
+	tb := stats.NewTable(fmt.Sprintf("loadgen: %s N=%d m=%d u=%d conns=%d fault-prob=%g (%.1fs)",
+		mode, *n, *m, *u, *conns, *faultProb, elapsed.Seconds()), "metric", "value")
+	tb.AddRow("throughput (inst/s)", rep.Throughput)
+	tb.AddRow("completed", rep.Completed)
+	tb.AddRow("rejected", rep.Rejected)
+	tb.AddRow("rejection rate", rep.RejectionRate)
+	tb.AddRow("errors", rep.Errors)
+	tb.AddRow("latency mean (us)", rep.LatencyMeanUs)
+	tb.AddRow("latency P50 (us)", rep.LatencyP50Us)
+	tb.AddRow("latency P95 (us)", rep.LatencyP95Us)
+	tb.AddRow("latency P99 (us)", rep.LatencyP99Us)
+	tb.AddRow("degraded fraction", rep.DegradedFraction)
+	tb.AddRow("spec checked", rep.SpecChecked)
+	tb.AddRow("spec violations", rep.SpecViolations)
+	fmt.Fprint(out, tb.String())
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loadgen: wrote %s\n", *jsonPath)
+	}
+	if rep.SpecViolations > 0 {
+		return fmt.Errorf("%d spec violations", rep.SpecViolations)
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d request errors", rep.Errors)
+	}
+	return nil
+}
+
+// isRetryable reports whether err is admission backpressure rather than a
+// workload failure.
+func isRetryable(err error) bool {
+	return errors.Is(err, service.ErrOverloaded) || errors.Is(err, service.ErrClosed)
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"degradable/internal/service"
+	"degradable/internal/wire"
+)
+
+// TestInprocJSON runs a short in-process closed-loop burst and checks the
+// report numbers and the JSON artifact.
+func TestInprocJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-inproc", "-duration", "300ms", "-conns", "2",
+		"-n", "5", "-m", "1", "-u", "2", "-spec-sample", "4",
+		"-json", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "inproc" || rep.N != 5 || rep.M != 1 || rep.U != 2 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.Completed == 0 || rep.Throughput <= 0 {
+		t.Fatalf("no work completed: %+v", rep)
+	}
+	if rep.SpecChecked == 0 {
+		t.Fatal("spec sampler never ran")
+	}
+	if rep.SpecViolations != 0 || rep.Errors != 0 {
+		t.Fatalf("violations=%d errors=%d", rep.SpecViolations, rep.Errors)
+	}
+	if rep.LatencyP50Us <= 0 || rep.LatencyP99Us < rep.LatencyP50Us {
+		t.Fatalf("implausible latencies: P50=%g P99=%g", rep.LatencyP50Us, rep.LatencyP99Us)
+	}
+	if !strings.Contains(out.String(), "throughput") {
+		t.Error("table output missing")
+	}
+}
+
+// TestOpenLoopRate checks the paced mode holds roughly its target rate.
+func TestOpenLoopRate(t *testing.T) {
+	var out bytes.Buffer
+	path := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{
+		"-inproc", "-duration", "500ms", "-conns", "2", "-rate", "500",
+		"-n", "5", "-m", "1", "-u", "2", "-json", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	blob, _ := os.ReadFile(path)
+	var rep report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	// 500/s for 0.5s ≈ 250 requests; allow generous scheduling slack.
+	if rep.Completed < 100 || rep.Completed > 400 {
+		t.Fatalf("paced run completed %d, want ≈250", rep.Completed)
+	}
+}
+
+// TestTCPMode drives a real daemon over loopback.
+func TestTCPMode(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.NewServer(ln, service.New(service.Config{Shards: 2}))
+	go srv.Serve()
+	defer srv.Shutdown(t.Context())
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-addr", ln.Addr().String(), "-duration", "300ms", "-conns", "2",
+		"-n", "5", "-m", "1", "-u", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if st := srv.Service().Stats(); st.Completed == 0 || st.SpecViolations != 0 {
+		t.Fatalf("server stats: %+v", st)
+	}
+}
+
+// TestRejectsInvalidShape checks parameter validation happens before any
+// load is generated.
+func TestRejectsInvalidShape(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-inproc", "-n", "4", "-m", "1", "-u", "2"}, &out); err == nil {
+		t.Fatal("N ≤ 2m+u accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"degradable/internal/service"
+	"degradable/internal/wire"
+)
+
+// TestServeSignalShutdown boots the daemon on an ephemeral port, serves a
+// request over real TCP, then delivers SIGTERM and checks the graceful
+// path: run returns nil and the final counters are printed.
+func TestServeSignalShutdown(t *testing.T) {
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-shards", "2"}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Do(context.Background(), service.Request{N: 5, M: 1, U: 2, Value: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != wire.StatusOK || len(res.Resp.Decisions) != 5 {
+		t.Fatalf("status=%v decisions=%d", res.Status, len(res.Resp.Decisions))
+	}
+
+	// The daemon's signal.NotifyContext owns SIGTERM here, so signalling
+	// our own process exercises the real shutdown path.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+	if !strings.Contains(out.String(), "completed=1") {
+		t.Errorf("final counters missing from output:\n%s", out.String())
+	}
+}
+
+// TestServeBadFlags checks flag errors surface instead of hanging.
+func TestServeBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-addr", "not-an-address"}, &out, nil); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}

@@ -69,6 +69,15 @@ func NewNode(n, depth int, sender, id types.NodeID, value types.Value, strat Str
 // ID implements netsim.Node.
 func (b *Node) ID() types.NodeID { return b.honest.ID() }
 
+// Reset returns the node to its pre-run state and re-arms it with a new
+// strategy (and sender input, relevant only when the node is the sender).
+// The serving runtime pools Byzantine wrappers alongside honest complements;
+// a Reset node behaves identically to one built by NewNode.
+func (b *Node) Reset(value types.Value, strat Strategy) {
+	b.honest.Reset(value)
+	b.strat = strat
+}
+
 // Step implements netsim.Node.
 func (b *Node) Step(round int, inbox []types.Message) []types.Message {
 	scheduled := b.honest.Step(round, inbox)

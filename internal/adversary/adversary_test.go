@@ -115,7 +115,7 @@ func TestCampLie(t *testing.T) {
 }
 
 func TestPathLie(t *testing.T) {
-	s := PathLie{ByPath: map[string]types.Value{"0.1": 99}}
+	s := PathLie{ByPath: map[string]types.Value{(types.Path{0, 1}).Key(): 99}}
 	m := types.Message{Round: 2, To: 2, Value: 7, Path: types.Path{0, 1}}
 	if v, _ := s.Corrupt(3, m); v != 99 {
 		t.Errorf("targeted path = %v", v)

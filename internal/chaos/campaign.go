@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -93,8 +94,15 @@ type Failure struct {
 
 // Report summarizes a campaign.
 type Report struct {
-	Seed         int64       `json:"seed"`
-	Runs         int         `json:"runs"`
+	Seed int64 `json:"seed"`
+	Runs int   `json:"runs"`
+	// Completed counts the scenarios actually executed: equal to Runs
+	// unless the campaign was interrupted.
+	Completed int `json:"completed"`
+	// Interrupted marks a campaign cut short by context cancellation; the
+	// tallies cover the Completed prefix and remain deterministic (the
+	// same seed replays the same prefix).
+	Interrupted  bool        `json:"interrupted,omitempty"`
 	Grid         []GridPoint `json:"grid"`
 	SpecHeld     int         `json:"specHeld"`
 	GracefulOnly int         `json:"gracefulOnly"`
@@ -117,8 +125,15 @@ type Report struct {
 // expectation.
 func (r *Report) Healthy() bool { return r.Violated == 0 && len(r.Failures) == 0 }
 
-// Run executes the campaign.
-func (c Campaign) Run() (*Report, error) {
+// Run executes the campaign to completion.
+func (c Campaign) Run() (*Report, error) { return c.RunContext(context.Background()) }
+
+// RunContext executes the campaign, stopping between scenarios when ctx is
+// cancelled. An interrupted campaign is not an error: the partial report is
+// returned with Interrupted set and the tallies covering every scenario
+// that completed, so long chaos runs can be cut short and still yield
+// their evidence.
+func (c Campaign) RunContext(ctx context.Context) (*Report, error) {
 	if c.Runs <= 0 {
 		c.Runs = 1000
 	}
@@ -145,6 +160,10 @@ func (c Campaign) Run() (*Report, error) {
 	}
 
 	for i := 0; i < c.Runs; i++ {
+		if ctx.Err() != nil {
+			rep.Interrupted = true
+			break
+		}
 		sc := c.generate(i)
 		out, err := sc.Run()
 		if err != nil {
@@ -178,6 +197,7 @@ func (c Campaign) Run() (*Report, error) {
 		if !out.ExpectationMet {
 			rep.Failures = append(rep.Failures, c.fail(out))
 		}
+		rep.Completed++
 	}
 	for _, r := range order {
 		if t := tallies[r]; t.Scenarios > 0 {

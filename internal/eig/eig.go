@@ -37,7 +37,41 @@ type Tree struct {
 	n      int
 	depth  int
 	sender types.NodeID
-	vals   map[string]types.Value
+	// fast holds the values when every path fits a pathKey (n ≤ 255 and
+	// depth ≤ maxFastDepth): a comparable fixed-size key hashes without
+	// allocating, which dominates the protocol's hot loop. Larger systems
+	// fall back to string keys in vals. Exactly one of the two maps is
+	// non-nil.
+	fast map[pathKey]types.Value
+	vals map[string]types.Value
+	// pbuf and scratch are reusable buffers for Resolve: pbuf is the
+	// in-place DFS path, scratch holds one vals segment per recursion
+	// level. Lazily sized; never shared across goroutines (a Tree is one
+	// receiver's local state and has never been concurrency-safe).
+	pbuf    types.Path
+	scratch []types.Value
+}
+
+// maxFastDepth is the deepest path a pathKey can encode. Protocol depth is
+// m+1, so this covers every system up to m = 6 — far beyond what the
+// exponential message complexity makes runnable anyway.
+const maxFastDepth = 7
+
+// pathKey is a comparable fixed-size path encoding for the fast map.
+type pathKey struct {
+	n   uint8 // path length
+	ids [maxFastDepth]uint8
+}
+
+// fastKey encodes p as a pathKey. Only called when the tree is in fast mode,
+// which guarantees every ID fits a byte and the length fits the array.
+func fastKey(p types.Path) pathKey {
+	var k pathKey
+	k.n = uint8(len(p))
+	for i, id := range p {
+		k.ids[i] = uint8(id)
+	}
+	return k
 }
 
 // New returns an empty tree for a system of n nodes whose protocol performs
@@ -53,12 +87,24 @@ func New(n, depth int, sender types.NodeID) (*Tree, error) {
 	if sender < 0 || int(sender) >= n {
 		return nil, fmt.Errorf("eig: sender %d out of range", int(sender))
 	}
-	return &Tree{
-		n:      n,
-		depth:  depth,
-		sender: sender,
-		vals:   make(map[string]types.Value),
-	}, nil
+	t := &Tree{n: n, depth: depth, sender: sender}
+	if n <= 255 && depth <= maxFastDepth {
+		t.fast = make(map[pathKey]types.Value)
+	} else {
+		t.vals = make(map[string]types.Value)
+	}
+	return t, nil
+}
+
+// Reset empties the tree for reuse, retaining its allocated storage. The
+// serving runtime pools node complements across agreement instances; Reset
+// is what makes a pooled tree indistinguishable from a fresh one.
+func (t *Tree) Reset() {
+	if t.fast != nil {
+		clear(t.fast)
+	} else {
+		clear(t.vals)
+	}
 }
 
 // N returns the number of nodes in the top-level system.
@@ -89,6 +135,14 @@ func (t *Tree) Set(p types.Path, v types.Value) error {
 		return fmt.Errorf("eig: invalid path %s for n=%d depth=%d sender=%d",
 			p, t.n, t.depth, int(t.sender))
 	}
+	if t.fast != nil {
+		k := fastKey(p)
+		if _, dup := t.fast[k]; dup {
+			return nil
+		}
+		t.fast[k] = v
+		return nil
+	}
 	k := p.Key()
 	if _, dup := t.vals[k]; dup {
 		return nil
@@ -101,6 +155,12 @@ func (t *Tree) Set(p types.Path, v types.Value) error {
 // carrying it was absent (the paper's assumption (b): absence is detectable,
 // and a missing value is treated as the default).
 func (t *Tree) Get(p types.Path) types.Value {
+	if t.fast != nil {
+		if v, ok := t.fast[fastKey(p)]; ok {
+			return v
+		}
+		return types.Default
+	}
 	if v, ok := t.vals[p.Key()]; ok {
 		return v
 	}
@@ -109,18 +169,38 @@ func (t *Tree) Get(p types.Path) types.Value {
 
 // Has reports whether a value was recorded for p.
 func (t *Tree) Has(p types.Path) bool {
+	if t.fast != nil {
+		_, ok := t.fast[fastKey(p)]
+		return ok
+	}
 	_, ok := t.vals[p.Key()]
 	return ok
 }
 
 // Stored returns the number of recorded values.
-func (t *Tree) Stored() int { return len(t.vals) }
+func (t *Tree) Stored() int {
+	if t.fast != nil {
+		return len(t.fast)
+	}
+	return len(t.vals)
+}
 
 // Resolve computes the decision of receiver self by resolving the tree
 // bottom-up from the root path (sender). rule is applied at every internal
 // path; leaf paths (length == depth) evaluate to their stored value.
 func (t *Tree) Resolve(self types.NodeID, rule Rule) types.Value {
-	return t.resolve(types.Path{t.sender}, self, rule)
+	// The DFS reuses one path buffer (children overwrite their siblings'
+	// slot) and one scratch segment per recursion level, so resolving a
+	// pooled tree allocates nothing after the first call.
+	if cap(t.pbuf) < t.depth {
+		t.pbuf = make(types.Path, 0, t.depth)
+	}
+	if want := t.depth * t.n; cap(t.scratch) < want {
+		t.scratch = make([]types.Value, want)
+	}
+	t.pbuf = t.pbuf[:1]
+	t.pbuf[0] = t.sender
+	return t.resolve(t.pbuf, self, rule)
 }
 
 func (t *Tree) resolve(p types.Path, self types.NodeID, rule Rule) types.Value {
@@ -131,7 +211,9 @@ func (t *Tree) resolve(p types.Path, self types.NodeID, rule Rule) types.Value {
 	// The top-level protocol has n participants; each recursion level
 	// excludes one prior sender.
 	nSub := t.n - (len(p) - 1)
-	vals := make([]types.Value, 0, nSub-1)
+	level := len(p) - 1
+	seg := t.scratch[level*t.n : level*t.n : (level+1)*t.n]
+	vals := seg[:0]
 	// The receiver's own directly received value for this path (w_i in the
 	// paper's step 3).
 	vals = append(vals, t.Get(p))
@@ -140,7 +222,8 @@ func (t *Tree) resolve(p types.Path, self types.NodeID, rule Rule) types.Value {
 		if id == self || p.Contains(id) {
 			continue
 		}
-		vals = append(vals, t.resolve(p.Append(id), self, rule))
+		child := append(p, id)
+		vals = append(vals, t.resolve(child, self, rule))
 	}
 	return rule(nSub, vals)
 }
@@ -149,7 +232,8 @@ func (t *Tree) resolve(p types.Path, self types.NodeID, rule Rule) types.Value {
 // (rooted at the sender, distinct nodes) that does not contain exclude.
 // Pass exclude < 0 to enumerate all paths. Enumeration order is
 // deterministic (lexicographic in node IDs). fn returning false stops the
-// walk early.
+// walk early. The path passed to fn is only valid for the duration of the
+// call: callers that retain it must Clone (Append already copies).
 func (t *Tree) ForEachPath(length int, exclude types.NodeID, fn func(types.Path) bool) {
 	if length < 1 || length > t.depth {
 		return
@@ -164,7 +248,7 @@ func (t *Tree) ForEachPath(length int, exclude types.NodeID, fn func(types.Path)
 
 func (t *Tree) walk(p types.Path, length int, exclude types.NodeID, fn func(types.Path) bool) bool {
 	if len(p) == length {
-		return fn(p.Clone())
+		return fn(p)
 	}
 	for j := 0; j < t.n; j++ {
 		id := types.NodeID(j)

@@ -189,10 +189,14 @@ func TestForEachPath(t *testing.T) {
 	tr := mustNew(t, 4, 3, 0)
 	var got []string
 	tr.ForEachPath(2, -1, func(p types.Path) bool {
-		got = append(got, p.Key())
+		got = append(got, p.String())
 		return true
 	})
-	want := []string{"0.1", "0.2", "0.3"}
+	want := []string{
+		types.Path{0, 1}.String(),
+		types.Path{0, 2}.String(),
+		types.Path{0, 3}.String(),
+	}
 	if len(got) != len(want) {
 		t.Fatalf("paths = %v", got)
 	}

@@ -74,6 +74,12 @@ type Config struct {
 	RecordViews bool
 	// Trace, when non-nil, observes every delivered message.
 	Trace func(types.Message)
+	// Sequential executes every node inline on the calling goroutine, in
+	// node-ID order, instead of one goroutine per node. Results are
+	// identical (the round barrier already serializes all interleavings);
+	// the sequential engine exists for throughput-sensitive callers such
+	// as the serving runtime, where per-instance goroutine setup dominates.
+	Sequential bool
 }
 
 // Result summarizes a run.
@@ -111,41 +117,20 @@ func Run(nodes []Node, cfg Config) (*Result, error) {
 	if cfg.Rounds < 1 {
 		return nil, fmt.Errorf("netsim: rounds must be >= 1, got %d", cfg.Rounds)
 	}
-	byID := make(map[types.NodeID]Node, n)
+	byID := make([]Node, n)
 	for _, nd := range nodes {
 		id := nd.ID()
 		if id < 0 || int(id) >= n {
 			return nil, fmt.Errorf("netsim: node ID %d out of range [0,%d)", int(id), n)
 		}
-		if _, dup := byID[id]; dup {
+		if byID[int(id)] != nil {
 			return nil, fmt.Errorf("netsim: duplicate node ID %d", int(id))
 		}
-		byID[id] = nd
+		byID[int(id)] = nd
 	}
 	ch := cfg.Channel
 	if ch == nil {
 		ch = PerfectChannel{}
-	}
-
-	// One worker goroutine per node; the engine is the barrier.
-	reqs := make([]chan stepReq, n)
-	resps := make([]chan []types.Message, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		reqs[i] = make(chan stepReq)
-		resps[i] = make(chan []types.Message)
-		wg.Add(1)
-		go func(nd Node, req <-chan stepReq, resp chan<- []types.Message) {
-			defer wg.Done()
-			for r := range req {
-				if r.final {
-					nd.Finish(r.inbox)
-					resp <- nil
-					continue
-				}
-				resp <- nd.Step(r.round, r.inbox)
-			}
-		}(byID[types.NodeID(i)], reqs[i], resps[i])
 	}
 
 	res := &Result{
@@ -184,6 +169,63 @@ func Run(nodes []Node, cfg Config) (*Result, error) {
 		return inboxes
 	}
 
+	// collect stamps, validates, and queues one node's round sends,
+	// enforcing assumption (c): the true source is stamped.
+	collect := func(pending []types.Message, i, round int, out []types.Message) []types.Message {
+		for _, m := range out {
+			m.From = types.NodeID(i)
+			m.Round = round
+			if m.To < 0 || int(m.To) >= n || m.To == m.From {
+				continue // drop malformed or self-addressed sends
+			}
+			res.Messages++
+			res.PerRound[round-1]++
+			pending = append(pending, m)
+		}
+		return pending
+	}
+
+	if cfg.Sequential {
+		var pending []types.Message
+		for round := 1; round <= cfg.Rounds; round++ {
+			inboxes := deliver(pending)
+			pending = pending[:0]
+			for i := 0; i < n; i++ {
+				out := byID[i].Step(round, inboxes[i])
+				pending = collect(pending, i, round, out)
+			}
+		}
+		inboxes := deliver(pending)
+		for i := 0; i < n; i++ {
+			byID[i].Finish(inboxes[i])
+		}
+		for i, nd := range byID {
+			res.Decisions[types.NodeID(i)] = nd.Decide()
+		}
+		return res, nil
+	}
+
+	// One worker goroutine per node; the engine is the barrier.
+	reqs := make([]chan stepReq, n)
+	resps := make([]chan []types.Message, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		reqs[i] = make(chan stepReq)
+		resps[i] = make(chan []types.Message)
+		wg.Add(1)
+		go func(nd Node, req <-chan stepReq, resp chan<- []types.Message) {
+			defer wg.Done()
+			for r := range req {
+				if r.final {
+					nd.Finish(r.inbox)
+					resp <- nil
+					continue
+				}
+				resp <- nd.Step(r.round, r.inbox)
+			}
+		}(byID[i], reqs[i], resps[i])
+	}
+
 	var pending []types.Message
 	for round := 1; round <= cfg.Rounds; round++ {
 		inboxes := deliver(pending)
@@ -193,18 +235,7 @@ func Run(nodes []Node, cfg Config) (*Result, error) {
 			reqs[i] <- stepReq{round: round, inbox: inboxes[i]}
 		}
 		for i := 0; i < n; i++ {
-			out := <-resps[i]
-			for _, m := range out {
-				// Enforce assumption (c): the true source is stamped.
-				m.From = types.NodeID(i)
-				m.Round = round
-				if m.To < 0 || int(m.To) >= n || m.To == m.From {
-					continue // drop malformed or self-addressed sends
-				}
-				res.Messages++
-				res.PerRound[round-1]++
-				pending = append(pending, m)
-			}
+			pending = collect(pending, i, round, <-resps[i])
 		}
 	}
 	// Final delivery of round-R messages.
@@ -219,8 +250,8 @@ func Run(nodes []Node, cfg Config) (*Result, error) {
 		close(reqs[i])
 	}
 	wg.Wait()
-	for id, nd := range byID {
-		res.Decisions[id] = nd.Decide()
+	for i, nd := range byID {
+		res.Decisions[types.NodeID(i)] = nd.Decide()
 	}
 	return res, nil
 }

@@ -58,6 +58,17 @@ func New(n, depth int, sender, id types.NodeID, value types.Value, rule eig.Rule
 // ID implements netsim.Node.
 func (nd *Node) ID() types.NodeID { return nd.id }
 
+// Reset returns the node to its pre-run state with a (possibly new) sender
+// input, retaining the tree's allocated storage. The serving runtime pools
+// node complements across agreement instances of the same shape; a Reset
+// node behaves identically to a freshly constructed one.
+func (nd *Node) Reset(value types.Value) {
+	nd.value = value
+	nd.decision = types.Default
+	nd.decided = false
+	nd.tree.Reset()
+}
+
 // Tree exposes the node's EIG tree (read-only use by tests and the
 // adversary's schedule generator).
 func (nd *Node) Tree() *eig.Tree { return nd.tree }

@@ -71,7 +71,7 @@ func TestRelayRound2(t *testing.T) {
 		if m.Value != 7 {
 			t.Errorf("relayed %v, want 7", m.Value)
 		}
-		if m.Path.Key() != "0.1" {
+		if m.Path.Key() != (types.Path{0, 1}).Key() {
 			t.Errorf("relay path = %s", m.Path)
 		}
 	}

@@ -41,6 +41,10 @@ type Instance struct {
 	RecordViews bool
 	// Trace, when non-nil, observes every delivered message.
 	Trace func(types.Message)
+	// Sequential runs all nodes inline on the calling goroutine (see
+	// netsim.Config.Sequential). Identical results, lower overhead; the
+	// serving runtime sets it so shard goroutines own instances end-to-end.
+	Sequential bool
 }
 
 // Faulty returns the fault set implied by the armed strategies.
@@ -70,6 +74,7 @@ func (in Instance) Run() (*netsim.Result, spec.Verdict, error) {
 		Channel:     in.Channel,
 		RecordViews: in.RecordViews,
 		Trace:       in.Trace,
+		Sequential:  in.Sequential,
 	})
 	if err != nil {
 		return nil, spec.Verdict{}, err

@@ -1,0 +1,184 @@
+package service
+
+import (
+	"degradable/internal/adversary"
+	"degradable/internal/core"
+	"degradable/internal/netsim"
+	"degradable/internal/protocol/relay"
+	"degradable/internal/spec"
+	"degradable/internal/types"
+)
+
+// pool is the reusable per-shape instance: one honest node complement, one
+// Byzantine wrapper per node, and the arming scratch, all owned by a single
+// shard. Resetting a pooled node is a map clear; constructing one is a tree
+// allocation — amortizing the latter across a batch is the point of
+// grouping identically-shaped requests.
+type pool struct {
+	params core.Params
+	depth  int
+	// honest[i] is node i's honest implementation; byz[i] is the Byzantine
+	// wrapper substituted when a request arms node i.
+	honest []*relay.Node
+	byz    []*adversary.Node
+	// nodes is the arming scratch passed to the engine each run.
+	nodes []netsim.Node
+	// decisions is the response scratch; each run copies out of it.
+	decisions []types.Value
+}
+
+// newPool builds the reusable instance for one shape. The shape was
+// validated at admission, so construction cannot fail on a well-formed
+// request; any residual error is returned per-request by run.
+func newPool(k shape) (*pool, error) {
+	params := core.Params{N: k.n, M: k.m, U: k.u, Sender: k.sender}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	p := &pool{
+		params:    params,
+		depth:     params.Depth(),
+		honest:    make([]*relay.Node, k.n),
+		byz:       make([]*adversary.Node, k.n),
+		nodes:     make([]netsim.Node, k.n),
+		decisions: make([]types.Value, k.n),
+	}
+	for i := 0; i < k.n; i++ {
+		nd, err := params.NewNode(types.NodeID(i), types.Default)
+		if err != nil {
+			return nil, err
+		}
+		p.honest[i] = nd
+		bn, err := adversary.NewNode(k.n, p.depth, k.sender, types.NodeID(i), types.Default, adversary.Honest{})
+		if err != nil {
+			return nil, err
+		}
+		p.byz[i] = bn
+	}
+	return p, nil
+}
+
+// runOne executes one request on the shard's pooled instance for its shape,
+// creating the pool on first use.
+func (sh *shard) runOne(req Request) (Response, error) {
+	k := req.shape()
+	p, ok := sh.pools[k]
+	if !ok {
+		var err error
+		p, err = newPool(k)
+		if err != nil {
+			return Response{}, err
+		}
+		sh.pools[k] = p
+	}
+	resp, err := p.run(req, sh)
+	if err == nil {
+		sh.svc.completed.Add(1)
+		if resp.Degraded {
+			sh.svc.degraded.Add(1)
+		}
+	}
+	return resp, err
+}
+
+// run resets the pooled complement, arms the request's fault set, executes
+// the instance on the sequential engine, and classifies the outcome.
+func (p *pool) run(req Request, sh *shard) (Response, error) {
+	n := p.params.N
+	var faulty types.NodeSet
+	for i := 0; i < n; i++ {
+		p.honest[i].Reset(req.Value)
+		p.nodes[i] = p.honest[i]
+	}
+	for _, f := range req.Faults {
+		strat, err := f.Kind.Build(n, f.Value, f.Seed)
+		if err != nil {
+			return Response{}, err
+		}
+		bn := p.byz[int(f.Node)]
+		bn.Reset(req.Value, strat)
+		p.nodes[int(f.Node)] = bn
+		faulty = faulty.Add(f.Node)
+	}
+
+	res, err := netsim.Run(p.nodes, netsim.Config{Rounds: p.depth, Sequential: true})
+	if err != nil {
+		return Response{}, err
+	}
+	for i := 0; i < n; i++ {
+		p.decisions[i] = res.Decisions[types.NodeID(i)]
+	}
+
+	resp := Response{
+		Decisions: append([]types.Value(nil), p.decisions...),
+		Condition: condition(req.M, req.U, len(req.Faults), faulty.Contains(req.Sender)),
+		Degraded:  degradedOutcome(p.decisions, req.Sender, faulty),
+		OK:        true,
+	}
+
+	// Sampling mode: every SpecSample-th instance per shard goes through
+	// the full executable spec, so serving never drifts from D.1–D.4
+	// unnoticed.
+	if rate := sh.svc.cfg.SpecSample; rate > 0 {
+		sh.sinceCheck++
+		if sh.sinceCheck >= rate {
+			sh.sinceCheck = 0
+			v := spec.Check(spec.Execution{
+				M: req.M, U: req.U,
+				Sender:      req.Sender,
+				SenderValue: req.Value,
+				Faulty:      faulty,
+				Decisions:   res.Decisions,
+			})
+			resp.Checked = true
+			resp.OK = v.OK
+			resp.Graceful = v.Graceful
+			resp.Reason = v.Reason
+			sh.svc.specChecked.Add(1)
+			if !v.OK {
+				sh.svc.specViolations.Add(1)
+			}
+		}
+	}
+	return resp, nil
+}
+
+// condition selects the applicable paper condition from the fault count —
+// the same selection spec.Check performs, reproduced here so unsampled
+// responses still carry it without paying for the full verdict.
+func condition(m, u, f int, senderFaulty bool) string {
+	switch {
+	case f <= m && !senderFaulty:
+		return "D.1"
+	case f <= m:
+		return "D.2"
+	case f <= u && !senderFaulty:
+		return "D.3"
+	case f <= u:
+		return "D.4"
+	default:
+		return "none"
+	}
+}
+
+// degradedOutcome reports whether degradation manifested: some fault-free
+// receiver decided V_d, or the fault-free receivers split. Allocation-free.
+func degradedOutcome(decisions []types.Value, sender types.NodeID, faulty types.NodeSet) bool {
+	first := true
+	var ref types.Value
+	for i, d := range decisions {
+		id := types.NodeID(i)
+		if id == sender || faulty.Contains(id) {
+			continue
+		}
+		if d == types.Default {
+			return true
+		}
+		if first {
+			ref, first = d, false
+		} else if d != ref {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"degradable/internal/adversary"
+)
+
+// BenchmarkDo measures the full submit→shard→pool→respond path for the
+// acceptance shape (N=7, m=1, u=2), fault-free. The per-op time bounds the
+// closed-loop throughput one in-flight worker can sustain.
+func BenchmarkDo(b *testing.B) {
+	svc := New(Config{})
+	defer svc.Close()
+	ctx := context.Background()
+	req := Request{N: 7, M: 1, U: 2, Value: 42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Do(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDoFaulty is the same path with one two-faced fault armed: the
+// strategy rebuild per request is part of the cost.
+func BenchmarkDoFaulty(b *testing.B) {
+	svc := New(Config{})
+	defer svc.Close()
+	ctx := context.Background()
+	req := Request{N: 7, M: 1, U: 2, Value: 42,
+		Faults: []FaultSpec{{Node: 3, Kind: adversary.KindTwoFaced, Value: 99}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Do(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDoSpecEveryInstance prices the sampling spec-check by running it
+// on every instance rather than every eighth.
+func BenchmarkDoSpecEveryInstance(b *testing.B) {
+	svc := New(Config{SpecSample: 1})
+	defer svc.Close()
+	ctx := context.Background()
+	req := Request{N: 7, M: 1, U: 2, Value: 42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := svc.Do(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.OK {
+			b.Fatal(resp.Reason)
+		}
+	}
+}
+
+// BenchmarkDoPipelined keeps a window of requests in flight through Submit,
+// letting the shard batch instead of ping-ponging one request at a time.
+func BenchmarkDoPipelined(b *testing.B) {
+	svc := New(Config{QueueDepth: 4096})
+	defer svc.Close()
+	req := Request{N: 7, M: 1, U: 2, Value: 42}
+	const window = 64
+	pending := make([]<-chan Outcome, 0, window)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done, err := svc.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pending = append(pending, done)
+		if len(pending) == window {
+			for _, ch := range pending {
+				if out := <-ch; out.Err != nil {
+					b.Fatal(out.Err)
+				}
+			}
+			pending = pending[:0]
+		}
+	}
+	for _, ch := range pending {
+		if out := <-ch; out.Err != nil {
+			b.Fatal(out.Err)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+// Package service is the concurrent agreement-serving runtime: it accepts a
+// stream of m/u-degradable agreement requests and executes them on a sharded
+// worker pool.
+//
+// Each shard is one goroutine that owns its protocol instances end-to-end —
+// requests are admitted through a bounded per-shard queue with explicit
+// rejection (never blocking) and executed on the sequential netsim engine,
+// so the hot path takes no locks. Identically-shaped instances (same N, m,
+// u, sender) are batched: the shard drains its queue up to the batch size
+// and runs each shape group on a pooled, reusable node complement, so
+// per-instance setup (strategy construction, spec condition selection,
+// netsim wiring) is amortized across the batch.
+//
+// Serving never silently violates the paper's conditions: every shard
+// routes a deterministic sample of its results through the executable
+// specification (internal/spec) and counts violations, which callers can
+// read from Stats. This is the §2 Observation made operational — with
+// N > 2m+u the service degrades per request (some receivers fall back to
+// V_d) but never fails to produce m+1 fault-free agreement, and the sampler
+// continuously re-checks that contract in production.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"degradable/internal/adversary"
+	"degradable/internal/core"
+	"degradable/internal/types"
+)
+
+// Admission errors, matchable with errors.Is.
+var (
+	// ErrOverloaded marks a request rejected because the target shard's
+	// queue was full. The request was not executed; callers may retry.
+	ErrOverloaded = errors.New("service: overloaded (shard queue full)")
+	// ErrClosed marks a request submitted after Close began.
+	ErrClosed = errors.New("service: closed")
+	// ErrInvalid wraps request-validation failures rejected at admission.
+	ErrInvalid = errors.New("service: invalid request")
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Shards is the number of worker goroutines (default 1; there is no
+	// benefit in exceeding GOMAXPROCS).
+	Shards int
+	// QueueDepth is the per-shard admission queue bound (default 1024).
+	// A full queue rejects with ErrOverloaded rather than blocking.
+	QueueDepth int
+	// Batch is the maximum number of requests a shard drains per scheduling
+	// round (default 64). Identically-shaped requests within a batch share
+	// one pooled instance.
+	Batch int
+	// SpecSample routes every SpecSample-th completed instance per shard
+	// through the full executable spec (default 8; 1 checks every
+	// instance, negative disables sampling).
+	SpecSample int
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.Batch <= 0 {
+		c.Batch = 64
+	}
+	if c.SpecSample == 0 {
+		c.SpecSample = 8
+	}
+	return c
+}
+
+// FaultSpec arms one node of a requested instance with a built-in Byzantine
+// behaviour (the same vocabulary as the degradable facade's Fault).
+type FaultSpec struct {
+	// Node is the faulty node (the sender may be faulty).
+	Node types.NodeID
+	// Kind selects the behaviour.
+	Kind adversary.Kind
+	// Value parameterizes the lying kinds.
+	Value types.Value
+	// Seed parameterizes KindRandom.
+	Seed int64
+}
+
+// Request is one m/u-degradable agreement instance to execute.
+type Request struct {
+	// N, M, U are the instance parameters (N > 2M+U).
+	N, M, U int
+	// Sender is the distributing node (default 0).
+	Sender types.NodeID
+	// Value is the sender's input.
+	Value types.Value
+	// Faults arms the fault set.
+	Faults []FaultSpec
+}
+
+// shape is the batching key: requests with equal shapes run on the same
+// pooled instance.
+type shape struct {
+	n, m, u int
+	sender  types.NodeID
+}
+
+func (r Request) shape() shape { return shape{n: r.N, m: r.M, u: r.U, sender: r.Sender} }
+
+// Validate checks the request against the Theorem-2 feasibility bounds and
+// the fault list for range and duplicates. Strategy construction is
+// deferred to the shard (it is part of what batching amortizes).
+func (r Request) Validate() error {
+	p := core.Params{N: r.N, M: r.M, U: r.U, Sender: r.Sender}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if r.N > int(types.MaxNodeSetID)+1 {
+		return fmt.Errorf("service: N=%d exceeds the node-set limit %d", r.N, types.MaxNodeSetID+1)
+	}
+	var armed types.NodeSet
+	for _, f := range r.Faults {
+		if f.Node < 0 || int(f.Node) >= r.N {
+			return fmt.Errorf("service: faulty node %d out of range [0,%d)", int(f.Node), r.N)
+		}
+		if armed.Contains(f.Node) {
+			return fmt.Errorf("service: node %d armed twice", int(f.Node))
+		}
+		armed = armed.Add(f.Node)
+	}
+	return nil
+}
+
+// Response reports one executed instance.
+type Response struct {
+	// Decisions is every node's decision, indexed by node ID. Faulty nodes
+	// report V_d.
+	Decisions []types.Value
+	// Condition is the paper condition that applied ("D.1".."D.4", or
+	// "none" beyond u faults), selected from the request's fault count.
+	Condition string
+	// Degraded reports whether degradation manifested: the fault-free
+	// receivers did not unanimously decide one non-default value.
+	Degraded bool
+	// Checked reports whether this instance was routed through the full
+	// executable spec (the sampling mode).
+	Checked bool
+	// OK is the spec verdict when Checked (true otherwise — an unchecked
+	// instance carries no violation evidence).
+	OK bool
+	// Graceful is the §2 m+1 agreement floor, populated when Checked.
+	Graceful bool
+	// Reason explains a spec violation (empty when OK).
+	Reason string
+}
+
+// Stats is a point-in-time snapshot of service counters.
+type Stats struct {
+	// Accepted counts requests admitted to a shard queue.
+	Accepted uint64
+	// Rejected counts requests refused with ErrOverloaded.
+	Rejected uint64
+	// Completed counts executed instances (answered requests).
+	Completed uint64
+	// Degraded counts completed instances whose Response.Degraded was set.
+	Degraded uint64
+	// SpecChecked counts instances routed through the executable spec.
+	SpecChecked uint64
+	// SpecViolations counts sampled instances whose verdict failed. Always
+	// zero unless the protocol or runtime is broken.
+	SpecViolations uint64
+}
+
+// task is one queued request with its completion slot.
+type task struct {
+	req  Request
+	done chan Outcome
+}
+
+// Outcome is one answered request: the response, or the error that stopped
+// its execution.
+type Outcome struct {
+	Resp Response
+	Err  error
+}
+
+// Service is the sharded agreement-serving runtime. Construct with New,
+// submit with Do or Submit, and Close to drain.
+type Service struct {
+	cfg    Config
+	shards []*shard
+	next   atomic.Uint64
+	closed atomic.Bool
+	term   chan struct{} // closed when every shard has exited
+	wg     sync.WaitGroup
+
+	accepted       atomic.Uint64
+	rejected       atomic.Uint64
+	completed      atomic.Uint64
+	degraded       atomic.Uint64
+	specChecked    atomic.Uint64
+	specViolations atomic.Uint64
+}
+
+// New starts a service with the given configuration.
+func New(cfg Config) *Service {
+	s := newUnstarted(cfg)
+	s.start()
+	return s
+}
+
+// newUnstarted builds the service without launching shard goroutines.
+// Tests use it to exercise admission and drain deterministically.
+func newUnstarted(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{cfg: cfg, term: make(chan struct{})}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			svc:   s,
+			in:    make(chan *task, cfg.QueueDepth),
+			stop:  make(chan struct{}),
+			pools: make(map[shape]*pool),
+		}
+	}
+	return s
+}
+
+// start launches the shard goroutines.
+func (s *Service) start() {
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go sh.run()
+	}
+}
+
+// Config returns the resolved (defaulted) configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Accepted:       s.accepted.Load(),
+		Rejected:       s.rejected.Load(),
+		Completed:      s.completed.Load(),
+		Degraded:       s.degraded.Load(),
+		SpecChecked:    s.specChecked.Load(),
+		SpecViolations: s.specViolations.Load(),
+	}
+}
+
+// Submit validates and enqueues one request, returning a channel that will
+// carry exactly one outcome. Admission is non-blocking: a full shard queue
+// rejects with ErrOverloaded immediately. Requests admitted before Close
+// are always answered (shutdown drains the queues).
+func (s *Service) Submit(req Request) (<-chan Outcome, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := req.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalid, err)
+	}
+	t := &task{req: req, done: make(chan Outcome, 1)}
+	sh := s.shards[(s.next.Add(1)-1)%uint64(len(s.shards))]
+	select {
+	case sh.in <- t:
+		s.accepted.Add(1)
+		return t.done, nil
+	default:
+		s.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+}
+
+// Do submits one request and waits for its response. ctx cancels the wait
+// (not the execution: an admitted request still runs and is accounted, its
+// result discarded).
+func (s *Service) Do(ctx context.Context, req Request) (Response, error) {
+	done, err := s.Submit(req)
+	if err != nil {
+		return Response{}, err
+	}
+	select {
+	case out := <-done:
+		return out.Resp, out.Err
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	case <-s.term:
+		// Close raced the enqueue and the shard exited without seeing the
+		// task; one final non-blocking read settles the race.
+		select {
+		case out := <-done:
+			return out.Resp, out.Err
+		default:
+			return Response{}, ErrClosed
+		}
+	}
+}
+
+// Close stops admission, drains every shard queue (all admitted requests
+// are answered), and waits for the shards to exit. Close is idempotent.
+func (s *Service) Close() {
+	if s.closed.Swap(true) {
+		<-s.term // concurrent Close waits for the first to finish
+		return
+	}
+	for _, sh := range s.shards {
+		close(sh.stop)
+	}
+	s.wg.Wait()
+	close(s.term)
+}
+
+// shard is one worker goroutine and its private state. Everything below
+// runs on the shard goroutine only — no locks anywhere on the path from
+// dequeue to completion.
+type shard struct {
+	svc   *Service
+	in    chan *task
+	stop  chan struct{}
+	pools map[shape]*pool
+	// sinceCheck counts instances since the last spec sample.
+	sinceCheck int
+	// batch and groups are reusable scheduling scratch.
+	batch  []*task
+	groups map[shape][]*task
+}
+
+// run is the shard loop: block for one task, drain opportunistically up to
+// the batch bound, then execute the batch grouped by shape.
+func (sh *shard) run() {
+	defer sh.svc.wg.Done()
+	for {
+		select {
+		case t := <-sh.in:
+			sh.collect(t)
+			sh.execute()
+		case <-sh.stop:
+			// Drain: admitted requests are always answered.
+			for {
+				select {
+				case t := <-sh.in:
+					sh.collect(t)
+					sh.execute()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect fills the batch scratch with t plus whatever is already queued,
+// up to the batch bound.
+func (sh *shard) collect(t *task) {
+	sh.batch = append(sh.batch[:0], t)
+	for len(sh.batch) < sh.svc.cfg.Batch {
+		select {
+		case t2 := <-sh.in:
+			sh.batch = append(sh.batch, t2)
+		default:
+			return
+		}
+	}
+}
+
+// execute runs the collected batch, grouped by shape so each group shares
+// one pooled instance.
+func (sh *shard) execute() {
+	if len(sh.batch) == 1 {
+		// The common uncontended case: skip group bookkeeping entirely.
+		t := sh.batch[0]
+		resp, err := sh.runOne(t.req)
+		t.done <- Outcome{Resp: resp, Err: err}
+		return
+	}
+	if sh.groups == nil {
+		sh.groups = make(map[shape][]*task)
+	}
+	for _, t := range sh.batch {
+		k := t.req.shape()
+		sh.groups[k] = append(sh.groups[k], t)
+	}
+	for k, group := range sh.groups {
+		for _, t := range group {
+			resp, err := sh.runOne(t.req)
+			t.done <- Outcome{Resp: resp, Err: err}
+		}
+		delete(sh.groups, k)
+	}
+}

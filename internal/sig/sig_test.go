@@ -25,7 +25,7 @@ func TestChainExtension(t *testing.T) {
 	a := NewAuthority()
 	c1 := a.Sign(0, 7, nil)
 	c2 := a.Sign(1, 7, c1)
-	if c2.Key() != "0.1" {
+	if c2.Key() != (types.Path{0, 1}).Key() {
 		t.Fatalf("chain = %v", c2)
 	}
 	if !a.Verify(7, c2) {

@@ -44,6 +44,79 @@ func TestPercentileInterpolation(t *testing.T) {
 	}
 }
 
+// TestSummarizeTwo pins the N=2 edge: every percentile interpolates on the
+// single [lo, hi] segment, and P95/P99 land near (not at) the max.
+func TestSummarizeTwo(t *testing.T) {
+	s := Summarize([]float64{0, 100})
+	if s.N != 2 || s.Min != 0 || s.Max != 100 || s.Mean != 50 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P50 != 50 {
+		t.Errorf("P50 = %v, want 50", s.P50)
+	}
+	if math.Abs(s.P95-95) > 1e-12 {
+		t.Errorf("P95 = %v, want 95", s.P95)
+	}
+	if math.Abs(s.P99-99) > 1e-12 {
+		t.Errorf("P99 = %v, want 99", s.P99)
+	}
+	if math.Abs(s.Std-math.Sqrt(5000)) > 1e-9 {
+		t.Errorf("Std = %v", s.Std)
+	}
+}
+
+// TestSummarizeAllEqual checks a constant sample: zero spread, every
+// percentile equal to the constant, no NaNs from the variance path.
+func TestSummarizeAllEqual(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 101} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 7.5
+		}
+		s := Summarize(xs)
+		if s.Mean != 7.5 || s.Min != 7.5 || s.Max != 7.5 {
+			t.Errorf("n=%d: summary = %+v", n, s)
+		}
+		if s.Std != 0 {
+			t.Errorf("n=%d: Std = %v, want 0", n, s.Std)
+		}
+		if s.P50 != 7.5 || s.P95 != 7.5 || s.P99 != 7.5 {
+			t.Errorf("n=%d: percentiles = %+v", n, s)
+		}
+	}
+}
+
+// TestPercentileTinySamples pins P99 on samples too small for a distinct
+// 99th percentile: it interpolates toward the max and never exceeds it,
+// for every tiny N (the loadgen report calls Summarize on whatever the
+// run produced, including near-empty runs).
+func TestPercentileTinySamples(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i + 1) // 1..n, already sorted
+		}
+		s := Summarize(xs)
+		if s.P99 > s.Max {
+			t.Errorf("n=%d: P99 = %v exceeds max %v", n, s.P99, s.Max)
+		}
+		if s.P99 < s.P95 || s.P95 < s.P50 {
+			t.Errorf("n=%d: percentiles not monotone: %+v", n, s)
+		}
+		// With n points the P99 position is 0.99·(n-1); it must land in
+		// the top segment.
+		if n > 1 && s.P99 < float64(n-1) {
+			t.Errorf("n=%d: P99 = %v below the top segment", n, s.P99)
+		}
+	}
+	// Unsorted input must not change the answer.
+	a := Summarize([]float64{3, 1, 2})
+	b := Summarize([]float64{1, 2, 3})
+	if a != b {
+		t.Errorf("order-dependent summaries: %+v vs %+v", a, b)
+	}
+}
+
 // Property: Min ≤ P50 ≤ Max and Min ≤ Mean ≤ Max for any non-empty sample.
 func TestSummaryBoundsQuick(t *testing.T) {
 	f := func(raw []int16) bool {

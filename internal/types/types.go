@@ -79,8 +79,19 @@ func (p Path) Last() NodeID {
 }
 
 // Valid reports whether the path has no repeated nodes and all IDs are in
-// [0, n).
+// [0, n). The common case (all IDs ≤ MaxNodeSetID) runs allocation-free on
+// a bitmask; larger systems fall back to a map.
 func (p Path) Valid(n int) bool {
+	if n <= MaxNodeSetID+1 {
+		var seen NodeSet
+		for _, id := range p {
+			if id < 0 || int(id) >= n || seen.Contains(id) {
+				return false
+			}
+			seen = seen.Add(id)
+		}
+		return true
+	}
 	seen := make(map[NodeID]bool, len(p))
 	for _, id := range p {
 		if id < 0 || int(id) >= n || seen[id] {
@@ -92,18 +103,52 @@ func (p Path) Valid(n int) bool {
 }
 
 // Key returns a compact string encoding of the path, usable as a map key.
+// Distinct paths always yield distinct keys. The encoding is binary (one
+// byte per ID below 255, an escape plus fixed width above), chosen so that
+// the hot protocol loops never touch fmt; use String for display.
 func (p Path) Key() string {
 	if len(p) == 0 {
 		return ""
 	}
-	var b strings.Builder
-	for i, id := range p {
-		if i > 0 {
-			b.WriteByte('.')
-		}
-		fmt.Fprintf(&b, "%d", int(id))
+	buf := make([]byte, 0, len(p))
+	for _, id := range p {
+		buf = appendKeyID(buf, id)
 	}
-	return b.String()
+	return string(buf)
+}
+
+// appendKeyID appends the key encoding of one ID: a single byte for IDs in
+// [0, 255), or 0xFF followed by 8 big-endian bytes for anything else.
+func appendKeyID(buf []byte, id NodeID) []byte {
+	if id >= 0 && id < 0xFF {
+		return append(buf, byte(id))
+	}
+	v := uint64(int64(id))
+	return append(buf, 0xFF,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Compare orders paths element-wise numerically, shorter prefixes first.
+// It agrees with the lexicographic order of Key for in-range IDs and is
+// allocation-free, so engines can sort deliveries without building keys.
+func (p Path) Compare(q Path) int {
+	for i := 0; i < len(p) && i < len(q); i++ {
+		if p[i] != q[i] {
+			if p[i] < q[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(p) < len(q):
+		return -1
+	case len(p) > len(q):
+		return 1
+	default:
+		return 0
+	}
 }
 
 // String renders the path as "s→a→b".
@@ -142,9 +187,8 @@ func SortMessages(ms []Message) {
 		if a.From != b.From {
 			return a.From < b.From
 		}
-		ak, bk := a.Path.Key(), b.Path.Key()
-		if ak != bk {
-			return ak < bk
+		if c := a.Path.Compare(b.Path); c != 0 {
+			return c < 0
 		}
 		return a.To < b.To
 	})

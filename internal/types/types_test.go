@@ -59,7 +59,7 @@ func TestPathAppendDoesNotAlias(t *testing.T) {
 	p[0] = 0
 	q := p.Append(1)
 	r := p.Append(2)
-	if q.Key() != "0.1" || r.Key() != "0.2" {
+	if q.Key() != (Path{0, 1}).Key() || r.Key() != (Path{0, 2}).Key() {
 		t.Fatalf("Append aliasing: q=%s r=%s", q, r)
 	}
 	if len(p) != 1 {
@@ -128,7 +128,7 @@ func TestSortMessagesDeterministic(t *testing.T) {
 		{From: 1, To: 2, Path: Path{0}},
 	}
 	SortMessages(ms)
-	if ms[0].From != 1 || ms[0].Path.Key() != "0" {
+	if ms[0].From != 1 || ms[0].Path.Key() != (Path{0}).Key() {
 		t.Errorf("unexpected first message: %v", ms[0])
 	}
 	if ms[len(ms)-1].From != 2 {

@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"degradable/internal/service"
+)
+
+// Result is one answered remote request.
+type Result struct {
+	// Status is the server's admission/execution classification.
+	Status Status
+	// Resp is populated when Status is StatusOK.
+	Resp service.Response
+	// Errmsg carries the server's error text for non-OK statuses.
+	Errmsg string
+}
+
+// Client is a pipelining TCP client for the agreement service: many
+// requests may be in flight on one connection; a background reader
+// demultiplexes responses by ID. Safe for concurrent use.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+	bw  *bufio.Writer
+
+	mu      sync.Mutex // guards pending, nextID, err
+	pending map[uint64]chan Result
+	nextID  uint64
+	err     error // terminal read-loop error; set once
+
+	readDone chan struct{}
+}
+
+// Dial connects to a serve daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection and starts the reader.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:     conn,
+		bw:       bufio.NewWriter(conn),
+		pending:  make(map[uint64]chan Result),
+		readDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// readLoop demultiplexes response frames to their waiters until the
+// connection fails or closes; every waiter is then failed with the cause.
+func (c *Client) readLoop() {
+	defer close(c.readDone)
+	br := bufio.NewReader(c.conn)
+	var err error
+	for {
+		var payload []byte
+		payload, err = ReadFrame(br)
+		if err != nil {
+			break
+		}
+		id, st, resp, errmsg, derr := DecodeResponse(payload)
+		if derr != nil {
+			err = derr
+			break
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ok {
+			ch <- Result{Status: st, Resp: resp, Errmsg: errmsg}
+		}
+	}
+	c.mu.Lock()
+	c.err = fmt.Errorf("wire: connection lost: %w", err)
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch) // a closed channel reads the zero Result; Do maps it to c.err
+	}
+	c.mu.Unlock()
+}
+
+// Send submits one request and returns a channel carrying its Result. The
+// channel is closed without a value if the connection dies first.
+func (c *Client) Send(req service.Request) (<-chan Result, error) {
+	ch := make(chan Result, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	buf, err := AppendRequest(nil, id, req)
+	if err != nil {
+		c.forget(id)
+		return nil, err
+	}
+	c.wmu.Lock()
+	_, werr := c.bw.Write(buf)
+	if werr == nil {
+		werr = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if werr != nil {
+		c.forget(id)
+		return nil, werr
+	}
+	return ch, nil
+}
+
+// forget abandons one in-flight ID after a local send failure.
+func (c *Client) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Do submits one request and waits for its result.
+func (c *Client) Do(ctx context.Context, req service.Request) (Result, error) {
+	ch, err := c.Send(req)
+	if err != nil {
+		return Result{}, err
+	}
+	select {
+	case r, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return Result{}, err
+		}
+		return r, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Close severs the connection; in-flight requests fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.readDone
+	return err
+}

@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"degradable/internal/service"
+)
+
+// shutdownGrace is how long a connection's reader keeps draining
+// already-sent frames after Shutdown begins. Requests read within the
+// grace window are executed and answered; afterwards the read deadline
+// trips and the writer flushes what remains.
+const shutdownGrace = 250 * time.Millisecond
+
+// pendingResp is one in-flight request on a connection, queued in arrival
+// order so the writer answers FIFO (shards are FIFO too, so head-of-line
+// waits are short).
+type pendingResp struct {
+	id uint64
+	// done carries the outcome for admitted requests; nil when admission
+	// refused the request, in which case err holds the refusal.
+	done <-chan service.Outcome
+	err  error
+}
+
+// Server exposes a service.Service over TCP: one reader and one writer
+// goroutine per connection, length-prefixed frames.
+type Server struct {
+	svc *service.Service
+	ln  net.Listener
+
+	quit   chan struct{}
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	active sync.WaitGroup
+	closed bool
+}
+
+// NewServer wraps an already-listening socket. The server owns both the
+// listener and the service: Shutdown closes the two in order.
+func NewServer(ln net.Listener, svc *service.Service) *Server {
+	return &Server{
+		svc:   svc,
+		ln:    ln,
+		quit:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Service returns the underlying runtime (for stats).
+func (s *Server) Service() *service.Service { return s.svc }
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts connections until Shutdown. It always returns a non-nil
+// error; after Shutdown the error is net.ErrClosed.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.active.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// handle runs one connection: the reader parses frames and submits them,
+// handing (id, completion) pairs to the writer in arrival order; the writer
+// awaits each completion and answers. On server shutdown the reader stops
+// admitting, the writer flushes every in-flight response, and only then
+// does the connection close — no admitted request goes unanswered.
+func (s *Server) handle(conn net.Conn) {
+	defer s.active.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	cfg := s.svc.Config()
+	pend := make(chan pendingResp, cfg.Shards*cfg.QueueDepth+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		var buf []byte
+		bw := bufio.NewWriter(conn)
+		for p := range pend {
+			var out service.Outcome
+			if p.err != nil {
+				out.Err = p.err
+			} else {
+				out = <-p.done
+			}
+			buf = buf[:0]
+			var err error
+			if out.Err != nil {
+				buf, err = AppendResponse(buf, p.id, errStatus(out.Err), service.Response{}, out.Err.Error())
+			} else {
+				buf, err = AppendResponse(buf, p.id, StatusOK, out.Resp, "")
+			}
+			if err != nil {
+				continue // unencodable response; drop rather than desync the stream
+			}
+			if _, err := bw.Write(buf); err != nil {
+				return
+			}
+			if len(pend) == 0 {
+				if err := bw.Flush(); err != nil {
+					return
+				}
+			}
+		}
+		bw.Flush()
+	}()
+
+	// On shutdown, bound the reader with a grace deadline rather than
+	// severing it: frames the client already sent are still in the socket
+	// buffer, and they must be read, admitted, and answered before the
+	// connection closes — that is the no-unanswered-request contract.
+	stopWatch := make(chan struct{})
+	go func() {
+		select {
+		case <-s.quit:
+			conn.SetReadDeadline(time.Now().Add(shutdownGrace))
+		case <-stopWatch:
+		}
+	}()
+
+	br := bufio.NewReader(conn)
+	for {
+		payload, err := ReadFrame(br)
+		if err != nil {
+			break // EOF, malformed frame, or the shutdown deadline
+		}
+		id, req, err := DecodeRequest(payload)
+		if err != nil {
+			break // framing is lost; the deferred close severs the conn
+		}
+		done, err := s.svc.Submit(req)
+		pend <- pendingResp{id: id, done: done, err: err}
+	}
+	close(stopWatch)
+	close(pend)
+	wg.Wait()
+}
+
+// errStatus maps an admission or execution error to its wire status.
+func errStatus(err error) Status {
+	switch {
+	case errors.Is(err, service.ErrOverloaded):
+		return StatusOverloaded
+	case errors.Is(err, service.ErrClosed):
+		return StatusClosed
+	case errors.Is(err, service.ErrInvalid):
+		return StatusInvalid
+	default:
+		return StatusError
+	}
+}
+
+// Shutdown gracefully stops the server: the listener closes, connections
+// stop reading, every in-flight request is answered and flushed, and the
+// service drains. ctx bounds the wait; on expiry remaining connections are
+// severed (their in-flight responses may be lost).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.ln.Close()
+	close(s.quit)
+
+	finished := make(chan struct{})
+	go func() {
+		s.active.Wait()
+		close(finished)
+	}()
+	var err error
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-finished
+	}
+	s.svc.Close()
+	return err
+}

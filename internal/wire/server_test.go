@@ -1,0 +1,236 @@
+package wire
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"degradable/internal/adversary"
+	"degradable/internal/service"
+	"degradable/internal/types"
+)
+
+// startServer boots a daemon on a loopback ephemeral port.
+func startServer(t *testing.T, cfg service.Config) (*Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, service.New(cfg))
+	go srv.Serve()
+	return srv, ln.Addr().String()
+}
+
+// TestEndToEnd drives a mixed fault/no-fault workload over real TCP and
+// checks the responses against the protocol's guarantees.
+func TestEndToEnd(t *testing.T) {
+	srv, addr := startServer(t, service.Config{Shards: 2, SpecSample: 1})
+	defer srv.Shutdown(context.Background())
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		req := service.Request{N: 5, M: 1, U: 2, Value: types.Value(i)}
+		if i%2 == 1 {
+			req.Faults = []service.FaultSpec{{Node: 2, Kind: adversary.KindTwoFaced, Value: 999}}
+		}
+		res, err := c.Do(ctx, req)
+		if err != nil {
+			t.Fatalf("req %d: %v", i, err)
+		}
+		if res.Status != StatusOK {
+			t.Fatalf("req %d: status %v (%s)", i, res.Status, res.Errmsg)
+		}
+		if len(res.Resp.Decisions) != 5 {
+			t.Fatalf("req %d: %d decisions", i, len(res.Resp.Decisions))
+		}
+		// f ≤ m, so every fault-free node must decide the sender's value.
+		for id := 0; id < 5; id++ {
+			if i%2 == 1 && id == 2 {
+				continue
+			}
+			if res.Resp.Decisions[id] != req.Value {
+				t.Errorf("req %d node %d: %s, want %s", i, id, res.Resp.Decisions[id], req.Value)
+			}
+		}
+		if !res.Resp.Checked || !res.Resp.OK {
+			t.Errorf("req %d: Checked=%v OK=%v reason=%q", i, res.Resp.Checked, res.Resp.OK, res.Resp.Reason)
+		}
+	}
+	// Invalid request gets a status, not a broken connection.
+	res, err := c.Do(ctx, service.Request{N: 4, M: 1, U: 2, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusInvalid {
+		t.Fatalf("invalid request: status %v", res.Status)
+	}
+	// The connection survives and keeps serving.
+	res, err = c.Do(ctx, service.Request{N: 5, M: 1, U: 2, Value: 5})
+	if err != nil || res.Status != StatusOK {
+		t.Fatalf("post-invalid request: %v / %v", err, res.Status)
+	}
+	if st := srv.Service().Stats(); st.SpecViolations != 0 {
+		t.Fatalf("spec violations: %d", st.SpecViolations)
+	}
+}
+
+// TestPipelining issues many concurrent requests over one connection and
+// checks each response is demultiplexed to its caller.
+func TestPipelining(t *testing.T) {
+	srv, addr := startServer(t, service.Config{Shards: 2, QueueDepth: 4096})
+	defer srv.Shutdown(context.Background())
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const workers = 8
+	const per = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*per)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := types.Value(w*10000 + i)
+				res, err := c.Do(context.Background(), service.Request{N: 5, M: 1, U: 2, Value: v})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Status == StatusOverloaded {
+					continue
+				}
+				// Demux check: the decisions must carry OUR value, not
+				// another worker's.
+				if res.Status != StatusOK || res.Resp.Decisions[1] != v {
+					errs <- errMismatch(w, i, res)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type mismatchError struct {
+	w, i int
+	res  Result
+}
+
+func errMismatch(w, i int, res Result) error { return &mismatchError{w, i, res} }
+func (e *mismatchError) Error() string {
+	return "worker mismatch: response did not match the request that sent it"
+}
+
+// TestGracefulShutdown checks the acceptance contract: a shutdown racing
+// in-flight requests leaves none unanswered — every request either gets a
+// full response or a clean connection error, never a silent drop.
+func TestGracefulShutdown(t *testing.T) {
+	srv, addr := startServer(t, service.Config{Shards: 2, QueueDepth: 1024})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Pipeline a burst without waiting, then shut down while they are in
+	// flight.
+	const inflight = 200
+	chans := make([]<-chan Result, 0, inflight)
+	for i := 0; i < inflight; i++ {
+		ch, err := c.Send(service.Request{N: 7, M: 2, U: 2, Value: types.Value(i)})
+		if err != nil {
+			break // connection already severed by shutdown; fine
+		}
+		chans = append(chans, ch)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(context.Background()) }()
+
+	answered, failed := 0, 0
+	for _, ch := range chans {
+		select {
+		case r, ok := <-ch:
+			if !ok {
+				failed++ // connection died before this response: reported, not dropped
+				continue
+			}
+			if r.Status == StatusOK || r.Status == StatusClosed || r.Status == StatusOverloaded {
+				answered++
+			} else {
+				t.Fatalf("unexpected status %v: %s", r.Status, r.Errmsg)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("request neither answered nor failed after shutdown")
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if answered == 0 {
+		t.Fatal("no request answered across a graceful shutdown")
+	}
+	t.Logf("answered=%d failed=%d", answered, failed)
+
+	// After shutdown the port refuses connections.
+	if _, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestShutdownAnswersAll is the strict variant: requests are sent and the
+// responses awaited while a shutdown starts only after the sends complete.
+// Every admitted request must receive a real response.
+func TestShutdownAnswersAll(t *testing.T) {
+	srv, addr := startServer(t, service.Config{Shards: 1, QueueDepth: 1024})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 100
+	chans := make([]<-chan Result, n)
+	for i := range chans {
+		ch, err := c.Send(service.Request{N: 5, M: 1, U: 2, Value: types.Value(i)})
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		chans[i] = ch
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for i, ch := range chans {
+		select {
+		case r, ok := <-ch:
+			if !ok {
+				t.Fatalf("request %d: connection died before its response", i)
+			}
+			if r.Status != StatusOK {
+				t.Fatalf("request %d: status %v (%s)", i, r.Status, r.Errmsg)
+			}
+			if r.Resp.Decisions[1] != types.Value(i) {
+				t.Fatalf("request %d: wrong decisions", i)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("request %d unanswered", i)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+// Package wire is the minimal length-prefixed binary codec for the
+// agreement service's request/response frames.
+//
+// Every frame is a 4-byte big-endian payload length followed by the
+// payload. Payloads open with a version byte and a frame-type byte, then a
+// caller-chosen 8-byte request ID that the service echoes back, so clients
+// can pipeline requests over one connection and demultiplex responses.
+//
+//	request  := ver type id n m u sender value nf fault*
+//	fault    := node kind value seed
+//	response := ver type id status (ok-body | errmsg)
+//	ok-body  := condition flags ndec value*
+//	errmsg   := len(uint16) bytes
+//
+// All multi-byte integers are big-endian; n, m, u, sender, node, kind,
+// condition, ndec, status, and flags are single bytes (the node-set limit
+// caps N at 64, far below the byte ceiling); agreement values and seeds are
+// 8 bytes.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"degradable/internal/adversary"
+	"degradable/internal/service"
+	"degradable/internal/types"
+)
+
+// Version is the protocol version this package speaks.
+const Version = 1
+
+// MaxFrame bounds the accepted payload size: a response carrying 255
+// decisions fits in well under 4 KiB, so anything near the bound is either
+// corruption or abuse.
+const MaxFrame = 1 << 16
+
+// Frame types.
+const (
+	// TypeRequest frames a service.Request.
+	TypeRequest = 1
+	// TypeResponse frames a service.Response or an error status.
+	TypeResponse = 2
+)
+
+// Status codes carried by response frames.
+type Status uint8
+
+// Response statuses.
+const (
+	// StatusOK carries a full response body.
+	StatusOK Status = 0
+	// StatusOverloaded reports admission rejection (retryable).
+	StatusOverloaded Status = 1
+	// StatusClosed reports a shutting-down server.
+	StatusClosed Status = 2
+	// StatusInvalid reports a request that failed validation.
+	StatusInvalid Status = 3
+	// StatusError reports an internal execution error.
+	StatusError Status = 4
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusOverloaded:
+		return "overloaded"
+	case StatusClosed:
+		return "closed"
+	case StatusInvalid:
+		return "invalid"
+	case StatusError:
+		return "error"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Response flag bits.
+const (
+	flagDegraded = 1 << iota
+	flagChecked
+	flagOK
+	flagGraceful
+)
+
+// Condition codes (byte form of the paper condition names).
+var condCodes = map[string]uint8{"none": 0, "D.1": 1, "D.2": 2, "D.3": 3, "D.4": 4}
+var condNames = [...]string{"none", "D.1", "D.2", "D.3", "D.4"}
+
+// AppendRequest appends a request frame (length prefix included) to buf.
+func AppendRequest(buf []byte, id uint64, req service.Request) ([]byte, error) {
+	if req.N < 2 || req.N > 255 || req.M < 0 || req.M > 255 || req.U < 0 || req.U > 255 {
+		return nil, fmt.Errorf("wire: parameters out of byte range: N=%d M=%d U=%d", req.N, req.M, req.U)
+	}
+	if req.Sender < 0 || req.Sender > 255 {
+		return nil, fmt.Errorf("wire: sender %d out of byte range", int(req.Sender))
+	}
+	if len(req.Faults) > 255 {
+		return nil, fmt.Errorf("wire: %d faults exceed the frame limit", len(req.Faults))
+	}
+	body := 2 + 8 + 4 + 8 + 1 + len(req.Faults)*18
+	buf = appendHeader(buf, body, TypeRequest, id)
+	buf = append(buf, byte(req.N), byte(req.M), byte(req.U), byte(req.Sender))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(req.Value))
+	buf = append(buf, byte(len(req.Faults)))
+	for _, f := range req.Faults {
+		if f.Node < 0 || f.Node > 255 {
+			return nil, fmt.Errorf("wire: faulty node %d out of byte range", int(f.Node))
+		}
+		if f.Kind < 0 || int(f.Kind) > 255 {
+			return nil, fmt.Errorf("wire: fault kind %d out of byte range", int(f.Kind))
+		}
+		buf = append(buf, byte(f.Node), byte(f.Kind))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(f.Value))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(f.Seed))
+	}
+	return buf, nil
+}
+
+// AppendResponse appends a response frame to buf. For StatusOK the response
+// body is encoded; for every other status errmsg is carried instead.
+func AppendResponse(buf []byte, id uint64, st Status, resp service.Response, errmsg string) ([]byte, error) {
+	if st != StatusOK {
+		if len(errmsg) > 0xFFFF {
+			errmsg = errmsg[:0xFFFF]
+		}
+		body := 2 + 8 + 1 + 2 + len(errmsg)
+		buf = appendHeader(buf, body, TypeResponse, id)
+		buf = append(buf, byte(st))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(errmsg)))
+		return append(buf, errmsg...), nil
+	}
+	code, ok := condCodes[resp.Condition]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown condition %q", resp.Condition)
+	}
+	if len(resp.Decisions) > 255 {
+		return nil, fmt.Errorf("wire: %d decisions exceed the frame limit", len(resp.Decisions))
+	}
+	var flags uint8
+	if resp.Degraded {
+		flags |= flagDegraded
+	}
+	if resp.Checked {
+		flags |= flagChecked
+	}
+	if resp.OK {
+		flags |= flagOK
+	}
+	if resp.Graceful {
+		flags |= flagGraceful
+	}
+	body := 2 + 8 + 1 + 1 + 1 + 1 + len(resp.Decisions)*8
+	buf = appendHeader(buf, body, TypeResponse, id)
+	buf = append(buf, byte(st), code, flags, byte(len(resp.Decisions)))
+	for _, d := range resp.Decisions {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(d))
+	}
+	return buf, nil
+}
+
+// appendHeader appends the length prefix, version, type, and ID.
+func appendHeader(buf []byte, body int, typ uint8, id uint64) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(body))
+	buf = append(buf, Version, typ)
+	return binary.BigEndian.AppendUint64(buf, id)
+}
+
+// ReadFrame reads one length-prefixed payload from r. It returns io.EOF
+// cleanly only when the stream ends on a frame boundary.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < 10 {
+		return nil, fmt.Errorf("wire: frame of %d bytes below the 10-byte header", n)
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds the %d limit", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// header decodes and validates the common payload prefix.
+func header(payload []byte, wantType uint8) (id uint64, rest []byte, err error) {
+	if len(payload) < 10 {
+		return 0, nil, fmt.Errorf("wire: truncated header (%d bytes)", len(payload))
+	}
+	if payload[0] != Version {
+		return 0, nil, fmt.Errorf("wire: version %d, want %d", payload[0], Version)
+	}
+	if payload[1] != wantType {
+		return 0, nil, fmt.Errorf("wire: frame type %d, want %d", payload[1], wantType)
+	}
+	return binary.BigEndian.Uint64(payload[2:10]), payload[10:], nil
+}
+
+// DecodeRequest decodes a request payload (as returned by ReadFrame).
+func DecodeRequest(payload []byte) (id uint64, req service.Request, err error) {
+	id, b, err := header(payload, TypeRequest)
+	if err != nil {
+		return 0, req, err
+	}
+	if len(b) < 13 {
+		return id, req, fmt.Errorf("wire: truncated request body (%d bytes)", len(b))
+	}
+	req.N = int(b[0])
+	req.M = int(b[1])
+	req.U = int(b[2])
+	req.Sender = types.NodeID(b[3])
+	req.Value = types.Value(binary.BigEndian.Uint64(b[4:12]))
+	nf := int(b[12])
+	b = b[13:]
+	if len(b) != nf*18 {
+		return id, req, fmt.Errorf("wire: %d fault bytes, want %d", len(b), nf*18)
+	}
+	if nf > 0 {
+		req.Faults = make([]service.FaultSpec, nf)
+		for i := 0; i < nf; i++ {
+			f := b[i*18 : (i+1)*18]
+			req.Faults[i] = service.FaultSpec{
+				Node:  types.NodeID(f[0]),
+				Kind:  adversary.Kind(f[1]),
+				Value: types.Value(binary.BigEndian.Uint64(f[2:10])),
+				Seed:  int64(binary.BigEndian.Uint64(f[10:18])),
+			}
+		}
+	}
+	return id, req, nil
+}
+
+// DecodeResponse decodes a response payload (as returned by ReadFrame).
+// errmsg is populated for non-OK statuses.
+func DecodeResponse(payload []byte) (id uint64, st Status, resp service.Response, errmsg string, err error) {
+	id, b, err := header(payload, TypeResponse)
+	if err != nil {
+		return 0, 0, resp, "", err
+	}
+	if len(b) < 1 {
+		return id, 0, resp, "", fmt.Errorf("wire: empty response body")
+	}
+	st = Status(b[0])
+	b = b[1:]
+	if st != StatusOK {
+		if len(b) < 2 {
+			return id, st, resp, "", fmt.Errorf("wire: truncated error message")
+		}
+		n := int(binary.BigEndian.Uint16(b[:2]))
+		if len(b) != 2+n {
+			return id, st, resp, "", fmt.Errorf("wire: error message of %d bytes, want %d", len(b)-2, n)
+		}
+		return id, st, resp, string(b[2:]), nil
+	}
+	if len(b) < 3 {
+		return id, st, resp, "", fmt.Errorf("wire: truncated response body (%d bytes)", len(b))
+	}
+	code, flags, ndec := b[0], b[1], int(b[2])
+	if int(code) >= len(condNames) {
+		return id, st, resp, "", fmt.Errorf("wire: unknown condition code %d", code)
+	}
+	resp.Condition = condNames[code]
+	resp.Degraded = flags&flagDegraded != 0
+	resp.Checked = flags&flagChecked != 0
+	resp.OK = flags&flagOK != 0
+	resp.Graceful = flags&flagGraceful != 0
+	b = b[3:]
+	if len(b) != ndec*8 {
+		return id, st, resp, "", fmt.Errorf("wire: %d decision bytes, want %d", len(b), ndec*8)
+	}
+	if ndec > 0 {
+		resp.Decisions = make([]types.Value, ndec)
+		for i := range resp.Decisions {
+			resp.Decisions[i] = types.Value(binary.BigEndian.Uint64(b[i*8 : (i+1)*8]))
+		}
+	}
+	return id, st, resp, "", nil
+}

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"degradable/internal/adversary"
+	"degradable/internal/service"
+	"degradable/internal/types"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []service.Request{
+		{N: 5, M: 1, U: 2, Value: 42},
+		{N: 7, M: 2, U: 2, Sender: 3, Value: -1, Faults: []service.FaultSpec{
+			{Node: 0, Kind: adversary.KindLie, Value: 99, Seed: 0},
+			{Node: 6, Kind: adversary.KindRandom, Value: -7, Seed: 123456789},
+		}},
+		{N: 64, M: 0, U: 63, Value: types.Default},
+	}
+	for i, req := range reqs {
+		buf, err := AppendRequest(nil, uint64(i)+7, req)
+		if err != nil {
+			t.Fatalf("req %d: encode: %v", i, err)
+		}
+		payload, err := ReadFrame(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("req %d: read frame: %v", i, err)
+		}
+		id, got, err := DecodeRequest(payload)
+		if err != nil {
+			t.Fatalf("req %d: decode: %v", i, err)
+		}
+		if id != uint64(i)+7 {
+			t.Errorf("req %d: id %d, want %d", i, id, i+7)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Errorf("req %d: round-trip mismatch:\n got %+v\nwant %+v", i, got, req)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []service.Response{
+		{Decisions: []types.Value{7, 7, 7, 7, 7}, Condition: "D.1", OK: true},
+		{Decisions: []types.Value{types.Default, 5, 5}, Condition: "D.3",
+			Degraded: true, Checked: true, OK: true, Graceful: true},
+		{Decisions: []types.Value{-9}, Condition: "none"},
+	}
+	for i, resp := range resps {
+		buf, err := AppendResponse(nil, 99, StatusOK, resp, "")
+		if err != nil {
+			t.Fatalf("resp %d: encode: %v", i, err)
+		}
+		payload, err := ReadFrame(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("resp %d: read frame: %v", i, err)
+		}
+		id, st, got, errmsg, err := DecodeResponse(payload)
+		if err != nil {
+			t.Fatalf("resp %d: decode: %v", i, err)
+		}
+		if id != 99 || st != StatusOK || errmsg != "" {
+			t.Errorf("resp %d: id=%d st=%v errmsg=%q", i, id, st, errmsg)
+		}
+		if !reflect.DeepEqual(got, resp) {
+			t.Errorf("resp %d: round-trip mismatch:\n got %+v\nwant %+v", i, got, resp)
+		}
+	}
+}
+
+func TestErrorResponseRoundTrip(t *testing.T) {
+	buf, err := AppendResponse(nil, 4, StatusOverloaded, service.Response{}, "shard queue full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, st, _, errmsg, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 4 || st != StatusOverloaded || errmsg != "shard queue full" {
+		t.Fatalf("got id=%d st=%v errmsg=%q", id, st, errmsg)
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	if _, err := AppendRequest(nil, 1, service.Request{N: 300, M: 1, U: 2}); err == nil {
+		t.Error("N=300 encoded")
+	}
+	if _, err := AppendRequest(nil, 1, service.Request{N: 5, M: 1, U: 2, Sender: -1}); err == nil {
+		t.Error("negative sender encoded")
+	}
+	if _, err := AppendResponse(nil, 1, StatusOK, service.Response{Condition: "D.9"}, ""); err == nil {
+		t.Error("unknown condition encoded")
+	}
+}
+
+func TestReadFrameRejects(t *testing.T) {
+	// Undersized length prefix.
+	var tiny [4]byte
+	binary.BigEndian.PutUint32(tiny[:], 3)
+	if _, err := ReadFrame(bytes.NewReader(tiny[:])); err == nil {
+		t.Error("3-byte frame accepted")
+	}
+	// Oversized length prefix.
+	var huge [4]byte
+	binary.BigEndian.PutUint32(huge[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(huge[:])); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	// Truncated payload must be ErrUnexpectedEOF, not clean EOF.
+	buf, _ := AppendRequest(nil, 1, service.Request{N: 5, M: 1, U: 2, Value: 1})
+	if _, err := ReadFrame(bytes.NewReader(buf[:len(buf)-2])); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated payload: %v, want ErrUnexpectedEOF", err)
+	}
+	// Clean boundary EOF stays io.EOF.
+	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream: %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	good, _ := AppendRequest(nil, 1, service.Request{N: 5, M: 1, U: 2, Value: 1,
+		Faults: []service.FaultSpec{{Node: 1, Kind: adversary.KindLie, Value: 2}}})
+	payload := good[4:] // strip length prefix
+
+	bad := append([]byte{}, payload...)
+	bad[0] = 9 // wrong version
+	if _, _, err := DecodeRequest(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version: %v", err)
+	}
+	bad = append([]byte{}, payload...)
+	bad[1] = TypeResponse // wrong type
+	if _, _, err := DecodeRequest(bad); err == nil {
+		t.Error("wrong frame type decoded")
+	}
+	if _, _, err := DecodeRequest(payload[:len(payload)-1]); err == nil {
+		t.Error("truncated fault list decoded")
+	}
+	if _, _, err := DecodeRequest(payload[:12]); err == nil {
+		t.Error("truncated body decoded")
+	}
+	if _, _, _, _, err := DecodeResponse(payload); err == nil {
+		t.Error("request payload decoded as response")
+	}
+}

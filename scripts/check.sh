@@ -20,8 +20,21 @@ go test ./...
 echo "== go test -race (short) =="
 go test -race -short ./...
 
+echo "== go test -race (full, service + wire) =="
+go test -race ./internal/service/... ./internal/wire/...
+
 echo "== benchmark smoke =="
-go test -run XXX -bench . -benchtime 1x . >/dev/null
+# The output is the point of a smoke pass: a benchmark that silently stops
+# producing numbers (or starts erroring) must be visible here, not hidden
+# in /dev/null.
+go test -run XXX -bench . -benchtime 1x .
+go test -run XXX -bench . -benchtime 1x ./internal/service/
+
+echo "== service load benchmark =="
+# Short in-process load run; writes the BENCH_service.json artifact at the
+# repo root (throughput, latency percentiles, rejection rate, degraded
+# fraction). Exits non-zero on any spec-sample violation.
+go run ./cmd/loadgen -inproc -duration 3s -n 7 -m 1 -u 2 -json BENCH_service.json
 
 echo "== chaos campaign smoke =="
 go run ./cmd/chaos -seed 42 -runs 250 >/dev/null
