@@ -7,12 +7,18 @@
 //	loadgen -inproc -duration 5s                 # in-process service, closed loop
 //	loadgen -addr 127.0.0.1:7001 -conns 4        # TCP daemon, 4 connections
 //	loadgen -inproc -rate 20000 -json bench.json # paced (open-loop) load, JSON report
+//	loadgen -inproc -shard-sweep 1,2,4,8         # shard-scaling matrix
 //
 // Closed loop (the default) keeps -conns workers each with one request in
 // flight. -rate N paces the workers to N requests/sec total instead,
 // measuring latency from each request's scheduled start so queueing delay
 // is not hidden (coordinated-omission correction). -fault-prob injects a
 // seeded random Byzantine fault into that fraction of requests.
+//
+// -shard-sweep runs the same workload once per listed shard count on a
+// fresh in-process service each time and reports the scaling matrix
+// (throughput, latency, speedup over the 1-shard baseline). Scaling is
+// hardware-dependent: a run confined to one core cannot exceed 1×.
 package main
 
 import (
@@ -24,6 +30,8 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +76,24 @@ type report struct {
 	DegradedFraction float64 `json:"degraded_fraction"`
 	SpecChecked      uint64  `json:"spec_checked"`
 	SpecViolations   uint64  `json:"spec_violations"`
+
+	// ShardSweep is populated by -shard-sweep: one point per shard count,
+	// same workload, fresh service each.
+	ShardSweep []sweepPoint `json:"shard_sweep,omitempty"`
+}
+
+// sweepPoint is one shard count's measurement in a -shard-sweep run.
+type sweepPoint struct {
+	Shards         int     `json:"shards"`
+	Conns          int     `json:"conns"`
+	Throughput     float64 `json:"throughput_per_s"`
+	LatencyP50Us   float64 `json:"latency_p50_us"`
+	LatencyP99Us   float64 `json:"latency_p99_us"`
+	RejectionRate  float64 `json:"rejection_rate"`
+	SpecViolations uint64  `json:"spec_violations"`
+	// SpeedupVs1 is this point's throughput over the first (lowest shard
+	// count) point's.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
 }
 
 // doer abstracts the two transports: the in-process service and a TCP
@@ -112,78 +138,39 @@ type workerTally struct {
 	firstErr                            error
 }
 
-func run(args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
-	var (
-		inproc     = fs.Bool("inproc", false, "drive an in-process service instead of a daemon")
-		addr       = fs.String("addr", "127.0.0.1:7001", "daemon address (ignored with -inproc)")
-		duration   = fs.Duration("duration", 5*time.Second, "run length")
-		conns      = fs.Int("conns", 2, "concurrent workers (one connection each in TCP mode); two keep the shard queues non-empty so batching engages")
-		rate       = fs.Float64("rate", 0, "paced request rate per second, all workers combined (0 = closed loop)")
-		n          = fs.Int("n", 7, "nodes per instance")
-		m          = fs.Int("m", 1, "classic fault tolerance m")
-		u          = fs.Int("u", 2, "degraded fault tolerance u")
-		faultProb  = fs.Float64("fault-prob", 0.25, "fraction of requests carrying a random Byzantine fault")
-		seed       = fs.Int64("seed", 1, "workload seed")
-		shards     = fs.Int("shards", 0, "in-process service shards")
-		queue      = fs.Int("queue", 0, "in-process admission queue depth")
-		batch      = fs.Int("batch", 0, "in-process batch bound")
-		specSample = fs.Int("spec-sample", 0, "in-process spec-sample rate (default 8)")
-		jsonPath   = fs.String("json", "", "write the report as JSON to this path")
-	)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *conns < 1 {
-		return fmt.Errorf("need at least one worker")
-	}
-	probe := service.Request{N: *n, M: *m, U: *u, Value: 1}
-	if err := probe.Validate(); err != nil {
-		return err
-	}
+// genConfig parameterizes one workload execution (everything except the
+// transport, which arrives as the doer slice).
+type genConfig struct {
+	n, m, u   int
+	rate      float64
+	faultProb float64
+	seed      int64
+	duration  time.Duration
+}
 
-	// One doer per worker: TCP mode opens -conns connections; in-process
-	// mode shares one service.
-	doers := make([]doer, *conns)
-	mode := "tcp"
-	if *inproc {
-		mode = "inproc"
-		svc := service.New(service.Config{
-			Shards: *shards, QueueDepth: *queue, Batch: *batch, SpecSample: *specSample,
-		})
-		defer svc.Close()
-		for i := range doers {
-			doers[i] = inprocDoer{svc: svc}
-		}
-	} else {
-		for i := range doers {
-			c, err := wire.Dial(*addr)
-			if err != nil {
-				return fmt.Errorf("dial %s: %w", *addr, err)
-			}
-			defer c.Close()
-			doers[i] = tcpDoer{c: c}
-		}
-	}
-
-	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+// generate drives doers (one worker each) with the configured workload and
+// returns the merged measurement. Worker errors are echoed to out; Mode and
+// transport fields of the report are left for the caller.
+func generate(doers []doer, cfg genConfig, out io.Writer) report {
+	conns := len(doers)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
 	defer cancel()
 
-	tallies := make([]workerTally, *conns)
+	tallies := make([]workerTally, conns)
 	var wg sync.WaitGroup
 	var inFault atomic.Uint64 // distinct seeds for injected fault strategies
 	start := time.Now()
-	for w := 0; w < *conns; w++ {
+	for w := 0; w < conns; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			ty := &tallies[w]
-			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)*7919))
 			var interval time.Duration
 			var next time.Time
-			if *rate > 0 {
-				interval = time.Duration(float64(*conns) / *rate * float64(time.Second))
-				next = start.Add(time.Duration(w) * interval / time.Duration(*conns))
+			if cfg.rate > 0 {
+				interval = time.Duration(float64(conns) / cfg.rate * float64(time.Second))
+				next = start.Add(time.Duration(w) * interval / time.Duration(conns))
 			}
 			kinds := []adversary.Kind{
 				adversary.KindCrash, adversary.KindSilent, adversary.KindLie,
@@ -206,10 +193,10 @@ func run(args []string, out io.Writer) error {
 				} else {
 					t0 = time.Now()
 				}
-				req := service.Request{N: *n, M: *m, U: *u, Value: types.Value(rng.Int63n(1 << 30))}
-				if rng.Float64() < *faultProb {
+				req := service.Request{N: cfg.n, M: cfg.m, U: cfg.u, Value: types.Value(rng.Int63n(1 << 30))}
+				if rng.Float64() < cfg.faultProb {
 					req.Faults = []service.FaultSpec{{
-						Node:  types.NodeID(rng.Intn(*n)),
+						Node:  types.NodeID(rng.Intn(cfg.n)),
 						Kind:  kinds[rng.Intn(len(kinds))],
 						Value: types.Value(rng.Int63n(1 << 30)),
 						Seed:  int64(inFault.Add(1)),
@@ -248,8 +235,8 @@ func run(args []string, out io.Writer) error {
 	elapsed := time.Since(start)
 
 	var rep report
-	rep.Mode, rep.N, rep.M, rep.U = mode, *n, *m, *u
-	rep.FaultProb, rep.Conns, rep.RateTarget = *faultProb, *conns, *rate
+	rep.N, rep.M, rep.U = cfg.n, cfg.m, cfg.u
+	rep.FaultProb, rep.Conns, rep.RateTarget = cfg.faultProb, conns, cfg.rate
 	rep.DurationS = elapsed.Seconds()
 	var lats []float64
 	for i := range tallies {
@@ -276,22 +263,101 @@ func run(args []string, out io.Writer) error {
 	sum := stats.Summarize(lats)
 	rep.LatencyMeanUs, rep.LatencyP50Us = sum.Mean, sum.P50
 	rep.LatencyP95Us, rep.LatencyP99Us = sum.P95, sum.P99
+	return rep
+}
 
-	tb := stats.NewTable(fmt.Sprintf("loadgen: %s N=%d m=%d u=%d conns=%d fault-prob=%g (%.1fs)",
-		mode, *n, *m, *u, *conns, *faultProb, elapsed.Seconds()), "metric", "value")
-	tb.AddRow("throughput (inst/s)", rep.Throughput)
-	tb.AddRow("completed", rep.Completed)
-	tb.AddRow("rejected", rep.Rejected)
-	tb.AddRow("rejection rate", rep.RejectionRate)
-	tb.AddRow("errors", rep.Errors)
-	tb.AddRow("latency mean (us)", rep.LatencyMeanUs)
-	tb.AddRow("latency P50 (us)", rep.LatencyP50Us)
-	tb.AddRow("latency P95 (us)", rep.LatencyP95Us)
-	tb.AddRow("latency P99 (us)", rep.LatencyP99Us)
-	tb.AddRow("degraded fraction", rep.DegradedFraction)
-	tb.AddRow("spec checked", rep.SpecChecked)
-	tb.AddRow("spec violations", rep.SpecViolations)
-	fmt.Fprint(out, tb.String())
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		inproc     = fs.Bool("inproc", false, "drive an in-process service instead of a daemon")
+		addr       = fs.String("addr", "127.0.0.1:7001", "daemon address (ignored with -inproc)")
+		duration   = fs.Duration("duration", 5*time.Second, "run length (per point with -shard-sweep)")
+		conns      = fs.Int("conns", 2, "concurrent workers (one connection each in TCP mode); two keep the shard queues non-empty so batching engages")
+		rate       = fs.Float64("rate", 0, "paced request rate per second, all workers combined (0 = closed loop)")
+		n          = fs.Int("n", 7, "nodes per instance")
+		m          = fs.Int("m", 1, "classic fault tolerance m")
+		u          = fs.Int("u", 2, "degraded fault tolerance u")
+		faultProb  = fs.Float64("fault-prob", 0.25, "fraction of requests carrying a random Byzantine fault")
+		seed       = fs.Int64("seed", 1, "workload seed")
+		shards     = fs.Int("shards", 0, "in-process service shards (default: GOMAXPROCS)")
+		queue      = fs.Int("queue", 0, "in-process admission queue depth")
+		batch      = fs.Int("batch", 0, "in-process batch bound")
+		specSample = fs.Int("spec-sample", 0, "in-process spec-sample rate (default 8)")
+		sweep      = fs.String("shard-sweep", "", "comma-separated shard counts to sweep (e.g. 1,2,4,8); implies -inproc semantics, workers scale to 2x the shard count")
+		jsonPath   = fs.String("json", "", "write the report as JSON to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *conns < 1 {
+		return fmt.Errorf("need at least one worker")
+	}
+	probe := service.Request{N: *n, M: *m, U: *u, Value: 1}
+	if err := probe.Validate(); err != nil {
+		return err
+	}
+	gcfg := genConfig{
+		n: *n, m: *m, u: *u,
+		rate: *rate, faultProb: *faultProb, seed: *seed, duration: *duration,
+	}
+
+	var rep report
+	if *sweep != "" {
+		if !*inproc {
+			return fmt.Errorf("-shard-sweep requires -inproc (it constructs one service per point)")
+		}
+		counts, err := parseSweep(*sweep)
+		if err != nil {
+			return err
+		}
+		var err2 error
+		rep, err2 = runSweep(counts, gcfg, *conns, *queue, *batch, *specSample, out)
+		if err2 != nil {
+			return err2
+		}
+	} else {
+		// One doer per worker: TCP mode opens -conns connections;
+		// in-process mode shares one service.
+		doers := make([]doer, *conns)
+		mode := "tcp"
+		if *inproc {
+			mode = "inproc"
+			svc := service.New(service.Config{
+				Shards: *shards, QueueDepth: *queue, Batch: *batch, SpecSample: *specSample,
+			})
+			defer svc.Close()
+			for i := range doers {
+				doers[i] = inprocDoer{svc: svc}
+			}
+		} else {
+			for i := range doers {
+				c, err := wire.Dial(*addr)
+				if err != nil {
+					return fmt.Errorf("dial %s: %w", *addr, err)
+				}
+				defer c.Close()
+				doers[i] = tcpDoer{c: c}
+			}
+		}
+		rep = generate(doers, gcfg, out)
+		rep.Mode = mode
+
+		tb := stats.NewTable(fmt.Sprintf("loadgen: %s N=%d m=%d u=%d conns=%d fault-prob=%g (%.1fs)",
+			mode, *n, *m, *u, *conns, *faultProb, rep.DurationS), "metric", "value")
+		tb.AddRow("throughput (inst/s)", rep.Throughput)
+		tb.AddRow("completed", rep.Completed)
+		tb.AddRow("rejected", rep.Rejected)
+		tb.AddRow("rejection rate", rep.RejectionRate)
+		tb.AddRow("errors", rep.Errors)
+		tb.AddRow("latency mean (us)", rep.LatencyMeanUs)
+		tb.AddRow("latency P50 (us)", rep.LatencyP50Us)
+		tb.AddRow("latency P95 (us)", rep.LatencyP95Us)
+		tb.AddRow("latency P99 (us)", rep.LatencyP99Us)
+		tb.AddRow("degraded fraction", rep.DegradedFraction)
+		tb.AddRow("spec checked", rep.SpecChecked)
+		tb.AddRow("spec violations", rep.SpecViolations)
+		fmt.Fprint(out, tb.String())
+	}
 
 	if *jsonPath != "" {
 		blob, err := json.MarshalIndent(rep, "", "  ")
@@ -310,6 +376,79 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("%d request errors", rep.Errors)
 	}
 	return nil
+}
+
+// runSweep executes the workload once per shard count on a fresh in-process
+// service each time. The returned report is the last point's, with the full
+// matrix attached, so the JSON artifact carries both the headline numbers
+// and the scaling curve.
+func runSweep(counts []int, gcfg genConfig, conns, queue, batch, specSample int, out io.Writer) (report, error) {
+	var rep report
+	points := make([]sweepPoint, 0, len(counts))
+	for _, sc := range counts {
+		// Closed-loop scaling needs enough workers to keep every shard
+		// busy; 2x keeps the queues non-empty so batching engages.
+		workers := conns
+		if w := 2 * sc; w > workers {
+			workers = w
+		}
+		svc := service.New(service.Config{
+			Shards: sc, QueueDepth: queue, Batch: batch, SpecSample: specSample,
+		})
+		doers := make([]doer, workers)
+		for i := range doers {
+			doers[i] = inprocDoer{svc: svc}
+		}
+		rep = generate(doers, gcfg, out)
+		svc.Close()
+		rep.Mode = "inproc"
+		pt := sweepPoint{
+			Shards:         sc,
+			Conns:          workers,
+			Throughput:     rep.Throughput,
+			LatencyP50Us:   rep.LatencyP50Us,
+			LatencyP99Us:   rep.LatencyP99Us,
+			RejectionRate:  rep.RejectionRate,
+			SpecViolations: rep.SpecViolations,
+			SpeedupVs1:     1,
+		}
+		if len(points) > 0 && points[0].Throughput > 0 {
+			pt.SpeedupVs1 = pt.Throughput / points[0].Throughput
+		}
+		points = append(points, pt)
+		// Violations fail the run after the JSON is written; errors mid-sweep
+		// surface through the aggregate report the same way.
+		if rep.Errors > 0 {
+			break
+		}
+	}
+	rep.ShardSweep = points
+
+	tb := stats.NewTable(fmt.Sprintf("loadgen: shard sweep N=%d m=%d u=%d (%.1fs per point)",
+		gcfg.n, gcfg.m, gcfg.u, gcfg.duration.Seconds()),
+		"shards", "conns", "inst/s", "P50 us", "P99 us", "speedup")
+	for _, pt := range points {
+		tb.AddRow(pt.Shards, pt.Conns, pt.Throughput, pt.LatencyP50Us, pt.LatencyP99Us, pt.SpeedupVs1)
+	}
+	fmt.Fprint(out, tb.String())
+	return rep, nil
+}
+
+// parseSweep parses the -shard-sweep list.
+func parseSweep(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	counts := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 || v > 1024 {
+			return nil, fmt.Errorf("bad shard count %q in -shard-sweep", p)
+		}
+		counts = append(counts, v)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("-shard-sweep needs at least one count")
+	}
+	return counts, nil
 }
 
 // isRetryable reports whether err is admission backpressure rather than a

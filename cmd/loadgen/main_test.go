@@ -99,6 +99,63 @@ func TestTCPMode(t *testing.T) {
 	}
 }
 
+// TestShardSweep runs a two-point sweep and checks the matrix lands in the
+// JSON artifact with a baseline-relative speedup.
+func TestShardSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-inproc", "-shard-sweep", "1,2", "-duration", "200ms",
+		"-n", "5", "-m", "1", "-u", "2", "-json", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ShardSweep) != 2 {
+		t.Fatalf("sweep points: %d, want 2", len(rep.ShardSweep))
+	}
+	if rep.ShardSweep[0].Shards != 1 || rep.ShardSweep[1].Shards != 2 {
+		t.Fatalf("sweep shard counts: %+v", rep.ShardSweep)
+	}
+	for i, pt := range rep.ShardSweep {
+		if pt.Throughput <= 0 || pt.SpecViolations != 0 {
+			t.Fatalf("point %d: %+v", i, pt)
+		}
+	}
+	if rep.ShardSweep[0].SpeedupVs1 != 1 {
+		t.Fatalf("baseline speedup %g, want 1", rep.ShardSweep[0].SpeedupVs1)
+	}
+	if rep.ShardSweep[1].SpeedupVs1 <= 0 {
+		t.Fatalf("second point speedup %g", rep.ShardSweep[1].SpeedupVs1)
+	}
+	if !strings.Contains(out.String(), "shard sweep") {
+		t.Error("sweep table output missing")
+	}
+	// The headline report is the last point's run.
+	if rep.Conns != rep.ShardSweep[1].Conns {
+		t.Fatalf("headline conns %d, want last point's %d", rep.Conns, rep.ShardSweep[1].Conns)
+	}
+}
+
+// TestShardSweepRequiresInproc checks the sweep refuses TCP mode.
+func TestShardSweepRequiresInproc(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-shard-sweep", "1,2"}, &out); err == nil {
+		t.Fatal("sweep without -inproc accepted")
+	}
+	if err := run([]string{"-inproc", "-shard-sweep", "1,x"}, &out); err == nil {
+		t.Fatal("malformed sweep list accepted")
+	}
+}
+
 // TestRejectsInvalidShape checks parameter validation happens before any
 // load is generated.
 func TestRejectsInvalidShape(t *testing.T) {

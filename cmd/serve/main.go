@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers, served only when -pprof is set
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,6 +49,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		batch      = fs.Int("batch", 0, "max requests drained per scheduling round (default 64)")
 		specSample = fs.Int("spec-sample", 0, "spec-check every k-th instance per shard (default 8, -1 disables)")
 		grace      = fs.Duration("grace", 10*time.Second, "graceful-shutdown bound")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +58,19 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		// Opt-in profiling endpoint on its own listener, so the debug
+		// surface never shares a port with the agreement protocol. Bound
+		// before the daemon reports ready, failing fast on a bad address.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pln.Close()
+		fmt.Fprintf(out, "serve: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go http.Serve(pln, nil) // DefaultServeMux carries the pprof handlers
 	}
 	svc := service.New(service.Config{
 		Shards: *shards, QueueDepth: *queue, Batch: *batch, SpecSample: *specSample,

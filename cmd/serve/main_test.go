@@ -3,7 +3,10 @@ package main
 import (
 	"bytes"
 	"context"
+	"io"
+	"net/http"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -11,6 +14,25 @@ import (
 	"degradable/internal/service"
 	"degradable/internal/wire"
 )
+
+// syncBuf is a mutex-guarded buffer for tests that read the daemon's output
+// while it is still running.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
 
 // TestServeSignalShutdown boots the daemon on an ephemeral port, serves a
 // request over real TCP, then delivers SIGTERM and checks the graceful
@@ -67,5 +89,54 @@ func TestServeBadFlags(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-addr", "not-an-address"}, &out, nil); err == nil {
 		t.Fatal("bad listen address accepted")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:0", "-pprof", "not-an-address"}, &out, nil); err == nil {
+		t.Fatal("bad pprof address accepted")
+	}
+}
+
+// TestServePprof boots the daemon with -pprof and checks the profiling
+// endpoint answers on its own listener.
+func TestServePprof(t *testing.T) {
+	var out syncBuf
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-shards", "1", "-pprof", "127.0.0.1:0"}, &out, ready)
+	}()
+	select {
+	case <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+	// The pprof line is printed before ready is signalled.
+	line := out.String()
+	i := strings.Index(line, "pprof on http://")
+	if i < 0 {
+		t.Fatalf("pprof address not announced:\n%s", line)
+	}
+	url := line[i+len("pprof on "):]
+	url = strings.TrimSpace(url[:strings.Index(url, "\n")])
+	resp, err := http.Get(url + "cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("pprof endpoint: status %d, %d body bytes", resp.StatusCode, len(body))
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
 	}
 }

@@ -33,21 +33,36 @@ type Rule func(nSub int, vals []types.Value) types.Value
 // Tree is one receiver's EIG tree for a system of n nodes and a protocol of
 // the given depth (number of relay rounds). The zero value is not usable;
 // construct with New.
+//
+// Storage engines, in preference order:
+//
+//   - flat: the valid paths form a fixed k-permutation universe, so they
+//     rank perfectly onto a dense array (types.PathRanker). Set/Get are a
+//     ranking pass plus an array access and Resolve is an iterative
+//     bottom-up level sweep — no hashing, no recursion, zero allocations
+//     after warm-up. Used whenever the universe materializes (n ≤ 255 and
+//     at most maxFlatEntries paths), which covers every runnable protocol.
+//   - fast map: a comparable fixed-size key (n ≤ 255, depth ≤ maxFastDepth)
+//     hashes without allocating. Fallback for universes too large to store
+//     densely.
+//   - string map: the fully general fallback for anything else.
+//
+// Exactly one engine is active per tree; the map engines also serve as the
+// oracle the differential tests hold the flat engine against.
 type Tree struct {
 	n      int
 	depth  int
 	sender types.NodeID
-	// fast holds the values when every path fits a pathKey (n ≤ 255 and
-	// depth ≤ maxFastDepth): a comparable fixed-size key hashes without
-	// allocating, which dominates the protocol's hot loop. Larger systems
-	// fall back to string keys in vals. Exactly one of the two maps is
-	// non-nil.
+	// flat is the dense-array engine; nil when the tree fell back to one
+	// of the two maps (of which exactly one is then non-nil).
+	flat *flatStore
 	fast map[pathKey]types.Value
 	vals map[string]types.Value
-	// pbuf and scratch are reusable buffers for Resolve: pbuf is the
-	// in-place DFS path, scratch holds one vals segment per recursion
-	// level. Lazily sized; never shared across goroutines (a Tree is one
-	// receiver's local state and has never been concurrency-safe).
+	// pbuf and scratch are reusable buffers for the map engines' recursive
+	// Resolve: pbuf is the in-place DFS path, scratch holds one vals
+	// segment per recursion level. Lazily sized; never shared across
+	// goroutines (a Tree is one receiver's local state and has never been
+	// concurrency-safe).
 	pbuf    types.Path
 	scratch []types.Value
 }
@@ -78,6 +93,17 @@ func fastKey(p types.Path) pathKey {
 // depth rounds, rooted at sender. depth must be in [1, n-1] so that paths
 // never exhaust the node population.
 func New(n, depth int, sender types.NodeID) (*Tree, error) {
+	return newTree(n, depth, sender, true)
+}
+
+// newMapTree builds a tree on the hash-map engine even where the flat
+// engine would apply. The differential tests use it as the oracle the
+// flat engine must match operation-for-operation.
+func newMapTree(n, depth int, sender types.NodeID) (*Tree, error) {
+	return newTree(n, depth, sender, false)
+}
+
+func newTree(n, depth int, sender types.NodeID, allowFlat bool) (*Tree, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("eig: need at least 2 nodes, got %d", n)
 	}
@@ -88,10 +114,15 @@ func New(n, depth int, sender types.NodeID) (*Tree, error) {
 		return nil, fmt.Errorf("eig: sender %d out of range", int(sender))
 	}
 	t := &Tree{n: n, depth: depth, sender: sender}
-	if n <= 255 && depth <= maxFastDepth {
-		t.fast = make(map[pathKey]types.Value)
-	} else {
-		t.vals = make(map[string]types.Value)
+	if allowFlat {
+		t.flat = newFlatStore(n, depth, sender)
+	}
+	if t.flat == nil {
+		if n <= 255 && depth <= maxFastDepth {
+			t.fast = make(map[pathKey]types.Value)
+		} else {
+			t.vals = make(map[string]types.Value)
+		}
 	}
 	return t, nil
 }
@@ -100,9 +131,12 @@ func New(n, depth int, sender types.NodeID) (*Tree, error) {
 // serving runtime pools node complements across agreement instances; Reset
 // is what makes a pooled tree indistinguishable from a fresh one.
 func (t *Tree) Reset() {
-	if t.fast != nil {
+	switch {
+	case t.flat != nil:
+		t.flat.reset()
+	case t.fast != nil:
 		clear(t.fast)
-	} else {
+	default:
 		clear(t.vals)
 	}
 }
@@ -131,6 +165,16 @@ func (t *Tree) ValidPath(p types.Path) bool {
 // Set records the value received for path p. The first write wins; protocols
 // ignore duplicate deliveries of the same claim. Invalid paths are rejected.
 func (t *Tree) Set(p types.Path, v types.Value) error {
+	if t.flat != nil {
+		// Ranking validates as a by-product: an invalid path has no index.
+		idx, ok := t.flat.rk.Index(p)
+		if !ok {
+			return fmt.Errorf("eig: invalid path %s for n=%d depth=%d sender=%d",
+				p, t.n, t.depth, int(t.sender))
+		}
+		t.flat.set(idx, v)
+		return nil
+	}
 	if !t.ValidPath(p) {
 		return fmt.Errorf("eig: invalid path %s for n=%d depth=%d sender=%d",
 			p, t.n, t.depth, int(t.sender))
@@ -155,6 +199,12 @@ func (t *Tree) Set(p types.Path, v types.Value) error {
 // carrying it was absent (the paper's assumption (b): absence is detectable,
 // and a missing value is treated as the default).
 func (t *Tree) Get(p types.Path) types.Value {
+	if t.flat != nil {
+		if idx, ok := t.flat.rk.Index(p); ok {
+			return t.flat.vals[idx] // pre-filled with Default when absent
+		}
+		return types.Default
+	}
 	if t.fast != nil {
 		if v, ok := t.fast[fastKey(p)]; ok {
 			return v
@@ -169,6 +219,10 @@ func (t *Tree) Get(p types.Path) types.Value {
 
 // Has reports whether a value was recorded for p.
 func (t *Tree) Has(p types.Path) bool {
+	if t.flat != nil {
+		idx, ok := t.flat.rk.Index(p)
+		return ok && t.flat.has(idx)
+	}
 	if t.fast != nil {
 		_, ok := t.fast[fastKey(p)]
 		return ok
@@ -179,6 +233,9 @@ func (t *Tree) Has(p types.Path) bool {
 
 // Stored returns the number of recorded values.
 func (t *Tree) Stored() int {
+	if t.flat != nil {
+		return t.flat.stored
+	}
 	if t.fast != nil {
 		return len(t.fast)
 	}
@@ -187,11 +244,15 @@ func (t *Tree) Stored() int {
 
 // Resolve computes the decision of receiver self by resolving the tree
 // bottom-up from the root path (sender). rule is applied at every internal
-// path; leaf paths (length == depth) evaluate to their stored value.
+// path; leaf paths (length == depth) evaluate to their stored value. The
+// vote vector handed to rule is only valid for the duration of the call.
 func (t *Tree) Resolve(self types.NodeID, rule Rule) types.Value {
-	// The DFS reuses one path buffer (children overwrite their siblings'
-	// slot) and one scratch segment per recursion level, so resolving a
-	// pooled tree allocates nothing after the first call.
+	if t.flat != nil {
+		return t.flat.resolve(self, rule)
+	}
+	// The map engines' DFS reuses one path buffer (children overwrite
+	// their siblings' slot) and one scratch segment per recursion level,
+	// so resolving a pooled tree allocates nothing after the first call.
 	if cap(t.pbuf) < t.depth {
 		t.pbuf = make(types.Path, 0, t.depth)
 	}

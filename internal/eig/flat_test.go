@@ -1,0 +1,221 @@
+package eig
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"degradable/internal/types"
+	"degradable/internal/vote"
+)
+
+// TestFlatEngineSelection pins down which universes get the dense engine.
+func TestFlatEngineSelection(t *testing.T) {
+	tr := mustNew(t, 7, 2, 0)
+	if tr.flat == nil {
+		t.Error("N=7 depth=2 should use the flat engine")
+	}
+	mt, err := newMapTree(7, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.flat != nil || mt.fast == nil {
+		t.Error("newMapTree should build the fast-map engine")
+	}
+	// A universe past maxFlatEntries falls back: N=255 depth=4 has
+	// 1 + 254 + 254·253 + 254·253·252 ≈ 16.3M paths.
+	big := mustNew(t, 255, 4, 0)
+	if big.flat != nil {
+		t.Error("16M-path universe should fall back to a map engine")
+	}
+	if big.fast == nil {
+		t.Error("fallback for n ≤ 255 should be the fast map")
+	}
+}
+
+// enumeratePaths returns every valid path of every length, cloned.
+func enumeratePaths(tr *Tree) []types.Path {
+	var out []types.Path
+	for l := 1; l <= tr.Depth(); l++ {
+		tr.ForEachPath(l, -1, func(p types.Path) bool {
+			out = append(out, p.Clone())
+			return true
+		})
+	}
+	return out
+}
+
+// TestFlatMatchesMapExhaustive is the differential oracle test: for every
+// small universe (n ≤ 6, all depths, two sender choices) and a seeded
+// random workload, the flat engine and the map engine must agree on
+// Set/Get/Has/Stored and on Resolve — including the exact vote vectors
+// handed to the rule — for every receiver, across two Reset generations.
+func TestFlatMatchesMapExhaustive(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		for depth := 1; depth <= n-1; depth++ {
+			for _, sender := range []types.NodeID{0, types.NodeID(n - 1)} {
+				name := fmt.Sprintf("n%d_d%d_s%d", n, depth, int(sender))
+				t.Run(name, func(t *testing.T) {
+					flatT := mustNew(t, n, depth, sender)
+					mapT, err := newMapTree(n, depth, sender)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if flatT.flat == nil {
+						t.Fatal("expected the flat engine")
+					}
+					rng := rand.New(rand.NewSource(int64(n*100 + depth*10 + int(sender))))
+					paths := enumeratePaths(flatT)
+					for gen := 0; gen < 2; gen++ {
+						differentialWorkload(t, flatT, mapT, paths, rng)
+						flatT.Reset()
+						mapT.Reset()
+						if flatT.Stored() != 0 || mapT.Stored() != 0 {
+							t.Fatal("Reset left values behind")
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func differentialWorkload(t *testing.T, flatT, mapT *Tree, paths []types.Path, rng *rand.Rand) {
+	t.Helper()
+	// Store a random ~2/3 subset, with duplicate Sets sprinkled in to
+	// exercise first-write-wins on both engines.
+	for _, p := range paths {
+		if rng.Intn(3) == 0 {
+			continue
+		}
+		v := types.Value(rng.Intn(5))
+		if err := flatT.Set(p, v); err != nil {
+			t.Fatalf("flat Set(%s): %v", p, err)
+		}
+		if err := mapT.Set(p, v); err != nil {
+			t.Fatalf("map Set(%s): %v", p, err)
+		}
+		if rng.Intn(4) == 0 { // duplicate write, both must ignore it
+			_ = flatT.Set(p, v+7)
+			_ = mapT.Set(p, v+7)
+		}
+	}
+	if flatT.Stored() != mapT.Stored() {
+		t.Fatalf("Stored: flat %d, map %d", flatT.Stored(), mapT.Stored())
+	}
+	for _, p := range paths {
+		if flatT.Has(p) != mapT.Has(p) {
+			t.Fatalf("Has(%s): flat %v, map %v", p, flatT.Has(p), mapT.Has(p))
+		}
+		if fv, mv := flatT.Get(p), mapT.Get(p); fv != mv {
+			t.Fatalf("Get(%s): flat %v, map %v", p, fv, mv)
+		}
+	}
+	// Invalid paths behave identically on both engines.
+	n := flatT.N()
+	for _, bad := range []types.Path{
+		{}, {types.NodeID(n)}, {flatT.Sender(), flatT.Sender()}, {flatT.Sender(), -1},
+	} {
+		if flatT.Set(bad, 1) == nil {
+			t.Fatalf("flat Set(%v) accepted an invalid path", bad)
+		}
+		if flatT.Get(bad) != mapT.Get(bad) || flatT.Has(bad) != mapT.Has(bad) {
+			t.Fatalf("invalid-path Get/Has diverge for %v", bad)
+		}
+	}
+	// Resolve for every receiver, with a rule that logs every call: the
+	// engines must agree on the result AND on the multiset of (nSub, vals)
+	// the rule observes. (The engines emit the calls in different orders —
+	// DFS post-order vs level sweep — which is immaterial: each call's
+	// inputs are fully determined by its path, so equal multisets mean
+	// every path was resolved from identical vote vectors.)
+	m := 1
+	for self := 0; self < n; self++ {
+		var flatLog, mapLog []string
+		logging := func(log *[]string) Rule {
+			return func(nSub int, vals []types.Value) types.Value {
+				*log = append(*log, fmt.Sprintf("%d:%v", nSub, vals))
+				return vote.Vote(nSub-1-m, vals)
+			}
+		}
+		fv := flatT.Resolve(types.NodeID(self), logging(&flatLog))
+		mv := mapT.Resolve(types.NodeID(self), logging(&mapLog))
+		if fv != mv {
+			t.Fatalf("Resolve(self=%d): flat %v, map %v", self, fv, mv)
+		}
+		sort.Strings(flatLog)
+		sort.Strings(mapLog)
+		if len(flatLog) != len(mapLog) {
+			t.Fatalf("Resolve(self=%d): flat made %d rule calls, map %d",
+				self, len(flatLog), len(mapLog))
+		}
+		for i := range flatLog {
+			if flatLog[i] != mapLog[i] {
+				t.Fatalf("Resolve(self=%d) rule call %d (sorted): flat %s, map %s",
+					self, i, flatLog[i], mapLog[i])
+			}
+		}
+	}
+}
+
+// TestFlatResolveAllocs verifies the warm-path guarantee: after the first
+// Resolve the flat engine allocates nothing, for Set and Resolve alike.
+func TestFlatResolveAllocs(t *testing.T) {
+	tr := mustNew(t, 7, 2, 0)
+	paths := enumeratePaths(tr)
+	rule := func(nSub int, vals []types.Value) types.Value {
+		return vote.Vote(nSub-2, vals)
+	}
+	warm := func() {
+		tr.Reset()
+		for i, p := range paths {
+			_ = tr.Set(p, types.Value(i%3))
+		}
+		tr.Resolve(1, rule)
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(100, warm); allocs != 0 {
+		t.Errorf("warm Set+Resolve allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// FuzzFlatVsMap drives one universe with fuzzed operations and checks the
+// engines never diverge.
+func FuzzFlatVsMap(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const n, depth = 6, 3
+		flatT, err := New(n, depth, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapT, err := newMapTree(n, depth, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths := enumeratePaths(flatT)
+		for i := 0; i+1 < len(ops); i += 2 {
+			p := paths[int(ops[i])%len(paths)]
+			v := types.Value(ops[i+1] % 4)
+			if (ops[i]^ops[i+1])&1 == 0 {
+				ferr := flatT.Set(p, v)
+				merr := mapT.Set(p, v)
+				if (ferr == nil) != (merr == nil) {
+					t.Fatalf("Set(%s) error divergence: flat %v, map %v", p, ferr, merr)
+				}
+			} else if flatT.Get(p) != mapT.Get(p) || flatT.Has(p) != mapT.Has(p) {
+				t.Fatalf("Get/Has(%s) diverge", p)
+			}
+		}
+		rule := func(nSub int, vals []types.Value) types.Value {
+			return vote.Vote(nSub-2, vals)
+		}
+		for self := 0; self < n; self++ {
+			if fv, mv := flatT.Resolve(types.NodeID(self), rule), mapT.Resolve(types.NodeID(self), rule); fv != mv {
+				t.Fatalf("Resolve(self=%d): flat %v, map %v", self, fv, mv)
+			}
+		}
+	})
+}

@@ -29,6 +29,11 @@ import (
 // next round. After round R, Finish delivers the final batch, then Decide is
 // read. Implementations need not be safe for concurrent use; the engine
 // serializes all calls to a given node.
+//
+// The inbox slice is only valid for the duration of the Step or Finish call:
+// the engine reuses the delivery buffers across rounds. Implementations that
+// retain messages must copy them (all in-tree nodes absorb values into their
+// EIG tree and retain nothing).
 type Node interface {
 	ID() types.NodeID
 	Step(round int, inbox []types.Message) []types.Message
@@ -142,8 +147,16 @@ func Run(nodes []Node, cfg Config) (*Result, error) {
 	}
 
 	expander, _ := ch.(Expander)
-	deliver := func(pending []types.Message) [][]types.Message {
-		inboxes := make([][]types.Message, n)
+	// inboxes is allocated once and reused every round: each per-node slice
+	// is truncated and refilled in place, so after the first couple of
+	// rounds delivery stops allocating entirely. Safe because the round
+	// barrier guarantees no Step/Finish call is in flight during delivery
+	// and nodes do not retain their inbox (see the Node contract).
+	inboxes := make([][]types.Message, n)
+	deliver := func(pending []types.Message) {
+		for i := range inboxes {
+			inboxes[i] = inboxes[i][:0]
+		}
 		for _, m := range pending {
 			var copies []types.Message
 			if expander != nil {
@@ -166,7 +179,6 @@ func Run(nodes []Node, cfg Config) (*Result, error) {
 				res.Views[types.NodeID(i)] = append(res.Views[types.NodeID(i)], inboxes[i]...)
 			}
 		}
-		return inboxes
 	}
 
 	// collect stamps, validates, and queues one node's round sends,
@@ -188,14 +200,14 @@ func Run(nodes []Node, cfg Config) (*Result, error) {
 	if cfg.Sequential {
 		var pending []types.Message
 		for round := 1; round <= cfg.Rounds; round++ {
-			inboxes := deliver(pending)
+			deliver(pending)
 			pending = pending[:0]
 			for i := 0; i < n; i++ {
 				out := byID[i].Step(round, inboxes[i])
 				pending = collect(pending, i, round, out)
 			}
 		}
-		inboxes := deliver(pending)
+		deliver(pending)
 		for i := 0; i < n; i++ {
 			byID[i].Finish(inboxes[i])
 		}
@@ -228,7 +240,7 @@ func Run(nodes []Node, cfg Config) (*Result, error) {
 
 	var pending []types.Message
 	for round := 1; round <= cfg.Rounds; round++ {
-		inboxes := deliver(pending)
+		deliver(pending)
 		pending = pending[:0]
 		// Fan out the round to all workers, then collect.
 		for i := 0; i < n; i++ {
@@ -239,7 +251,7 @@ func Run(nodes []Node, cfg Config) (*Result, error) {
 		}
 	}
 	// Final delivery of round-R messages.
-	inboxes := deliver(pending)
+	deliver(pending)
 	for i := 0; i < n; i++ {
 		reqs[i] <- stepReq{final: true, inbox: inboxes[i]}
 	}

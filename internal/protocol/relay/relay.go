@@ -105,8 +105,10 @@ func (nd *Node) Outbox(round int) []types.Message {
 		return nil
 	}
 	// Relay every claim of length round-1 that does not involve self,
-	// labelled with self appended.
-	var out []types.Message
+	// labelled with self appended. PathCount bounds the fan-out (it counts
+	// the paths through self too, so this slightly over-reserves), which
+	// keeps the builder to a single allocation instead of log₂ growths.
+	out := make([]types.Message, 0, nd.tree.PathCount(round-1)*(nd.n-1))
 	nd.tree.ForEachPath(round-1, nd.id, func(p types.Path) bool {
 		v := nd.tree.Get(p) // Default when the claim never arrived
 		lbl := p.Append(nd.id)
@@ -191,7 +193,7 @@ func Schedule(tree *eig.Tree, self types.NodeID, value types.Value, round int) [
 	if round > tree.Depth() {
 		return nil
 	}
-	var out []types.Message
+	out := make([]types.Message, 0, tree.PathCount(round-1)*(n-1))
 	tree.ForEachPath(round-1, self, func(p types.Path) bool {
 		v := tree.Get(p)
 		lbl := p.Append(self)

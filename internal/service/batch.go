@@ -73,9 +73,9 @@ func (sh *shard) runOne(req Request) (Response, error) {
 	}
 	resp, err := p.run(req, sh)
 	if err == nil {
-		sh.svc.completed.Add(1)
+		sh.stats.completed.Add(1)
 		if resp.Degraded {
-			sh.svc.degraded.Add(1)
+			sh.stats.degraded.Add(1)
 		}
 	}
 	return resp, err
@@ -134,9 +134,9 @@ func (p *pool) run(req Request, sh *shard) (Response, error) {
 			resp.OK = v.OK
 			resp.Graceful = v.Graceful
 			resp.Reason = v.Reason
-			sh.svc.specChecked.Add(1)
+			sh.stats.specChecked.Add(1)
 			if !v.OK {
-				sh.svc.specViolations.Add(1)
+				sh.stats.specViolations.Add(1)
 			}
 		}
 	}

@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -45,8 +46,8 @@ var (
 
 // Config parameterizes a Service.
 type Config struct {
-	// Shards is the number of worker goroutines (default 1; there is no
-	// benefit in exceeding GOMAXPROCS).
+	// Shards is the number of worker goroutines (default GOMAXPROCS; there
+	// is no benefit in exceeding it).
 	Shards int
 	// QueueDepth is the per-shard admission queue bound (default 1024).
 	// A full queue rejects with ErrOverloaded rather than blocking.
@@ -64,7 +65,7 @@ type Config struct {
 // withDefaults resolves zero fields to their documented defaults.
 func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
-		c.Shards = 1
+		c.Shards = runtime.GOMAXPROCS(0)
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 1024
@@ -189,6 +190,22 @@ type Outcome struct {
 	Err  error
 }
 
+// shardStats is one shard's slice of the service counters. The padding
+// rounds the struct up to 128 bytes (two cache lines on common hardware,
+// matching the spatial prefetcher's pairing granularity), so that the
+// shards' hot Add loops never contend for a line: without it, adjacent
+// shards' counters share cache lines and every increment invalidates the
+// neighbours' copies — false sharing that grows with the shard count.
+type shardStats struct {
+	accepted       atomic.Uint64
+	rejected       atomic.Uint64
+	completed      atomic.Uint64
+	degraded       atomic.Uint64
+	specChecked    atomic.Uint64
+	specViolations atomic.Uint64
+	_              [128 - 6*8]byte
+}
+
 // Service is the sharded agreement-serving runtime. Construct with New,
 // submit with Do or Submit, and Close to drain.
 type Service struct {
@@ -199,12 +216,10 @@ type Service struct {
 	term   chan struct{} // closed when every shard has exited
 	wg     sync.WaitGroup
 
-	accepted       atomic.Uint64
-	rejected       atomic.Uint64
-	completed      atomic.Uint64
-	degraded       atomic.Uint64
-	specChecked    atomic.Uint64
-	specViolations atomic.Uint64
+	// stats[i] belongs to shards[i]: each shard writes only its own entry
+	// (admission counts are bumped by the submitting goroutine, still on
+	// the target shard's entry), and Stats sums across the slice.
+	stats []shardStats
 }
 
 // New starts a service with the given configuration.
@@ -220,9 +235,11 @@ func newUnstarted(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{cfg: cfg, term: make(chan struct{})}
 	s.shards = make([]*shard, cfg.Shards)
+	s.stats = make([]shardStats, cfg.Shards)
 	for i := range s.shards {
 		s.shards[i] = &shard{
 			svc:   s,
+			stats: &s.stats[i],
 			in:    make(chan *task, cfg.QueueDepth),
 			stop:  make(chan struct{}),
 			pools: make(map[shape]*pool),
@@ -242,16 +259,21 @@ func (s *Service) start() {
 // Config returns the resolved (defaulted) configuration.
 func (s *Service) Config() Config { return s.cfg }
 
-// Stats returns a snapshot of the service counters.
+// Stats returns a snapshot of the service counters, summed across shards.
+// The snapshot is not atomic across counters (shards keep running while it
+// is taken), but each counter is individually consistent.
 func (s *Service) Stats() Stats {
-	return Stats{
-		Accepted:       s.accepted.Load(),
-		Rejected:       s.rejected.Load(),
-		Completed:      s.completed.Load(),
-		Degraded:       s.degraded.Load(),
-		SpecChecked:    s.specChecked.Load(),
-		SpecViolations: s.specViolations.Load(),
+	var st Stats
+	for i := range s.stats {
+		e := &s.stats[i]
+		st.Accepted += e.accepted.Load()
+		st.Rejected += e.rejected.Load()
+		st.Completed += e.completed.Load()
+		st.Degraded += e.degraded.Load()
+		st.SpecChecked += e.specChecked.Load()
+		st.SpecViolations += e.specViolations.Load()
 	}
+	return st
 }
 
 // Submit validates and enqueues one request, returning a channel that will
@@ -269,10 +291,10 @@ func (s *Service) Submit(req Request) (<-chan Outcome, error) {
 	sh := s.shards[(s.next.Add(1)-1)%uint64(len(s.shards))]
 	select {
 	case sh.in <- t:
-		s.accepted.Add(1)
+		sh.stats.accepted.Add(1)
 		return t.done, nil
 	default:
-		s.rejected.Add(1)
+		sh.stats.rejected.Add(1)
 		return nil, ErrOverloaded
 	}
 }
@@ -321,6 +343,7 @@ func (s *Service) Close() {
 // dequeue to completion.
 type shard struct {
 	svc   *Service
+	stats *shardStats // this shard's padded counter block
 	in    chan *task
 	stop  chan struct{}
 	pools map[shape]*pool

@@ -27,6 +27,9 @@ func Vote(threshold int, vals []types.Value) types.Value {
 		// identical.
 		threshold = 1
 	}
+	if len(vals) <= smallVote {
+		return voteSmall(threshold, vals)
+	}
 	counts := tally(vals)
 	winner := types.Default
 	found := false
@@ -45,6 +48,47 @@ func Vote(threshold int, vals []types.Value) types.Value {
 	return winner
 }
 
+// smallVote is the vector length up to which Vote counts in place instead
+// of building a tally map. Protocol vote vectors have at most n−1 entries,
+// so this covers every run the serving hot path sees without allocating.
+const smallVote = 64
+
+// voteSmall is Vote on short vectors: for each first occurrence, count its
+// repeats directly. Quadratic, but allocation-free and faster than a map
+// for the vector sizes the protocols produce.
+func voteSmall(threshold int, vals []types.Value) types.Value {
+	winner := types.Default
+	found := false
+	for i, v := range vals {
+		prior := false
+		for j := 0; j < i; j++ {
+			if vals[j] == v {
+				prior = true
+				break
+			}
+		}
+		if prior {
+			continue // already counted at its first occurrence
+		}
+		c := 1
+		for j := i + 1; j < len(vals); j++ {
+			if vals[j] == v {
+				c++
+			}
+		}
+		if c >= threshold {
+			if found {
+				return types.Default // tie
+			}
+			winner, found = v, true
+		}
+	}
+	if !found {
+		return types.Default
+	}
+	return winner
+}
+
 // Majority returns the strict-majority value of vals (> len/2 occurrences),
 // or types.Default when none exists. This is the "majority value among the
 // values v_1...v_{n-1} if it exists, otherwise RETREAT" rule of Lamport's
@@ -53,11 +97,28 @@ func Majority(vals []types.Value) types.Value {
 	if len(vals) == 0 {
 		return types.Default
 	}
-	counts := tally(vals)
-	for v, c := range counts {
-		if 2*c > len(vals) {
-			return v
+	// Boyer–Moore majority vote: the only candidate that can hold a strict
+	// majority survives the pairing pass; one counting pass verifies it.
+	// Linear and allocation-free.
+	cand, count := vals[0], 0
+	for _, v := range vals {
+		switch {
+		case count == 0:
+			cand, count = v, 1
+		case v == cand:
+			count++
+		default:
+			count--
 		}
+	}
+	n := 0
+	for _, v := range vals {
+		if v == cand {
+			n++
+		}
+	}
+	if 2*n > len(vals) {
+		return cand
 	}
 	return types.Default
 }

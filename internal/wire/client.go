@@ -64,12 +64,14 @@ func (c *Client) readLoop() {
 	defer close(c.readDone)
 	br := bufio.NewReader(c.conn)
 	var err error
+	var frame []byte // reused across frames; DecodeResponse copies what it keeps
 	for {
 		var payload []byte
-		payload, err = ReadFrame(br)
+		payload, err = ReadFrameInto(br, frame)
 		if err != nil {
 			break
 		}
+		frame = payload
 		id, st, resp, errmsg, derr := DecodeResponse(payload)
 		if derr != nil {
 			err = derr

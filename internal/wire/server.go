@@ -144,11 +144,13 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 
 	br := bufio.NewReader(conn)
+	var frame []byte // reused across frames; DecodeRequest copies what it keeps
 	for {
-		payload, err := ReadFrame(br)
+		payload, err := ReadFrameInto(br, frame)
 		if err != nil {
 			break // EOF, malformed frame, or the shutdown deadline
 		}
+		frame = payload
 		id, req, err := DecodeRequest(payload)
 		if err != nil {
 			break // framing is lost; the deferred close severs the conn

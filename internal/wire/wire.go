@@ -171,20 +171,42 @@ func appendHeader(buf []byte, body int, typ uint8, id uint64) []byte {
 }
 
 // ReadFrame reads one length-prefixed payload from r. It returns io.EOF
-// cleanly only when the stream ends on a frame boundary.
+// cleanly only when the stream ends on a frame boundary. Each call
+// allocates a fresh payload; read loops should prefer ReadFrameInto.
 func ReadFrame(r io.Reader) ([]byte, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	return ReadFrameInto(r, nil)
+}
+
+// ReadFrameInto is ReadFrame with a caller-supplied buffer: the payload is
+// read into buf when its capacity suffices, and a larger buffer is
+// allocated otherwise. The returned slice is valid until the next call
+// that reuses buf; both Decode functions copy everything they retain, so a
+// read loop can pass the previous return value back in and amortize the
+// per-frame allocation away entirely.
+func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
+	// The length prefix is read into the (possibly grown) reuse buffer: a
+	// stack array would escape through the io.Reader interface and cost an
+	// allocation per frame — the very thing this path exists to remove.
+	if cap(buf) < 4 {
+		buf = make([]byte, 4)
+	}
+	lenBuf := buf[:4]
+	if _, err := io.ReadFull(r, lenBuf); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
+	n := binary.BigEndian.Uint32(lenBuf)
 	if n < 10 {
 		return nil, fmt.Errorf("wire: frame of %d bytes below the 10-byte header", n)
 	}
 	if n > MaxFrame {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds the %d limit", n, MaxFrame)
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if int(n) <= cap(buf) {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF

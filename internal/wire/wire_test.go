@@ -127,6 +127,63 @@ func TestReadFrameRejects(t *testing.T) {
 	}
 }
 
+// TestReadFrameInto verifies the buffer-reuse contract: a sufficient buffer
+// is reused in place, an insufficient one is replaced, and a read loop
+// feeding the previous payload back in stops allocating.
+func TestReadFrameInto(t *testing.T) {
+	small, _ := AppendRequest(nil, 1, service.Request{N: 5, M: 1, U: 2, Value: 1})
+	big, _ := AppendRequest(nil, 2, service.Request{N: 7, M: 2, U: 2, Value: 9,
+		Faults: []service.FaultSpec{{Node: 1, Kind: adversary.KindLie, Value: 3}}})
+
+	// Growing: nil buffer allocates, then the bigger frame replaces it.
+	r := bytes.NewReader(append(append([]byte(nil), small...), big...))
+	p1, err := ReadFrameInto(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ReadFrameInto(r, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2) != len(big)-4 {
+		t.Fatalf("second frame: %d bytes, want %d", len(p2), len(big)-4)
+	}
+	if _, req, err := DecodeRequest(p2); err != nil || len(req.Faults) != 1 {
+		t.Fatalf("second frame decode: %v, faults %v", err, req.Faults)
+	}
+
+	// Shrinking: a roomy buffer must be reused, not reallocated.
+	roomy := make([]byte, 0, MaxFrame)
+	p3, err := ReadFrameInto(bytes.NewReader(small), roomy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p3[0] != &roomy[:1][0] {
+		t.Error("sufficient buffer was not reused")
+	}
+
+	// A steady-state read loop over identical frames is allocation-free.
+	var stream []byte
+	for i := 0; i < 8; i++ {
+		stream = append(stream, small...)
+	}
+	buf := make([]byte, 0, len(small))
+	sr := bytes.NewReader(stream)
+	allocs := testing.AllocsPerRun(50, func() {
+		sr.Reset(stream)
+		for {
+			p, err := ReadFrameInto(sr, buf)
+			if err != nil {
+				break
+			}
+			buf = p
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state read loop allocates %.1f times per run, want 0", allocs)
+	}
+}
+
 func TestDecodeRejects(t *testing.T) {
 	good, _ := AppendRequest(nil, 1, service.Request{N: 5, M: 1, U: 2, Value: 1,
 		Faults: []service.FaultSpec{{Node: 1, Kind: adversary.KindLie, Value: 2}}})

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Benchmark comparison report (non-failing; stdlib + awk only).
+#
+# Runs the eig and service benchmarks and prints two comparisons:
+#
+#   1. Engine old-vs-new: the eig benchmarks carry both storage engines as
+#      sub-benchmarks (".../map" is the hash-map engine the flat engine
+#      replaced), so one run yields a benchstat-style map-vs-flat delta
+#      table without any git archaeology.
+#   2. Baseline old-vs-new: the raw `go test -bench` output is written to
+#      BENCH_go.txt; pass a previous run's file (or keep one as
+#      BENCH_baseline.txt) and matching benchmarks are diffed old-vs-new.
+#
+# Usage:
+#   scripts/bench_compare.sh [baseline.txt]
+#
+# Environment:
+#   BENCHTIME   per-benchmark time budget (default 0.3s; check.sh uses 1x
+#               for a smoke pass)
+#
+# The script never fails the build: it is a report, not a gate. Benchmark
+# regressions are for humans to judge with the numbers in front of them.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-0.3s}"
+RAW="BENCH_go.txt"
+BASELINE="${1:-BENCH_baseline.txt}"
+
+echo "== benchmarks (benchtime=$BENCHTIME) =="
+{
+  go test -run '^$' -bench . -benchtime "$BENCHTIME" ./internal/eig/
+  go test -run '^$' -bench . -benchtime "$BENCHTIME" ./internal/service/
+} 2>&1 | tee "$RAW" | grep -E '^(Benchmark|ok|FAIL|---)' || true
+
+echo
+echo "== eig engine comparison (old = map engine, new = flat engine) =="
+awk '
+  # Lines look like: BenchmarkSetResolve/n7_d2/flat-4  999  124.5 ns/op  0 B/op  0 allocs/op
+  /^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)            # strip the GOMAXPROCS suffix
+    for (i = 2; i <= NF; i++) if ($i == "ns/op") ns = $(i-1)
+    if (name ~ /\/flat$/) { key = name; sub(/\/flat$/, "", key); flat[key] = ns; seen[key] = 1 }
+    if (name ~ /\/map$/)  { key = name; sub(/\/map$/, "", key);  mp[key] = ns;   seen[key] = 1 }
+  }
+  END {
+    printf "%-34s %12s %12s %9s\n", "benchmark", "map ns/op", "flat ns/op", "delta"
+    n = 0
+    for (key in seen) order[n++] = key
+    # insertion sort for stable, awk-portable output ordering
+    for (i = 1; i < n; i++) { t = order[i]; j = i - 1
+      while (j >= 0 && order[j] > t) { order[j+1] = order[j]; j-- }
+      order[j+1] = t }
+    for (i = 0; i < n; i++) { key = order[i]
+      if (!(key in flat) || !(key in mp)) continue
+      d = (flat[key] - mp[key]) / mp[key] * 100
+      printf "%-34s %12.5g %12.5g %8.1f%%\n", key, mp[key], flat[key], d
+    }
+  }
+' "$RAW"
+
+if [ -f "$BASELINE" ] && [ "$BASELINE" != "$RAW" ]; then
+  echo
+  echo "== baseline comparison (old = $BASELINE, new = $RAW) =="
+  awk '
+    /^Benchmark/ && /ns\/op/ {
+      name = $1
+      sub(/-[0-9]+$/, "", name)
+      for (i = 2; i <= NF; i++) if ($i == "ns/op") ns = $(i-1)
+      if (FILENAME == ARGV[1]) { old[name] = ns } else { new_[name] = ns; if (name in old) seen[name] = 1 }
+    }
+    END {
+      printf "%-44s %12s %12s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+      n = 0
+      for (name in seen) order[n++] = name
+      for (i = 1; i < n; i++) { t = order[i]; j = i - 1
+        while (j >= 0 && order[j] > t) { order[j+1] = order[j]; j-- }
+        order[j+1] = t }
+      for (i = 0; i < n; i++) { name = order[i]
+        d = (new_[name] - old[name]) / old[name] * 100
+        printf "%-44s %12.5g %12.5g %8.1f%%\n", name, old[name], new_[name], d
+      }
+    }
+  ' "$BASELINE" "$RAW"
+else
+  echo
+  echo "(no baseline file; keep a previous $RAW as $BASELINE to get old-vs-new deltas)"
+fi
+
+exit 0

@@ -28,13 +28,20 @@ echo "== benchmark smoke =="
 # producing numbers (or starts erroring) must be visible here, not hidden
 # in /dev/null.
 go test -run XXX -bench . -benchtime 1x .
-go test -run XXX -bench . -benchtime 1x ./internal/service/
 
-echo "== service load benchmark =="
-# Short in-process load run; writes the BENCH_service.json artifact at the
-# repo root (throughput, latency percentiles, rejection rate, degraded
-# fraction). Exits non-zero on any spec-sample violation.
-go run ./cmd/loadgen -inproc -duration 3s -n 7 -m 1 -u 2 -json BENCH_service.json
+echo "== benchmark comparison (non-failing report) =="
+# Runs the eig + service benchmarks (1 iteration each: this is the smoke
+# pass for those packages too) and prints the map-vs-flat engine deltas.
+# A report, not a gate — it never fails the check.
+BENCHTIME=1x scripts/bench_compare.sh
+
+echo "== service load benchmark (shard matrix) =="
+# Short in-process shard sweep; writes the BENCH_service.json artifact at
+# the repo root (throughput, latency percentiles, rejection rate, and the
+# shard-scaling matrix). Exits non-zero on any spec-sample violation.
+# Scaling is hardware-dependent: on a single-core runner every point
+# lands near 1x.
+go run ./cmd/loadgen -inproc -shard-sweep 1,2,4,8 -duration 2s -n 7 -m 1 -u 2 -json BENCH_service.json
 
 echo "== chaos campaign smoke =="
 go run ./cmd/chaos -seed 42 -runs 250 >/dev/null
