@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 
 	"degradable/internal/chaos"
+	"degradable/internal/cluster"
 )
 
 // Chaos-engine vocabulary, re-exported so external callers can drive seeded
@@ -47,8 +48,17 @@ func ChaosContext(ctx context.Context, cfg Config, c ChaosCampaign) (*ChaosRepor
 
 // ChaosReplay re-runs one scenario — typically a shrunk counterexample — and
 // returns its judged outcome. Equal scenarios (same seed included) replay
-// byte-identically.
-func ChaosReplay(sc ChaosScenario) (*ChaosOutcome, error) { return sc.Run() }
+// byte-identically in process. A scenario whose Driver field says "cluster"
+// replays across real OS processes through the cluster launcher; the
+// calling binary must have invoked ClusterHijack (per-node injector seeds
+// make cross-process coin flips differ from the in-process surrogate, but
+// the judged conditions are the same).
+func ChaosReplay(sc ChaosScenario) (*ChaosOutcome, error) {
+	if sc.Driver == chaos.DriverCluster {
+		return sc.RunWith(cluster.Executor(context.Background(), 0))
+	}
+	return sc.Run()
+}
 
 // ChaosShrink delta-debugs a scenario that misses its expected verdict down
 // to a locally minimal counterexample that still misses it, returning the

@@ -1,0 +1,53 @@
+package degradable_test
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	degradable "degradable"
+	"degradable/internal/adversary"
+)
+
+// TestMain lets this test binary double as the cluster node executable:
+// RunCluster spawns nodes by re-executing os.Executable(), and the children
+// divert into the node runtime here.
+func TestMain(m *testing.M) {
+	degradable.ClusterHijack()
+	os.Exit(m.Run())
+}
+
+// TestRunClusterFacade runs the paper's N=7, m=1, u=2 configuration as
+// seven OS processes through the public facade and checks the spec verdict
+// and the latency counters the cluster uniquely reports.
+func TestRunClusterFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := degradable.RunCluster(ctx, degradable.ClusterConfig{
+		N: 7, M: 1, U: 2, SenderValue: 1001,
+		Faults: []degradable.ChaosFault{
+			{Node: 2, Kind: adversary.KindTwoFaced, Value: 999},
+			{Node: 5, Kind: adversary.KindSilent},
+		},
+		Deadline: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verdict.OK {
+		t.Fatalf("spec violated: %s (%s)", rep.Verdict.Condition, rep.Verdict.Reason)
+	}
+	if len(rep.Result.Decisions) != 7 {
+		t.Fatalf("got %d decisions, want 7", len(rep.Result.Decisions))
+	}
+	if len(rep.Nodes) != 7 {
+		t.Fatalf("got %d node reports, want 7", len(rep.Nodes))
+	}
+	if rep.RoundWaitMax <= 0 || rep.RoundWaitTotal < rep.RoundWaitMax {
+		t.Errorf("implausible latency counters: max=%v total=%v", rep.RoundWaitMax, rep.RoundWaitTotal)
+	}
+}

@@ -34,6 +34,9 @@ import (
 )
 
 func main() {
+	// Replaying a cluster-driver counterexample spawns node processes by
+	// re-executing this binary; those children divert here.
+	degradable.ClusterHijack()
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)

@@ -1,0 +1,288 @@
+// Command cluster runs m/u-degradable agreement as a true distributed
+// system: one OS process per node on loopback TCP, round-tagged frames,
+// per-round hold-back deadlines (§4 assumption b), and decisions judged
+// against the executable spec.
+//
+// Usage:
+//
+//	cluster -n 7 -m 1 -u 2 -faults 2:twofaced:999,4:silent    # one instance
+//	cluster -n 7 -m 1 -u 2 -campaign 25 -seed 7               # chaos campaign
+//	cluster -n 7 -m 1 -u 2 -campaign 25 -bench BENCH.json     # + latency artifact
+//
+// Fault syntax matches cmd/degrade: node:kind[:value][:seed] with kinds
+// silent, crash, lie, twofaced, random. In campaign mode every generated
+// scenario executes across real processes and is classified by the chaos
+// engine (SpecHeld / GracefulOnly / Violated / Infeasible); the command
+// exits non-zero on any violation or missed expectation. Node processes
+// are spawned by re-executing this binary (-node-bin substitutes another
+// node binary, e.g. cmd/node).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"degradable/internal/adversary"
+	"degradable/internal/chaos"
+	"degradable/internal/cluster"
+	"degradable/internal/types"
+)
+
+func main() {
+	cluster.Hijack() // node processes re-execute this binary
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		os.Exit(1)
+	}
+}
+
+// benchArtifact is the -bench JSON shape: the cluster's round-latency
+// counters alongside the run shape, for CI artifact upload.
+type benchArtifact struct {
+	N              int           `json:"n"`
+	M              int           `json:"m"`
+	U              int           `json:"u"`
+	Runs           int           `json:"runs"`
+	Processes      int           `json:"processes"`
+	RoundWaitMax   time.Duration `json:"roundWaitMaxNs"`
+	RoundWaitTotal time.Duration `json:"roundWaitTotalNs"`
+	RoundWaitMaxMS float64       `json:"roundWaitMaxMs"`
+	LateBatches    int           `json:"lateBatches"`
+	Healthy        bool          `json:"healthy"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		n        = fs.Int("n", 7, "number of nodes (one process each)")
+		m        = fs.Int("m", 1, "full-agreement fault threshold")
+		u        = fs.Int("u", 2, "degraded-agreement fault threshold")
+		sender   = fs.Int("sender", 0, "sender node ID")
+		value    = fs.Int64("value", 1001, "sender's input value")
+		faults   = fs.String("faults", "", "faults as node:kind[:value][:seed], comma separated")
+		seed     = fs.Int64("seed", 1, "scenario/campaign seed")
+		deadline = fs.Duration("deadline", 2*time.Second, "per-round hold-back deadline")
+		campaign = fs.Int("campaign", 0, "run a chaos campaign of this many scenarios instead of one instance")
+		bench    = fs.String("bench", "", "write round-latency counters to this JSON file")
+		asJSON   = fs.Bool("json", false, "emit the full report as JSON")
+		nodeBin  = fs.String("node-bin", "", "spawn this node binary instead of re-executing (e.g. a cmd/node build)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var command []string
+	if *nodeBin != "" {
+		command = []string{*nodeBin}
+	}
+
+	// SIGINT cancels the run; node processes are killed with it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *campaign > 0 {
+		return runCampaign(ctx, out, campaignConfig{
+			n: *n, m: *m, u: *u, seed: *seed, runs: *campaign,
+			deadline: *deadline, bench: *bench, asJSON: *asJSON, command: command,
+		})
+	}
+
+	flts, err := parseFaults(*faults)
+	if err != nil {
+		return err
+	}
+	rep, err := cluster.Run(ctx, cluster.Config{
+		N: *n, M: *m, U: *u,
+		Sender: types.NodeID(*sender), SenderValue: types.Value(*value),
+		Faults: flts, Seed: *seed, Deadline: *deadline, Command: command,
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(out, "cluster: N=%d m=%d u=%d f=%d — %d processes over loopback TCP\n",
+			*n, *m, *u, len(flts), *n)
+		for i := 0; i < *n; i++ {
+			fmt.Fprintf(out, "  node %d decided %s\n", i, rep.Result.Decisions[types.NodeID(i)])
+		}
+		fmt.Fprintf(out, "verdict: %s — ok=%v graceful=%v", rep.Verdict.Condition, rep.Verdict.OK, rep.Verdict.Graceful)
+		if rep.Verdict.Reason != "" {
+			fmt.Fprintf(out, " (%s)", rep.Verdict.Reason)
+		}
+		fmt.Fprintf(out, "\nround waits: max %v, total %v; late batches: %d\n",
+			rep.RoundWaitMax, rep.RoundWaitTotal, rep.Late)
+	}
+	if *bench != "" {
+		if err := writeBench(*bench, benchArtifact{
+			N: *n, M: *m, U: *u, Runs: 1, Processes: *n,
+			RoundWaitMax: rep.RoundWaitMax, RoundWaitTotal: rep.RoundWaitTotal,
+			RoundWaitMaxMS: float64(rep.RoundWaitMax) / float64(time.Millisecond),
+			LateBatches:    rep.Late, Healthy: rep.Verdict.OK,
+		}); err != nil {
+			return err
+		}
+	}
+	if !rep.Verdict.OK {
+		return fmt.Errorf("spec violated: %s", rep.Verdict.Reason)
+	}
+	return nil
+}
+
+// campaignConfig carries the campaign-mode parameters.
+type campaignConfig struct {
+	n, m, u  int
+	seed     int64
+	runs     int
+	deadline time.Duration
+	bench    string
+	asJSON   bool
+	command  []string
+}
+
+// runCampaign sweeps a seeded chaos campaign where every scenario runs as
+// one OS process per node, aggregating the cluster's round-latency
+// counters across runs for the bench artifact.
+func runCampaign(ctx context.Context, out io.Writer, cc campaignConfig) error {
+	var agg struct {
+		waitMax   time.Duration
+		waitTotal time.Duration
+		late      int
+		processes int
+	}
+	exec := func(sc chaos.Scenario) (*chaos.ExecOutcome, error) {
+		rep, err := cluster.Run(ctx, cluster.Config{
+			N: sc.N, M: sc.M, U: sc.U,
+			Sender: sc.Sender, SenderValue: sc.SenderValue,
+			Faults: sc.Faults, Injectors: sc.Injectors,
+			Seed: sc.Seed, Deadline: cc.deadline, Command: cc.command,
+		})
+		if err != nil {
+			return nil, err
+		}
+		agg.processes += sc.N
+		agg.late += rep.Late
+		agg.waitTotal += rep.RoundWaitTotal
+		if rep.RoundWaitMax > agg.waitMax {
+			agg.waitMax = rep.RoundWaitMax
+		}
+		return &chaos.ExecOutcome{
+			Decisions: rep.Result.Decisions,
+			Messages:  rep.Result.Messages,
+			Delivered: rep.Result.Delivered,
+			Counters:  rep.Counters,
+		}, nil
+	}
+	c := chaos.Campaign{
+		Seed: cc.seed, Runs: cc.runs,
+		Grid:   []chaos.GridPoint{{N: cc.n, M: cc.m, U: cc.u}},
+		Driver: chaos.DriverCluster,
+	}
+	rep, err := c.RunContextWith(ctx, exec)
+	if err != nil {
+		return err
+	}
+	if cc.asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(out, "cluster campaign: N=%d m=%d u=%d seed=%d — %d scenarios, %d node processes\n",
+			cc.n, cc.m, cc.u, cc.seed, rep.Completed, agg.processes)
+		fmt.Fprintf(out, "classes: %d SpecHeld, %d GracefulOnly, %d Violated, %d Infeasible\n",
+			rep.SpecHeld, rep.GracefulOnly, rep.Violated, rep.Infeasible)
+		fmt.Fprintf(out, "round waits: max %v, total %v; late batches: %d\n",
+			agg.waitMax, agg.waitTotal, agg.late)
+		for i, f := range rep.Failures {
+			fmt.Fprintf(out, "FAILURE %d: %s\n  reproduce: %s\n", i+1, f.Outcome.ExpectReason, f.ReproCommand)
+		}
+	}
+	if cc.bench != "" {
+		if err := writeBench(cc.bench, benchArtifact{
+			N: cc.n, M: cc.m, U: cc.u, Runs: rep.Completed, Processes: agg.processes,
+			RoundWaitMax: agg.waitMax, RoundWaitTotal: agg.waitTotal,
+			RoundWaitMaxMS: float64(agg.waitMax) / float64(time.Millisecond),
+			LateBatches:    agg.late, Healthy: rep.Healthy(),
+		}); err != nil {
+			return err
+		}
+	}
+	if !rep.Healthy() {
+		return fmt.Errorf("campaign unhealthy: %d violated, %d missed expectations",
+			rep.Violated, len(rep.Failures))
+	}
+	if rep.Interrupted {
+		return fmt.Errorf("interrupted after %d/%d scenarios", rep.Completed, rep.Runs)
+	}
+	return nil
+}
+
+// writeBench writes the round-latency artifact.
+func writeBench(path string, a benchArtifact) error {
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// parseFaults parses node:kind[:value][:seed] entries (cmd/degrade syntax)
+// into the chaos vocabulary.
+func parseFaults(s string) ([]chaos.FaultSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	kinds := map[string]adversary.Kind{
+		"silent": adversary.KindSilent, "crash": adversary.KindCrash,
+		"lie": adversary.KindLie, "twofaced": adversary.KindTwoFaced,
+		"random": adversary.KindRandom,
+	}
+	var out []chaos.FaultSpec
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("bad fault %q: want node:kind[:value][:seed]", entry)
+		}
+		node, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad fault node %q: %v", parts[0], err)
+		}
+		kind, ok := kinds[parts[1]]
+		if !ok {
+			return nil, fmt.Errorf("unknown fault kind %q", parts[1])
+		}
+		f := chaos.FaultSpec{Node: types.NodeID(node), Kind: kind}
+		if len(parts) > 2 {
+			v, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad fault value %q: %v", parts[2], err)
+			}
+			f.Value = types.Value(v)
+		}
+		if len(parts) > 3 {
+			seed, err := strconv.ParseInt(parts[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad fault seed %q: %v", parts[3], err)
+			}
+			f.Seed = seed
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

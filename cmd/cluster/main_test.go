@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"degradable/internal/adversary"
+	"degradable/internal/cluster"
+)
+
+// TestMain lets the test binary serve as the node executable: the launcher
+// re-executes os.Executable(), and spawned children divert into the node
+// main loop here instead of running the tests again.
+func TestMain(m *testing.M) {
+	cluster.Hijack()
+	os.Exit(m.Run())
+}
+
+// TestClusterHelpListsEveryFlag checks -h documents the binary's full flag
+// surface.
+func TestClusterHelpListsEveryFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-h"}, &out)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: got %v, want flag.ErrHelp", err)
+	}
+	for _, name := range []string{
+		"n", "m", "u", "sender", "value", "faults", "seed",
+		"deadline", "campaign", "bench", "json", "node-bin",
+	} {
+		if !strings.Contains(out.String(), "-"+name) {
+			t.Errorf("-h output missing flag -%s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestParseFaults covers the node:kind[:value][:seed] syntax shared with
+// cmd/degrade.
+func TestParseFaults(t *testing.T) {
+	got, err := parseFaults("2:twofaced:999,4:silent,1:random:0:42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d faults, want 3", len(got))
+	}
+	if got[0].Node != 2 || got[0].Kind != adversary.KindTwoFaced || got[0].Value != 999 {
+		t.Errorf("fault 0 = %+v", got[0])
+	}
+	if got[1].Node != 4 || got[1].Kind != adversary.KindSilent {
+		t.Errorf("fault 1 = %+v", got[1])
+	}
+	if got[2].Kind != adversary.KindRandom || got[2].Seed != 42 {
+		t.Errorf("fault 2 = %+v", got[2])
+	}
+	for _, bad := range []string{"2", "2:nope", "x:silent", "2:lie:x", "2:random:0:x"} {
+		if _, err := parseFaults(bad); err == nil {
+			t.Errorf("parseFaults(%q) accepted", bad)
+		}
+	}
+}
+
+// TestClusterCommandEndToEnd drives the binary's single-run path: real node
+// processes, a spec verdict, and the bench artifact.
+func TestClusterCommandEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	bench := filepath.Join(t.TempDir(), "BENCH_cluster.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "5", "-m", "1", "-u", "2",
+		"-faults", "2:twofaced:999", "-deadline", "10s", "-bench", bench,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "verdict:") || !strings.Contains(out.String(), "ok=true") {
+		t.Errorf("verdict line missing:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a benchArtifact
+	if err := json.Unmarshal(raw, &a); err != nil {
+		t.Fatalf("bench artifact: %v\n%s", err, raw)
+	}
+	if !a.Healthy || a.Processes != 5 || a.RoundWaitMax <= 0 {
+		t.Errorf("bench artifact = %+v", a)
+	}
+}

@@ -1,0 +1,56 @@
+// Command node runs one node of a distributed agreement cluster: it reads
+// its node configuration as a JSON line on stdin, listens for peers,
+// prints its listen address as a JSON line on stdout, reads the roster
+// line, runs the protocol over TCP, and prints its report line.
+//
+// Usage:
+//
+//	node -listen 127.0.0.1:0
+//
+// The stdio protocol is what the cluster launcher (cmd/cluster or
+// degradable.RunCluster) speaks; the launcher normally re-executes itself
+// instead, and this binary exists for running nodes by hand — on separate
+// machines, under strace, or behind a debugger.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	_ "net/http/pprof" // registers the /debug/pprof handlers, served only when -pprof is set
+
+	"degradable/internal/cliflags"
+	"degradable/internal/cluster"
+)
+
+func main() {
+	cluster.Hijack() // spawned-by-launcher path; a no-op when run by hand
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "node:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point.
+func run(args []string, in io.Reader, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("node", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		listen    = cliflags.Addr(fs, "listen", "127.0.0.1:0")
+		pprofAddr = cliflags.PProf(fs)
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	closePProf, pprofBound, err := cliflags.ServePProf(*pprofAddr)
+	if err != nil {
+		return err
+	}
+	if closePProf != nil {
+		defer closePProf()
+		fmt.Fprintf(errOut, "node: pprof on http://%s/debug/pprof/\n", pprofBound)
+	}
+	return cluster.NodeMain(in, out, *listen)
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestNodeHelpListsEveryFlag checks -h documents the binary's full flag
+// surface.
+func TestNodeHelpListsEveryFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-h"}, strings.NewReader(""), &out, &errOut)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: got %v, want flag.ErrHelp", err)
+	}
+	for _, name := range []string{"listen", "pprof"} {
+		if !strings.Contains(errOut.String(), "-"+name) {
+			t.Errorf("-h output missing flag -%s:\n%s", name, errOut.String())
+		}
+	}
+}
+
+// TestNodeBadConfigLine checks a malformed stdin config line surfaces as an
+// error instead of a hang or a half-started node.
+func TestNodeBadConfigLine(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run(nil, strings.NewReader("not json\n"), &out, &errOut)
+	if err == nil {
+		t.Fatal("malformed config line accepted")
+	}
+}
+
+// TestNodeBadFlag checks unknown flags are rejected with usage on errOut.
+func TestNodeBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, strings.NewReader(""), &out, &errOut); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if !strings.Contains(errOut.String(), "-listen") {
+		t.Errorf("usage not printed on flag error:\n%s", errOut.String())
+	}
+}

@@ -20,13 +20,13 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	_ "net/http/pprof" // registers the /debug/pprof handlers, served only when -pprof is set
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"degradable/internal/cliflags"
 	"degradable/internal/service"
 	"degradable/internal/wire"
 )
@@ -42,14 +42,16 @@ func main() {
 // address once the listener is up.
 func run(args []string, out io.Writer, ready chan<- string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		addr       = fs.String("addr", "127.0.0.1:7001", "listen address")
-		shards     = fs.Int("shards", 0, "worker shards (default: GOMAXPROCS-aware service default)")
+		addr       = cliflags.Addr(fs, "addr", "127.0.0.1:7001")
+		shards     = cliflags.Shards(fs)
 		queue      = fs.Int("queue", 0, "per-shard admission queue depth (default 1024)")
 		batch      = fs.Int("batch", 0, "max requests drained per scheduling round (default 64)")
 		specSample = fs.Int("spec-sample", 0, "spec-check every k-th instance per shard (default 8, -1 disables)")
 		grace      = fs.Duration("grace", 10*time.Second, "graceful-shutdown bound")
-		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+		pprofAddr  = cliflags.PProf(fs)
+		timeouts   = cliflags.WireTimeouts(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,23 +61,23 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	if *pprofAddr != "" {
-		// Opt-in profiling endpoint on its own listener, so the debug
-		// surface never shares a port with the agreement protocol. Bound
-		// before the daemon reports ready, failing fast on a bad address.
-		pln, err := net.Listen("tcp", *pprofAddr)
-		if err != nil {
-			ln.Close()
-			return fmt.Errorf("pprof listener: %w", err)
-		}
-		defer pln.Close()
-		fmt.Fprintf(out, "serve: pprof on http://%s/debug/pprof/\n", pln.Addr())
-		go http.Serve(pln, nil) // DefaultServeMux carries the pprof handlers
+	// Opt-in profiling endpoint on its own listener, so the debug surface
+	// never shares a port with the agreement protocol. Bound before the
+	// daemon reports ready, failing fast on a bad address.
+	closePProf, pprofBound, err := cliflags.ServePProf(*pprofAddr)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	if closePProf != nil {
+		defer closePProf()
+		fmt.Fprintf(out, "serve: pprof on http://%s/debug/pprof/\n", pprofBound)
 	}
 	svc := service.New(service.Config{
 		Shards: *shards, QueueDepth: *queue, Batch: *batch, SpecSample: *specSample,
 	})
 	srv := wire.NewServer(ln, svc)
+	srv.SetTimeouts(timeouts())
 	cfg := svc.Config()
 	fmt.Fprintf(out, "serve: listening on %s (shards=%d queue=%d batch=%d spec-sample=%d)\n",
 		ln.Addr(), cfg.Shards, cfg.QueueDepth, cfg.Batch, cfg.SpecSample)

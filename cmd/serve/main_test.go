@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
+	"flag"
 	"io"
 	"net/http"
 	"strings"
@@ -81,6 +83,25 @@ func TestServeSignalShutdown(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "completed=1") {
 		t.Errorf("final counters missing from output:\n%s", out.String())
+	}
+}
+
+// TestServeHelpListsEveryFlag checks -h documents the daemon's full flag
+// surface, including the shared cliflags ones — a flag added without usage
+// text (or renamed in one binary only) fails here.
+func TestServeHelpListsEveryFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-h"}, &out, nil)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: got %v, want flag.ErrHelp", err)
+	}
+	for _, name := range []string{
+		"addr", "shards", "queue", "batch", "spec-sample", "grace",
+		"pprof", "read-timeout", "write-timeout", "idle-timeout",
+	} {
+		if !strings.Contains(out.String(), "-"+name) {
+			t.Errorf("-h output missing flag -%s:\n%s", name, out.String())
+		}
 	}
 }
 

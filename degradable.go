@@ -280,7 +280,7 @@ func AgreeSM(n, m int, senderValue Value, faults ...Fault) (*Result, error) {
 			return nil, err
 		}
 	}
-	runRes, err := inst.Run()
+	runRes, err := inst.Run(nil)
 	if err != nil {
 		return nil, err
 	}

@@ -17,8 +17,8 @@ import (
 	"math/rand"
 
 	"degradable/internal/eig"
-	"degradable/internal/netsim"
 	"degradable/internal/protocol/relay"
+	"degradable/internal/round"
 	"degradable/internal/types"
 )
 
@@ -49,7 +49,7 @@ type Node struct {
 	strat  Strategy
 }
 
-var _ netsim.Node = (*Node)(nil)
+var _ round.Node = (*Node)(nil)
 
 // NewNode wraps a Byzantine node with the given identity and strategy.
 // The arguments mirror relay.New; value matters only when id == sender.
@@ -66,7 +66,7 @@ func NewNode(n, depth int, sender, id types.NodeID, value types.Value, strat Str
 	return &Node{honest: honest, strat: strat}, nil
 }
 
-// ID implements netsim.Node.
+// ID implements round.Node.
 func (b *Node) ID() types.NodeID { return b.honest.ID() }
 
 // Reset returns the node to its pre-run state and re-arms it with a new
@@ -78,7 +78,7 @@ func (b *Node) Reset(value types.Value, strat Strategy) {
 	b.strat = strat
 }
 
-// Step implements netsim.Node.
+// Step implements round.Node.
 func (b *Node) Step(round int, inbox []types.Message) []types.Message {
 	scheduled := b.honest.Step(round, inbox)
 	if obs, ok := b.strat.(Observer); ok {
@@ -96,10 +96,10 @@ func (b *Node) Step(round int, inbox []types.Message) []types.Message {
 	return out
 }
 
-// Finish implements netsim.Node.
+// Finish implements round.Node.
 func (b *Node) Finish(inbox []types.Message) { b.honest.Finish(inbox) }
 
-// Decide implements netsim.Node. A faulty node's decision carries no
+// Decide implements round.Node. A faulty node's decision carries no
 // guarantee; it reports V_d.
 func (b *Node) Decide() types.Value { return types.Default }
 
@@ -107,7 +107,7 @@ func (b *Node) Decide() types.Value { return types.Default }
 // wrappers. nodes must be the honest complement (e.g. from core.Params.Nodes)
 // of a protocol with the given shape. senderValue is the faulty sender's
 // nominal input, used as the honest baseline its strategy corrupts.
-func Wrap(nodes []netsim.Node, n, depth int, sender types.NodeID, senderValue types.Value,
+func Wrap(nodes []round.Node, n, depth int, sender types.NodeID, senderValue types.Value,
 	strategies map[types.NodeID]Strategy) error {
 	for id, strat := range strategies {
 		if id < 0 || int(id) >= len(nodes) {

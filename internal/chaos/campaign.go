@@ -64,8 +64,15 @@ type Campaign struct {
 	// deliberately undersized (N = 2m+u) to exercise parameter rejection.
 	IncludeInfeasible bool `json:"includeInfeasible,omitempty"`
 	// Shrink, when set, delta-debugs every expectation failure to a
-	// locally minimal counterexample before reporting it.
+	// locally minimal counterexample before reporting it. Shrinking always
+	// replays in process (the goroutine surrogate for cluster campaigns);
+	// the recorded repro keeps the campaign's Driver so the original
+	// execution environment stays identifiable.
 	Shrink bool `json:"shrink,omitempty"`
+	// Driver is stamped onto every generated scenario (and hence every
+	// failure repro): "" or DriverGoroutine, DriverSequential, or
+	// DriverCluster when the campaign runs through a cluster Executor.
+	Driver string `json:"driver,omitempty"`
 }
 
 // RegimeTally is one fault-regime row of a campaign report.
@@ -128,12 +135,20 @@ func (r *Report) Healthy() bool { return r.Violated == 0 && len(r.Failures) == 0
 // Run executes the campaign to completion.
 func (c Campaign) Run() (*Report, error) { return c.RunContext(context.Background()) }
 
-// RunContext executes the campaign, stopping between scenarios when ctx is
-// cancelled. An interrupted campaign is not an error: the partial report is
-// returned with Interrupted set and the tallies covering every scenario
-// that completed, so long chaos runs can be cut short and still yield
-// their evidence.
+// RunContext executes the campaign in process, stopping between scenarios
+// when ctx is cancelled. An interrupted campaign is not an error: the
+// partial report is returned with Interrupted set and the tallies covering
+// every scenario that completed, so long chaos runs can be cut short and
+// still yield their evidence.
 func (c Campaign) RunContext(ctx context.Context) (*Report, error) {
+	return c.RunContextWith(ctx, nil)
+}
+
+// RunContextWith is RunContext with a pluggable per-scenario executor (nil
+// means in process): the cluster runtime passes an Executor that spawns one
+// OS process per node, so the same generation, classification, and
+// shrinking machinery judges real-network executions.
+func (c Campaign) RunContextWith(ctx context.Context, exec Executor) (*Report, error) {
 	if c.Runs <= 0 {
 		c.Runs = 1000
 	}
@@ -164,8 +179,8 @@ func (c Campaign) RunContext(ctx context.Context) (*Report, error) {
 			rep.Interrupted = true
 			break
 		}
-		sc := c.generate(i)
-		out, err := sc.Run()
+		sc := c.Generate(i)
+		out, err := sc.RunWith(exec)
 		if err != nil {
 			return nil, fmt.Errorf("chaos: scenario %d: %w", i, err)
 		}
@@ -231,15 +246,18 @@ func worse(a, b *Outcome) bool {
 	return a.ClassValue().severity() > b.ClassValue().severity()
 }
 
-// generate derives scenario i of the campaign. Every choice flows from one
-// per-scenario source so campaigns replay identically at any Runs count.
-func (c Campaign) generate(i int) Scenario {
+// Generate derives scenario i of the campaign. Every choice flows from one
+// per-scenario source so campaigns replay identically at any Runs count —
+// and so external executors (the cluster launcher) can regenerate the exact
+// scenario sequence without running it.
+func (c Campaign) Generate(i int) Scenario {
 	rng := rand.New(rand.NewSource(mix(c.Seed, int64(i)+0x10001)))
 	gp := c.Grid[rng.Intn(len(c.Grid))]
 	sc := Scenario{
 		N: gp.N, M: gp.M, U: gp.U,
 		SenderValue: harnessValue,
 		Seed:        rng.Int63(),
+		Driver:      c.Driver,
 	}
 	if c.IncludeInfeasible && rng.Intn(20) == 0 {
 		sc.N = 2*gp.M + gp.U // one below the Theorem-2 bound

@@ -1,5 +1,5 @@
 // Package chaos is a composable, fully deterministic (seeded) network
-// fault-injection subsystem layered on the netsim.Channel interposition
+// fault-injection subsystem layered on the round.Channel interposition
 // point, plus a campaign engine that hammers the paper's D.1–D.4 conditions
 // and the §2 graceful-degradation observation across a seeded grid of
 // scenarios, and a delta-debugging shrinker that reduces any scenario
@@ -38,7 +38,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"degradable/internal/netsim"
+	"degradable/internal/round"
 	"degradable/internal/types"
 )
 
@@ -236,16 +236,16 @@ func (l *layer) active(round int) bool {
 	return true
 }
 
-// chain is the composed injector stack; it implements netsim.Expander so
+// chain is the composed injector stack; it implements round.Expander so
 // duplicates can fan out.
 type chain struct {
 	layers   []*layer
 	counters *Counters
 }
 
-var _ netsim.Expander = (*chain)(nil)
+var _ round.Expander = (*chain)(nil)
 
-// DeliverAll implements netsim.Expander.
+// DeliverAll implements round.Expander.
 func (c *chain) DeliverAll(m types.Message) []types.Message {
 	c.counters.Inspected++
 	out := []types.Message{m}
@@ -262,7 +262,7 @@ func (c *chain) DeliverAll(m types.Message) []types.Message {
 	return out
 }
 
-// Deliver implements netsim.Channel for callers that cannot expand; the
+// Deliver implements round.Channel for callers that cannot expand; the
 // first surviving copy wins.
 func (c *chain) Deliver(m types.Message) (types.Message, bool) {
 	out := c.DeliverAll(m)
@@ -270,6 +270,15 @@ func (c *chain) Deliver(m types.Message) (types.Message, bool) {
 		return types.Message{}, false
 	}
 	return out[0], true
+}
+
+// NewChannel materializes an injector stack as a round.Expander, with all
+// injections tallied into counters. It is the exported form of buildChannel
+// for other drivers: the cluster runtime instantiates one per node process
+// (with a per-node derived seed) as that node's local egress channel, so
+// chaos campaigns work across real processes.
+func NewChannel(injectors []Injector, faulty types.NodeSet, seed int64, counters *Counters) (round.Expander, error) {
+	return buildChannel(injectors, faulty, seed, counters)
 }
 
 // buildChannel materializes the injector stack for one run. Each layer gets
@@ -333,3 +342,9 @@ func validateInjector(in Injector) error {
 func mix(seed, idx int64) int64 {
 	return seed + idx*-7046029254386353131 // 2^64 / golden ratio, as int64
 }
+
+// DeriveSeed is the exported seed-derivation mix, for drivers that need
+// per-node (or otherwise per-index) streams from one scenario seed without
+// inventing an incompatible scheme — the cluster runtime derives each node
+// process's egress-channel seed this way.
+func DeriveSeed(seed, idx int64) int64 { return mix(seed, idx) }

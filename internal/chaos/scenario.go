@@ -79,7 +79,25 @@ type Scenario struct {
 	// Seed drives every injector coin flip of the run.
 	Seed   int64       `json:"seed"`
 	Expect Expectation `json:"expect,omitempty"`
+	// Driver records how the scenario's instance was (or should be)
+	// executed: "" or "goroutine" (one goroutine per node), "sequential"
+	// (inline reference schedule), or "cluster" (one OS process per node
+	// over loopback TCP). The field makes shrinker reproductions
+	// self-describing. Run executes the in-process drivers directly; a
+	// "cluster" scenario replayed through Run uses the goroutine driver as
+	// its deterministic in-process surrogate (the judged semantics are
+	// identical when round deadlines cause no false absences) — replay
+	// across real processes goes through internal/cluster's Executor, as
+	// cmd/chaos -replay does when the driver field says "cluster".
+	Driver string `json:"driver,omitempty"`
 }
+
+// Driver names accepted by Scenario.Driver.
+const (
+	DriverGoroutine  = "goroutine"
+	DriverSequential = "sequential"
+	DriverCluster    = "cluster"
+)
 
 // harnessValue is the default honest sender value, matching the harness's
 // Alpha so rendered reproductions look like the rest of the repo.
@@ -209,10 +227,35 @@ type Outcome struct {
 // JSON form to keep reports self-describing).
 func (o *Outcome) ClassValue() Class { return o.class }
 
-// Run executes the scenario and judges the outcome. Invalid parameters
-// produce an Infeasible outcome, not an error; errors are reserved for
-// malformed scenarios (duplicate faults, bad injectors, out-of-range nodes).
-func (sc Scenario) Run() (*Outcome, error) {
+// ExecOutcome is the raw result of executing a scenario's agreement
+// instance under some driver: decisions, traffic accounting, and the
+// injection tallies. Judging against the paper's conditions is shared by
+// every driver (see Scenario.RunWith); only execution differs.
+type ExecOutcome struct {
+	Decisions map[types.NodeID]types.Value
+	Messages  int
+	Delivered int
+	Counters  Counters
+}
+
+// Executor runs a (validated, feasible) scenario's agreement instance and
+// returns the raw outcome. The in-process drivers are built in; the
+// cluster driver in internal/cluster provides an Executor that spawns one
+// OS process per node, which is how chaos campaigns run cross-process
+// without this package importing a concrete driver.
+type Executor func(Scenario) (*ExecOutcome, error)
+
+// Run executes the scenario in process and judges the outcome. Invalid
+// parameters produce an Infeasible outcome, not an error; errors are
+// reserved for malformed scenarios (duplicate faults, bad injectors,
+// out-of-range nodes).
+func (sc Scenario) Run() (*Outcome, error) { return sc.RunWith(nil) }
+
+// RunWith is Run with a pluggable executor (nil means in-process, honoring
+// sc.Driver). Validation, feasibility classification, and the judging of
+// the executor's raw outcome against D.1–D.4, the §2 m+1 floor, and the
+// scenario's expectation are identical for every executor.
+func (sc Scenario) RunWith(exec Executor) (*Outcome, error) {
 	if sc.SenderValue == 0 {
 		sc.SenderValue = harnessValue
 	}
@@ -230,52 +273,95 @@ func (sc Scenario) Run() (*Outcome, error) {
 		out.ExpectationMet = true
 		return out, nil
 	}
+	if err := sc.validateFaults(); err != nil {
+		return nil, err
+	}
+	if exec == nil {
+		exec = inProcess
+	}
+	eo, err := exec(sc)
+	if err != nil {
+		return nil, err
+	}
 
-	strategies := make(map[types.NodeID]adversary.Strategy, len(sc.Faults))
+	execution := spec.Execution{
+		M: sc.M, U: sc.U,
+		Sender:      sc.Sender,
+		SenderValue: sc.SenderValue,
+		Faulty:      sc.Faulty(),
+		Decisions:   eo.Decisions,
+	}
+	verdict := spec.Check(execution)
+	out.Regime = verdict.Regime.String()
+	out.Condition = verdict.Condition
+	out.OK = verdict.OK
+	out.Graceful = verdict.Graceful
+	out.Reason = verdict.Reason
+	out.Messages = eo.Messages
+	out.Delivered = eo.Delivered
+	out.Counters = eo.Counters
+	out.class = classify(verdict, sc.F(), sc.U)
+	out.Class = out.class.String()
+	out.ExpectationMet, out.ExpectReason = sc.judge(out, execution)
+	return out, nil
+}
+
+// validateFaults rejects malformed fault sets early, identically for every
+// executor.
+func (sc Scenario) validateFaults() error {
+	var seen types.NodeSet
 	for _, f := range sc.Faults {
 		if f.Node < 0 || int(f.Node) >= sc.N {
-			return nil, fmt.Errorf("chaos: fault node %d out of range [0,%d)", int(f.Node), sc.N)
+			return fmt.Errorf("chaos: fault node %d out of range [0,%d)", int(f.Node), sc.N)
 		}
-		if _, dup := strategies[f.Node]; dup {
-			return nil, fmt.Errorf("chaos: node %d armed twice", int(f.Node))
+		if seen.Contains(f.Node) {
+			return fmt.Errorf("chaos: node %d armed twice", int(f.Node))
 		}
+		seen = seen.Add(f.Node)
+	}
+	return nil
+}
+
+// inProcess is the built-in executor: the goroutine or sequential driver
+// per sc.Driver (a "cluster" scenario replayed here runs on the goroutine
+// driver — see the Driver field's doc).
+func inProcess(sc Scenario) (*ExecOutcome, error) {
+	strategies := make(map[types.NodeID]adversary.Strategy, len(sc.Faults))
+	for _, f := range sc.Faults {
 		s, err := f.Kind.Build(sc.N, f.Value, f.Seed)
 		if err != nil {
 			return nil, err
 		}
 		strategies[f.Node] = s
 	}
-
-	in := runner.Instance{Protocol: p, SenderValue: sc.SenderValue, Strategies: strategies}
+	eo := &ExecOutcome{}
+	in := runner.Instance{
+		Protocol:    core.Params{N: sc.N, M: sc.M, U: sc.U, Sender: sc.Sender},
+		SenderValue: sc.SenderValue,
+		Strategies:  strategies,
+	}
+	switch sc.Driver {
+	case "", DriverGoroutine, DriverCluster:
+	case DriverSequential:
+		in.Sequential = true
+	default:
+		return nil, fmt.Errorf("chaos: unknown driver %q", sc.Driver)
+	}
 	if len(sc.Injectors) > 0 {
-		ch, err := buildChannel(sc.Injectors, sc.Faulty(), sc.Seed, &out.Counters)
+		ch, err := buildChannel(sc.Injectors, sc.Faulty(), sc.Seed, &eo.Counters)
 		if err != nil {
 			return nil, err
 		}
 		in.Channel = ch
 	}
-	res, verdict, err := in.Run()
+	res, _, err := in.Run()
 	if err != nil {
 		return nil, err
 	}
-
-	out.Regime = verdict.Regime.String()
-	out.Condition = verdict.Condition
-	out.OK = verdict.OK
-	out.Graceful = verdict.Graceful
-	out.Reason = verdict.Reason
-	out.Messages = res.Messages
-	out.Delivered = res.Delivered
-	out.class = classify(verdict, sc.F(), sc.U)
-	out.Class = out.class.String()
-	out.ExpectationMet, out.ExpectReason = sc.judge(out, spec.Execution{
-		M: sc.M, U: sc.U,
-		Sender:      sc.Sender,
-		SenderValue: sc.SenderValue,
-		Faulty:      sc.Faulty(),
-		Decisions:   res.Decisions,
-	})
-	return out, nil
+	eo.Decisions = res.Decisions
+	eo.Messages = res.Messages
+	eo.Delivered = res.Delivered
+	return eo, nil
 }
 
 // classify maps a verdict to an outcome class. Beyond u the spec promises

@@ -1,0 +1,61 @@
+// Package cliflags holds the flag definitions shared by the repo's network
+// binaries (cmd/serve, cmd/node, cmd/cluster), so an address, profiling, or
+// timeout flag spells and behaves identically everywhere — and so each
+// binary's -h test can assert the shared surface without duplicating it.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+
+	"degradable/internal/wire"
+)
+
+// Addr registers the listen-address flag under the given name (cmd/serve
+// uses "addr", cmd/node uses "listen" — same semantics, different habit).
+func Addr(fs *flag.FlagSet, name, def string) *string {
+	return fs.String(name, def, "listen address")
+}
+
+// PProf registers the opt-in profiling-endpoint flag.
+func PProf(fs *flag.FlagSet) *string {
+	return fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+}
+
+// Shards registers the worker-shard count flag.
+func Shards(fs *flag.FlagSet) *int {
+	return fs.Int("shards", 0, "worker shards (default: GOMAXPROCS-aware service default)")
+}
+
+// WireTimeouts registers the per-connection deadline flags and returns a
+// getter for the parsed wire.Timeouts.
+func WireTimeouts(fs *flag.FlagSet) func() wire.Timeouts {
+	rd := fs.Duration("read-timeout", 0, "per-frame read deadline once a frame has begun (0 disables)")
+	wr := fs.Duration("write-timeout", 0, "per-flush write deadline (0 disables)")
+	idle := fs.Duration("idle-timeout", 0, "close connections quiet for longer than this between frames (0 disables)")
+	return func() wire.Timeouts { return wire.Timeouts{Read: *rd, Write: *wr, Idle: *idle} }
+}
+
+// ServePProf binds the profiling listener when addr is non-empty and serves
+// the default mux (which net/http/pprof registers on) in the background.
+// The returned closer is non-nil exactly when a listener was bound.
+func ServePProf(addr string) (func() error, string, error) {
+	if addr == "" {
+		return nil, "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("pprof listener: %w", err)
+	}
+	go http.Serve(ln, nil) // DefaultServeMux carries the pprof handlers
+	return ln.Close, ln.Addr().String(), nil
+}
+
+// Names returns every flag name registered on fs, for -h coverage tests.
+func Names(fs *flag.FlagSet) []string {
+	var names []string
+	fs.VisitAll(func(f *flag.Flag) { names = append(names, f.Name) })
+	return names
+}

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"context"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"degradable/internal/adversary"
+	"degradable/internal/chaos"
+	"degradable/internal/core"
+	"degradable/internal/runner"
+	"degradable/internal/types"
+)
+
+// TestMain hijacks re-executed copies of this test binary into the node
+// runtime: the launcher's default command is os.Executable(), so every
+// cluster test below runs its nodes as real OS processes built from this
+// very package.
+func TestMain(m *testing.M) {
+	Hijack()
+	os.Exit(m.Run())
+}
+
+// diffCase is one point of the cross-driver differential matrix.
+type diffCase struct {
+	name    string
+	n, m, u int
+	sender  types.NodeID
+	faults  []chaos.FaultSpec
+}
+
+// diffMatrix is the seeded matrix of (N, m, u, fault script) points the
+// differential test sweeps. Fault behaviours are deterministic per node
+// (KindRandom is seeded), so all three drivers must agree byte for byte.
+func diffMatrix(short bool) []diffCase {
+	cases := []diffCase{
+		{name: "min-1-1-clean", n: 4, m: 1, u: 1},
+		{name: "paper-5-1-2-twofaced", n: 5, m: 1, u: 2,
+			faults: []chaos.FaultSpec{{Node: 2, Kind: adversary.KindTwoFaced, Value: 999}}},
+		{name: "echo-4-0-2-silent", n: 4, m: 0, u: 2,
+			faults: []chaos.FaultSpec{{Node: 3, Kind: adversary.KindSilent}}},
+	}
+	if short {
+		return cases
+	}
+	return append(cases,
+		diffCase{name: "faulty-sender-lie", n: 5, m: 1, u: 2, sender: 0,
+			faults: []chaos.FaultSpec{{Node: 0, Kind: adversary.KindLie, Value: 777}}},
+		diffCase{name: "degraded-7-1-2", n: 7, m: 1, u: 2,
+			faults: []chaos.FaultSpec{
+				{Node: 1, Kind: adversary.KindTwoFaced, Value: 999},
+				{Node: 4, Kind: adversary.KindRandom, Value: 888, Seed: 42},
+			}},
+		diffCase{name: "depth3-7-2-2", n: 7, m: 2, u: 2,
+			faults: []chaos.FaultSpec{
+				{Node: 2, Kind: adversary.KindCrash, Value: 0, Seed: 7},
+				{Node: 5, Kind: adversary.KindLie, Value: 777},
+			}},
+		diffCase{name: "beyond-u-5-1-2", n: 5, m: 1, u: 2,
+			faults: []chaos.FaultSpec{
+				{Node: 1, Kind: adversary.KindSilent},
+				{Node: 2, Kind: adversary.KindLie, Value: 777},
+				{Node: 3, Kind: adversary.KindTwoFaced, Value: 999},
+			}},
+	)
+}
+
+// inProcessRun executes one matrix case on an in-process driver.
+func inProcessRun(t *testing.T, c diffCase, sequential bool) *runner.Instance {
+	t.Helper()
+	strategies := make(map[types.NodeID]adversary.Strategy, len(c.faults))
+	for _, f := range c.faults {
+		s, err := f.Kind.Build(c.n, f.Value, f.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		strategies[f.Node] = s
+	}
+	return &runner.Instance{
+		Protocol:    core.Params{N: c.n, M: c.m, U: c.u, Sender: c.sender},
+		SenderValue: 1001,
+		Strategies:  strategies,
+		RecordViews: true,
+		Sequential:  sequential,
+	}
+}
+
+// TestDifferentialDrivers asserts that the goroutine, sequential, and
+// cluster drivers produce byte-identical decisions and view transcripts
+// across the matrix. The cluster deadline is generous, so no loopback
+// delivery can be misread as an absence.
+func TestDifferentialDrivers(t *testing.T) {
+	for _, c := range diffMatrix(testing.Short()) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			goRes, _, err := inProcessRun(t, c, false).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqRes, _, err := inProcessRun(t, c, true).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			rep, err := Run(ctx, Config{
+				N: c.n, M: c.m, U: c.u, Sender: c.sender, SenderValue: 1001,
+				Faults: c.faults, Deadline: 30 * time.Second, RecordViews: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cluRes := rep.Result
+
+			if !reflect.DeepEqual(goRes.Decisions, seqRes.Decisions) {
+				t.Fatalf("goroutine vs sequential decisions:\n%v\n%v", goRes.Decisions, seqRes.Decisions)
+			}
+			if !reflect.DeepEqual(goRes.Decisions, cluRes.Decisions) {
+				t.Fatalf("goroutine vs cluster decisions:\n%v\n%v", goRes.Decisions, cluRes.Decisions)
+			}
+			for id := range goRes.Views {
+				if !viewsEqual(goRes.Views[id], seqRes.Views[id]) {
+					t.Fatalf("node %d: goroutine vs sequential views differ", int(id))
+				}
+				if !viewsEqual(goRes.Views[id], cluRes.Views[id]) {
+					t.Fatalf("node %d: goroutine vs cluster views differ:\n%v\n%v",
+						int(id), goRes.Views[id], cluRes.Views[id])
+				}
+			}
+			if goRes.Messages != cluRes.Messages || goRes.Delivered != cluRes.Delivered ||
+				goRes.Bytes != cluRes.Bytes || !reflect.DeepEqual(goRes.PerRound, cluRes.PerRound) {
+				t.Fatalf("accounting differs: goroutine {%d %d %d %v} cluster {%d %d %d %v}",
+					goRes.Messages, goRes.Delivered, goRes.Bytes, goRes.PerRound,
+					cluRes.Messages, cluRes.Delivered, cluRes.Bytes, cluRes.PerRound)
+			}
+			if rep.Late != 0 {
+				t.Fatalf("%d late batches under a generous deadline", rep.Late)
+			}
+		})
+	}
+}
+
+// viewsEqual compares two delivered transcripts field by field, treating
+// nil and empty paths as equal (a JSON round trip does not preserve the
+// distinction).
+func viewsEqual(a, b []types.Message) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.From != y.From || x.To != y.To || x.Round != y.Round || x.Value != y.Value {
+			return false
+		}
+		if len(x.Path) != len(y.Path) {
+			return false
+		}
+		for j := range x.Path {
+			if x.Path[j] != y.Path[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestDeadlineDetectsAbsence kills synchrony on purpose: a 1ns hold-back
+// deadline makes every peer batch miss its round, so every receiver decides
+// from an all-absent view — the degenerate but well-defined §4(b) limit.
+// The run must complete (no hang) and every fault-free node must decide,
+// with the missed batches counted late.
+func TestDeadlineDetectsAbsence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, Config{
+		N: 4, M: 1, U: 1, SenderValue: 1001, Deadline: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Result.Decisions) != 4 {
+		t.Fatalf("%d decisions", len(rep.Result.Decisions))
+	}
+	for id, d := range rep.Result.Decisions {
+		if id == 0 {
+			continue // the sender decides its own value without any network
+		}
+		if d != types.Default {
+			t.Errorf("node %d decided %s from an all-absent view, want %s", int(id), d, types.Default)
+		}
+	}
+	// Whether the starved batches register as late depends on whether they
+	// arrive before the node's last round closes, so Late is not asserted;
+	// what matters is that the run terminated and receivers fell back to V_d.
+}
+
+// TestClusterChaosSmoke runs a short chaos campaign where every scenario
+// executes as one OS process per node, classified against D.1–D.4 and the
+// §2 m+1 floor by the same judging machinery as the in-process campaigns.
+func TestClusterChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns many processes")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	c := chaos.Campaign{
+		Seed:   7,
+		Runs:   12,
+		Driver: chaos.DriverCluster,
+		Grid: []chaos.GridPoint{
+			{N: 5, M: 1, U: 2},
+			{N: 4, M: 0, U: 2},
+			{N: 7, M: 1, U: 2},
+		},
+	}
+	rep, err := c.RunContextWith(ctx, Executor(ctx, 10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Interrupted {
+		t.Fatal("campaign interrupted by its own deadline")
+	}
+	if !rep.Healthy() {
+		for _, f := range rep.Failures {
+			t.Errorf("failure: %s (repro: %s)", f.Outcome.ExpectReason, f.ReproCommand)
+		}
+		t.Fatalf("campaign unhealthy: %d violated, %d failures", rep.Violated, len(rep.Failures))
+	}
+	if rep.Completed != c.Runs {
+		t.Fatalf("completed %d of %d", rep.Completed, c.Runs)
+	}
+	// The repro of any failure would have carried the cluster driver tag.
+	if sc := c.Generate(0); sc.Driver != chaos.DriverCluster {
+		t.Fatalf("generated scenario driver %q", sc.Driver)
+	}
+}

@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+
+	"degradable/internal/chaos"
+	"degradable/internal/core"
+	"degradable/internal/round"
+	"degradable/internal/spec"
+	"degradable/internal/types"
+)
+
+// Config is one cluster run: an agreement configuration plus fault roles,
+// in the internal/chaos vocabulary so scenarios and campaigns carry over
+// unchanged.
+type Config struct {
+	N           int
+	M           int
+	U           int
+	Sender      types.NodeID
+	SenderValue types.Value
+	// Faults assigns Byzantine strategies to nodes; each runs inside its
+	// own process.
+	Faults []chaos.FaultSpec
+	// Injectors is the scenario injector stack, applied at each node's
+	// egress with a per-node seed derived from Seed.
+	Injectors []chaos.Injector
+	Seed      int64
+	// Deadline bounds each round's hold-back wait per node (default 2s).
+	Deadline time.Duration
+	// RecordViews captures per-node transcripts in the report.
+	RecordViews bool
+	// Command overrides how a node process is spawned (argv). Empty means
+	// re-exec the current binary, which must call Hijack first thing; the
+	// NodeEnv variable is set either way.
+	Command []string
+}
+
+// Report is one cluster run's aggregated outcome: the same Result shape
+// the in-process drivers produce, the spec verdict over its decisions, and
+// the cluster-specific counters.
+type Report struct {
+	Result  *round.Result
+	Verdict spec.Verdict
+	// Counters aggregates every node's egress injector tallies.
+	Counters chaos.Counters
+	// Late sums batches that missed their round deadline across nodes.
+	Late int
+	// RoundWaitMax is the longest per-round hold-back wait observed by any
+	// node; RoundWaitTotal sums every node's waits.
+	RoundWaitMax   time.Duration
+	RoundWaitTotal time.Duration
+	// Nodes holds the raw per-node reports, indexed by node ID.
+	Nodes []*NodeReport
+}
+
+// Faulty returns the configured fault set.
+func (c Config) Faulty() types.NodeSet {
+	var s types.NodeSet
+	for _, f := range c.Faults {
+		s = s.Add(f.Node)
+	}
+	return s
+}
+
+// Run executes one agreement instance as cfg.N separate OS processes over
+// loopback TCP and aggregates their reports. ctx bounds the whole run; on
+// expiry the node processes are killed.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	p := core.Params{N: cfg.N, M: cfg.M, U: cfg.U, Sender: cfg.Sender}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 2 * time.Second
+	}
+	faultBy := make(map[types.NodeID]*chaos.FaultSpec, len(cfg.Faults))
+	faulty := make([]types.NodeID, 0, len(cfg.Faults))
+	for i := range cfg.Faults {
+		f := cfg.Faults[i]
+		if f.Node < 0 || int(f.Node) >= cfg.N {
+			return nil, fmt.Errorf("cluster: fault node %d out of range [0,%d)", int(f.Node), cfg.N)
+		}
+		if _, dup := faultBy[f.Node]; dup {
+			return nil, fmt.Errorf("cluster: node %d armed twice", int(f.Node))
+		}
+		faultBy[f.Node] = &cfg.Faults[i]
+		faulty = append(faulty, f.Node)
+	}
+
+	argv := cfg.Command
+	if len(argv) == 0 {
+		self, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		argv = []string{self}
+	}
+
+	procs := make([]*nodeProc, cfg.N)
+	defer func() {
+		for _, pr := range procs {
+			if pr != nil {
+				pr.kill()
+			}
+		}
+	}()
+	for i := 0; i < cfg.N; i++ {
+		nc := NodeConfig{
+			ID: types.NodeID(i), N: cfg.N, M: cfg.M, U: cfg.U,
+			Sender: cfg.Sender, SenderValue: cfg.SenderValue,
+			Fault: faultBy[types.NodeID(i)], Faulty: faulty,
+			Injectors: cfg.Injectors, Seed: cfg.Seed,
+			Deadline: cfg.Deadline, RecordViews: cfg.RecordViews,
+		}
+		pr, err := spawnNode(ctx, argv, nc)
+		if err != nil {
+			return nil, err
+		}
+		procs[i] = pr
+	}
+
+	// Collect every node's listen address, then distribute the roster.
+	ros := roster{Peers: make([]string, cfg.N)}
+	for i, pr := range procs {
+		var ll listenLine
+		if err := readLine(pr.out, &ll); err != nil {
+			return nil, fmt.Errorf("cluster: node %d listen: %w", i, err)
+		}
+		ros.Peers[i] = ll.Listen
+	}
+	for i, pr := range procs {
+		if err := writeLine(pr.in, ros); err != nil {
+			return nil, fmt.Errorf("cluster: node %d roster: %w", i, err)
+		}
+	}
+
+	rep := &Report{
+		Result: &round.Result{
+			Decisions: make(map[types.NodeID]types.Value, cfg.N),
+			PerRound:  make([]int, p.Depth()),
+		},
+		Nodes: make([]*NodeReport, cfg.N),
+	}
+	if cfg.RecordViews {
+		rep.Result.Views = make(map[types.NodeID][]types.Message, cfg.N)
+	}
+	for i, pr := range procs {
+		var nr NodeReport
+		if err := readLine(pr.out, &nr); err != nil {
+			return nil, fmt.Errorf("cluster: node %d report: %w", i, err)
+		}
+		if err := pr.wait(); err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		procs[i] = nil
+		if int(nr.ID) != i {
+			return nil, fmt.Errorf("cluster: node %d reported as %d", i, int(nr.ID))
+		}
+		rep.Nodes[i] = &nr
+		rep.Result.Decisions[nr.ID] = nr.Decision
+		rep.Result.Messages += nr.Messages
+		rep.Result.Delivered += nr.Delivered
+		rep.Result.Bytes += nr.Bytes
+		for r, c := range nr.PerRound {
+			if r < len(rep.Result.PerRound) {
+				rep.Result.PerRound[r] += c
+			}
+		}
+		if cfg.RecordViews {
+			rep.Result.Views[nr.ID] = nr.Views
+		}
+		rep.Counters.Add(nr.Counters)
+		rep.Late += nr.Late
+		rep.RoundWaitTotal += nr.RoundWaitTotal
+		if nr.RoundWaitMax > rep.RoundWaitMax {
+			rep.RoundWaitMax = nr.RoundWaitMax
+		}
+	}
+	rep.Verdict = spec.Check(spec.Execution{
+		M: cfg.M, U: cfg.U,
+		Sender:      cfg.Sender,
+		SenderValue: cfg.SenderValue,
+		Faulty:      cfg.Faulty(),
+		Decisions:   rep.Result.Decisions,
+	})
+	return rep, nil
+}
+
+// nodeProc is one spawned node process and its stdio.
+type nodeProc struct {
+	cmd     *exec.Cmd
+	in      *os.File
+	out     *bufio.Reader
+	outPipe *os.File
+}
+
+func (p *nodeProc) kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+	p.in.Close()
+	p.outPipe.Close()
+	p.cmd.Wait()
+}
+
+func (p *nodeProc) wait() error {
+	p.in.Close()
+	err := p.cmd.Wait()
+	p.outPipe.Close()
+	return err
+}
+
+// spawnNode starts one node process and sends it its config line.
+func spawnNode(ctx context.Context, argv []string, nc NodeConfig) (*nodeProc, error) {
+	inR, inW, err := os.Pipe()
+	if err != nil {
+		return nil, err
+	}
+	outR, outW, err := os.Pipe()
+	if err != nil {
+		inR.Close()
+		inW.Close()
+		return nil, err
+	}
+	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	cmd.Stdin = inR
+	cmd.Stdout = outW
+	cmd.Stderr = os.Stderr
+	cmd.Env = append(os.Environ(), NodeEnv+"=1")
+	if err := cmd.Start(); err != nil {
+		inR.Close()
+		inW.Close()
+		outR.Close()
+		outW.Close()
+		return nil, err
+	}
+	inR.Close()
+	outW.Close()
+	pr := &nodeProc{cmd: cmd, in: inW, out: bufio.NewReader(outR), outPipe: outR}
+	if err := writeLine(pr.in, nc); err != nil {
+		pr.kill()
+		return nil, err
+	}
+	return pr, nil
+}
+
+// Executor adapts the cluster launcher to the chaos campaign engine: the
+// returned Executor runs every scenario as one process per node, so a
+// campaign's generation, classification, and shrink-repro machinery judges
+// real cross-process executions. deadline overrides the per-round hold-back
+// bound (zero keeps the default).
+func Executor(ctx context.Context, deadline time.Duration) chaos.Executor {
+	return func(sc chaos.Scenario) (*chaos.ExecOutcome, error) {
+		rep, err := Run(ctx, Config{
+			N: sc.N, M: sc.M, U: sc.U,
+			Sender: sc.Sender, SenderValue: sc.SenderValue,
+			Faults: sc.Faults, Injectors: sc.Injectors,
+			Seed: sc.Seed, Deadline: deadline,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &chaos.ExecOutcome{
+			Decisions: rep.Result.Decisions,
+			Messages:  rep.Result.Messages,
+			Delivered: rep.Result.Delivered,
+			Counters:  rep.Counters,
+		}, nil
+	}
+}

@@ -1,0 +1,500 @@
+// Package cluster is the distributed driver of the round engine: one OS
+// process per node, exchanging round-tagged protocol messages over loopback
+// TCP using the internal/wire length-prefixed codec.
+//
+// Where the in-process drivers (internal/netsim) realize the §4 synchrony
+// assumptions by construction — a shared-memory barrier cannot lose or
+// reorder anything — the cluster driver realizes them against a real
+// network:
+//
+//	(a) correct delivery: TCP per-connection reliability plus a per-round
+//	    batch-complete marker (an empty round batch), so "peer sent
+//	    nothing" is a positive statement, not a timeout guess;
+//	(b) detectable absence: each node holds back future-round traffic and
+//	    closes a round at its deadline — a batch that misses the deadline
+//	    is exactly the detectable absence of §4 assumption (b), and the
+//	    protocol substitutes V_d for the missing claims;
+//	(c) identified source: the first frame on every connection is a Hello
+//	    binding it to a node identity, and the receiver stamps each
+//	    message's From from that binding — a Byzantine process cannot
+//	    forge another node's identity inside a message body.
+//
+// The launcher (Run) spawns N node processes, distributes the roster over
+// stdin/stdout, aggregates their reports into the same Result shape the
+// in-process drivers produce, and judges decisions with internal/spec.
+// Fault roles reuse the internal/chaos vocabulary: Byzantine strategies
+// wrap the node in its own process, and injector stacks become each node's
+// local egress channel, so chaos campaigns run unchanged across real
+// processes.
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"degradable/internal/adversary"
+	"degradable/internal/chaos"
+	"degradable/internal/core"
+	"degradable/internal/round"
+	"degradable/internal/types"
+	"degradable/internal/wire"
+)
+
+// NodeEnv is the environment variable marking a process as a spawned
+// cluster node. Binaries that can act as launchers call Hijack first thing
+// in main (and test binaries in TestMain): when the variable is set the
+// process runs NodeMain on stdin/stdout and exits, never reaching the
+// launcher (or test) path.
+const NodeEnv = "DEGRADABLE_CLUSTER_NODE"
+
+// NodeConfig is everything one node process needs, sent as the first JSON
+// line on its stdin.
+type NodeConfig struct {
+	ID          types.NodeID `json:"id"`
+	N           int          `json:"n"`
+	M           int          `json:"m"`
+	U           int          `json:"u"`
+	Sender      types.NodeID `json:"sender"`
+	SenderValue types.Value  `json:"senderValue"`
+	// Fault arms this node with a Byzantine strategy (nil = honest).
+	Fault *chaos.FaultSpec `json:"fault,omitempty"`
+	// Faulty is the full fault set, for injector scoping.
+	Faulty []types.NodeID `json:"faulty,omitempty"`
+	// Injectors is the scenario's injector stack; this node applies it to
+	// its own egress with a seed derived from Seed and ID.
+	Injectors []chaos.Injector `json:"injectors,omitempty"`
+	Seed      int64            `json:"seed,omitempty"`
+	// Deadline bounds each round's hold-back wait (§4 assumption b).
+	Deadline time.Duration `json:"deadline"`
+	// RecordViews captures the node's delivered transcript in its report.
+	RecordViews bool `json:"recordViews,omitempty"`
+}
+
+// roster is the second JSON line on a node's stdin: every node's listen
+// address, indexed by node ID.
+type roster struct {
+	Peers []string `json:"peers"`
+}
+
+// listenLine is the first JSON line a node prints: where it listens.
+type listenLine struct {
+	Listen string `json:"listen"`
+}
+
+// NodeReport is the final JSON line a node prints: its decision and its
+// share of the run's accounting.
+type NodeReport struct {
+	ID       types.NodeID `json:"id"`
+	Decision types.Value  `json:"decision"`
+	// Messages counts the node's sends (post-validation, pre-channel), and
+	// PerRound splits them by round; Delivered and Bytes count its
+	// receptions — summed across nodes they match the engine's global
+	// accounting.
+	Messages  int             `json:"messages"`
+	PerRound  []int           `json:"perRound"`
+	Delivered int             `json:"delivered"`
+	Bytes     int             `json:"bytes"`
+	Views     []types.Message `json:"views,omitempty"`
+	// Counters tallies the node's egress injector stack.
+	Counters chaos.Counters `json:"counters"`
+	// Late counts peer round batches that completed only after the
+	// round's deadline had already closed it (discarded as absent).
+	Late int `json:"late"`
+	// RoundWaitMax is the longest single round hold-back wait, and
+	// RoundWaitTotal the sum across rounds — the cluster's round-latency
+	// counters for bench artifacts.
+	RoundWaitMax   time.Duration `json:"roundWaitMax"`
+	RoundWaitTotal time.Duration `json:"roundWaitTotal"`
+}
+
+// Hijack diverts a spawned node process into NodeMain. Launcher-capable
+// binaries must call it before anything else (tests from TestMain); it
+// returns in the parent process and never returns in a node process.
+func Hijack() {
+	if os.Getenv(NodeEnv) == "" {
+		return
+	}
+	if err := NodeMain(os.Stdin, os.Stdout, "127.0.0.1:0"); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster node:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// NodeMain runs one node process end to end over its stdio: read the
+// NodeConfig line, listen, print the listen line, read the roster line,
+// run the protocol against the peers, print the NodeReport line.
+func NodeMain(in io.Reader, out io.Writer, listenAddr string) error {
+	br := bufio.NewReader(in)
+	var cfg NodeConfig
+	if err := readLine(br, &cfg); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	if err := writeLine(out, listenLine{Listen: ln.Addr().String()}); err != nil {
+		return err
+	}
+	var ros roster
+	if err := readLine(br, &ros); err != nil {
+		return fmt.Errorf("roster: %w", err)
+	}
+	rep, err := RunNode(cfg, ln, ros.Peers)
+	if err != nil {
+		return err
+	}
+	return writeLine(out, rep)
+}
+
+// readLine decodes one newline-terminated JSON value.
+func readLine(br *bufio.Reader, v any) error {
+	line, err := br.ReadBytes('\n')
+	if len(line) == 0 && err != nil {
+		return err
+	}
+	return json.Unmarshal(line, v)
+}
+
+// writeLine encodes one newline-terminated JSON value.
+func writeLine(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// peerBatch is one peer's completed batch for one round, as assembled from
+// its chunks by the peer's reader goroutine.
+type peerBatch struct {
+	peer  types.NodeID
+	round int
+	msgs  []types.Message
+}
+
+// RunNode executes one node of the cluster: mesh-connect to the roster,
+// drive the protocol's rounds with hold-back and deadline, decide, and
+// report. ln must already be listening on the roster address for cfg.ID.
+func RunNode(cfg NodeConfig, ln net.Listener, peers []string) (*NodeReport, error) {
+	p := core.Params{N: cfg.N, M: cfg.M, U: cfg.U, Sender: cfg.Sender}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(peers) != cfg.N {
+		return nil, fmt.Errorf("cluster: roster of %d for N=%d", len(peers), cfg.N)
+	}
+	if cfg.ID < 0 || int(cfg.ID) >= cfg.N {
+		return nil, fmt.Errorf("cluster: node ID %d out of range [0,%d)", int(cfg.ID), cfg.N)
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 2 * time.Second
+	}
+	node, err := buildNode(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	rep := &NodeReport{ID: cfg.ID, PerRound: make([]int, p.Depth())}
+	var egress round.Expander
+	if len(cfg.Injectors) > 0 {
+		var faulty types.NodeSet
+		for _, id := range cfg.Faulty {
+			faulty = faulty.Add(id)
+		}
+		egress, err = chaos.NewChannel(cfg.Injectors, faulty, chaos.DeriveSeed(cfg.Seed, int64(cfg.ID)+1), &rep.Counters)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	mesh, err := connectMesh(cfg.ID, ln, peers)
+	if err != nil {
+		return nil, err
+	}
+	defer mesh.close()
+
+	rounds := p.Depth()
+	// recv is sized for every batch of the whole run so reader goroutines
+	// never block on a slow main loop.
+	recv := make(chan peerBatch, (cfg.N-1)*(rounds+1))
+	for id, conn := range mesh.conns {
+		go readPeer(id, conn, recv)
+	}
+
+	hold := newHoldback(cfg.N, cfg.ID, rounds)
+	var inbox []types.Message
+	for r := 1; r <= rounds; r++ {
+		out := node.Step(r, inbox)
+		if err := sendRound(mesh, cfg, r, out, egress, rep); err != nil {
+			return nil, err
+		}
+		inbox = hold.await(recv, r, cfg.Deadline, rep)
+		rep.Delivered += len(inbox)
+		for _, m := range inbox {
+			rep.Bytes += round.MessageBytes(m)
+		}
+		if cfg.RecordViews {
+			rep.Views = append(rep.Views, inbox...)
+		}
+	}
+	node.Finish(inbox)
+	rep.Decision = node.Decide()
+	return rep, nil
+}
+
+// buildNode constructs this process's protocol participant: honest, or
+// wrapped with the configured Byzantine strategy exactly as adversary.Wrap
+// does in process.
+func buildNode(cfg NodeConfig, p core.Params) (round.Node, error) {
+	if cfg.Fault == nil {
+		return p.NewNode(cfg.ID, cfg.SenderValue)
+	}
+	strat, err := cfg.Fault.Kind.Build(cfg.N, cfg.Fault.Value, cfg.Fault.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return adversary.NewNode(cfg.N, p.Depth(), cfg.Sender, cfg.ID, cfg.SenderValue, strat)
+}
+
+// sendRound stamps, validates, accounts, injects, and ships one round's
+// sends: one RoundBatch per peer, always, so an empty batch is the round's
+// positive completion marker.
+func sendRound(mesh *mesh, cfg NodeConfig, r int, out []types.Message, egress round.Expander, rep *NodeReport) error {
+	perPeer := make(map[types.NodeID][]types.Message, cfg.N-1)
+	for _, m := range out {
+		// Mirror Engine.Collect exactly: stamp the true source and round
+		// (assumption c), drop malformed and self-addressed sends, and
+		// count before the channel sees the message.
+		m.From = cfg.ID
+		m.Round = r
+		if m.To < 0 || int(m.To) >= cfg.N || m.To == m.From {
+			continue
+		}
+		rep.Messages++
+		rep.PerRound[r-1]++
+		copies := []types.Message{m}
+		if egress != nil {
+			copies = egress.DeliverAll(m)
+		}
+		for _, cm := range copies {
+			perPeer[cm.To] = append(perPeer[cm.To], cm)
+		}
+	}
+	// The write deadline is a liveness backstop, not the round deadline: a
+	// tiny hold-back deadline must time out *receives* (absence), never
+	// wedge or fail the sender's own writes.
+	writeBound := 10 * time.Second
+	if cfg.Deadline > writeBound {
+		writeBound = cfg.Deadline
+	}
+	var buf []byte
+	for id, conn := range mesh.conns {
+		buf = buf[:0]
+		var err error
+		buf, err = wire.AppendRoundBatch(buf, r, perPeer[id])
+		if err != nil {
+			return err
+		}
+		conn.SetWriteDeadline(time.Now().Add(writeBound))
+		if _, err := conn.Write(buf); err != nil {
+			// A peer that severed its connection (crashed, or already past
+			// its last round and exited) is a detectable absence on ITS
+			// side; it must not fail THIS node's run.
+			continue
+		}
+	}
+	return nil
+}
+
+// readPeer assembles one peer's frames into complete per-round batches. It
+// exits on any read error; the peer's subsequent rounds then simply miss
+// their deadlines — a crashed process is a detectable absence, not a hang.
+func readPeer(id types.NodeID, conn net.Conn, recv chan<- peerBatch) {
+	br := bufio.NewReader(conn)
+	partial := make(map[int][]types.Message)
+	var frame []byte
+	for {
+		payload, err := wire.ReadFrameInto(br, frame)
+		if err != nil {
+			return
+		}
+		frame = payload
+		r, msgs, last, err := wire.DecodeRoundBatch(payload)
+		if err != nil {
+			return
+		}
+		for i := range msgs {
+			msgs[i].From = id // assumption (c): identity comes from the connection
+		}
+		if !last {
+			partial[r] = append(partial[r], msgs...)
+			continue
+		}
+		batch := append(partial[r], msgs...)
+		delete(partial, r)
+		recv <- peerBatch{peer: id, round: r, msgs: batch}
+	}
+}
+
+// holdback buffers future-round batches and closes each round at its
+// deadline: the per-round realization of §4 assumption (b).
+type holdback struct {
+	n      int
+	self   types.NodeID
+	rounds int
+	// byRound[r] accumulates messages of completed round-r batches;
+	// doneBy[r] the peers whose batch for r has completed.
+	byRound map[int][]types.Message
+	doneBy  map[int]map[types.NodeID]bool
+}
+
+func newHoldback(n int, self types.NodeID, rounds int) *holdback {
+	return &holdback{
+		n: n, self: self, rounds: rounds,
+		byRound: make(map[int][]types.Message),
+		doneBy:  make(map[int]map[types.NodeID]bool),
+	}
+}
+
+// accept files one completed batch, returning whether it was timely (its
+// round is r or later).
+func (h *holdback) accept(b peerBatch, r int) bool {
+	if b.round < r || b.round > h.rounds {
+		return false // late (its round already closed) or out of range
+	}
+	if h.doneBy[b.round] == nil {
+		h.doneBy[b.round] = make(map[types.NodeID]bool, h.n-1)
+	}
+	if h.doneBy[b.round][b.peer] {
+		return false // duplicate round batch from a Byzantine peer
+	}
+	h.doneBy[b.round][b.peer] = true
+	h.byRound[b.round] = append(h.byRound[b.round], b.msgs...)
+	return true
+}
+
+// await drains recv until every peer's round-r batch is in or the deadline
+// passes, then returns round r's sorted inbox. Batches for later rounds
+// arriving meanwhile are held back; batches for closed rounds count as
+// late.
+func (h *holdback) await(recv <-chan peerBatch, r int, deadline time.Duration, rep *NodeReport) []types.Message {
+	start := time.Now()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	for len(h.doneBy[r]) < h.n-1 {
+		select {
+		case b := <-recv:
+			if !h.accept(b, r) {
+				rep.Late++
+			}
+		case <-timer.C:
+			goto done
+		}
+	}
+done:
+	wait := time.Since(start)
+	rep.RoundWaitTotal += wait
+	if wait > rep.RoundWaitMax {
+		rep.RoundWaitMax = wait
+	}
+	inbox := h.byRound[r]
+	delete(h.byRound, r)
+	delete(h.doneBy, r)
+	types.SortMessages(inbox)
+	return inbox
+}
+
+// mesh is one node's connections to every peer, keyed by peer ID.
+type mesh struct {
+	conns map[types.NodeID]net.Conn
+}
+
+func (m *mesh) close() {
+	for _, c := range m.conns {
+		c.Close()
+	}
+}
+
+// connectMesh builds the full mesh: node i dials every j < i (announcing
+// itself with a Hello), and accepts from every j > i (learning the peer
+// from its Hello). Loopback listeners are all up before any roster is
+// distributed, so dials need no retry loop.
+func connectMesh(self types.NodeID, ln net.Listener, peers []string) (*mesh, error) {
+	m := &mesh{conns: make(map[types.NodeID]net.Conn, len(peers)-1)}
+	type accepted struct {
+		id   types.NodeID
+		conn net.Conn
+		err  error
+	}
+	expect := len(peers) - 1 - int(self)
+	acceptCh := make(chan accepted, expect)
+	for k := 0; k < expect; k++ {
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptCh <- accepted{err: err}
+				return
+			}
+			// Read the hello directly from the conn (no bufio): a buffered
+			// reader could slurp bytes of the frames that follow and lose
+			// them when the per-peer reader takes over.
+			conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+			payload, err := wire.ReadFrame(conn)
+			if err != nil {
+				conn.Close()
+				acceptCh <- accepted{err: fmt.Errorf("cluster: hello: %w", err)}
+				return
+			}
+			id, err := wire.DecodeHello(payload)
+			conn.SetReadDeadline(time.Time{})
+			acceptCh <- accepted{id: id, conn: conn, err: err}
+		}()
+	}
+	for j := 0; j < int(self); j++ {
+		conn, err := net.Dial("tcp", peers[j])
+		if err != nil {
+			m.close()
+			return nil, fmt.Errorf("cluster: dial %d: %w", j, err)
+		}
+		hello, err := wire.AppendHello(nil, self)
+		if err != nil {
+			conn.Close()
+			m.close()
+			return nil, err
+		}
+		if _, err := conn.Write(hello); err != nil {
+			conn.Close()
+			m.close()
+			return nil, fmt.Errorf("cluster: hello to %d: %w", j, err)
+		}
+		m.conns[types.NodeID(j)] = conn
+	}
+	for k := 0; k < expect; k++ {
+		a := <-acceptCh
+		if a.err != nil {
+			m.close()
+			return nil, a.err
+		}
+		if int(a.id) <= int(self) || int(a.id) >= len(peers) {
+			a.conn.Close()
+			m.close()
+			return nil, fmt.Errorf("cluster: unexpected hello from %d", int(a.id))
+		}
+		if _, dup := m.conns[a.id]; dup {
+			a.conn.Close()
+			m.close()
+			return nil, fmt.Errorf("cluster: duplicate hello from %d", int(a.id))
+		}
+		m.conns[a.id] = a.conn
+	}
+	return m, nil
+}

@@ -24,8 +24,8 @@ import (
 	"fmt"
 
 	"degradable/internal/eig"
-	"degradable/internal/netsim"
 	"degradable/internal/protocol/relay"
+	"degradable/internal/round"
 	"degradable/internal/types"
 	"degradable/internal/vote"
 )
@@ -137,11 +137,11 @@ func (p Params) NewNode(id types.NodeID, value types.Value) (*relay.Node, error)
 // Nodes returns the full complement of honest nodes for the instance, with
 // the sender holding value. Callers substitute Byzantine implementations for
 // the fault set before running.
-func (p Params) Nodes(value types.Value) ([]netsim.Node, error) {
+func (p Params) Nodes(value types.Value) ([]round.Node, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	nodes := make([]netsim.Node, p.N)
+	nodes := make([]round.Node, p.N)
 	for i := 0; i < p.N; i++ {
 		nd, err := p.NewNode(types.NodeID(i), value)
 		if err != nil {
@@ -152,17 +152,22 @@ func (p Params) Nodes(value types.Value) ([]netsim.Node, error) {
 	return nodes, nil
 }
 
-// Run executes the instance on the synchronous engine with the given node
-// complement (honest nodes from Nodes, possibly with Byzantine substitutes).
-func (p Params) Run(nodes []netsim.Node, cfg netsim.Config) (*netsim.Result, error) {
+// Run executes the instance on the synchronous round engine with the given
+// node complement (honest nodes from Nodes, possibly with Byzantine
+// substitutes) under the given driver (nil selects the reference schedule;
+// the protocol layer never names a concrete driver).
+func (p Params) Run(nodes []round.Node, cfg round.Config, d round.Driver) (*round.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if len(nodes) != p.N {
 		return nil, fmt.Errorf("core: %d nodes for N=%d", len(nodes), p.N)
 	}
+	if d == nil {
+		d = round.Reference{}
+	}
 	cfg.Rounds = p.Depth()
-	return netsim.Run(nodes, cfg)
+	return round.Run(nodes, cfg, d)
 }
 
 // Evaluate resolves a fully materialized EIG tree for receiver self using

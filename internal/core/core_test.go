@@ -6,7 +6,7 @@ import (
 	"testing"
 
 	"degradable/internal/adversary"
-	"degradable/internal/netsim"
+	"degradable/internal/round"
 	"degradable/internal/runner"
 	"degradable/internal/spec"
 	"degradable/internal/types"
@@ -317,7 +317,7 @@ func TestRunChecksNodeCount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Run(nodes[:3], netsim.Config{}); err == nil {
+	if _, err := p.Run(nodes[:3], round.Config{}, nil); err == nil {
 		t.Error("Run with wrong node count should error")
 	}
 }

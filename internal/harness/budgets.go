@@ -105,7 +105,7 @@ func smVerified(m int, seed int64) bool {
 					return false
 				}
 			}
-			runRes, err := in.Run()
+			runRes, err := in.Run(nil)
 			if err != nil {
 				ok = false
 				return false

@@ -1,109 +1,112 @@
-// Package netsim provides a deterministic synchronous round engine for
-// message-passing agreement protocols.
+// Package netsim provides the in-process drivers of the synchronous round
+// engine: the round semantics themselves (inbox sorting, Channel/Expander
+// interposition, sender stamping, view recording) live in the
+// driver-agnostic internal/round package; this package supplies the two
+// ways of driving them inside one OS process.
 //
-// Each node runs in its own goroutine. In every round the engine delivers the
-// messages addressed to a node (sorted deterministically), the node computes
-// its sends for the round, and a barrier closes the round. The engine
-// provides the three assumptions of the paper's §4: (a) messages between
-// fault-free nodes are delivered correctly, (b) absence of a message is
-// detectable (a missing claim simply never arrives; protocols substitute the
-// default value), and (c) the source of a message is identified (the engine
-// stamps the true sender, so even Byzantine nodes cannot spoof From).
+//   - Goroutine runs each node in its own goroutine with the engine as the
+//     round barrier — the historical default, and the configuration the
+//     race detector exercises.
+//   - Sequential executes every node inline on the calling goroutine, in
+//     node-ID order. Results are identical (the round barrier already
+//     serializes all interleavings); it exists for throughput-sensitive
+//     callers such as the serving runtime, where per-instance goroutine
+//     setup dominates.
 //
-// An optional Channel interposes on every delivery, which is how the
-// incomplete-topology transport (Theorem 3) and the §6.1 relaxed-timeout
-// model (fault-free messages may be falsely declared absent when more than m
-// nodes are faulty) are injected without touching protocol code.
+// A third driver lives in internal/cluster: one OS process per node,
+// exchanging round-tagged frames over loopback TCP, with a per-round
+// hold-back deadline realizing §4 assumption (b) against a real network.
+//
+// The core vocabulary (Node, Channel, Expander, Config, Result, the
+// built-in channels) is re-exported as aliases so existing callers keep
+// working; new protocol-level code should import internal/round directly —
+// no protocol package depends on a concrete driver.
 package netsim
 
 import (
-	"fmt"
 	"sync"
 
+	"degradable/internal/round"
 	"degradable/internal/types"
 )
 
-// Node is a protocol participant. The engine calls Step for rounds 1..R,
-// passing the messages sent to the node in the previous round (round 1 gets
-// an empty inbox); the returned messages are delivered at the start of the
-// next round. After round R, Finish delivers the final batch, then Decide is
-// read. Implementations need not be safe for concurrent use; the engine
-// serializes all calls to a given node.
-//
-// The inbox slice is only valid for the duration of the Step or Finish call:
-// the engine reuses the delivery buffers across rounds. Implementations that
-// retain messages must copy them (all in-tree nodes absorb values into their
-// EIG tree and retain nothing).
-type Node interface {
-	ID() types.NodeID
-	Step(round int, inbox []types.Message) []types.Message
-	Finish(inbox []types.Message)
-	Decide() types.Value
+// Core round vocabulary, aliased from internal/round.
+type (
+	// Node is a protocol participant; see round.Node for the contract.
+	Node = round.Node
+	// Channel interposes on message delivery.
+	Channel = round.Channel
+	// Expander is a Channel that may deliver a message more than once.
+	Expander = round.Expander
+	// PerfectChannel delivers every message unchanged.
+	PerfectChannel = round.PerfectChannel
+	// FilterChannel drops messages failing a predicate.
+	FilterChannel = round.FilterChannel
+	// RelaxedChannel drops messages with seeded probability (§6.1).
+	RelaxedChannel = round.RelaxedChannel
+	// ChainChannel composes channels left to right.
+	ChainChannel = round.ChainChannel
+	// Result summarizes a run.
+	Result = round.Result
+	// Driver executes an engine's round schedule.
+	Driver = round.Driver
+)
+
+// NewRelaxedChannel returns a channel that drops each non-exempt message
+// with probability prob, deterministically per seed.
+func NewRelaxedChannel(prob float64, seed int64, exempt types.NodeSet) *RelaxedChannel {
+	return round.NewRelaxedChannel(prob, seed, exempt)
 }
 
-// Channel interposes on message delivery. Deliver may rewrite the message
-// (e.g. a relay network corrupting values in flight) or drop it entirely by
-// returning false.
-type Channel interface {
-	Deliver(m types.Message) (types.Message, bool)
-}
-
-// Expander is an optional Channel extension for channels that can deliver a
-// message more than once (duplication faults, as injected by the chaos
-// engine). When the configured Channel implements Expander, the engine calls
-// DeliverAll instead of Deliver; every returned message is delivered and
-// counted. An empty slice drops the message.
-type Expander interface {
-	Channel
-	DeliverAll(m types.Message) []types.Message
-}
-
-// PerfectChannel delivers every message unchanged: the complete-graph,
-// fully synchronous assumption of §4.
-type PerfectChannel struct{}
-
-// Deliver implements Channel.
-func (PerfectChannel) Deliver(m types.Message) (types.Message, bool) { return m, true }
-
-var _ Channel = PerfectChannel{}
-
-// Config controls a run.
+// Config controls a run: the core round parameters plus in-process driver
+// selection.
 type Config struct {
-	// Rounds is the number of message rounds (R). The engine performs R
-	// Step calls plus a Finish delivery per node.
+	// Rounds is the number of message rounds (R).
 	Rounds int
 	// Channel interposes on deliveries; nil means PerfectChannel.
 	Channel Channel
-	// RecordViews captures each node's full delivered-message transcript in
-	// the result. Used by the lower-bound indistinguishability checks.
+	// RecordViews captures each node's full delivered-message transcript.
 	RecordViews bool
 	// Trace, when non-nil, observes every delivered message.
 	Trace func(types.Message)
-	// Sequential executes every node inline on the calling goroutine, in
-	// node-ID order, instead of one goroutine per node. Results are
-	// identical (the round barrier already serializes all interleavings);
-	// the sequential engine exists for throughput-sensitive callers such
-	// as the serving runtime, where per-instance goroutine setup dominates.
+	// Sequential selects the Sequential driver instead of Goroutine.
 	Sequential bool
+	// Driver, when non-nil, overrides the driver selection entirely
+	// (Sequential is then ignored).
+	Driver Driver
 }
 
-// Result summarizes a run.
-type Result struct {
-	// Decisions maps every node to its decided value.
-	Decisions map[types.NodeID]types.Value
-	// Messages is the total number of messages sent (before channel drops).
-	Messages int
-	// Delivered is the total number of messages actually delivered.
-	Delivered int
-	// Bytes approximates the wire volume of delivered traffic: 8 bytes of
-	// value plus 4 per relay-path element per message.
-	Bytes int
-	// PerRound is the number of messages sent in each round, indexed from
-	// round 1 at position 0.
-	PerRound []int
-	// Views is each node's delivered transcript (only when RecordViews).
-	Views map[types.NodeID][]types.Message
+// core extracts the driver-agnostic part of the configuration.
+func (cfg Config) core() round.Config {
+	return round.Config{
+		Rounds:      cfg.Rounds,
+		Channel:     cfg.Channel,
+		RecordViews: cfg.RecordViews,
+		Trace:       cfg.Trace,
+	}
 }
+
+// driver resolves the configured driver.
+func (cfg Config) driver() Driver {
+	if cfg.Driver != nil {
+		return cfg.Driver
+	}
+	if cfg.Sequential {
+		return Sequential{}
+	}
+	return Goroutine{}
+}
+
+// Run executes the protocol to completion under the configured in-process
+// driver and returns the result. Nodes must have distinct IDs in
+// [0, len(nodes)).
+func Run(nodes []Node, cfg Config) (*Result, error) {
+	return round.Run(nodes, cfg.core(), cfg.driver())
+}
+
+// Sequential drives every node inline on the calling goroutine, in node-ID
+// order: the round package's Reference schedule.
+type Sequential = round.Reference
 
 type stepReq struct {
 	round int
@@ -111,113 +114,15 @@ type stepReq struct {
 	final bool
 }
 
-// Run executes the protocol to completion and returns the result. Nodes must
-// have distinct IDs in [0, len(nodes)). The engine enforces source
-// identification by stamping each message's From field with the true sender.
-func Run(nodes []Node, cfg Config) (*Result, error) {
-	n := len(nodes)
-	if n == 0 {
-		return nil, fmt.Errorf("netsim: no nodes")
-	}
-	if cfg.Rounds < 1 {
-		return nil, fmt.Errorf("netsim: rounds must be >= 1, got %d", cfg.Rounds)
-	}
-	byID := make([]Node, n)
-	for _, nd := range nodes {
-		id := nd.ID()
-		if id < 0 || int(id) >= n {
-			return nil, fmt.Errorf("netsim: node ID %d out of range [0,%d)", int(id), n)
-		}
-		if byID[int(id)] != nil {
-			return nil, fmt.Errorf("netsim: duplicate node ID %d", int(id))
-		}
-		byID[int(id)] = nd
-	}
-	ch := cfg.Channel
-	if ch == nil {
-		ch = PerfectChannel{}
-	}
+// Goroutine drives one worker goroutine per node, with the engine loop as
+// the round barrier.
+type Goroutine struct{}
 
-	res := &Result{
-		Decisions: make(map[types.NodeID]types.Value, n),
-		PerRound:  make([]int, cfg.Rounds),
-	}
-	if cfg.RecordViews {
-		res.Views = make(map[types.NodeID][]types.Message, n)
-	}
+var _ Driver = Goroutine{}
 
-	expander, _ := ch.(Expander)
-	// inboxes is allocated once and reused every round: each per-node slice
-	// is truncated and refilled in place, so after the first couple of
-	// rounds delivery stops allocating entirely. Safe because the round
-	// barrier guarantees no Step/Finish call is in flight during delivery
-	// and nodes do not retain their inbox (see the Node contract).
-	inboxes := make([][]types.Message, n)
-	deliver := func(pending []types.Message) {
-		for i := range inboxes {
-			inboxes[i] = inboxes[i][:0]
-		}
-		for _, m := range pending {
-			var copies []types.Message
-			if expander != nil {
-				copies = expander.DeliverAll(m)
-			} else if dm, ok := ch.Deliver(m); ok {
-				copies = []types.Message{dm}
-			}
-			for _, dm := range copies {
-				res.Delivered++
-				res.Bytes += 8 + 4*len(dm.Path)
-				if cfg.Trace != nil {
-					cfg.Trace(dm)
-				}
-				inboxes[int(dm.To)] = append(inboxes[int(dm.To)], dm)
-			}
-		}
-		for i := range inboxes {
-			types.SortMessages(inboxes[i])
-			if cfg.RecordViews {
-				res.Views[types.NodeID(i)] = append(res.Views[types.NodeID(i)], inboxes[i]...)
-			}
-		}
-	}
-
-	// collect stamps, validates, and queues one node's round sends,
-	// enforcing assumption (c): the true source is stamped.
-	collect := func(pending []types.Message, i, round int, out []types.Message) []types.Message {
-		for _, m := range out {
-			m.From = types.NodeID(i)
-			m.Round = round
-			if m.To < 0 || int(m.To) >= n || m.To == m.From {
-				continue // drop malformed or self-addressed sends
-			}
-			res.Messages++
-			res.PerRound[round-1]++
-			pending = append(pending, m)
-		}
-		return pending
-	}
-
-	if cfg.Sequential {
-		var pending []types.Message
-		for round := 1; round <= cfg.Rounds; round++ {
-			deliver(pending)
-			pending = pending[:0]
-			for i := 0; i < n; i++ {
-				out := byID[i].Step(round, inboxes[i])
-				pending = collect(pending, i, round, out)
-			}
-		}
-		deliver(pending)
-		for i := 0; i < n; i++ {
-			byID[i].Finish(inboxes[i])
-		}
-		for i, nd := range byID {
-			res.Decisions[types.NodeID(i)] = nd.Decide()
-		}
-		return res, nil
-	}
-
-	// One worker goroutine per node; the engine is the barrier.
+// Drive implements round.Driver.
+func (Goroutine) Drive(e *round.Engine) error {
+	n := e.N()
 	reqs := make([]chan stepReq, n)
 	resps := make([]chan []types.Message, n)
 	var wg sync.WaitGroup
@@ -235,25 +140,23 @@ func Run(nodes []Node, cfg Config) (*Result, error) {
 				}
 				resp <- nd.Step(r.round, r.inbox)
 			}
-		}(byID[i], reqs[i], resps[i])
+		}(e.Node(i), reqs[i], resps[i])
 	}
 
-	var pending []types.Message
-	for round := 1; round <= cfg.Rounds; round++ {
-		deliver(pending)
-		pending = pending[:0]
+	for r := 1; r <= e.Rounds(); r++ {
+		e.Deliver()
 		// Fan out the round to all workers, then collect.
 		for i := 0; i < n; i++ {
-			reqs[i] <- stepReq{round: round, inbox: inboxes[i]}
+			reqs[i] <- stepReq{round: r, inbox: e.Inbox(i)}
 		}
 		for i := 0; i < n; i++ {
-			pending = collect(pending, i, round, <-resps[i])
+			e.Collect(i, r, <-resps[i])
 		}
 	}
 	// Final delivery of round-R messages.
-	deliver(pending)
+	e.Deliver()
 	for i := 0; i < n; i++ {
-		reqs[i] <- stepReq{final: true, inbox: inboxes[i]}
+		reqs[i] <- stepReq{final: true, inbox: e.Inbox(i)}
 	}
 	for i := 0; i < n; i++ {
 		<-resps[i]
@@ -262,8 +165,5 @@ func Run(nodes []Node, cfg Config) (*Result, error) {
 		close(reqs[i])
 	}
 	wg.Wait()
-	for i, nd := range byID {
-		res.Decisions[types.NodeID(i)] = nd.Decide()
-	}
-	return res, nil
+	return nil
 }

@@ -20,8 +20,8 @@ import (
 	"fmt"
 
 	"degradable/internal/eig"
-	"degradable/internal/netsim"
 	"degradable/internal/protocol/relay"
+	"degradable/internal/round"
 	"degradable/internal/types"
 	"degradable/internal/vote"
 )
@@ -73,11 +73,11 @@ func (p Params) System() (n, depth int, sender types.NodeID) {
 func (p Params) Thresholds() (m, u int) { return 0, p.F }
 
 // Nodes returns the honest node complement with the sender holding value.
-func (p Params) Nodes(value types.Value) ([]netsim.Node, error) {
+func (p Params) Nodes(value types.Value) ([]round.Node, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	nodes := make([]netsim.Node, p.N)
+	nodes := make([]round.Node, p.N)
 	for i := 0; i < p.N; i++ {
 		nd, err := relay.New(p.N, p.Depth(), p.Sender, types.NodeID(i), value, p.Rule())
 		if err != nil {

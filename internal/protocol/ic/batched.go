@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"degradable/internal/adversary"
-	"degradable/internal/netsim"
+	"degradable/internal/round"
 	"degradable/internal/types"
 )
 
@@ -31,10 +31,10 @@ func RunBatched(p Params, values []types.Value, plan StrategyPlan) (*Result, err
 
 	// Build one multiplexed node per participant: its parts[s] is its role
 	// in the instance rooted at sender s.
-	muxes := make([]netsim.Node, p.N)
-	parts := make([][]netsim.Node, p.N) // parts[node][sender]
+	muxes := make([]round.Node, p.N)
+	parts := make([][]round.Node, p.N) // parts[node][sender]
 	for i := 0; i < p.N; i++ {
-		parts[i] = make([]netsim.Node, p.N)
+		parts[i] = make([]round.Node, p.N)
 	}
 	for s := 0; s < p.N; s++ {
 		sender := types.NodeID(s)
@@ -58,7 +58,7 @@ func RunBatched(p Params, values []types.Value, plan StrategyPlan) (*Result, err
 		muxes[i] = &muxNode{id: types.NodeID(i), parts: parts[i]}
 	}
 
-	runRes, err := netsim.Run(muxes, netsim.Config{Rounds: depth})
+	runRes, err := round.Run(muxes, round.Config{Rounds: depth}, round.Reference{})
 	if err != nil {
 		return nil, err
 	}
@@ -85,15 +85,15 @@ func RunBatched(p Params, values []types.Value, plan StrategyPlan) (*Result, err
 // routing messages by their path root.
 type muxNode struct {
 	id    types.NodeID
-	parts []netsim.Node
+	parts []round.Node
 }
 
-var _ netsim.Node = (*muxNode)(nil)
+var _ round.Node = (*muxNode)(nil)
 
-// ID implements netsim.Node.
+// ID implements round.Node.
 func (m *muxNode) ID() types.NodeID { return m.id }
 
-// Step implements netsim.Node, demultiplexing by instance root.
+// Step implements round.Node, demultiplexing by instance root.
 func (m *muxNode) Step(round int, inbox []types.Message) []types.Message {
 	split := m.demux(inbox)
 	var out []types.Message
@@ -103,7 +103,7 @@ func (m *muxNode) Step(round int, inbox []types.Message) []types.Message {
 	return out
 }
 
-// Finish implements netsim.Node.
+// Finish implements round.Node.
 func (m *muxNode) Finish(inbox []types.Message) {
 	split := m.demux(inbox)
 	for s, part := range m.parts {

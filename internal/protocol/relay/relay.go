@@ -21,7 +21,7 @@ import (
 	"fmt"
 
 	"degradable/internal/eig"
-	"degradable/internal/netsim"
+	"degradable/internal/round"
 	"degradable/internal/types"
 )
 
@@ -37,7 +37,7 @@ type Node struct {
 	decided  bool
 }
 
-var _ netsim.Node = (*Node)(nil)
+var _ round.Node = (*Node)(nil)
 
 // New returns an honest node. If id == sender, value is the input to
 // distribute; receivers ignore it. depth is the number of message rounds.
@@ -55,7 +55,7 @@ func New(n, depth int, sender, id types.NodeID, value types.Value, rule eig.Rule
 	return &Node{id: id, n: n, sender: sender, value: value, tree: tree, rule: rule}, nil
 }
 
-// ID implements netsim.Node.
+// ID implements round.Node.
 func (nd *Node) ID() types.NodeID { return nd.id }
 
 // Reset returns the node to its pre-run state with a (possibly new) sender
@@ -73,7 +73,7 @@ func (nd *Node) Reset(value types.Value) {
 // adversary's schedule generator).
 func (nd *Node) Tree() *eig.Tree { return nd.tree }
 
-// Step implements netsim.Node.
+// Step implements round.Node.
 func (nd *Node) Step(round int, inbox []types.Message) []types.Message {
 	nd.absorb(round, inbox)
 	return nd.Outbox(round)
@@ -124,15 +124,21 @@ func (nd *Node) Outbox(round int) []types.Message {
 }
 
 // absorb validates and stores the round's deliveries. A message delivered at
-// Step(r) was sent in round r−1 and must carry a path of length r−1 whose
-// last element is its true source; anything else is discarded, since a
-// Byzantine node may send arbitrary garbage.
+// Step(r) was sent in round r−1 and must carry Round r−1 and a path of
+// length r−1 whose last element is its true source; anything else is
+// discarded, since a Byzantine node may send arbitrary garbage. The Round
+// check matters on drivers with real transport: a frame that straggles past
+// its hold-back deadline (or is replayed by an injector) arrives tagged
+// with the round it was sent in, and must not be absorbed into a later one.
 func (nd *Node) absorb(round int, inbox []types.Message) {
 	want := round - 1
 	if want < 1 {
 		return
 	}
 	for _, m := range inbox {
+		if m.Round != want {
+			continue // sent in a different round than the one closing now
+		}
 		if len(m.Path) != want {
 			continue
 		}
@@ -149,7 +155,7 @@ func (nd *Node) absorb(round int, inbox []types.Message) {
 	}
 }
 
-// Finish implements netsim.Node: it stores the last round's deliveries and
+// Finish implements round.Node: it stores the last round's deliveries and
 // resolves the tree.
 func (nd *Node) Finish(inbox []types.Message) {
 	nd.absorb(nd.tree.Depth()+1, inbox)
@@ -161,7 +167,7 @@ func (nd *Node) Finish(inbox []types.Message) {
 	nd.decided = true
 }
 
-// Decide implements netsim.Node.
+// Decide implements round.Node.
 func (nd *Node) Decide() types.Value {
 	if !nd.decided {
 		return types.Default

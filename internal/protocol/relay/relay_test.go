@@ -3,7 +3,7 @@ package relay
 import (
 	"testing"
 
-	"degradable/internal/netsim"
+	"degradable/internal/round"
 	"degradable/internal/types"
 	"degradable/internal/vote"
 )
@@ -144,7 +144,7 @@ func TestSenderDecidesOwnValue(t *testing.T) {
 // Full OM(1)-style run through the engine with four honest nodes.
 func TestEndToEndHonest(t *testing.T) {
 	const n = 4
-	nodes := make([]netsim.Node, n)
+	nodes := make([]round.Node, n)
 	for i := 0; i < n; i++ {
 		nd, err := New(n, 2, 0, types.NodeID(i), 5, majorityRule)
 		if err != nil {
@@ -152,7 +152,7 @@ func TestEndToEndHonest(t *testing.T) {
 		}
 		nodes[i] = nd
 	}
-	res, err := netsim.Run(nodes, netsim.Config{Rounds: 2})
+	res, err := round.Run(nodes, round.Config{Rounds: 2}, round.Reference{})
 	if err != nil {
 		t.Fatal(err)
 	}

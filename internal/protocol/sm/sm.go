@@ -21,7 +21,7 @@ package sm
 import (
 	"fmt"
 
-	"degradable/internal/netsim"
+	"degradable/internal/round"
 	"degradable/internal/sig"
 	"degradable/internal/types"
 )
@@ -70,7 +70,7 @@ type Node struct {
 	decided  bool
 }
 
-var _ netsim.Node = (*Node)(nil)
+var _ round.Node = (*Node)(nil)
 
 // NewNode returns a participant. auth must be shared by the whole instance.
 func NewNode(p Params, id types.NodeID, value types.Value, auth *sig.Authority, egress Egress) (*Node, error) {
@@ -86,10 +86,10 @@ func NewNode(p Params, id types.NodeID, value types.Value, auth *sig.Authority, 
 	return &Node{p: p, id: id, auth: auth, value: value, egress: egress, seen: make(map[types.Value]bool)}, nil
 }
 
-// ID implements netsim.Node.
+// ID implements round.Node.
 func (nd *Node) ID() types.NodeID { return nd.id }
 
-// Step implements netsim.Node.
+// Step implements round.Node.
 func (nd *Node) Step(round int, inbox []types.Message) []types.Message {
 	if round == 1 {
 		if nd.id != nd.p.Sender {
@@ -177,7 +177,7 @@ func (nd *Node) accept(round int, inbox []types.Message) []types.Message {
 	return fresh
 }
 
-// Finish implements netsim.Node.
+// Finish implements round.Node.
 func (nd *Node) Finish(inbox []types.Message) {
 	nd.accept(nd.p.Depth()+1, inbox)
 	if nd.id == nd.p.Sender {
@@ -205,7 +205,7 @@ func (nd *Node) choice() types.Value {
 	return types.Default
 }
 
-// Decide implements netsim.Node.
+// Decide implements round.Node.
 func (nd *Node) Decide() types.Value {
 	if !nd.decided {
 		return types.Default
@@ -217,7 +217,7 @@ func (nd *Node) Decide() types.Value {
 type Instance struct {
 	Params Params
 	Auth   *sig.Authority
-	Nodes  []netsim.Node
+	Nodes  []round.Node
 }
 
 // NewInstance builds all-honest nodes with the sender holding value;
@@ -227,7 +227,7 @@ func NewInstance(p Params, value types.Value) (*Instance, error) {
 		return nil, err
 	}
 	auth := sig.NewAuthority()
-	nodes := make([]netsim.Node, p.N)
+	nodes := make([]round.Node, p.N)
 	for i := 0; i < p.N; i++ {
 		nd, err := NewNode(p, types.NodeID(i), value, auth, nil)
 		if err != nil {
@@ -251,7 +251,12 @@ func (in *Instance) Arm(id types.NodeID, value types.Value, egress Egress) error
 	return nil
 }
 
-// Run executes the instance.
-func (in *Instance) Run() (*netsim.Result, error) {
-	return netsim.Run(in.Nodes, netsim.Config{Rounds: in.Params.Depth()})
+// Run executes the instance under the given round driver (nil selects the
+// sequential reference schedule — SM has no concurrency of its own, and the
+// protocol layer never names a concrete driver).
+func (in *Instance) Run(d round.Driver) (*round.Result, error) {
+	if d == nil {
+		d = round.Reference{}
+	}
+	return round.Run(in.Nodes, round.Config{Rounds: in.Params.Depth()}, d)
 }

@@ -39,7 +39,7 @@ func TestFaultFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := in.Run()
+	res, err := in.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func runSM(t *testing.T, p Params, faulty types.NodeSet, eg struct {
 			t.Fatal(err)
 		}
 	}
-	res, err := in.Run()
+	res, err := in.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestEquivocatingSenderYieldsDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := in.Run()
+	res, err := in.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestRelayTamperingIsImpotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := in.Run()
+	res, err := in.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

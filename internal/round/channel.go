@@ -1,4 +1,4 @@
-package netsim
+package round
 
 import (
 	"math/rand"

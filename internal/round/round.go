@@ -1,0 +1,319 @@
+// Package round is the driver-agnostic core of the synchronous round
+// engine: the pure round semantics every driver shares, with no opinion on
+// *how* rounds are driven (goroutines, an inline loop, or one OS process
+// per node exchanging frames over TCP).
+//
+// The package captures the three assumptions of the paper's §4 as
+// machine-checkable contracts:
+//
+//	(a) messages between fault-free nodes are delivered correctly — a
+//	    driver delivers every collected message unless the configured
+//	    Channel drops it;
+//	(b) absence of a message is detectable — a message a driver cannot
+//	    deliver in time simply never enters the round's inbox, and
+//	    protocols substitute the default value V_d;
+//	(c) the source of a message is identified — Collect stamps every
+//	    message's From field with the true sender, so even Byzantine nodes
+//	    cannot spoof their identity.
+//
+// An Engine holds one run's state: the node complement, the interposing
+// Channel, per-node inboxes, and the accounting that becomes the Result. A
+// Driver walks the engine through its schedule:
+//
+//	for r := 1; r <= e.Rounds(); r++ {
+//		e.Deliver()                                  // round-(r-1) sends
+//		for i := 0; i < e.N(); i++ {                 // any interleaving
+//			out := e.Node(i).Step(r, e.Inbox(i))
+//			e.Collect(i, r, out)                 // serialized
+//		}
+//	}
+//	e.Deliver()                                          // final delivery
+//	for i := 0; i < e.N(); i++ { e.Node(i).Finish(e.Inbox(i)) }
+//
+// Step calls may run concurrently (each node is only ever stepped by one
+// goroutine at a time); Deliver, Collect, and Finalize must be serialized
+// by the driver. The in-process drivers live in internal/netsim; the
+// distributed driver in internal/cluster reuses the same per-node
+// semantics (inbox sorting, sender stamping, byte accounting) against real
+// sockets.
+package round
+
+import (
+	"fmt"
+
+	"degradable/internal/types"
+)
+
+// Node is a protocol participant. The engine calls Step for rounds 1..R,
+// passing the messages sent to the node in the previous round (round 1 gets
+// an empty inbox); the returned messages are delivered at the start of the
+// next round. After round R, Finish delivers the final batch, then Decide is
+// read. Implementations need not be safe for concurrent use; every driver
+// serializes all calls to a given node.
+//
+// The inbox slice is only valid for the duration of the Step or Finish call:
+// drivers reuse the delivery buffers across rounds. Implementations that
+// retain messages must copy them (all in-tree nodes absorb values into their
+// EIG tree and retain nothing).
+//
+// Drivers may differ in physical delivery (shared memory versus TCP frames),
+// so implementations must tolerate exactly what the paper's network model
+// allows: a well-formed message may arrive more than once (duplication
+// faults; ingestion must be idempotent), may never arrive (detectable
+// absence; substitute V_d), and inbox ordering is always the deterministic
+// types.SortMessages order regardless of arrival order.
+type Node interface {
+	ID() types.NodeID
+	Step(round int, inbox []types.Message) []types.Message
+	Finish(inbox []types.Message)
+	Decide() types.Value
+}
+
+// Channel interposes on message delivery. Deliver may rewrite the message
+// (e.g. a relay network corrupting values in flight) or drop it entirely by
+// returning false.
+type Channel interface {
+	Deliver(m types.Message) (types.Message, bool)
+}
+
+// Expander is an optional Channel extension for channels that can deliver a
+// message more than once (duplication faults, as injected by the chaos
+// engine). When the configured Channel implements Expander, the engine calls
+// DeliverAll instead of Deliver; every returned message is delivered and
+// counted. An empty slice drops the message.
+type Expander interface {
+	Channel
+	DeliverAll(m types.Message) []types.Message
+}
+
+// PerfectChannel delivers every message unchanged: the complete-graph,
+// fully synchronous assumption of §4.
+type PerfectChannel struct{}
+
+// Deliver implements Channel.
+func (PerfectChannel) Deliver(m types.Message) (types.Message, bool) { return m, true }
+
+var _ Channel = PerfectChannel{}
+
+// Config controls a run. It is pure round semantics: driver selection (and
+// any driver-specific tuning such as round deadlines) lives with the driver.
+type Config struct {
+	// Rounds is the number of message rounds (R). The engine performs R
+	// Step deliveries plus a Finish delivery per node.
+	Rounds int
+	// Channel interposes on deliveries; nil means PerfectChannel.
+	Channel Channel
+	// RecordViews captures each node's full delivered-message transcript in
+	// the result. Used by the lower-bound indistinguishability checks and
+	// the cross-driver differential tests.
+	RecordViews bool
+	// Trace, when non-nil, observes every delivered message.
+	Trace func(types.Message)
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Decisions maps every node to its decided value.
+	Decisions map[types.NodeID]types.Value
+	// Messages is the total number of messages sent (before channel drops).
+	Messages int
+	// Delivered is the total number of messages actually delivered.
+	Delivered int
+	// Bytes approximates the wire volume of delivered traffic: 8 bytes of
+	// value plus 4 per relay-path element per message.
+	Bytes int
+	// PerRound is the number of messages sent in each round, indexed from
+	// round 1 at position 0.
+	PerRound []int
+	// Views is each node's delivered transcript (only when RecordViews).
+	Views map[types.NodeID][]types.Message
+}
+
+// MessageBytes is the wire-volume approximation used by every driver's
+// accounting: 8 bytes of value plus 4 per relay-path element.
+func MessageBytes(m types.Message) int { return 8 + 4*len(m.Path) }
+
+// Driver executes an engine's round schedule. Drive must follow the
+// contract documented in the package comment: R rounds of Deliver / Step /
+// Collect, a final Deliver, then Finish for every node. Run handles engine
+// construction and Finalize; a Driver only supplies the control flow (and
+// whatever concurrency it wants for the Step calls).
+type Driver interface {
+	Drive(e *Engine) error
+}
+
+// Engine is one run's round state: nodes, channel interposition, inboxes,
+// and accounting. Methods are not safe for concurrent use except Node and
+// Inbox (immutable between Deliver calls); drivers serialize Deliver and
+// Collect.
+type Engine struct {
+	cfg      Config
+	byID     []Node
+	ch       Channel
+	expander Expander
+
+	res     *Result
+	inboxes [][]types.Message
+	pending []types.Message
+}
+
+// NewEngine validates the node complement and builds a run's engine. Nodes
+// must have distinct IDs in [0, len(nodes)).
+func NewEngine(nodes []Node, cfg Config) (*Engine, error) {
+	n := len(nodes)
+	if n == 0 {
+		return nil, fmt.Errorf("round: no nodes")
+	}
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("round: rounds must be >= 1, got %d", cfg.Rounds)
+	}
+	byID := make([]Node, n)
+	for _, nd := range nodes {
+		id := nd.ID()
+		if id < 0 || int(id) >= n {
+			return nil, fmt.Errorf("round: node ID %d out of range [0,%d)", int(id), n)
+		}
+		if byID[int(id)] != nil {
+			return nil, fmt.Errorf("round: duplicate node ID %d", int(id))
+		}
+		byID[int(id)] = nd
+	}
+	ch := cfg.Channel
+	if ch == nil {
+		ch = PerfectChannel{}
+	}
+	e := &Engine{
+		cfg:  cfg,
+		byID: byID,
+		ch:   ch,
+		res: &Result{
+			Decisions: make(map[types.NodeID]types.Value, n),
+			PerRound:  make([]int, cfg.Rounds),
+		},
+		// inboxes is allocated once and reused every round: each per-node
+		// slice is truncated and refilled in place, so after the first
+		// couple of rounds delivery stops allocating entirely. Safe because
+		// the round barrier guarantees no Step/Finish call is in flight
+		// during delivery and nodes do not retain their inbox (see the Node
+		// contract).
+		inboxes: make([][]types.Message, n),
+	}
+	e.expander, _ = ch.(Expander)
+	if cfg.RecordViews {
+		e.res.Views = make(map[types.NodeID][]types.Message, n)
+	}
+	return e, nil
+}
+
+// N returns the node count.
+func (e *Engine) N() int { return len(e.byID) }
+
+// Rounds returns the number of message rounds.
+func (e *Engine) Rounds() int { return e.cfg.Rounds }
+
+// Node returns the participant with ID i.
+func (e *Engine) Node(i int) Node { return e.byID[i] }
+
+// Deliver moves the pending sends through the channel into the per-node
+// inboxes, sorting each inbox deterministically and recording views. It
+// must be called exactly once per round (before the round's Step calls) and
+// once more before the Finish calls.
+func (e *Engine) Deliver() {
+	for i := range e.inboxes {
+		e.inboxes[i] = e.inboxes[i][:0]
+	}
+	for _, m := range e.pending {
+		var copies []types.Message
+		if e.expander != nil {
+			copies = e.expander.DeliverAll(m)
+		} else if dm, ok := e.ch.Deliver(m); ok {
+			copies = []types.Message{dm}
+		}
+		for _, dm := range copies {
+			e.res.Delivered++
+			e.res.Bytes += MessageBytes(dm)
+			if e.cfg.Trace != nil {
+				e.cfg.Trace(dm)
+			}
+			e.inboxes[int(dm.To)] = append(e.inboxes[int(dm.To)], dm)
+		}
+	}
+	e.pending = e.pending[:0]
+	for i := range e.inboxes {
+		types.SortMessages(e.inboxes[i])
+		if e.cfg.RecordViews {
+			e.res.Views[types.NodeID(i)] = append(e.res.Views[types.NodeID(i)], e.inboxes[i]...)
+		}
+	}
+}
+
+// Inbox returns node i's current delivery (valid until the next Deliver).
+func (e *Engine) Inbox(i int) []types.Message { return e.inboxes[i] }
+
+// Collect stamps, validates, and queues node i's round sends, enforcing
+// assumption (c): the true source is stamped, so a Byzantine node cannot
+// spoof its identity. Malformed and self-addressed sends are dropped.
+func (e *Engine) Collect(i, round int, out []types.Message) {
+	n := len(e.byID)
+	for _, m := range out {
+		m.From = types.NodeID(i)
+		m.Round = round
+		if m.To < 0 || int(m.To) >= n || m.To == m.From {
+			continue // drop malformed or self-addressed sends
+		}
+		e.res.Messages++
+		e.res.PerRound[round-1]++
+		e.pending = append(e.pending, m)
+	}
+}
+
+// Finalize reads every node's decision and returns the run's result. It
+// must be called once, after the driver's Finish calls.
+func (e *Engine) Finalize() *Result {
+	for i, nd := range e.byID {
+		e.res.Decisions[types.NodeID(i)] = nd.Decide()
+	}
+	return e.res
+}
+
+// Run executes the protocol to completion under the given driver and
+// returns the result. It is the one-call form of NewEngine + Drive +
+// Finalize that protocol packages use without naming a concrete driver.
+func Run(nodes []Node, cfg Config, d Driver) (*Result, error) {
+	if d == nil {
+		return nil, fmt.Errorf("round: nil driver")
+	}
+	e, err := NewEngine(nodes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Drive(e); err != nil {
+		return nil, err
+	}
+	return e.Finalize(), nil
+}
+
+// Reference is the canonical inline schedule: every node stepped on the
+// calling goroutine, in node-ID order. It is the executable form of the
+// Driver contract and the baseline every other driver must be
+// result-identical to (the round barrier already serializes all
+// interleavings). internal/netsim re-exports it as the Sequential driver.
+type Reference struct{}
+
+var _ Driver = Reference{}
+
+// Drive implements Driver.
+func (Reference) Drive(e *Engine) error {
+	n := e.N()
+	for r := 1; r <= e.Rounds(); r++ {
+		e.Deliver()
+		for i := 0; i < n; i++ {
+			e.Collect(i, r, e.Node(i).Step(r, e.Inbox(i)))
+		}
+	}
+	e.Deliver()
+	for i := 0; i < n; i++ {
+		e.Node(i).Finish(e.Inbox(i))
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"degradable/internal/service"
+	"degradable/internal/types"
+)
+
+// TestHelloRoundTrip round-trips the cluster hello frame.
+func TestHelloRoundTrip(t *testing.T) {
+	buf, err := AppendHello(nil, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := DecodeHello(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 13 {
+		t.Fatalf("hello node %d, want 13", int(id))
+	}
+	if _, err := AppendHello(nil, 300); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+// TestRoundBatchRoundTrip round-trips a single-chunk batch, including the
+// empty round-done marker.
+func TestRoundBatchRoundTrip(t *testing.T) {
+	msgs := []types.Message{
+		{To: 2, Path: []types.NodeID{0}, Value: 42},
+		{To: 3, Path: []types.NodeID{0, 1, 4}, Value: 7},
+		{To: 1, Value: types.Default},
+	}
+	buf, err := AppendRoundBatch(nil, 3, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, got, last, err := DecodeRoundBatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 3 || !last {
+		t.Fatalf("round=%d last=%v, want 3 true", round, last)
+	}
+	for i, m := range got {
+		want := msgs[i]
+		want.Round = 3
+		if !reflect.DeepEqual(m, want) {
+			t.Errorf("message %d: %+v, want %+v", i, m, want)
+		}
+	}
+
+	// Empty batch: the round-done marker.
+	buf, err = AppendRoundBatch(nil, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err = ReadFrame(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, got, last, err = DecodeRoundBatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 5 || !last || len(got) != 0 {
+		t.Fatalf("marker: round=%d last=%v msgs=%d", round, last, len(got))
+	}
+}
+
+// TestRoundBatchChunking drives a batch past MaxFrame and checks it splits
+// into several frames whose concatenated decode recovers every message,
+// with only the final chunk flagged.
+func TestRoundBatchChunking(t *testing.T) {
+	path := make([]types.NodeID, 60)
+	for i := range path {
+		path[i] = types.NodeID(i % 64)
+	}
+	var msgs []types.Message
+	for i := 0; i < 2000; i++ { // 2000 × 70 bytes ≈ 137 KiB > MaxFrame
+		msgs = append(msgs, types.Message{To: types.NodeID(i % 7), Path: path, Value: types.Value(i)})
+	}
+	buf, err := AppendRoundBatch(nil, 2, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(buf)
+	var got []types.Message
+	chunks, lastSeen := 0, false
+	for {
+		payload, err := ReadFrame(r)
+		if err != nil {
+			break
+		}
+		if lastSeen {
+			t.Fatal("frame after the flagged last chunk")
+		}
+		round, part, last, err := DecodeRoundBatch(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round != 2 {
+			t.Fatalf("chunk round %d", round)
+		}
+		got = append(got, part...)
+		chunks++
+		lastSeen = last
+	}
+	if !lastSeen {
+		t.Fatal("no chunk flagged last")
+	}
+	if chunks < 3 {
+		t.Fatalf("%d chunks, want the batch split at least 3 ways", chunks)
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("%d messages recovered, want %d", len(got), len(msgs))
+	}
+	for i, m := range got {
+		if m.To != msgs[i].To || m.Value != msgs[i].Value || len(m.Path) != len(msgs[i].Path) {
+			t.Fatalf("message %d mismatch: %+v", i, m)
+		}
+	}
+}
+
+// TestIdleTimeoutSeversStalledConn checks that a connection that goes quiet
+// past the idle timeout is closed by the server, while a connection that
+// keeps a normal request cadence is not.
+func TestIdleTimeoutSeversStalledConn(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, service.New(service.Config{Shards: 1}))
+	srv.SetTimeouts(Timeouts{Idle: 100 * time.Millisecond, Read: 100 * time.Millisecond, Write: time.Second})
+	go srv.Serve()
+	defer srv.Shutdown(context.Background())
+
+	// A stalled connection: no frames at all. The server must sever it.
+	stalled, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	stalled.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := stalled.Read(make([]byte, 1)); err == nil {
+		t.Fatal("stalled connection still open past the idle timeout")
+	}
+
+	// A normally-paced client pipelines several requests with sub-idle
+	// gaps and stays connected throughout.
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 4; i++ {
+		res, err := c.Do(context.Background(), service.Request{N: 5, M: 1, U: 2, Value: 9})
+		if err != nil {
+			t.Fatalf("request %d on a healthy cadence: %v", i, err)
+		}
+		if res.Status != StatusOK {
+			t.Fatalf("request %d: status %v", i, res.Status)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+}
+
+// TestReadTimeoutSeversSlowFrame checks that a frame started but never
+// finished trips the read deadline.
+func TestReadTimeoutSeversSlowFrame(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, service.New(service.Config{Shards: 1}))
+	srv.SetTimeouts(Timeouts{Idle: time.Second, Read: 100 * time.Millisecond})
+	go srv.Serve()
+	defer srv.Shutdown(context.Background())
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send a length prefix promising 100 bytes, then stall.
+	if _, err := conn.Write([]byte{0, 0, 0, 100}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("half-sent frame still open past the read timeout")
+	}
+}

@@ -17,6 +17,52 @@ import (
 // trips and the writer flushes what remains.
 const shutdownGrace = 250 * time.Millisecond
 
+// Timeouts configures per-connection deadlines. Zero values disable the
+// corresponding deadline; the zero Timeouts preserves the historical
+// behaviour (no deadline until shutdown's grace window).
+type Timeouts struct {
+	// Read bounds reading one frame's payload once its length prefix has
+	// arrived: a peer that starts a frame must finish it promptly.
+	Read time.Duration
+	// Write bounds each response flush: a peer that stops draining its
+	// socket is severed instead of wedging the writer goroutine.
+	Write time.Duration
+	// Idle bounds the quiet gap waiting for the next frame to begin; an
+	// idle connection past it is closed.
+	Idle time.Duration
+}
+
+// connDeadline serializes read-deadline updates on one connection so the
+// per-frame idle/read deadlines never extend past an armed shutdown grace
+// window (the watcher and the read loop race otherwise).
+type connDeadline struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	grace bool
+}
+
+// arm sets a pre-frame deadline of d, unless shutdown grace is armed or d
+// is zero.
+func (c *connDeadline) arm(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.grace {
+		return
+	}
+	c.conn.SetReadDeadline(time.Now().Add(d))
+}
+
+// shutdown arms the shutdown grace deadline; later arm calls are no-ops.
+func (c *connDeadline) shutdown(grace time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.grace = true
+	c.conn.SetReadDeadline(time.Now().Add(grace))
+}
+
 // pendingResp is one in-flight request on a connection, queued in arrival
 // order so the writer answers FIFO (shards are FIFO too, so head-of-line
 // waits are short).
@@ -31,8 +77,9 @@ type pendingResp struct {
 // Server exposes a service.Service over TCP: one reader and one writer
 // goroutine per connection, length-prefixed frames.
 type Server struct {
-	svc *service.Service
-	ln  net.Listener
+	svc      *service.Service
+	ln       net.Listener
+	timeouts Timeouts
 
 	quit   chan struct{}
 	mu     sync.Mutex
@@ -51,6 +98,10 @@ func NewServer(ln net.Listener, svc *service.Service) *Server {
 		conns: make(map[net.Conn]struct{}),
 	}
 }
+
+// SetTimeouts configures the per-connection deadlines. It must be called
+// before Serve; connections accepted afterwards use the new values.
+func (s *Server) SetTimeouts(t Timeouts) { s.timeouts = t }
 
 // Service returns the underlying runtime (for stats).
 func (s *Server) Service() *service.Service { return s.svc }
@@ -94,6 +145,7 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 
 	cfg := s.svc.Config()
+	timeouts := s.timeouts
 	pend := make(chan pendingResp, cfg.Shards*cfg.QueueDepth+1)
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -101,6 +153,12 @@ func (s *Server) handle(conn net.Conn) {
 		defer wg.Done()
 		var buf []byte
 		bw := bufio.NewWriter(conn)
+		flush := func() error {
+			if timeouts.Write > 0 {
+				conn.SetWriteDeadline(time.Now().Add(timeouts.Write))
+			}
+			return bw.Flush()
+		}
 		for p := range pend {
 			var out service.Outcome
 			if p.err != nil {
@@ -122,23 +180,26 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			if len(pend) == 0 {
-				if err := bw.Flush(); err != nil {
+				if err := flush(); err != nil {
 					return
 				}
 			}
 		}
-		bw.Flush()
+		flush()
 	}()
 
 	// On shutdown, bound the reader with a grace deadline rather than
 	// severing it: frames the client already sent are still in the socket
 	// buffer, and they must be read, admitted, and answered before the
-	// connection closes — that is the no-unanswered-request contract.
+	// connection closes — that is the no-unanswered-request contract. The
+	// grace deadline wins over the per-frame idle/read deadlines: once
+	// armed, they stop being refreshed.
+	dl := &connDeadline{conn: conn}
 	stopWatch := make(chan struct{})
 	go func() {
 		select {
 		case <-s.quit:
-			conn.SetReadDeadline(time.Now().Add(shutdownGrace))
+			dl.shutdown(shutdownGrace)
 		case <-stopWatch:
 		}
 	}()
@@ -146,9 +207,19 @@ func (s *Server) handle(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	var frame []byte // reused across frames; DecodeRequest copies what it keeps
 	for {
-		payload, err := ReadFrameInto(br, frame)
+		// Idle bounds the wait for the next frame to begin; once its length
+		// prefix has arrived, Read bounds the payload.
+		dl.arm(timeouts.Idle)
+		n, grown, err := readPrefix(br, frame)
 		if err != nil {
-			break // EOF, malformed frame, or the shutdown deadline
+			frame = grown
+			break // EOF, idle timeout, malformed prefix, or the shutdown deadline
+		}
+		dl.arm(timeouts.Read)
+		payload, err := readPayload(br, grown, n)
+		if err != nil {
+			frame = grown
+			break
 		}
 		frame = payload
 		id, req, err := DecodeRequest(payload)

@@ -184,6 +184,18 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 // read loop can pass the previous return value back in and amortize the
 // per-frame allocation away entirely.
 func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
+	n, buf, err := readPrefix(r, buf)
+	if err != nil {
+		return nil, err
+	}
+	return readPayload(r, buf, n)
+}
+
+// readPrefix reads and validates the 4-byte length prefix, returning the
+// payload length and the (possibly grown) reuse buffer. Split from
+// readPayload so the server can move its read deadline between the idle
+// wait (before a frame begins) and the frame read (once it has).
+func readPrefix(r io.Reader, buf []byte) (uint32, []byte, error) {
 	// The length prefix is read into the (possibly grown) reuse buffer: a
 	// stack array would escape through the io.Reader interface and cost an
 	// allocation per frame — the very thing this path exists to remove.
@@ -192,15 +204,20 @@ func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	}
 	lenBuf := buf[:4]
 	if _, err := io.ReadFull(r, lenBuf); err != nil {
-		return nil, err
+		return 0, buf, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf)
 	if n < 10 {
-		return nil, fmt.Errorf("wire: frame of %d bytes below the 10-byte header", n)
+		return 0, buf, fmt.Errorf("wire: frame of %d bytes below the 10-byte header", n)
 	}
 	if n > MaxFrame {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds the %d limit", n, MaxFrame)
+		return 0, buf, fmt.Errorf("wire: frame of %d bytes exceeds the %d limit", n, MaxFrame)
 	}
+	return n, buf, nil
+}
+
+// readPayload reads the n-byte payload following a validated prefix.
+func readPayload(r io.Reader, buf []byte, n uint32) ([]byte, error) {
 	var payload []byte
 	if int(n) <= cap(buf) {
 		payload = buf[:n]

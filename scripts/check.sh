@@ -20,8 +20,8 @@ go test ./...
 echo "== go test -race (short) =="
 go test -race -short ./...
 
-echo "== go test -race (full, service + wire) =="
-go test -race ./internal/service/... ./internal/wire/...
+echo "== go test -race (full, service + wire + cluster) =="
+go test -race ./internal/service/... ./internal/wire/... ./internal/cluster/...
 
 echo "== benchmark smoke =="
 # The output is the point of a smoke pass: a benchmark that silently stops
@@ -45,5 +45,13 @@ go run ./cmd/loadgen -inproc -shard-sweep 1,2,4,8 -duration 2s -n 7 -m 1 -u 2 -j
 
 echo "== chaos campaign smoke =="
 go run ./cmd/chaos -seed 42 -runs 250 >/dev/null
+
+echo "== cluster mode smoke (one OS process per node) =="
+# The paper's running example as 7 real processes over loopback TCP, then a
+# short chaos campaign where every scenario runs cross-process. Exits
+# non-zero on any D.1-D.4 / m+1-floor violation; writes the round-latency
+# artifact BENCH_cluster.json at the repo root.
+go run ./cmd/cluster -n 7 -m 1 -u 2 -faults 2:twofaced:999,5:silent -deadline 10s >/dev/null
+go run ./cmd/cluster -n 7 -m 1 -u 2 -campaign 10 -seed 7 -deadline 10s -bench BENCH_cluster.json >/dev/null
 
 echo "all checks passed"
