@@ -47,7 +47,10 @@ func TestRunClusterFacade(t *testing.T) {
 	if len(rep.Nodes) != 7 {
 		t.Fatalf("got %d node reports, want 7", len(rep.Nodes))
 	}
-	if rep.RoundWaitMax <= 0 || rep.RoundWaitTotal < rep.RoundWaitMax {
-		t.Errorf("implausible latency counters: max=%v total=%v", rep.RoundWaitMax, rep.RoundWaitTotal)
+	if rep.RoundWaitMax() <= 0 || rep.RoundWaitTotal() < rep.RoundWaitMax() {
+		t.Errorf("implausible latency counters: max=%v total=%v", rep.RoundWaitMax(), rep.RoundWaitTotal())
+	}
+	if hist, ok := rep.Obs.Histograms["round_wait"]; !ok || hist.Count == 0 {
+		t.Errorf("missing round-wait histogram in merged telemetry: %+v", rep.Obs)
 	}
 }

@@ -30,6 +30,8 @@ import (
 
 	degradable "degradable"
 	"degradable/internal/chaos"
+	"degradable/internal/cliflags"
+	"degradable/internal/obs"
 	"degradable/internal/stats"
 )
 
@@ -54,6 +56,7 @@ func run(args []string, out io.Writer) error {
 		shrink     = fs.Bool("shrink", true, "shrink expectation failures to minimal counterexamples")
 		asJSON     = fs.Bool("json", false, "emit the full report as JSON")
 		replay     = fs.String("replay", "", "replay one scenario (JSON) instead of running a campaign")
+		tracePath  = cliflags.Trace(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +75,17 @@ func run(args []string, out io.Writer) error {
 	if c.Grid, err = parseGrid(*grid); err != nil {
 		return err
 	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		// One verdict event per scenario: size the ring to hold the whole
+		// campaign so the JSONL dump is complete, not a tail.
+		capHint := *runs
+		if capHint < 1 {
+			capHint = 1024
+		}
+		tracer = obs.NewTracer(capHint)
+		c.Sink = tracer
+	}
 	// SIGINT cancels between scenarios: the partial tallies are still
 	// printed (marked interrupted) rather than thrown away.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -79,6 +93,14 @@ func run(args []string, out io.Writer) error {
 	rep, err := degradable.ChaosContext(ctx, degradable.Config{}, c)
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		// Dump before the health checks so the event stream survives an
+		// unhealthy campaign — that is exactly when it is most wanted.
+		if err := dumpTrace(*tracePath, tracer); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "chaos: wrote %d events to %s\n", len(tracer.Events()), *tracePath)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(out)
@@ -183,6 +205,19 @@ func writeReport(out io.Writer, rep *degradable.ChaosReport) {
 
 func indent(s string) string {
 	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}
+
+// dumpTrace writes the campaign's verdict-event ring as JSONL.
+func dumpTrace(path string, t *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSONL(f, t.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseGrid parses comma-separated n:m:u triples.

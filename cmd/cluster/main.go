@@ -34,6 +34,8 @@ import (
 	"degradable/internal/adversary"
 	"degradable/internal/chaos"
 	"degradable/internal/cluster"
+	"degradable/internal/obs"
+	"degradable/internal/stats"
 	"degradable/internal/types"
 )
 
@@ -46,7 +48,9 @@ func main() {
 }
 
 // benchArtifact is the -bench JSON shape: the cluster's round-latency
-// counters alongside the run shape, for CI artifact upload.
+// summary alongside the run shape, for CI artifact upload. Obs carries the
+// full unified telemetry snapshot (the same schema BENCH_service.json
+// embeds), so one tool can diff either artifact.
 type benchArtifact struct {
 	N              int           `json:"n"`
 	M              int           `json:"m"`
@@ -56,8 +60,39 @@ type benchArtifact struct {
 	RoundWaitMax   time.Duration `json:"roundWaitMaxNs"`
 	RoundWaitTotal time.Duration `json:"roundWaitTotalNs"`
 	RoundWaitMaxMS float64       `json:"roundWaitMaxMs"`
+	RoundWaitP50MS float64       `json:"roundWaitP50Ms"`
+	RoundWaitP99MS float64       `json:"roundWaitP99Ms"`
 	LateBatches    int           `json:"lateBatches"`
 	Healthy        bool          `json:"healthy"`
+	Obs            obs.Snapshot  `json:"obs"`
+}
+
+// artifact assembles the bench shape from a merged telemetry snapshot and a
+// round-wait summary (nanosecond units).
+func artifact(n, m, u, runs, processes int, snap obs.Snapshot, wait stats.Summary, healthy bool) benchArtifact {
+	late := int(snap.Counter("late_batches_total"))
+	return benchArtifact{
+		N: n, M: m, U: u, Runs: runs, Processes: processes,
+		RoundWaitMax:   time.Duration(wait.Max),
+		RoundWaitTotal: time.Duration(wait.Mean * float64(wait.N)),
+		RoundWaitMaxMS: wait.Max / float64(time.Millisecond),
+		RoundWaitP50MS: wait.P50 / float64(time.Millisecond),
+		RoundWaitP99MS: wait.P99 / float64(time.Millisecond),
+		LateBatches:    late, Healthy: healthy, Obs: snap,
+	}
+}
+
+// writeTrace dumps a structured round-event stream as JSONL.
+func writeTrace(path string, events []obs.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSONL(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(args []string, out io.Writer) error {
@@ -74,6 +109,7 @@ func run(args []string, out io.Writer) error {
 		deadline = fs.Duration("deadline", 2*time.Second, "per-round hold-back deadline")
 		campaign = fs.Int("campaign", 0, "run a chaos campaign of this many scenarios instead of one instance")
 		bench    = fs.String("bench", "", "write round-latency counters to this JSON file")
+		trace    = fs.String("trace", "", "dump the structured round-event stream to this JSONL file")
 		asJSON   = fs.Bool("json", false, "emit the full report as JSON")
 		nodeBin  = fs.String("node-bin", "", "spawn this node binary instead of re-executing (e.g. a cmd/node build)")
 	)
@@ -92,7 +128,8 @@ func run(args []string, out io.Writer) error {
 	if *campaign > 0 {
 		return runCampaign(ctx, out, campaignConfig{
 			n: *n, m: *m, u: *u, seed: *seed, runs: *campaign,
-			deadline: *deadline, bench: *bench, asJSON: *asJSON, command: command,
+			deadline: *deadline, bench: *bench, trace: *trace,
+			asJSON: *asJSON, command: command,
 		})
 	}
 
@@ -104,9 +141,15 @@ func run(args []string, out io.Writer) error {
 		N: *n, M: *m, U: *u,
 		Sender: types.NodeID(*sender), SenderValue: types.Value(*value),
 		Faults: flts, Seed: *seed, Deadline: *deadline, Command: command,
+		Trace: *trace != "",
 	})
 	if err != nil {
 		return err
+	}
+	if *trace != "" {
+		if err := writeTrace(*trace, rep.Events()); err != nil {
+			return err
+		}
 	}
 	if *asJSON {
 		enc := json.NewEncoder(out)
@@ -124,16 +167,11 @@ func run(args []string, out io.Writer) error {
 		if rep.Verdict.Reason != "" {
 			fmt.Fprintf(out, " (%s)", rep.Verdict.Reason)
 		}
-		fmt.Fprintf(out, "\nround waits: max %v, total %v; late batches: %d\n",
-			rep.RoundWaitMax, rep.RoundWaitTotal, rep.Late)
+		fmt.Fprintf(out, "\nround waits: max %v, p99 %v, total %v; late batches: %d\n",
+			rep.RoundWaitMax(), time.Duration(rep.RoundWait.P99), rep.RoundWaitTotal(), rep.Late())
 	}
 	if *bench != "" {
-		if err := writeBench(*bench, benchArtifact{
-			N: *n, M: *m, U: *u, Runs: 1, Processes: *n,
-			RoundWaitMax: rep.RoundWaitMax, RoundWaitTotal: rep.RoundWaitTotal,
-			RoundWaitMaxMS: float64(rep.RoundWaitMax) / float64(time.Millisecond),
-			LateBatches:    rep.Late, Healthy: rep.Verdict.OK,
-		}); err != nil {
+		if err := writeBench(*bench, artifact(*n, *m, *u, 1, *n, rep.Obs, rep.RoundWait, rep.Verdict.OK)); err != nil {
 			return err
 		}
 	}
@@ -150,18 +188,19 @@ type campaignConfig struct {
 	runs     int
 	deadline time.Duration
 	bench    string
+	trace    string
 	asJSON   bool
 	command  []string
 }
 
 // runCampaign sweeps a seeded chaos campaign where every scenario runs as
-// one OS process per node, aggregating the cluster's round-latency
-// counters across runs for the bench artifact.
+// one OS process per node, merging the unified telemetry snapshots across
+// runs for the bench artifact.
 func runCampaign(ctx context.Context, out io.Writer, cc campaignConfig) error {
 	var agg struct {
-		waitMax   time.Duration
-		waitTotal time.Duration
-		late      int
+		snap      obs.Snapshot
+		waits     []float64
+		events    []obs.Event
 		processes int
 	}
 	exec := func(sc chaos.Scenario) (*chaos.ExecOutcome, error) {
@@ -170,15 +209,20 @@ func runCampaign(ctx context.Context, out io.Writer, cc campaignConfig) error {
 			Sender: sc.Sender, SenderValue: sc.SenderValue,
 			Faults: sc.Faults, Injectors: sc.Injectors,
 			Seed: sc.Seed, Deadline: cc.deadline, Command: cc.command,
+			Trace: cc.trace != "",
 		})
 		if err != nil {
 			return nil, err
 		}
 		agg.processes += sc.N
-		agg.late += rep.Late
-		agg.waitTotal += rep.RoundWaitTotal
-		if rep.RoundWaitMax > agg.waitMax {
-			agg.waitMax = rep.RoundWaitMax
+		agg.snap.Merge(rep.Obs)
+		for _, nr := range rep.Nodes {
+			for _, w := range nr.RoundWaitsNs {
+				agg.waits = append(agg.waits, float64(w))
+			}
+		}
+		if cc.trace != "" {
+			agg.events = append(agg.events, rep.Events()...)
 		}
 		return &chaos.ExecOutcome{
 			Decisions: rep.Result.Decisions,
@@ -196,6 +240,8 @@ func runCampaign(ctx context.Context, out io.Writer, cc campaignConfig) error {
 	if err != nil {
 		return err
 	}
+	wait := stats.Summarize(agg.waits)
+	late := int(agg.snap.Counter("late_batches_total"))
 	if cc.asJSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
@@ -207,19 +253,20 @@ func runCampaign(ctx context.Context, out io.Writer, cc campaignConfig) error {
 			cc.n, cc.m, cc.u, cc.seed, rep.Completed, agg.processes)
 		fmt.Fprintf(out, "classes: %d SpecHeld, %d GracefulOnly, %d Violated, %d Infeasible\n",
 			rep.SpecHeld, rep.GracefulOnly, rep.Violated, rep.Infeasible)
-		fmt.Fprintf(out, "round waits: max %v, total %v; late batches: %d\n",
-			agg.waitMax, agg.waitTotal, agg.late)
+		fmt.Fprintf(out, "round waits: max %v, p50 %v, p99 %v; late batches: %d\n",
+			time.Duration(wait.Max), time.Duration(wait.P50), time.Duration(wait.P99), late)
 		for i, f := range rep.Failures {
 			fmt.Fprintf(out, "FAILURE %d: %s\n  reproduce: %s\n", i+1, f.Outcome.ExpectReason, f.ReproCommand)
 		}
 	}
+	if cc.trace != "" {
+		if err := writeTrace(cc.trace, agg.events); err != nil {
+			return err
+		}
+	}
 	if cc.bench != "" {
-		if err := writeBench(cc.bench, benchArtifact{
-			N: cc.n, M: cc.m, U: cc.u, Runs: rep.Completed, Processes: agg.processes,
-			RoundWaitMax: agg.waitMax, RoundWaitTotal: agg.waitTotal,
-			RoundWaitMaxMS: float64(agg.waitMax) / float64(time.Millisecond),
-			LateBatches:    agg.late, Healthy: rep.Healthy(),
-		}); err != nil {
+		if err := writeBench(cc.bench, artifact(cc.n, cc.m, cc.u, rep.Completed, agg.processes,
+			agg.snap, wait, rep.Healthy())); err != nil {
 			return err
 		}
 	}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"degradable/internal/adversary"
+	"degradable/internal/obs"
 	"degradable/internal/service"
 	"degradable/internal/stats"
 	"degradable/internal/types"
@@ -80,6 +81,12 @@ type report struct {
 	// ShardSweep is populated by -shard-sweep: one point per shard count,
 	// same workload, fresh service each.
 	ShardSweep []sweepPoint `json:"shard_sweep,omitempty"`
+
+	// Obs is the service-side telemetry snapshot (in-process modes only; a
+	// TCP daemon exposes the same numbers on its /metrics endpoint). The
+	// schema is shared with BENCH_cluster.json, so scripts/bench_compare.sh
+	// diffs both artifacts with one code path.
+	Obs obs.Snapshot `json:"obs"`
 }
 
 // sweepPoint is one shard count's measurement in a -shard-sweep run.
@@ -320,9 +327,10 @@ func run(args []string, out io.Writer) error {
 		// in-process mode shares one service.
 		doers := make([]doer, *conns)
 		mode := "tcp"
+		var svc *service.Service
 		if *inproc {
 			mode = "inproc"
-			svc := service.New(service.Config{
+			svc = service.New(service.Config{
 				Shards: *shards, QueueDepth: *queue, Batch: *batch, SpecSample: *specSample,
 			})
 			defer svc.Close()
@@ -341,6 +349,9 @@ func run(args []string, out io.Writer) error {
 		}
 		rep = generate(doers, gcfg, out)
 		rep.Mode = mode
+		if svc != nil {
+			rep.Obs = svc.Telemetry()
+		}
 
 		tb := stats.NewTable(fmt.Sprintf("loadgen: %s N=%d m=%d u=%d conns=%d fault-prob=%g (%.1fs)",
 			mode, *n, *m, *u, *conns, *faultProb, rep.DurationS), "metric", "value")
@@ -400,6 +411,7 @@ func runSweep(counts []int, gcfg genConfig, conns, queue, batch, specSample int,
 			doers[i] = inprocDoer{svc: svc}
 		}
 		rep = generate(doers, gcfg, out)
+		rep.Obs = svc.Telemetry()
 		svc.Close()
 		rep.Mode = "inproc"
 		pt := sweepPoint{

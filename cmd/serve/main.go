@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"degradable/internal/cliflags"
+	"degradable/internal/obs"
 	"degradable/internal/service"
 	"degradable/internal/wire"
 )
@@ -51,6 +52,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		specSample = fs.Int("spec-sample", 0, "spec-check every k-th instance per shard (default 8, -1 disables)")
 		grace      = fs.Duration("grace", 10*time.Second, "graceful-shutdown bound")
 		pprofAddr  = cliflags.PProf(fs)
+		tracePath  = cliflags.Trace(fs)
 		timeouts   = cliflags.WireTimeouts(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -61,21 +63,28 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	// Opt-in profiling endpoint on its own listener, so the debug surface
-	// never shares a port with the agreement protocol. Bound before the
-	// daemon reports ready, failing fast on a bad address.
-	closePProf, pprofBound, err := cliflags.ServePProf(*pprofAddr)
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(4096)
+	}
+	svc := service.New(service.Config{
+		Shards: *shards, QueueDepth: *queue, Batch: *batch, SpecSample: *specSample,
+		Sink: sinkOrNil(tracer),
+	})
+	reg := obs.NewRegistry()
+	svc.Register(reg)
+	// Opt-in debug endpoint on its own listener, so the pprof + telemetry
+	// surface never shares a port with the agreement protocol. Bound before
+	// the daemon reports ready, failing fast on a bad address.
+	closeDebug, debugBound, err := cliflags.ServeDebug(*pprofAddr, reg)
 	if err != nil {
 		ln.Close()
 		return err
 	}
-	if closePProf != nil {
-		defer closePProf()
-		fmt.Fprintf(out, "serve: pprof on http://%s/debug/pprof/\n", pprofBound)
+	if closeDebug != nil {
+		defer closeDebug()
+		fmt.Fprintf(out, "serve: debug on http://%s/debug/pprof/ (also /metrics, /debug/vars)\n", debugBound)
 	}
-	svc := service.New(service.Config{
-		Shards: *shards, QueueDepth: *queue, Batch: *batch, SpecSample: *specSample,
-	})
 	srv := wire.NewServer(ln, svc)
 	srv.SetTimeouts(timeouts())
 	cfg := svc.Config()
@@ -101,8 +110,35 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		st := svc.Stats()
 		fmt.Fprintf(out, "serve: done  accepted=%d rejected=%d completed=%d degraded=%d checked=%d violations=%d\n",
 			st.Accepted, st.Rejected, st.Completed, st.Degraded, st.SpecChecked, st.SpecViolations)
+		if tracer != nil {
+			if terr := dumpTrace(*tracePath, tracer); terr != nil && err == nil {
+				err = terr
+			}
+		}
 		return err
 	case err := <-serveErr:
 		return err
 	}
+}
+
+// sinkOrNil keeps a nil tracer a nil Sink (a typed-nil interface would
+// defeat the service's sink checks).
+func sinkOrNil(t *obs.Tracer) obs.Sink {
+	if t == nil {
+		return nil
+	}
+	return t
+}
+
+// dumpTrace writes the event ring as JSONL.
+func dumpTrace(path string, t *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSONL(f, t.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

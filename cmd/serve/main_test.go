@@ -97,7 +97,7 @@ func TestServeHelpListsEveryFlag(t *testing.T) {
 	}
 	for _, name := range []string{
 		"addr", "shards", "queue", "batch", "spec-sample", "grace",
-		"pprof", "read-timeout", "write-timeout", "idle-timeout",
+		"pprof", "trace", "read-timeout", "write-timeout", "idle-timeout",
 	} {
 		if !strings.Contains(out.String(), "-"+name) {
 			t.Errorf("-h output missing flag -%s:\n%s", name, out.String())
@@ -116,8 +116,9 @@ func TestServeBadFlags(t *testing.T) {
 	}
 }
 
-// TestServePprof boots the daemon with -pprof and checks the profiling
-// endpoint answers on its own listener.
+// TestServePprof boots the daemon with -pprof and checks the debug
+// listener answers both the profiling endpoint and the telemetry surface
+// (/metrics, /debug/vars) on its own port.
 func TestServePprof(t *testing.T) {
 	var out syncBuf
 	ready := make(chan string, 1)
@@ -132,14 +133,14 @@ func TestServePprof(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon never came up")
 	}
-	// The pprof line is printed before ready is signalled.
+	// The debug line is printed before ready is signalled.
 	line := out.String()
-	i := strings.Index(line, "pprof on http://")
+	i := strings.Index(line, "debug on http://")
 	if i < 0 {
-		t.Fatalf("pprof address not announced:\n%s", line)
+		t.Fatalf("debug address not announced:\n%s", line)
 	}
-	url := line[i+len("pprof on "):]
-	url = strings.TrimSpace(url[:strings.Index(url, "\n")])
+	url := line[i+len("debug on "):]
+	url = strings.TrimSpace(url[:strings.IndexAny(url, " \n")])
 	resp, err := http.Get(url + "cmdline")
 	if err != nil {
 		t.Fatal(err)
@@ -148,6 +149,25 @@ func TestServePprof(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || len(body) == 0 {
 		t.Fatalf("pprof endpoint: status %d, %d body bytes", resp.StatusCode, len(body))
+	}
+	base := strings.TrimSuffix(url, "/debug/pprof/")
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "service_accepted_total") {
+		t.Fatalf("/metrics: status %d, body:\n%s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "service_accepted_total") {
+		t.Fatalf("/debug/vars: status %d, body:\n%s", resp.StatusCode, body)
 	}
 	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)

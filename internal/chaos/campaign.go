@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"degradable/internal/adversary"
+	"degradable/internal/obs"
 	"degradable/internal/types"
 )
 
@@ -73,6 +74,28 @@ type Campaign struct {
 	// failure repro): "" or DriverGoroutine, DriverSequential, or
 	// DriverCluster when the campaign runs through a cluster Executor.
 	Driver string `json:"driver,omitempty"`
+	// Sink, when non-nil, receives one structured verdict event per
+	// classified scenario (obs.EvVerdict with the run index as Round).
+	Sink obs.Sink `json:"-"`
+}
+
+// Names of the campaign's obs counters, in index order. The classification
+// counts share their vocabulary with the Class constants; completed counts
+// every executed scenario.
+const (
+	campSpecHeld = iota
+	campGracefulOnly
+	campViolated
+	campInfeasible
+	campCompleted
+	campExpectationMissed
+	numCampStats
+)
+
+// campStatNames are the unified-snapshot names of the campaign counters.
+var campStatNames = []string{
+	"spec_held_total", "graceful_only_total", "violated_total",
+	"infeasible_total", "completed_total", "expectation_missed_total",
 }
 
 // RegimeTally is one fault-regime row of a campaign report.
@@ -126,6 +149,10 @@ type Report struct {
 	Worst *Outcome `json:"worst,omitempty"`
 	// Failures lists every scenario that missed its expectation.
 	Failures []Failure `json:"failures,omitempty"`
+	// Obs is the campaign's tallies in the unified snapshot schema — the
+	// counter set behind the SpecHeld/GracefulOnly/Violated/Infeasible
+	// views above, so repros replay with identical telemetry.
+	Obs obs.Snapshot `json:"obs"`
 }
 
 // Healthy reports whether the campaign saw no Violated outcome and no missed
@@ -168,6 +195,7 @@ func (c Campaign) RunContextWith(ctx context.Context, exec Executor) (*Report, e
 	}
 
 	rep := &Report{Seed: c.Seed, Runs: c.Runs, Grid: c.Grid}
+	set := obs.NewCounterSet(campStatNames...)
 	tallies := map[string]*RegimeTally{}
 	order := []string{"classic", "degraded", "beyond-u", "invalid"}
 	for _, r := range order {
@@ -193,32 +221,45 @@ func (c Campaign) RunContextWith(ctx context.Context, exec Executor) (*Report, e
 		t.Scenarios++
 		switch out.ClassValue() {
 		case SpecHeld:
-			rep.SpecHeld++
+			set.Inc(campSpecHeld)
 			t.SpecHeld++
 		case GracefulOnly:
-			rep.GracefulOnly++
+			set.Inc(campGracefulOnly)
 			t.GracefulOnly++
 		case Violated:
-			rep.Violated++
+			set.Inc(campViolated)
 			t.Violated++
 		case Infeasible:
-			rep.Infeasible++
+			set.Inc(campInfeasible)
 			t.Infeasible++
+		}
+		if c.Sink != nil {
+			e := obs.VerdictEvent(out.Condition, out.OK, out.Graceful)
+			e.Round = int32(i)
+			c.Sink.Emit(e)
 		}
 		rep.Injections.Add(out.Counters)
 		if rep.Worst == nil || worse(out, rep.Worst) {
 			rep.Worst = out
 		}
 		if !out.ExpectationMet {
+			set.Inc(campExpectationMissed)
 			rep.Failures = append(rep.Failures, c.fail(out))
 		}
-		rep.Completed++
+		set.Inc(campCompleted)
 	}
 	for _, r := range order {
 		if t := tallies[r]; t.Scenarios > 0 {
 			rep.Regimes = append(rep.Regimes, *t)
 		}
 	}
+	// Materialize the obs-backed tallies into the report's view fields.
+	rep.Obs = set.Snapshot()
+	rep.SpecHeld = int(set.Get(campSpecHeld))
+	rep.GracefulOnly = int(set.Get(campGracefulOnly))
+	rep.Violated = int(set.Get(campViolated))
+	rep.Infeasible = int(set.Get(campInfeasible))
+	rep.Completed = int(set.Get(campCompleted))
 	return rep, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 
+	"degradable/internal/obs"
 	"degradable/internal/wire"
 )
 
@@ -27,6 +28,12 @@ func PProf(fs *flag.FlagSet) *string {
 // Shards registers the worker-shard count flag.
 func Shards(fs *flag.FlagSet) *int {
 	return fs.Int("shards", 0, "worker shards (default: GOMAXPROCS-aware service default)")
+}
+
+// Trace registers the round-event trace dump flag, shared by cmd/serve,
+// cmd/cluster, and cmd/chaos.
+func Trace(fs *flag.FlagSet) *string {
+	return fs.String("trace", "", "dump the structured round-event stream to this JSONL file; empty disables")
 }
 
 // WireTimeouts registers the per-connection deadline flags and returns a
@@ -50,6 +57,26 @@ func ServePProf(addr string) (func() error, string, error) {
 		return nil, "", fmt.Errorf("pprof listener: %w", err)
 	}
 	go http.Serve(ln, nil) // DefaultServeMux carries the pprof handlers
+	return ln.Close, ln.Addr().String(), nil
+}
+
+// ServeDebug is ServePProf plus telemetry: the bound listener serves the
+// pprof handlers alongside the obs registry's Prometheus-text /metrics and
+// JSON /debug/vars, so one debug port answers both "where is the time
+// going?" and "how degraded are we right now?".
+func ServeDebug(addr string, reg *obs.Registry) (func() error, string, error) {
+	if addr == "" {
+		return nil, "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("debug listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.MetricsHandler())
+	mux.Handle("/debug/vars", reg.VarsHandler())
+	mux.Handle("/", http.DefaultServeMux) // the pprof handlers register there
+	go http.Serve(ln, mux)
 	return ln.Close, ln.Addr().String(), nil
 }
 

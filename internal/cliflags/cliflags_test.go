@@ -16,6 +16,7 @@ func TestSharedFlagSurface(t *testing.T) {
 	addr := Addr(fs, "addr", "127.0.0.1:7001")
 	PProf(fs)
 	Shards(fs)
+	Trace(fs)
 	get := WireTimeouts(fs)
 	if err := fs.Parse([]string{"-read-timeout", "2s", "-idle-timeout", "1m"}); err != nil {
 		t.Fatal(err)
@@ -26,7 +27,7 @@ func TestSharedFlagSurface(t *testing.T) {
 	if got := get(); got != (wire.Timeouts{Read: 2 * time.Second, Idle: time.Minute}) {
 		t.Errorf("timeouts = %+v", got)
 	}
-	want := []string{"addr", "idle-timeout", "pprof", "read-timeout", "shards", "write-timeout"}
+	want := []string{"addr", "idle-timeout", "pprof", "read-timeout", "shards", "trace", "write-timeout"}
 	if got := Names(fs); !reflect.DeepEqual(got, want) {
 		t.Errorf("Names = %v, want %v", got, want)
 	}

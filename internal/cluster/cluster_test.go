@@ -10,6 +10,7 @@ import (
 	"degradable/internal/adversary"
 	"degradable/internal/chaos"
 	"degradable/internal/core"
+	"degradable/internal/obs"
 	"degradable/internal/runner"
 	"degradable/internal/types"
 )
@@ -100,9 +101,31 @@ func TestDifferentialDrivers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			seqRes, _, err := inProcessRun(t, c, true).Run()
+			// The sequential driver is the deterministic reference: two runs
+			// must agree not only on decisions but on the structured round
+			// event stream, which the matrix therefore also pins.
+			seqIn := inProcessRun(t, c, true)
+			seqTrace := obs.NewTracer(1024)
+			seqIn.Sink = seqTrace
+			seqRes, _, err := seqIn.Run()
 			if err != nil {
 				t.Fatal(err)
+			}
+			seqIn2 := inProcessRun(t, c, true)
+			seqTrace2 := obs.NewTracer(1024)
+			seqIn2.Sink = seqTrace2
+			if _, _, err := seqIn2.Run(); err != nil {
+				t.Fatal(err)
+			}
+			events, events2 := seqTrace.Events(), seqTrace2.Events()
+			if len(events) == 0 {
+				t.Fatal("sequential driver emitted no round events")
+			}
+			if events[0].Kind != obs.EvRoundOpen {
+				t.Fatalf("event stream starts with %s, want roundOpen", events[0].Kind)
+			}
+			if !reflect.DeepEqual(events, events2) {
+				t.Fatalf("sequential event streams differ:\n%v\n%v", events, events2)
 			}
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 			defer cancel()
@@ -136,8 +159,8 @@ func TestDifferentialDrivers(t *testing.T) {
 					goRes.Messages, goRes.Delivered, goRes.Bytes, goRes.PerRound,
 					cluRes.Messages, cluRes.Delivered, cluRes.Bytes, cluRes.PerRound)
 			}
-			if rep.Late != 0 {
-				t.Fatalf("%d late batches under a generous deadline", rep.Late)
+			if rep.Late() != 0 {
+				t.Fatalf("%d late batches under a generous deadline", rep.Late())
 			}
 		})
 	}

@@ -10,8 +10,10 @@ import (
 
 	"degradable/internal/chaos"
 	"degradable/internal/core"
+	"degradable/internal/obs"
 	"degradable/internal/round"
 	"degradable/internal/spec"
+	"degradable/internal/stats"
 	"degradable/internal/types"
 )
 
@@ -35,6 +37,9 @@ type Config struct {
 	Deadline time.Duration
 	// RecordViews captures per-node transcripts in the report.
 	RecordViews bool
+	// Trace captures every node's structured round-event stream in the
+	// report.
+	Trace bool
 	// Command overrides how a node process is spawned (argv). Empty means
 	// re-exec the current binary, which must call Hijack first thing; the
 	// NodeEnv variable is set either way.
@@ -49,14 +54,39 @@ type Report struct {
 	Verdict spec.Verdict
 	// Counters aggregates every node's egress injector tallies.
 	Counters chaos.Counters
-	// Late sums batches that missed their round deadline across nodes.
-	Late int
-	// RoundWaitMax is the longest per-round hold-back wait observed by any
-	// node; RoundWaitTotal sums every node's waits.
-	RoundWaitMax   time.Duration
-	RoundWaitTotal time.Duration
+	// Obs merges every node's telemetry snapshot: counters summed,
+	// round-wait histograms merged bucket-wise.
+	Obs obs.Snapshot
+	// RoundWait summarizes every node's per-round hold-back waits in
+	// nanoseconds (mean/min/max/p50/p95/p99 via internal/stats).
+	RoundWait stats.Summary
 	// Nodes holds the raw per-node reports, indexed by node ID.
 	Nodes []*NodeReport
+}
+
+// Late sums batches that missed their round deadline across nodes.
+func (r *Report) Late() int { return int(r.Obs.Counter(nodeStatNames[nodeStatLate])) }
+
+// RoundWaitMax is the longest per-round hold-back wait observed by any node
+// (exact, from the merged histogram's max).
+func (r *Report) RoundWaitMax() time.Duration {
+	return time.Duration(r.Obs.Histograms[RoundWaitHist].MaxNs)
+}
+
+// RoundWaitTotal sums every node's per-round hold-back waits (exact, from
+// the merged histogram's sum).
+func (r *Report) RoundWaitTotal() time.Duration {
+	return time.Duration(r.Obs.Histograms[RoundWaitHist].SumNs)
+}
+
+// Events concatenates the nodes' structured round-event streams in node-ID
+// order (empty unless Config.Trace).
+func (r *Report) Events() []obs.Event {
+	var events []obs.Event
+	for _, nr := range r.Nodes {
+		events = append(events, nr.Events...)
+	}
+	return events
 }
 
 // Faulty returns the configured fault set.
@@ -117,6 +147,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			Fault: faultBy[types.NodeID(i)], Faulty: faulty,
 			Injectors: cfg.Injectors, Seed: cfg.Seed,
 			Deadline: cfg.Deadline, RecordViews: cfg.RecordViews,
+			Trace: cfg.Trace,
 		}
 		pr, err := spawnNode(ctx, argv, nc)
 		if err != nil {
@@ -176,12 +207,15 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			rep.Result.Views[nr.ID] = nr.Views
 		}
 		rep.Counters.Add(nr.Counters)
-		rep.Late += nr.Late
-		rep.RoundWaitTotal += nr.RoundWaitTotal
-		if nr.RoundWaitMax > rep.RoundWaitMax {
-			rep.RoundWaitMax = nr.RoundWaitMax
+		rep.Obs.Merge(nr.Obs)
+	}
+	waits := make([]float64, 0, len(rep.Nodes)*p.Depth())
+	for _, nr := range rep.Nodes {
+		for _, w := range nr.RoundWaitsNs {
+			waits = append(waits, float64(w))
 		}
 	}
+	rep.RoundWait = stats.Summarize(waits)
 	rep.Verdict = spec.Check(spec.Execution{
 		M: cfg.M, U: cfg.U,
 		Sender:      cfg.Sender,

@@ -40,6 +40,7 @@ import (
 	"degradable/internal/adversary"
 	"degradable/internal/chaos"
 	"degradable/internal/core"
+	"degradable/internal/obs"
 	"degradable/internal/round"
 	"degradable/internal/types"
 	"degradable/internal/wire"
@@ -73,6 +74,8 @@ type NodeConfig struct {
 	Deadline time.Duration `json:"deadline"`
 	// RecordViews captures the node's delivered transcript in its report.
 	RecordViews bool `json:"recordViews,omitempty"`
+	// Trace captures the node's structured round events in its report.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // roster is the second JSON line on a node's stdin: every node's listen
@@ -102,15 +105,37 @@ type NodeReport struct {
 	Views     []types.Message `json:"views,omitempty"`
 	// Counters tallies the node's egress injector stack.
 	Counters chaos.Counters `json:"counters"`
-	// Late counts peer round batches that completed only after the
-	// round's deadline had already closed it (discarded as absent).
-	Late int `json:"late"`
-	// RoundWaitMax is the longest single round hold-back wait, and
-	// RoundWaitTotal the sum across rounds — the cluster's round-latency
-	// counters for bench artifacts.
-	RoundWaitMax   time.Duration `json:"roundWaitMax"`
-	RoundWaitTotal time.Duration `json:"roundWaitTotal"`
+	// Obs is the node's telemetry in the unified snapshot schema: the late
+	// batch / deadline miss / V_d substitution counters and the per-round
+	// hold-back wait histogram (the old bespoke Late/RoundWaitMax/
+	// RoundWaitTotal fields, obs-backed).
+	Obs obs.Snapshot `json:"obs"`
+	// RoundWaitsNs is every round's raw hold-back wait in order — a few
+	// entries per run, kept exact so the launcher can feed all nodes' waits
+	// through internal/stats for p50/p99 in bench artifacts.
+	RoundWaitsNs []int64 `json:"roundWaitsNs,omitempty"`
+	// Events is the node's structured round-event stream (only when
+	// NodeConfig.Trace).
+	Events []obs.Event `json:"events,omitempty"`
 }
+
+// Names of the per-node obs counters, in index order.
+const (
+	nodeStatLate = iota // peer batches that completed after their round closed
+	nodeStatDeadlineMiss
+	nodeStatVdSub
+	numNodeStats
+)
+
+// nodeStatNames are the unified-snapshot names of the node counters.
+var nodeStatNames = []string{"late_batches_total", "deadline_misses_total", "vd_subs_total"}
+
+// RoundWaitHist is the snapshot name of the per-round hold-back wait
+// histogram.
+const RoundWaitHist = "round_wait"
+
+// Late returns the node's late-batch count from its obs snapshot.
+func (nr *NodeReport) Late() int { return int(nr.Obs.Counter(nodeStatNames[nodeStatLate])) }
 
 // Hijack diverts a spawned node process into NodeMain. Launcher-capable
 // binaries must call it before anything else (tests from TestMain); it
@@ -174,6 +199,45 @@ func writeLine(w io.Writer, v any) error {
 	return err
 }
 
+// nodeObs is one node's live telemetry during a run: obs counters, the
+// round-wait histogram, the raw per-round waits, and (when tracing) the
+// event ring, all materialized into the NodeReport at the end.
+type nodeObs struct {
+	stats  *obs.CounterSet
+	wait   *obs.Histogram
+	waits  []int64
+	tracer *obs.Tracer
+}
+
+func newNodeObs(rounds int, trace bool) *nodeObs {
+	no := &nodeObs{
+		stats: obs.NewCounterSet(nodeStatNames...),
+		wait:  obs.NewHistogram(),
+		waits: make([]int64, 0, rounds),
+	}
+	if trace {
+		no.tracer = obs.NewTracer(1024)
+	}
+	return no
+}
+
+// emit records an event when tracing is on.
+func (no *nodeObs) emit(e obs.Event) {
+	if no.tracer != nil {
+		no.tracer.Emit(e)
+	}
+}
+
+// report materializes the telemetry into rep.
+func (no *nodeObs) report(rep *NodeReport) {
+	rep.Obs = no.stats.Snapshot()
+	rep.Obs.SetHistogram(RoundWaitHist, no.wait.Snapshot())
+	rep.RoundWaitsNs = no.waits
+	if no.tracer != nil {
+		rep.Events = no.tracer.Events()
+	}
+}
+
 // peerBatch is one peer's completed batch for one round, as assembled from
 // its chunks by the peer's reader goroutine.
 type peerBatch struct {
@@ -231,13 +295,20 @@ func RunNode(cfg NodeConfig, ln net.Listener, peers []string) (*NodeReport, erro
 	}
 
 	hold := newHoldback(cfg.N, cfg.ID, rounds)
+	no := newNodeObs(rounds, cfg.Trace)
 	var inbox []types.Message
 	for r := 1; r <= rounds; r++ {
 		out := node.Step(r, inbox)
 		if err := sendRound(mesh, cfg, r, out, egress, rep); err != nil {
 			return nil, err
 		}
-		inbox = hold.await(recv, r, cfg.Deadline, rep)
+		// The node's timeline closes round r's send phase before its delivery
+		// opens it: close (A = sends collected) then open (A = delivered).
+		no.emit(obs.Event{Kind: obs.EvRoundClose, Node: int16(cfg.ID), Round: int32(r),
+			A: int64(rep.PerRound[r-1])})
+		inbox = hold.await(recv, r, cfg.Deadline, no)
+		no.emit(obs.Event{Kind: obs.EvRoundOpen, Node: int16(cfg.ID), Round: int32(r),
+			A: int64(len(inbox))})
 		rep.Delivered += len(inbox)
 		for _, m := range inbox {
 			rep.Bytes += round.MessageBytes(m)
@@ -248,6 +319,7 @@ func RunNode(cfg NodeConfig, ln net.Listener, peers []string) (*NodeReport, erro
 	}
 	node.Finish(inbox)
 	rep.Decision = node.Decide()
+	no.report(rep)
 	return rep, nil
 }
 
@@ -385,8 +457,9 @@ func (h *holdback) accept(b peerBatch, r int) bool {
 // await drains recv until every peer's round-r batch is in or the deadline
 // passes, then returns round r's sorted inbox. Batches for later rounds
 // arriving meanwhile are held back; batches for closed rounds count as
-// late.
-func (h *holdback) await(recv <-chan peerBatch, r int, deadline time.Duration, rep *NodeReport) []types.Message {
+// late. Every wait is observed into the round-wait histogram; a deadline
+// expiry records one miss plus one V_d substitution per absent peer.
+func (h *holdback) await(recv <-chan peerBatch, r int, deadline time.Duration, no *nodeObs) []types.Message {
 	start := time.Now()
 	timer := time.NewTimer(deadline)
 	defer timer.Stop()
@@ -394,7 +467,8 @@ func (h *holdback) await(recv <-chan peerBatch, r int, deadline time.Duration, r
 		select {
 		case b := <-recv:
 			if !h.accept(b, r) {
-				rep.Late++
+				no.stats.Inc(nodeStatLate)
+				no.emit(obs.Event{Kind: obs.EvLateBatch, Node: int16(b.peer), Round: int32(b.round)})
 			}
 		case <-timer.C:
 			goto done
@@ -402,9 +476,21 @@ func (h *holdback) await(recv <-chan peerBatch, r int, deadline time.Duration, r
 	}
 done:
 	wait := time.Since(start)
-	rep.RoundWaitTotal += wait
-	if wait > rep.RoundWaitMax {
-		rep.RoundWaitMax = wait
+	no.wait.Observe(wait)
+	no.waits = append(no.waits, int64(wait))
+	if missing := h.n - 1 - len(h.doneBy[r]); missing > 0 {
+		no.stats.Inc(nodeStatDeadlineMiss)
+		no.emit(obs.Event{Kind: obs.EvDeadlineMiss, Node: int16(h.self), Round: int32(r),
+			A: int64(missing), B: int64(wait)})
+		// The protocol will substitute V_d for every absent peer's claims:
+		// §4 assumption (b) in action, one event per absent peer in ID order.
+		for id := 0; id < h.n; id++ {
+			if types.NodeID(id) == h.self || h.doneBy[r][types.NodeID(id)] {
+				continue
+			}
+			no.stats.Inc(nodeStatVdSub)
+			no.emit(obs.Event{Kind: obs.EvVdSub, Node: int16(id), Round: int32(r)})
+		}
 	}
 	inbox := h.byRound[r]
 	delete(h.byRound, r)

@@ -26,6 +26,7 @@ package netsim
 import (
 	"sync"
 
+	"degradable/internal/obs"
 	"degradable/internal/round"
 	"degradable/internal/types"
 )
@@ -69,6 +70,8 @@ type Config struct {
 	RecordViews bool
 	// Trace, when non-nil, observes every delivered message.
 	Trace func(types.Message)
+	// Sink, when non-nil, receives structured round events.
+	Sink obs.Sink
 	// Sequential selects the Sequential driver instead of Goroutine.
 	Sequential bool
 	// Driver, when non-nil, overrides the driver selection entirely
@@ -83,6 +86,7 @@ func (cfg Config) core() round.Config {
 		Channel:     cfg.Channel,
 		RecordViews: cfg.RecordViews,
 		Trace:       cfg.Trace,
+		Sink:        cfg.Sink,
 	}
 }
 

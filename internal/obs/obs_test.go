@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero value = %d", c.Load())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Load() != 42 {
+		t.Fatalf("got %d, want 42", c.Load())
+	}
+}
+
+func TestMinGauge(t *testing.T) {
+	g := NewMinGauge()
+	if _, ok := g.Load(); ok {
+		t.Fatal("fresh gauge reports a value")
+	}
+	g.Observe(5)
+	g.Observe(9) // higher: ignored
+	g.Observe(-3)
+	g.Observe(0)
+	if v, ok := g.Load(); !ok || v != -3 {
+		t.Fatalf("got (%d, %t), want (-3, true)", v, ok)
+	}
+}
+
+func TestCounterSet(t *testing.T) {
+	s := NewCounterSet("a_total", "b_total")
+	if s.Len() != 2 || s.Name(1) != "b_total" {
+		t.Fatalf("len=%d name(1)=%q", s.Len(), s.Name(1))
+	}
+	s.Inc(0)
+	s.Add(1, 7)
+	if s.Get(0) != 1 || s.Get(1) != 7 {
+		t.Fatalf("got %d/%d", s.Get(0), s.Get(1))
+	}
+	snap := s.Snapshot()
+	if snap.Counter("a_total") != 1 || snap.Counter("b_total") != 7 {
+		t.Fatalf("snapshot %v", snap.Counters)
+	}
+}
+
+func TestShardedSumsAcrossBlocks(t *testing.T) {
+	s := NewSharded(4, "x_total", "y_total")
+	if s.Shards() != 4 {
+		t.Fatalf("shards = %d", s.Shards())
+	}
+	for i := 0; i < s.Shards(); i++ {
+		s.Shard(i).Inc(0)
+		s.Shard(i).Add(1, uint64(i))
+	}
+	if s.Sum(0) != 4 || s.Sum(1) != 0+1+2+3 {
+		t.Fatalf("sums %d/%d", s.Sum(0), s.Sum(1))
+	}
+	snap := s.Snapshot()
+	if snap.Counter("x_total") != 4 || snap.Counter("y_total") != 6 {
+		t.Fatalf("snapshot %v", snap.Counters)
+	}
+}
+
+func TestShardedRejectsOversizedBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSharded accepted more names than a block holds")
+		}
+	}()
+	names := make([]string, BlockCounters+1)
+	for i := range names {
+		names[i] = "n"
+	}
+	NewSharded(1, names...)
+}
+
+// TestBlockPadding pins the layout contract: one block is exactly two
+// 64-byte cache lines, so adjacent shards in the backing slice never share
+// a line (nor a 128-byte prefetcher pair).
+func TestBlockPadding(t *testing.T) {
+	var b Block
+	if got := int(64 * 2); len(b.c)*8 != got {
+		t.Fatalf("block is %d bytes, want %d", len(b.c)*8, got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 10*time.Millisecond)
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(time.Millisecond)       // bucket 0 (inclusive bound)
+	h.Observe(2 * time.Millisecond)   // bucket 1
+	h.Observe(time.Second)            // +Inf bucket
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != time.Second {
+		t.Fatalf("max = %v", h.Max())
+	}
+	wantSum := 500*time.Microsecond + time.Millisecond + 2*time.Millisecond + time.Second
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	s := h.Snapshot()
+	counts := []uint64{2, 1, 1}
+	if len(s.Buckets) != 3 {
+		t.Fatalf("buckets = %d", len(s.Buckets))
+	}
+	for i, want := range counts {
+		if s.Buckets[i].Count != want {
+			t.Errorf("bucket %d = %d, want %d", i, s.Buckets[i].Count, want)
+		}
+	}
+	if s.Buckets[2].LeNs != -1 {
+		t.Errorf("top bucket bound = %d, want -1 (+Inf)", s.Buckets[2].LeNs)
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	h := NewHistogram()
+	if got, want := len(h.Snapshot().Buckets), len(DefaultBuckets)+1; got != want {
+		t.Fatalf("default layout has %d buckets, want %d", got, want)
+	}
+}
+
+// TestConcurrentHammer drives every obs primitive from GOMAXPROCS writer
+// goroutines while a reader continuously snapshots, checking the reader's
+// view is monotone (counters and histogram totals never step backwards) and
+// never torn (bucket mass never exceeds the observation count). Run under
+// -race this is the package's data-race certificate.
+func TestConcurrentHammer(t *testing.T) {
+	const perWriter = 20000
+	writers := runtime.GOMAXPROCS(0)
+	sh := NewSharded(writers, "ops_total", "bytes_total")
+	set := NewCounterSet("events_total")
+	h := NewHistogram(time.Microsecond, time.Millisecond, time.Second)
+	g := NewMinGauge()
+
+	var stop atomic.Bool
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			blk := sh.Shard(w)
+			for i := 0; i < perWriter; i++ {
+				blk.Inc(0)
+				blk.Add(1, 8)
+				set.Inc(0)
+				h.Observe(time.Duration(i%2000) * time.Microsecond)
+				g.Observe(int64(w*perWriter + i))
+			}
+		}(w)
+	}
+
+	readErr := make(chan error, 1)
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		var lastOps, lastEvents, lastCount uint64
+		var lastSum int64
+		for !stop.Load() {
+			ops := sh.Sum(0)
+			events := set.Get(0)
+			s := h.Snapshot()
+			if ops < lastOps || events < lastEvents || s.Count < lastCount || s.SumNs < lastSum {
+				select {
+				case readErr <- fmt.Errorf("non-monotone read: ops %d<%d events %d<%d count %d<%d sum %d<%d",
+					ops, lastOps, events, lastEvents, s.Count, lastCount, s.SumNs, lastSum):
+				default:
+				}
+				return
+			}
+			var mass uint64
+			for _, b := range s.Buckets {
+				mass += b.Count
+			}
+			if mass > s.Count {
+				select {
+				case readErr <- fmt.Errorf("torn histogram snapshot: bucket mass %d > count %d", mass, s.Count):
+				default:
+				}
+				return
+			}
+			lastOps, lastEvents, lastCount, lastSum = ops, events, s.Count, s.SumNs
+		}
+	}()
+
+	writersWG.Wait()
+	stop.Store(true)
+	<-readerDone
+	select {
+	case err := <-readErr:
+		t.Fatal(err)
+	default:
+	}
+	total := uint64(writers * perWriter)
+	if got := sh.Sum(0); got != total {
+		t.Errorf("sharded ops = %d, want %d", got, total)
+	}
+	if got := set.Get(0); got != total {
+		t.Errorf("counter set = %d, want %d", got, total)
+	}
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	if v, ok := g.Load(); !ok || v != 0 {
+		t.Errorf("min gauge = (%d, %t), want (0, true)", v, ok)
+	}
+	s := h.Snapshot()
+	var mass uint64
+	for _, b := range s.Buckets {
+		mass += b.Count
+	}
+	if mass != total {
+		t.Errorf("settled bucket mass = %d, want %d", mass, total)
+	}
+}
+
+// TestHotPathAllocationFree asserts the increment/observe paths never
+// allocate — the contract that lets the service and engine call them per
+// message without GC pressure.
+func TestHotPathAllocationFree(t *testing.T) {
+	var c Counter
+	set := NewCounterSet("a")
+	sh := NewSharded(2, "a")
+	blk := sh.Shard(0)
+	h := NewHistogram()
+	g := NewMinGauge()
+	tr := NewTracer(64)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"CounterSet.Add", func() { set.Add(0, 3) }},
+		{"Block.Inc", func() { blk.Inc(0) }},
+		{"Sharded.Sum", func() { _ = sh.Sum(0) }},
+		{"Histogram.Observe", func() { h.Observe(5 * time.Millisecond) }},
+		{"MinGauge.Observe", func() { g.Observe(-1) }},
+		{"Tracer.Emit", func() { tr.Emit(Event{Kind: EvRoundOpen, Round: 1}) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkShardedIncParallel(b *testing.B) {
+	sh := NewSharded(runtime.GOMAXPROCS(0), "ops")
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		blk := sh.Shard(int(next.Add(1)-1) % sh.Shards())
+		for pb.Next() {
+			blk.Inc(0)
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
+func BenchmarkTracerEmit(b *testing.B) {
+	tr := NewTracer(4096)
+	e := Event{Kind: EvRoundClose, Node: 3, Round: 7, A: 42}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(e)
+	}
+}

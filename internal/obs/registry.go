@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a name-keyed view over live metrics: values are read through
+// functions at scrape time, so registration happens once and the hot paths
+// never touch the registry. It serves the same data two ways — Prometheus
+// text exposition via MetricsHandler and a /debug/vars-style JSON document
+// via VarsHandler — and can capture everything as a unified Snapshot.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]func() uint64
+	gauges   map[string]func() (float64, bool)
+	hists    map[string]func() HistSnapshot
+	help     map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]func() uint64),
+		gauges:   make(map[string]func() (float64, bool)),
+		hists:    make(map[string]func() HistSnapshot),
+		help:     make(map[string]string),
+	}
+}
+
+// Counter registers a monotonic counter read through fn.
+func (r *Registry) Counter(name, help string, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] = fn
+	r.help[name] = help
+}
+
+// Gauge registers a gauge read through fn; fn's second result reports
+// whether the gauge has a value yet (unset gauges are omitted).
+func (r *Registry) Gauge(name, help string, fn func() (float64, bool)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+	r.help[name] = help
+}
+
+// Histogram registers a histogram captured through fn.
+func (r *Registry) Histogram(name, help string, fn func() HistSnapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists[name] = fn
+	r.help[name] = help
+}
+
+// CounterSet registers every counter of a set under prefix_name.
+func (r *Registry) CounterSet(prefix, help string, s *CounterSet) {
+	for i := 0; i < s.Len(); i++ {
+		i := i
+		r.Counter(prefix+"_"+s.Name(i), help, func() uint64 { return s.Get(i) })
+	}
+}
+
+// Sharded registers every counter of a sharded set (summed across shards)
+// under prefix_name.
+func (r *Registry) Sharded(prefix, help string, s *Sharded) {
+	for i, name := range s.names {
+		i := i
+		r.Counter(prefix+"_"+name, help, func() uint64 { return s.Sum(i) })
+	}
+}
+
+// Snapshot captures every registered metric as the unified schema.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var snap Snapshot
+	for name, fn := range r.counters {
+		snap.SetCounter(name, fn())
+	}
+	for name, fn := range r.gauges {
+		if v, ok := fn(); ok {
+			snap.SetGauge(name, v)
+		}
+	}
+	for name, fn := range r.hists {
+		snap.SetHistogram(name, fn())
+	}
+	return snap
+}
+
+// sortedKeys returns map keys in stable order for deterministic exposition.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteMetrics writes the registry in Prometheus text exposition format.
+func (r *Registry) WriteMetrics(w *strings.Builder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range sortedKeys(r.counters) {
+		if h := r.help[name]; h != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, h)
+		}
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.counters[name]())
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		v, ok := r.gauges[name]()
+		if !ok {
+			continue
+		}
+		if h := r.help[name]; h != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, h)
+		}
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name,
+			strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	for _, name := range sortedKeys(r.hists) {
+		s := r.hists[name]()
+		if h := r.help[name]; h != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, h)
+		}
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		var cum uint64
+		for _, b := range s.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if b.LeNs >= 0 {
+				le = strconv.FormatFloat(float64(b.LeNs)/1e9, 'g', -1, 64)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		}
+		fmt.Fprintf(w, "%s_sum %s\n", name,
+			strconv.FormatFloat(float64(s.SumNs)/1e9, 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	}
+}
+
+// MetricsHandler serves Prometheus text exposition (mount at /metrics).
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		r.WriteMetrics(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+// VarsHandler serves the unified snapshot as a JSON document (mount at
+// /debug/vars, in the spirit of expvar but over the obs schema).
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}

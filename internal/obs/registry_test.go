@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testRegistry() (*Registry, *Histogram) {
+	r := NewRegistry()
+	set := NewCounterSet("requests_total", "errors_total")
+	set.Add(0, 10)
+	set.Inc(1)
+	r.CounterSet("api", "api counters", set)
+	sh := NewSharded(2, "ops_total")
+	sh.Shard(0).Add(0, 3)
+	sh.Shard(1).Add(0, 4)
+	r.Sharded("svc", "service counters", sh)
+	r.Gauge("svc_vd_fraction", "V_d decider fraction", func() (float64, bool) { return 0.25, true })
+	r.Gauge("svc_unset", "never observed", func() (float64, bool) { return 0, false })
+	h := NewHistogram(time.Millisecond, time.Second)
+	h.Observe(500 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	r.Histogram("round_wait", "per-round wait", h.Snapshot)
+	return r, h
+}
+
+func TestWriteMetricsPrometheusText(t *testing.T) {
+	r, _ := testRegistry()
+	var b strings.Builder
+	r.WriteMetrics(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE api_requests_total counter\napi_requests_total 10\n",
+		"api_errors_total 1\n",
+		"# TYPE svc_ops_total counter\nsvc_ops_total 7\n",
+		"# TYPE svc_vd_fraction gauge\nsvc_vd_fraction 0.25\n",
+		"# TYPE round_wait histogram\n",
+		"round_wait_bucket{le=\"0.001\"} 1\n",
+		"round_wait_bucket{le=\"1\"} 2\n",
+		"round_wait_bucket{le=\"+Inf\"} 2\n",
+		"round_wait_count 2\n",
+		"# HELP api_requests_total api counters\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "svc_unset") {
+		t.Errorf("unset gauge exposed:\n%s", out)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r, _ := testRegistry()
+	rec := httptest.NewRecorder()
+	r.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "svc_ops_total 7") {
+		t.Errorf("body:\n%s", rec.Body.String())
+	}
+}
+
+func TestVarsHandlerAndSnapshot(t *testing.T) {
+	r, _ := testRegistry()
+	rec := httptest.NewRecorder()
+	r.VarsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("vars not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if snap.Counter("svc_ops_total") != 7 || snap.Counter("api_requests_total") != 10 {
+		t.Errorf("counters: %v", snap.Counters)
+	}
+	if snap.Gauges["svc_vd_fraction"] != 0.25 {
+		t.Errorf("gauges: %v", snap.Gauges)
+	}
+	if _, ok := snap.Gauges["svc_unset"]; ok {
+		t.Errorf("unset gauge in snapshot: %v", snap.Gauges)
+	}
+	if h, ok := snap.Histograms["round_wait"]; !ok || h.Count != 2 {
+		t.Errorf("histograms: %v", snap.Histograms)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	var a, b Snapshot
+	a.SetCounter("x", 3)
+	a.SetGauge("g", 1)
+	a.SetHistogram("h", HistSnapshot{Count: 1, SumNs: 10, MaxNs: 10,
+		Buckets: []HistBucket{{LeNs: 100, Count: 1}, {LeNs: -1, Count: 0}}})
+	b.SetCounter("x", 4)
+	b.SetCounter("y", 1)
+	b.SetGauge("g", 2)
+	b.SetHistogram("h", HistSnapshot{Count: 2, SumNs: 300, MaxNs: 200,
+		Buckets: []HistBucket{{LeNs: 100, Count: 1}, {LeNs: -1, Count: 1}}})
+	a.Merge(b)
+	if a.Counter("x") != 7 || a.Counter("y") != 1 {
+		t.Errorf("counters: %v", a.Counters)
+	}
+	if a.Gauges["g"] != 2 {
+		t.Errorf("gauge merge should take other's value: %v", a.Gauges)
+	}
+	h := a.Histograms["h"]
+	if h.Count != 3 || h.SumNs != 310 || h.MaxNs != 200 {
+		t.Errorf("histogram totals: %+v", h)
+	}
+	if h.Buckets[0].Count != 2 || h.Buckets[1].Count != 1 {
+		t.Errorf("histogram buckets: %+v", h.Buckets)
+	}
+}
+
+func TestHistSnapshotQuantile(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 10*time.Millisecond, 100*time.Millisecond)
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i+1) * 100 * time.Microsecond) // 0.1ms .. 10ms uniform
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 < 500*time.Microsecond || p50 > 6*time.Millisecond {
+		t.Errorf("p50 = %v, want ~5ms (interpolated)", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 9*time.Millisecond || p99 > 10*time.Millisecond {
+		t.Errorf("p99 = %v, want just under 10ms", p99)
+	}
+	if s.Quantile(1.0) > time.Duration(s.MaxNs) {
+		t.Errorf("p100 = %v exceeds max %v", s.Quantile(1.0), time.Duration(s.MaxNs))
+	}
+	if (HistSnapshot{}).Quantile(0.5) != 0 {
+		t.Error("empty snapshot quantile must be 0")
+	}
+}
+
+func TestHistSnapshotMean(t *testing.T) {
+	s := HistSnapshot{Count: 4, SumNs: int64(8 * time.Millisecond)}
+	if s.Mean() != 2*time.Millisecond {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if (HistSnapshot{}).Mean() != 0 {
+		t.Error("empty mean must be 0")
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestTracerRoundTrip(t *testing.T) {
+	tr := NewTracer(128)
+	want := []Event{
+		{Kind: EvRoundOpen, Node: -1, Round: 1, A: 42},
+		{Kind: EvDeadlineMiss, Node: 3, Round: 2, A: 2, B: 1_000_000},
+		{Kind: EvVdSub, Node: 5, Round: 2},
+		{Kind: EvVerdict, A: 3, B: VerdictOK | VerdictGraceful},
+	}
+	for _, e := range want {
+		tr.Emit(e)
+	}
+	if got := tr.Events(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("events = %+v, want %+v", got, want)
+	}
+	if tr.Total() != uint64(len(want)) {
+		t.Fatalf("total = %d", tr.Total())
+	}
+}
+
+func TestTracerCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 64}, {1, 64}, {64, 64}, {65, 128}, {1000, 1024},
+	} {
+		if got := NewTracer(tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewTracer(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+// TestTracerWrap overfills the ring and checks only the newest events
+// survive, still oldest-first.
+func TestTracerWrap(t *testing.T) {
+	tr := NewTracer(64)
+	const total = 150
+	for i := 0; i < total; i++ {
+		tr.Emit(Event{Kind: EvRoundOpen, Round: int32(i)})
+	}
+	got := tr.Events()
+	if len(got) != 64 {
+		t.Fatalf("kept %d events, want 64", len(got))
+	}
+	for i, e := range got {
+		if want := int32(total - 64 + i); e.Round != want {
+			t.Fatalf("event %d round = %d, want %d", i, e.Round, want)
+		}
+	}
+	if tr.Total() != total {
+		t.Fatalf("total = %d, want %d", tr.Total(), total)
+	}
+}
+
+// TestTracerConcurrentEmit hammers Emit from GOMAXPROCS goroutines while a
+// reader drains: every returned event must be well-formed (a known kind —
+// a torn read would surface as garbage), and the settled ring must hold
+// exactly the newest capacity's worth.
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(256)
+	const perWriter = 10000
+	writers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, e := range tr.Events() {
+				if e.Kind < EvRoundOpen || e.Kind > EvVerdict {
+					panic("torn event escaped the seqlock")
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.Emit(Event{Kind: EvLateBatch, Node: int16(w), Round: int32(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if tr.Total() != uint64(writers*perWriter) {
+		t.Fatalf("total = %d, want %d", tr.Total(), writers*perWriter)
+	}
+	if got := len(tr.Events()); got != tr.Cap() {
+		t.Fatalf("settled ring holds %d events, want %d", got, tr.Cap())
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: EvRoundOpen, Node: -1, Round: 1, A: 6},
+		{Kind: EvRoundClose, Node: -1, Round: 1, A: 42},
+		{Kind: EvDeadlineMiss, Node: 2, Round: 3, A: 1, B: 5_000_000},
+		{Kind: EvLateBatch, Node: 4, Round: 3},
+		{Kind: EvVdSub, Node: 4, Round: 3},
+		{Kind: EvVerdict, A: 4, B: VerdictOK},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"kind":"deadlineMiss"`)) {
+		t.Fatalf("kind not serialized by name:\n%s", buf.String())
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip = %+v, want %+v", got, events)
+	}
+}
+
+func TestEventJSONRejectsUnknownKind(t *testing.T) {
+	if _, err := ReadJSONL(bytes.NewBufferString(`{"kind":"warpCore"}`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestPackHdrRoundTrip(t *testing.T) {
+	for _, e := range []Event{
+		{Kind: EvVerdict, Node: -1, Round: 0},
+		{Kind: EvVdSub, Node: 32767, Round: 1 << 30},
+		{Kind: EvRoundOpen, Node: -32768, Round: -1},
+	} {
+		if got := unpackHdr(packHdr(e)); got != e {
+			t.Errorf("unpack(pack(%+v)) = %+v", e, got)
+		}
+	}
+}
+
+func TestConditionIndexRoundTrip(t *testing.T) {
+	for _, cond := range []string{"D.1", "D.2", "D.3", "D.4"} {
+		if got := ConditionName(ConditionIndex(cond)); got != cond {
+			t.Errorf("round trip %q = %q", cond, got)
+		}
+	}
+	if ConditionIndex("none") != 0 || ConditionIndex("") != 0 {
+		t.Error("non-D conditions must map to 0")
+	}
+	if ConditionName(0) != "none" || ConditionName(9) != "none" {
+		t.Error("out-of-range indices must map to none")
+	}
+}
+
+func TestVerdictEvent(t *testing.T) {
+	e := VerdictEvent("D.3", true, false)
+	if e.Kind != EvVerdict || e.A != 3 || e.B != VerdictOK {
+		t.Fatalf("event = %+v", e)
+	}
+	e = VerdictEvent("none", false, true)
+	if e.A != 0 || e.B != VerdictGraceful {
+		t.Fatalf("event = %+v", e)
+	}
+}

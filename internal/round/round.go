@@ -41,6 +41,7 @@ package round
 import (
 	"fmt"
 
+	"degradable/internal/obs"
 	"degradable/internal/types"
 )
 
@@ -109,7 +110,23 @@ type Config struct {
 	RecordViews bool
 	// Trace, when non-nil, observes every delivered message.
 	Trace func(types.Message)
+	// Sink, when non-nil, receives structured round events (round open and
+	// close) regardless of which driver runs the schedule — the event stream
+	// is a function of the round semantics alone, so deterministic drivers
+	// produce identical streams.
+	Sink obs.Sink
 }
+
+// Names of the engine's obs counters, in index order.
+const (
+	CounterMessages  = iota // sends accepted by Collect
+	CounterDelivered        // messages delivered into inboxes
+	CounterBytes            // approximate wire volume delivered
+	numCounters
+)
+
+// CounterNames are the unified-snapshot names of the engine's counters.
+var CounterNames = []string{"round_messages_total", "round_delivered_total", "round_bytes_total"}
 
 // Result summarizes a run.
 type Result struct {
@@ -152,9 +169,11 @@ type Engine struct {
 	ch       Channel
 	expander Expander
 
-	res     *Result
-	inboxes [][]types.Message
-	pending []types.Message
+	res      *Result
+	counters *obs.CounterSet
+	curRound int
+	inboxes  [][]types.Message
+	pending  []types.Message
 }
 
 // NewEngine validates the node complement and builds a run's engine. Nodes
@@ -196,7 +215,8 @@ func NewEngine(nodes []Node, cfg Config) (*Engine, error) {
 		// the round barrier guarantees no Step/Finish call is in flight
 		// during delivery and nodes do not retain their inbox (see the Node
 		// contract).
-		inboxes: make([][]types.Message, n),
+		inboxes:  make([][]types.Message, n),
+		counters: obs.NewCounterSet(CounterNames...),
 	}
 	e.expander, _ = ch.(Expander)
 	if cfg.RecordViews {
@@ -222,6 +242,8 @@ func (e *Engine) Deliver() {
 	for i := range e.inboxes {
 		e.inboxes[i] = e.inboxes[i][:0]
 	}
+	delivered := 0
+	bytes := 0
 	for _, m := range e.pending {
 		var copies []types.Message
 		if e.expander != nil {
@@ -230,14 +252,16 @@ func (e *Engine) Deliver() {
 			copies = []types.Message{dm}
 		}
 		for _, dm := range copies {
-			e.res.Delivered++
-			e.res.Bytes += MessageBytes(dm)
+			delivered++
+			bytes += MessageBytes(dm)
 			if e.cfg.Trace != nil {
 				e.cfg.Trace(dm)
 			}
 			e.inboxes[int(dm.To)] = append(e.inboxes[int(dm.To)], dm)
 		}
 	}
+	e.counters.Add(CounterDelivered, uint64(delivered))
+	e.counters.Add(CounterBytes, uint64(bytes))
 	e.pending = e.pending[:0]
 	for i := range e.inboxes {
 		types.SortMessages(e.inboxes[i])
@@ -245,6 +269,28 @@ func (e *Engine) Deliver() {
 			e.res.Views[types.NodeID(i)] = append(e.res.Views[types.NodeID(i)], e.inboxes[i]...)
 		}
 	}
+	if e.cfg.Sink != nil && e.curRound > 0 {
+		e.cfg.Sink.Emit(obs.Event{
+			Kind: obs.EvRoundClose, Node: -1, Round: int32(e.curRound),
+			A: int64(e.sentIn(e.curRound)),
+		})
+	}
+	e.curRound++
+	if e.cfg.Sink != nil {
+		e.cfg.Sink.Emit(obs.Event{
+			Kind: obs.EvRoundOpen, Node: -1, Round: int32(e.curRound),
+			A: int64(delivered),
+		})
+	}
+}
+
+// sentIn returns the number of sends collected in round r (0 for the final
+// delivery-only phase past round R).
+func (e *Engine) sentIn(r int) int {
+	if r >= 1 && r <= len(e.res.PerRound) {
+		return e.res.PerRound[r-1]
+	}
+	return 0
 }
 
 // Inbox returns node i's current delivery (valid until the next Deliver).
@@ -261,20 +307,34 @@ func (e *Engine) Collect(i, round int, out []types.Message) {
 		if m.To < 0 || int(m.To) >= n || m.To == m.From {
 			continue // drop malformed or self-addressed sends
 		}
-		e.res.Messages++
+		e.counters.Inc(CounterMessages)
 		e.res.PerRound[round-1]++
 		e.pending = append(e.pending, m)
 	}
 }
 
-// Finalize reads every node's decision and returns the run's result. It
-// must be called once, after the driver's Finish calls.
+// Finalize reads every node's decision and returns the run's result,
+// materializing the obs-backed accounting into the Result view. It must be
+// called once, after the driver's Finish calls.
 func (e *Engine) Finalize() *Result {
+	if e.cfg.Sink != nil && e.curRound > 0 {
+		e.cfg.Sink.Emit(obs.Event{
+			Kind: obs.EvRoundClose, Node: -1, Round: int32(e.curRound),
+			A: int64(e.sentIn(e.curRound)),
+		})
+	}
 	for i, nd := range e.byID {
 		e.res.Decisions[types.NodeID(i)] = nd.Decide()
 	}
+	e.res.Messages = int(e.counters.Get(CounterMessages))
+	e.res.Delivered = int(e.counters.Get(CounterDelivered))
+	e.res.Bytes = int(e.counters.Get(CounterBytes))
 	return e.res
 }
+
+// Telemetry returns the engine's live accounting as the unified snapshot
+// schema (readable mid-run, unlike the Result view).
+func (e *Engine) Telemetry() obs.Snapshot { return e.counters.Snapshot() }
 
 // Run executes the protocol to completion under the given driver and
 // returns the result. It is the one-call form of NewEngine + Drive +

@@ -9,6 +9,7 @@ import (
 
 	"degradable/internal/adversary"
 	"degradable/internal/netsim"
+	"degradable/internal/obs"
 	"degradable/internal/spec"
 	"degradable/internal/types"
 )
@@ -41,6 +42,8 @@ type Instance struct {
 	RecordViews bool
 	// Trace, when non-nil, observes every delivered message.
 	Trace func(types.Message)
+	// Sink, when non-nil, receives structured round events.
+	Sink obs.Sink
 	// Sequential runs all nodes inline on the calling goroutine (see
 	// netsim.Config.Sequential). Identical results, lower overhead; the
 	// serving runtime sets it so shard goroutines own instances end-to-end.
@@ -74,6 +77,7 @@ func (in Instance) Run() (*netsim.Result, spec.Verdict, error) {
 		Channel:     in.Channel,
 		RecordViews: in.RecordViews,
 		Trace:       in.Trace,
+		Sink:        in.Sink,
 		Sequential:  in.Sequential,
 	})
 	if err != nil {

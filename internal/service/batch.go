@@ -4,6 +4,7 @@ import (
 	"degradable/internal/adversary"
 	"degradable/internal/core"
 	"degradable/internal/netsim"
+	"degradable/internal/obs"
 	"degradable/internal/protocol/relay"
 	"degradable/internal/spec"
 	"degradable/internal/types"
@@ -73,12 +74,29 @@ func (sh *shard) runOne(req Request) (Response, error) {
 	}
 	resp, err := p.run(req, sh)
 	if err == nil {
-		sh.stats.completed.Add(1)
+		sh.stats.Inc(statCompleted)
 		if resp.Degraded {
-			sh.stats.degraded.Add(1)
+			sh.stats.Inc(statDegraded)
 		}
+		sh.stats.Inc(conditionStat(resp.Condition))
 	}
 	return resp, err
+}
+
+// conditionStat maps a selected condition to its counter index.
+func conditionStat(condition string) int {
+	switch condition {
+	case "D.1":
+		return statCondD1
+	case "D.2":
+		return statCondD2
+	case "D.3":
+		return statCondD3
+	case "D.4":
+		return statCondD4
+	default:
+		return statCondNone
+	}
 }
 
 // run resets the pooled complement, arms the request's fault set, executes
@@ -109,10 +127,13 @@ func (p *pool) run(req Request, sh *shard) (Response, error) {
 		p.decisions[i] = res.Decisions[types.NodeID(i)]
 	}
 
+	deciders, vdDeciders, degraded := receiverTally(p.decisions, req.Sender, faulty)
+	sh.stats.Add(statDeciders, uint64(deciders))
+	sh.stats.Add(statVdDeciders, uint64(vdDeciders))
 	resp := Response{
 		Decisions: append([]types.Value(nil), p.decisions...),
 		Condition: condition(req.M, req.U, len(req.Faults), faulty.Contains(req.Sender)),
-		Degraded:  degradedOutcome(p.decisions, req.Sender, faulty),
+		Degraded:  degraded,
 		OK:        true,
 	}
 
@@ -134,13 +155,40 @@ func (p *pool) run(req Request, sh *shard) (Response, error) {
 			resp.OK = v.OK
 			resp.Graceful = v.Graceful
 			resp.Reason = v.Reason
-			sh.stats.specChecked.Add(1)
+			sh.stats.Inc(statSpecChecked)
 			if !v.OK {
-				sh.stats.specViolations.Add(1)
+				sh.stats.Inc(statSpecViolations)
+			}
+			if v.Condition != "none" { // the floor is only promised for f ≤ u
+				sh.svc.floor.Observe(floorMargin(v, req.M, req.Value, faulty.Contains(req.Sender)))
+			}
+			if sink := sh.svc.cfg.Sink; sink != nil {
+				sink.Emit(obs.VerdictEvent(v.Condition, v.OK, v.Graceful))
 			}
 		}
 	}
 	return resp, nil
+}
+
+// floorMargin computes the §2 Observation slack of a checked verdict: the
+// size of the largest fault-free agreement class minus the guaranteed floor
+// m+1, counting the fault-free sender for its own value exactly as the
+// spec's graceful check does. Negative means the Observation was violated
+// (margin ≥ 0 ⟺ Verdict.Graceful).
+func floorMargin(v spec.Verdict, m int, senderValue types.Value, senderFaulty bool) int64 {
+	largest := 0
+	if !senderFaulty {
+		largest = 1 // the sender holds its own value even with no receivers
+	}
+	for d, size := range v.Classes {
+		if !senderFaulty && d == senderValue {
+			size++
+		}
+		if size > largest {
+			largest = size
+		}
+	}
+	return int64(largest - (m + 1))
 }
 
 // condition selects the applicable paper condition from the fault count —
@@ -161,9 +209,11 @@ func condition(m, u, f int, senderFaulty bool) string {
 	}
 }
 
-// degradedOutcome reports whether degradation manifested: some fault-free
-// receiver decided V_d, or the fault-free receivers split. Allocation-free.
-func degradedOutcome(decisions []types.Value, sender types.NodeID, faulty types.NodeSet) bool {
+// receiverTally classifies the fault-free receivers' decisions in one
+// allocation-free pass: how many decided at all, how many fell back to V_d,
+// and whether degradation manifested (some fault-free receiver decided V_d,
+// or the fault-free receivers split).
+func receiverTally(decisions []types.Value, sender types.NodeID, faulty types.NodeSet) (deciders, vdDeciders int, degraded bool) {
 	first := true
 	var ref types.Value
 	for i, d := range decisions {
@@ -171,14 +221,17 @@ func degradedOutcome(decisions []types.Value, sender types.NodeID, faulty types.
 		if id == sender || faulty.Contains(id) {
 			continue
 		}
+		deciders++
 		if d == types.Default {
-			return true
+			vdDeciders++
+			degraded = true
+			continue
 		}
 		if first {
 			ref, first = d, false
 		} else if d != ref {
-			return true
+			degraded = true
 		}
 	}
-	return false
+	return deciders, vdDeciders, degraded
 }

@@ -30,6 +30,7 @@ import (
 
 	"degradable/internal/adversary"
 	"degradable/internal/core"
+	"degradable/internal/obs"
 	"degradable/internal/types"
 )
 
@@ -60,6 +61,10 @@ type Config struct {
 	// through the full executable spec (default 8; 1 checks every
 	// instance, negative disables sampling).
 	SpecSample int
+	// Sink, when non-nil, receives a structured verdict event for every
+	// spec-checked instance (obs.EvVerdict, carrying the D condition and
+	// the ok/graceful bits).
+	Sink obs.Sink
 }
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -190,20 +195,35 @@ type Outcome struct {
 	Err  error
 }
 
-// shardStats is one shard's slice of the service counters. The padding
-// rounds the struct up to 128 bytes (two cache lines on common hardware,
-// matching the spatial prefetcher's pairing granularity), so that the
-// shards' hot Add loops never contend for a line: without it, adjacent
-// shards' counters share cache lines and every increment invalidates the
-// neighbours' copies — false sharing that grows with the shard count.
-type shardStats struct {
-	accepted       atomic.Uint64
-	rejected       atomic.Uint64
-	completed      atomic.Uint64
-	degraded       atomic.Uint64
-	specChecked    atomic.Uint64
-	specViolations atomic.Uint64
-	_              [128 - 6*8]byte
+// Indices into the service's sharded obs counters. Each shard owns one
+// obs.Block (two cache lines of padding, the same false-sharing-free layout
+// the old bespoke shardStats struct had), so the hot Add loops never
+// contend across shards.
+const (
+	statAccepted = iota
+	statRejected
+	statCompleted
+	statDegraded
+	statSpecChecked
+	statSpecViolations
+	statDeciders   // fault-free non-sender receivers that decided
+	statVdDeciders // of those, how many fell back to V_d
+	statCondD1     // completed instances per selected condition
+	statCondD2
+	statCondD3
+	statCondD4
+	statCondNone
+	numStats
+)
+
+// statNames are the unified-snapshot names of the service counters, in
+// index order.
+var statNames = []string{
+	"accepted_total", "rejected_total", "completed_total", "degraded_total",
+	"spec_checked_total", "spec_violations_total",
+	"deciders_total", "vd_deciders_total",
+	"condition_d1_total", "condition_d2_total", "condition_d3_total",
+	"condition_d4_total", "condition_none_total",
 }
 
 // Service is the sharded agreement-serving runtime. Construct with New,
@@ -216,10 +236,15 @@ type Service struct {
 	term   chan struct{} // closed when every shard has exited
 	wg     sync.WaitGroup
 
-	// stats[i] belongs to shards[i]: each shard writes only its own entry
-	// (admission counts are bumped by the submitting goroutine, still on
-	// the target shard's entry), and Stats sums across the slice.
-	stats []shardStats
+	// stats shard i belongs to shards[i]: each shard writes only its own
+	// padded block (admission counts are bumped by the submitting
+	// goroutine, still on the target shard's block), and readers sum
+	// across shards.
+	stats *obs.Sharded
+	// floor tracks the minimum observed §2 m+1-floor margin across all
+	// spec-checked instances: largest fault-free agreement class minus
+	// (m+1). Negative would mean the Observation's guarantee was violated.
+	floor *obs.MinGauge
 }
 
 // New starts a service with the given configuration.
@@ -235,11 +260,12 @@ func newUnstarted(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{cfg: cfg, term: make(chan struct{})}
 	s.shards = make([]*shard, cfg.Shards)
-	s.stats = make([]shardStats, cfg.Shards)
+	s.stats = obs.NewSharded(cfg.Shards, statNames...)
+	s.floor = obs.NewMinGauge()
 	for i := range s.shards {
 		s.shards[i] = &shard{
 			svc:   s,
-			stats: &s.stats[i],
+			stats: s.stats.Shard(i),
 			in:    make(chan *task, cfg.QueueDepth),
 			stop:  make(chan struct{}),
 			pools: make(map[shape]*pool),
@@ -261,19 +287,61 @@ func (s *Service) Config() Config { return s.cfg }
 
 // Stats returns a snapshot of the service counters, summed across shards.
 // The snapshot is not atomic across counters (shards keep running while it
-// is taken), but each counter is individually consistent.
+// is taken), but each counter is individually consistent. It is a view
+// over the obs-backed counters; Telemetry returns the full set.
 func (s *Service) Stats() Stats {
-	var st Stats
-	for i := range s.stats {
-		e := &s.stats[i]
-		st.Accepted += e.accepted.Load()
-		st.Rejected += e.rejected.Load()
-		st.Completed += e.completed.Load()
-		st.Degraded += e.degraded.Load()
-		st.SpecChecked += e.specChecked.Load()
-		st.SpecViolations += e.specViolations.Load()
+	return Stats{
+		Accepted:       s.stats.Sum(statAccepted),
+		Rejected:       s.stats.Sum(statRejected),
+		Completed:      s.stats.Sum(statCompleted),
+		Degraded:       s.stats.Sum(statDegraded),
+		SpecChecked:    s.stats.Sum(statSpecChecked),
+		SpecViolations: s.stats.Sum(statSpecViolations),
 	}
-	return st
+}
+
+// VdDeciderFraction returns the fraction of fault-free receivers that fell
+// back to V_d across all completed instances (0 before any completions).
+func (s *Service) VdDeciderFraction() (float64, bool) {
+	deciders := s.stats.Sum(statDeciders)
+	if deciders == 0 {
+		return 0, false
+	}
+	return float64(s.stats.Sum(statVdDeciders)) / float64(deciders), true
+}
+
+// FloorMargin returns the minimum observed m+1-floor margin across
+// spec-checked instances, and whether any instance was checked yet.
+func (s *Service) FloorMargin() (int64, bool) { return s.floor.Load() }
+
+// Telemetry returns all service counters and degradation gauges as the
+// unified snapshot schema.
+func (s *Service) Telemetry() obs.Snapshot {
+	snap := s.stats.Snapshot()
+	if frac, ok := s.VdDeciderFraction(); ok {
+		snap.SetGauge("vd_decider_fraction", frac)
+	}
+	if margin, ok := s.FloorMargin(); ok {
+		snap.SetGauge("floor_margin_min", float64(margin))
+	}
+	return snap
+}
+
+// Register mounts the service's telemetry on an obs registry under the
+// service_ prefix: per-counter views plus the degradation gauges the
+// /metrics endpoint exposes (verdict-class counts, V_d-decider fraction,
+// m+1-floor margin).
+func (s *Service) Register(r *obs.Registry) {
+	r.Sharded("service", "service counter (summed across shards)", s.stats)
+	r.Gauge("service_vd_decider_fraction",
+		"fraction of fault-free receivers that decided the default value V_d",
+		s.VdDeciderFraction)
+	r.Gauge("service_floor_margin_min",
+		"minimum observed margin of the largest fault-free agreement class over the m+1 floor",
+		func() (float64, bool) {
+			margin, ok := s.FloorMargin()
+			return float64(margin), ok
+		})
 }
 
 // Submit validates and enqueues one request, returning a channel that will
@@ -291,10 +359,10 @@ func (s *Service) Submit(req Request) (<-chan Outcome, error) {
 	sh := s.shards[(s.next.Add(1)-1)%uint64(len(s.shards))]
 	select {
 	case sh.in <- t:
-		sh.stats.accepted.Add(1)
+		sh.stats.Inc(statAccepted)
 		return t.done, nil
 	default:
-		sh.stats.rejected.Add(1)
+		sh.stats.Inc(statRejected)
 		return nil, ErrOverloaded
 	}
 }
@@ -343,7 +411,7 @@ func (s *Service) Close() {
 // dequeue to completion.
 type shard struct {
 	svc   *Service
-	stats *shardStats // this shard's padded counter block
+	stats *obs.Block // this shard's padded counter block
 	in    chan *task
 	stop  chan struct{}
 	pools map[shape]*pool

@@ -11,8 +11,15 @@
 #      BENCH_go.txt; pass a previous run's file (or keep one as
 #      BENCH_baseline.txt) and matching benchmarks are diffed old-vs-new.
 #
+# It also diffs the unified telemetry artifacts (BENCH_service.json,
+# BENCH_cluster.json — both embed the obs snapshot schema) against kept
+# baselines (BENCH_service_baseline.json, BENCH_cluster_baseline.json), so a
+# cluster round-latency regression shows up in a check.sh run the same way
+# a microbenchmark regression does.
+#
 # Usage:
 #   scripts/bench_compare.sh [baseline.txt]
+#   scripts/bench_compare.sh --artifacts-only   # only the JSON artifact diffs
 #
 # Environment:
 #   BENCHTIME   per-benchmark time budget (default 0.3s; check.sh uses 1x
@@ -26,6 +33,57 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-0.3s}"
 RAW="BENCH_go.txt"
 BASELINE="${1:-BENCH_baseline.txt}"
+
+# artifact_keys extracts whitelisted numeric "key": value pairs from an
+# indented bench-artifact JSON (the unified snapshot schema keeps these key
+# names stable across BENCH_service.json and BENCH_cluster.json).
+artifact_keys() {
+  awk '
+    match($0, /"(roundWaitP50Ms|roundWaitP99Ms|roundWaitMaxMs|lateBatches|late_batches_total|deadline_misses_total|vd_subs_total|throughput_per_s|latency_p50_us|latency_p99_us|degraded_fraction|spec_violations|vd_decider_fraction|floor_margin_min|degraded_total|completed_total)":[ ]*-?[0-9.eE+-]+/) {
+      s = substr($0, RSTART, RLENGTH)
+      split(s, kv, /":[ ]*/)
+      key = substr(kv[1], 2)
+      if (!(key in seen)) { seen[key] = 1; print key, kv[2] }
+    }
+  ' "$1"
+}
+
+# artifact_diff prints one artifact either as current values (no baseline)
+# or as an old-vs-new delta table.
+artifact_diff() {
+  local new="$1" old="$2" title="$3"
+  [ -f "$new" ] || return 0
+  echo
+  echo "== $title ($new vs ${old##*/}) =="
+  if [ -f "$old" ]; then
+    { artifact_keys "$old"; echo ---; artifact_keys "$new"; } | awk '
+      /^---$/ { phase = 1; next }
+      phase == 0 { oldv[$1] = $2; next }
+      { newv[$1] = $2; if ($1 in oldv) seen[$1] = 1 }
+      END {
+        printf "%-28s %14s %14s %9s\n", "metric", "old", "new", "delta"
+        n = 0
+        for (k in seen) order[n++] = k
+        for (i = 1; i < n; i++) { t = order[i]; j = i - 1
+          while (j >= 0 && order[j] > t) { order[j+1] = order[j]; j-- }
+          order[j+1] = t }
+        for (i = 0; i < n; i++) { k = order[i]
+          d = (oldv[k] != 0) ? (newv[k] - oldv[k]) / oldv[k] * 100 : 0
+          printf "%-28s %14.6g %14.6g %8.1f%%\n", k, oldv[k], newv[k], d
+        }
+      }
+    '
+  else
+    echo "(no baseline; keep a previous $new as $old to get deltas)"
+    artifact_keys "$new" | awk '{ printf "%-28s %14.6g\n", $1, $2 }'
+  fi
+}
+
+if [ "${1:-}" = "--artifacts-only" ]; then
+  artifact_diff BENCH_service.json BENCH_service_baseline.json "service telemetry snapshot"
+  artifact_diff BENCH_cluster.json BENCH_cluster_baseline.json "cluster round-latency snapshot"
+  exit 0
+fi
 
 echo "== benchmarks (benchtime=$BENCHTIME) =="
 {
@@ -87,5 +145,8 @@ else
   echo
   echo "(no baseline file; keep a previous $RAW as $BASELINE to get old-vs-new deltas)"
 fi
+
+artifact_diff BENCH_service.json BENCH_service_baseline.json "service telemetry snapshot"
+artifact_diff BENCH_cluster.json BENCH_cluster_baseline.json "cluster round-latency snapshot"
 
 exit 0

@@ -50,8 +50,15 @@ echo "== cluster mode smoke (one OS process per node) =="
 # The paper's running example as 7 real processes over loopback TCP, then a
 # short chaos campaign where every scenario runs cross-process. Exits
 # non-zero on any D.1-D.4 / m+1-floor violation; writes the round-latency
-# artifact BENCH_cluster.json at the repo root.
-go run ./cmd/cluster -n 7 -m 1 -u 2 -faults 2:twofaced:999,5:silent -deadline 10s >/dev/null
+# artifact BENCH_cluster.json and the structured round-event stream
+# TRACE_cluster.jsonl at the repo root.
+go run ./cmd/cluster -n 7 -m 1 -u 2 -faults 2:twofaced:999,5:silent -deadline 10s -trace TRACE_cluster.jsonl >/dev/null
 go run ./cmd/cluster -n 7 -m 1 -u 2 -campaign 10 -seed 7 -deadline 10s -bench BENCH_cluster.json >/dev/null
+
+echo "== telemetry artifact comparison (non-failing report) =="
+# Diffs the unified obs snapshots embedded in BENCH_service.json and
+# BENCH_cluster.json against kept baselines, so a cluster round-latency
+# regression is visible in the same place as a microbenchmark one.
+scripts/bench_compare.sh --artifacts-only
 
 echo "all checks passed"
