@@ -25,6 +25,9 @@ type (
 	ChaosFault = chaos.FaultSpec
 	// ChaosInjector is one channel-level fault-injection layer.
 	ChaosInjector = chaos.Injector
+	// ChaosCrash schedules one mid-round kill (and optional checkpoint
+	// corruption) for a cluster-driver scenario.
+	ChaosCrash = chaos.CrashSpec
 )
 
 // Chaos runs a seeded fault-injection campaign. cfg seeds the sweep grid:

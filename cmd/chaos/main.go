@@ -13,7 +13,11 @@
 // that misses its expected verdict is delta-debugged to a locally minimal
 // counterexample and rendered as a copy-pasteable reproduction. -replay
 // exits non-zero when the scenario misses its expectation, so shrunk
-// counterexamples keep failing when replayed.
+// counterexamples keep failing when replayed. A scenario's JSON carries its
+// whole crash schedule ("crashes": mid-round kills, restarts, checkpoint
+// corruption), so kill/restart counterexamples replay deterministically too:
+//
+//	chaos -replay '{"n":5,"m":1,"u":2,"seed":11,"driver":"cluster","crashes":[{"node":2,"round":2,"phase":"sent"}]}'
 package main
 
 import (

@@ -10,7 +10,16 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	degradable "degradable"
 )
+
+// TestMain mirrors main(): cluster-driver replays re-execute this binary as
+// the node executable, and those children must divert into the node loop.
+func TestMain(m *testing.M) {
+	degradable.ClusterHijack()
+	os.Exit(m.Run())
+}
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden campaign report")
 
@@ -98,6 +107,42 @@ func TestReplayHealthyScenario(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "expectation met") {
 		t.Errorf("healthy replay output:\n%s", buf.String())
+	}
+}
+
+// TestReplayCrashScenario replays a cluster-driver scenario whose JSON
+// carries a mid-round kill schedule: the crash must be re-executed against
+// real processes (one restart, taxonomy label) purely from the -replay
+// string, proving crash counterexamples are self-contained.
+func TestReplayCrashScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	sc := `{"n":5,"m":1,"u":2,"seed":11,"driver":"cluster",` +
+		`"crashes":[{"node":2,"round":2,"phase":"sent"}]}`
+	var buf bytes.Buffer
+	if err := run([]string{"-replay", sc, "-json"}, &buf); err != nil {
+		t.Fatalf("crash replay: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	var o struct {
+		ExpectationMet bool                    `json:"expectationMet"`
+		Convergence    string                  `json:"convergence"`
+		Recovery       *map[string]interface{} `json:"recovery"`
+	}
+	// The outcome JSON is followed by the human "expectation met" line;
+	// decode just the first value.
+	if err := json.NewDecoder(strings.NewReader(out)).Decode(&o); err != nil {
+		t.Fatalf("outcome JSON: %v\n%s", err, out)
+	}
+	if !o.ExpectationMet {
+		t.Fatalf("crash replay missed expectation:\n%s", out)
+	}
+	if !strings.HasPrefix(o.Convergence, "Converged-in-") {
+		t.Errorf("convergence %q", o.Convergence)
+	}
+	if o.Recovery == nil {
+		t.Errorf("no recovery section in replay outcome:\n%s", out)
 	}
 }
 

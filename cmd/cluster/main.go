@@ -6,16 +6,24 @@
 // Usage:
 //
 //	cluster -n 7 -m 1 -u 2 -faults 2:twofaced:999,4:silent    # one instance
+//	cluster -n 7 -m 1 -u 2 -kill 3:1:sent                     # SIGKILL + restart mid-round
+//	cluster -n 7 -m 1 -u 2 -kill 3:2:sent:bitflip             # + corrupted checkpoint
 //	cluster -n 7 -m 1 -u 2 -campaign 25 -seed 7               # chaos campaign
+//	cluster -n 7 -m 1 -u 2 -campaign 25 -crashes 2            # + crash schedules
 //	cluster -n 7 -m 1 -u 2 -campaign 25 -bench BENCH.json     # + latency artifact
 //
 // Fault syntax matches cmd/degrade: node:kind[:value][:seed] with kinds
-// silent, crash, lie, twofaced, random. In campaign mode every generated
-// scenario executes across real processes and is classified by the chaos
-// engine (SpecHeld / GracefulOnly / Violated / Infeasible); the command
-// exits non-zero on any violation or missed expectation. Node processes
-// are spawned by re-executing this binary (-node-bin substitutes another
-// node binary, e.g. cmd/node).
+// silent, crash, lie, twofaced, random. Crash schedules (-kill) are
+// node:round[:phase][:mod] — phase "sent" or "closed", mod one of bitflip,
+// truncate, stale (damage the victim's checkpoint before the respawn) or
+// norestart (leave it dead: NeverConverged by construction). The run's
+// convergence taxonomy (Converged-in-k-rounds / NeverConverged) and the
+// restore counters land in the report and the -bench artifact's recovery
+// section. In campaign mode every generated scenario executes across real
+// processes and is classified by the chaos engine (SpecHeld / GracefulOnly
+// / Violated / Infeasible); the command exits non-zero on any violation or
+// missed expectation. Node processes are spawned by re-executing this
+// binary (-node-bin substitutes another node binary, e.g. cmd/node).
 package main
 
 import (
@@ -64,7 +72,49 @@ type benchArtifact struct {
 	RoundWaitP99MS float64       `json:"roundWaitP99Ms"`
 	LateBatches    int           `json:"lateBatches"`
 	Healthy        bool          `json:"healthy"`
-	Obs            obs.Snapshot  `json:"obs"`
+	// Recovery summarizes crash-recovery runs (present only when a crash
+	// schedule was in play): taxonomy, restore counters, and the
+	// kill-to-report convergence-time histogram's summary.
+	Recovery *recoverySection `json:"recovery,omitempty"`
+	Obs      obs.Snapshot     `json:"obs"`
+}
+
+// recoverySection is the bench artifact's crash-recovery summary,
+// assembled from the merged telemetry snapshot's restart/checkpoint
+// counters and convergence_time histogram.
+type recoverySection struct {
+	// Convergence is the taxonomy label of a single run
+	// ("Converged-in-k-rounds" / "NeverConverged"); campaigns leave it
+	// empty and speak through the counters.
+	Convergence      string  `json:"convergence,omitempty"`
+	Restarts         uint64  `json:"restarts"`
+	CheckpointsTotal uint64  `json:"checkpointsTotal"`
+	CorruptRejected  uint64  `json:"corruptRejected"`
+	StaleRejected    uint64  `json:"staleRejected"`
+	MissingReinits   uint64  `json:"missingReinits"`
+	ConvergeCount    uint64  `json:"convergeCount"`
+	ConvergeMeanMS   float64 `json:"convergeMeanMs"`
+	ConvergeMaxMS    float64 `json:"convergeMaxMs"`
+}
+
+// recoverySummary builds the artifact's recovery section from a merged
+// snapshot; nil when the snapshot shows no recovery activity at all.
+func recoverySummary(snap obs.Snapshot, convergence string, scheduled bool) *recoverySection {
+	conv := snap.Histograms[cluster.ConvergenceHist]
+	if !scheduled && snap.Counter("restart_total") == 0 {
+		return nil
+	}
+	return &recoverySection{
+		Convergence:      convergence,
+		Restarts:         snap.Counter("restart_total"),
+		CheckpointsTotal: snap.Counter("checkpoints_total"),
+		CorruptRejected:  snap.Counter("checkpoint_corrupt_total"),
+		StaleRejected:    snap.Counter("checkpoint_stale_total"),
+		MissingReinits:   snap.Counter("checkpoint_missing_total"),
+		ConvergeCount:    conv.Count,
+		ConvergeMeanMS:   float64(conv.Mean()) / float64(time.Millisecond),
+		ConvergeMaxMS:    float64(conv.MaxNs) / float64(time.Millisecond),
+	}
 }
 
 // artifact assembles the bench shape from a merged telemetry snapshot and a
@@ -108,6 +158,10 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 1, "scenario/campaign seed")
 		deadline = fs.Duration("deadline", 2*time.Second, "per-round hold-back deadline")
 		campaign = fs.Int("campaign", 0, "run a chaos campaign of this many scenarios instead of one instance")
+		crashes  = fs.Int("crashes", 0, "campaign mode: schedule up to this many kill/restart events per scenario")
+		kill     = fs.String("kill", "", "crash schedule as node:round[:phase][:bitflip|truncate|stale|norestart], comma separated")
+		ckptDir  = fs.String("ckpt-dir", "", "checkpoint directory (default: a temporary directory per run)")
+		grace    = fs.Duration("grace", 0, "recovery grace: how long a respawned victim may take to rejoin (default deadline*(m+3)+5s)")
 		bench    = fs.String("bench", "", "write round-latency counters to this JSON file")
 		trace    = fs.String("trace", "", "dump the structured round-event stream to this JSONL file")
 		asJSON   = fs.Bool("json", false, "emit the full report as JSON")
@@ -128,6 +182,7 @@ func run(args []string, out io.Writer) error {
 	if *campaign > 0 {
 		return runCampaign(ctx, out, campaignConfig{
 			n: *n, m: *m, u: *u, seed: *seed, runs: *campaign,
+			crashes:  *crashes,
 			deadline: *deadline, bench: *bench, trace: *trace,
 			asJSON: *asJSON, command: command,
 		})
@@ -137,10 +192,15 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	kills, err := parseKills(*kill)
+	if err != nil {
+		return err
+	}
 	rep, err := cluster.Run(ctx, cluster.Config{
 		N: *n, M: *m, U: *u,
 		Sender: types.NodeID(*sender), SenderValue: types.Value(*value),
 		Faults: flts, Seed: *seed, Deadline: *deadline, Command: command,
+		Crashes: kills, CheckpointDir: *ckptDir, RecoveryGrace: *grace,
 		Trace: *trace != "",
 	})
 	if err != nil {
@@ -169,9 +229,16 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "\nround waits: max %v, p99 %v, total %v; late batches: %d\n",
 			rep.RoundWaitMax(), time.Duration(rep.RoundWait.P99), rep.RoundWaitTotal(), rep.Late())
+		if rep.Recovery != nil {
+			fmt.Fprintf(out, "recovery: %s — %d restart(s), %d unrecovered, %d corrupt / %d stale checkpoint(s) rejected\n",
+				rep.Convergence, rep.Recovery.Restarts, rep.Recovery.Unrecovered,
+				rep.Recovery.CorruptRejected, rep.Recovery.StaleRejected)
+		}
 	}
 	if *bench != "" {
-		if err := writeBench(*bench, artifact(*n, *m, *u, 1, *n, rep.Obs, rep.RoundWait, rep.Verdict.OK)); err != nil {
+		a := artifact(*n, *m, *u, 1, *n, rep.Obs, rep.RoundWait, rep.Verdict.OK)
+		a.Recovery = recoverySummary(rep.Obs, rep.Convergence, len(kills) > 0)
+		if err := writeBench(*bench, a); err != nil {
 			return err
 		}
 	}
@@ -186,6 +253,7 @@ type campaignConfig struct {
 	n, m, u  int
 	seed     int64
 	runs     int
+	crashes  int
 	deadline time.Duration
 	bench    string
 	trace    string
@@ -208,7 +276,8 @@ func runCampaign(ctx context.Context, out io.Writer, cc campaignConfig) error {
 			N: sc.N, M: sc.M, U: sc.U,
 			Sender: sc.Sender, SenderValue: sc.SenderValue,
 			Faults: sc.Faults, Injectors: sc.Injectors,
-			Seed: sc.Seed, Deadline: cc.deadline, Command: cc.command,
+			Crashes: sc.Crashes,
+			Seed:    sc.Seed, Deadline: cc.deadline, Command: cc.command,
 			Trace: cc.trace != "",
 		})
 		if err != nil {
@@ -217,6 +286,9 @@ func runCampaign(ctx context.Context, out io.Writer, cc campaignConfig) error {
 		agg.processes += sc.N
 		agg.snap.Merge(rep.Obs)
 		for _, nr := range rep.Nodes {
+			if nr == nil {
+				continue // an unrecovered crash victim has no report
+			}
 			for _, w := range nr.RoundWaitsNs {
 				agg.waits = append(agg.waits, float64(w))
 			}
@@ -229,12 +301,14 @@ func runCampaign(ctx context.Context, out io.Writer, cc campaignConfig) error {
 			Messages:  rep.Result.Messages,
 			Delivered: rep.Result.Delivered,
 			Counters:  rep.Counters,
+			Recovery:  rep.Recovery,
 		}, nil
 	}
 	c := chaos.Campaign{
 		Seed: cc.seed, Runs: cc.runs,
-		Grid:   []chaos.GridPoint{{N: cc.n, M: cc.m, U: cc.u}},
-		Driver: chaos.DriverCluster,
+		Grid:    []chaos.GridPoint{{N: cc.n, M: cc.m, U: cc.u}},
+		Crashes: cc.crashes,
+		Driver:  chaos.DriverCluster,
 	}
 	rep, err := c.RunContextWith(ctx, exec)
 	if err != nil {
@@ -255,6 +329,11 @@ func runCampaign(ctx context.Context, out io.Writer, cc campaignConfig) error {
 			rep.SpecHeld, rep.GracefulOnly, rep.Violated, rep.Infeasible)
 		fmt.Fprintf(out, "round waits: max %v, p50 %v, p99 %v; late batches: %d\n",
 			time.Duration(wait.Max), time.Duration(wait.P50), time.Duration(wait.P99), late)
+		if rs := recoverySummary(agg.snap, "", cc.crashes > 0); rs != nil {
+			fmt.Fprintf(out, "recovery: %d restart(s), %d checkpoint(s), %d corrupt / %d stale / %d missing re-init(s), converge mean %.1fms max %.1fms\n",
+				rs.Restarts, rs.CheckpointsTotal, rs.CorruptRejected, rs.StaleRejected,
+				rs.MissingReinits, rs.ConvergeMeanMS, rs.ConvergeMaxMS)
+		}
 		for i, f := range rep.Failures {
 			fmt.Fprintf(out, "FAILURE %d: %s\n  reproduce: %s\n", i+1, f.Outcome.ExpectReason, f.ReproCommand)
 		}
@@ -265,8 +344,10 @@ func runCampaign(ctx context.Context, out io.Writer, cc campaignConfig) error {
 		}
 	}
 	if cc.bench != "" {
-		if err := writeBench(cc.bench, artifact(cc.n, cc.m, cc.u, rep.Completed, agg.processes,
-			agg.snap, wait, rep.Healthy())); err != nil {
+		a := artifact(cc.n, cc.m, cc.u, rep.Completed, agg.processes,
+			agg.snap, wait, rep.Healthy())
+		a.Recovery = recoverySummary(agg.snap, "", cc.crashes > 0)
+		if err := writeBench(cc.bench, a); err != nil {
 			return err
 		}
 	}
@@ -287,6 +368,46 @@ func writeBench(path string, a benchArtifact) error {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// parseKills parses node:round[:phase][:mod] crash-schedule entries: phase
+// "sent" (default) or "closed"; mod "bitflip", "truncate", "stale"
+// (checkpoint corruption before the respawn) or "norestart" (permanent
+// kill).
+func parseKills(s string) ([]chaos.CrashSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []chaos.CrashSpec
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 || len(parts) > 4 {
+			return nil, fmt.Errorf("bad kill %q: want node:round[:phase][:mod]", entry)
+		}
+		node, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad kill node %q: %v", parts[0], err)
+		}
+		r, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad kill round %q: %v", parts[1], err)
+		}
+		cr := chaos.CrashSpec{Node: types.NodeID(node), Round: r}
+		for _, mod := range parts[2:] {
+			switch mod {
+			case chaos.CrashPhaseSent, chaos.CrashPhaseClosed:
+				cr.Phase = mod
+			case chaos.CorruptBitFlip, chaos.CorruptTruncate, chaos.CorruptStale:
+				cr.Corrupt = mod
+			case "norestart":
+				cr.NoRestart = true
+			default:
+				return nil, fmt.Errorf("bad kill modifier %q in %q", mod, entry)
+			}
+		}
+		out = append(out, cr)
+	}
+	return out, nil
 }
 
 // parseFaults parses node:kind[:value][:seed] entries (cmd/degrade syntax)

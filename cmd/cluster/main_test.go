@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"degradable/internal/adversary"
+	"degradable/internal/chaos"
 	"degradable/internal/cluster"
 )
 
@@ -32,7 +33,8 @@ func TestClusterHelpListsEveryFlag(t *testing.T) {
 	}
 	for _, name := range []string{
 		"n", "m", "u", "sender", "value", "faults", "seed",
-		"deadline", "campaign", "bench", "json", "node-bin",
+		"deadline", "campaign", "crashes", "kill", "ckpt-dir", "grace",
+		"bench", "json", "node-bin",
 	} {
 		if !strings.Contains(out.String(), "-"+name) {
 			t.Errorf("-h output missing flag -%s:\n%s", name, out.String())
@@ -63,6 +65,72 @@ func TestParseFaults(t *testing.T) {
 		if _, err := parseFaults(bad); err == nil {
 			t.Errorf("parseFaults(%q) accepted", bad)
 		}
+	}
+}
+
+// TestParseKills covers the node:round[:phase][:mod] crash-schedule syntax.
+func TestParseKills(t *testing.T) {
+	got, err := parseKills("2:1,3:2:closed,4:2:sent:bitflip,5:1:norestart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d kills, want 4", len(got))
+	}
+	if got[0].Node != 2 || got[0].Round != 1 || got[0].Phase != "" {
+		t.Errorf("kill 0 = %+v", got[0])
+	}
+	if got[1].Phase != chaos.CrashPhaseClosed {
+		t.Errorf("kill 1 = %+v", got[1])
+	}
+	if got[2].Phase != chaos.CrashPhaseSent || got[2].Corrupt != chaos.CorruptBitFlip {
+		t.Errorf("kill 2 = %+v", got[2])
+	}
+	if !got[3].NoRestart {
+		t.Errorf("kill 3 = %+v", got[3])
+	}
+	for _, bad := range []string{"2", "x:1", "2:x", "2:1:spin", "2:1:sent:zero", "2:1:sent:bitflip:extra"} {
+		if _, err := parseKills(bad); err == nil {
+			t.Errorf("parseKills(%q) accepted", bad)
+		}
+	}
+}
+
+// TestClusterCommandCrashRecovery drives the binary's kill/restart path:
+// a real SIGKILL at a round boundary, the convergence taxonomy in the
+// output, and the bench artifact's recovery section.
+func TestClusterCommandCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	bench := filepath.Join(t.TempDir(), "BENCH_recovery.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "5", "-m", "1", "-u", "2",
+		"-kill", "2:1:sent", "-deadline", "1500ms", "-bench", bench,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "recovery: Converged-in-") {
+		t.Errorf("recovery line missing:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a benchArtifact
+	if err := json.Unmarshal(raw, &a); err != nil {
+		t.Fatalf("bench artifact: %v\n%s", err, raw)
+	}
+	if a.Recovery == nil {
+		t.Fatalf("bench artifact has no recovery section:\n%s", raw)
+	}
+	if a.Recovery.Restarts != 1 || a.Recovery.CheckpointsTotal == 0 || a.Recovery.ConvergeCount != 1 {
+		t.Errorf("recovery section = %+v", a.Recovery)
+	}
+	if !strings.HasPrefix(a.Recovery.Convergence, "Converged-in-") {
+		t.Errorf("convergence %q", a.Recovery.Convergence)
 	}
 }
 

@@ -61,6 +61,12 @@ type Campaign struct {
 	Probs []float64 `json:"probs,omitempty"`
 	// MaxInjectors bounds each scenario's injector stack (default 3).
 	MaxInjectors int `json:"maxInjectors,omitempty"`
+	// Crashes, when positive, lets each scenario schedule up to that many
+	// crash-recovery events (mid-round kill and restart; see CrashSpec) on
+	// fault-free non-sender nodes within the remaining u budget. Zero — the
+	// default — generates no crashes and leaves the scenario stream of
+	// crash-free campaigns byte-identical to earlier releases.
+	Crashes int `json:"crashes,omitempty"`
 	// IncludeInfeasible, when set, makes roughly one scenario in twenty
 	// deliberately undersized (N = 2m+u) to exercise parameter rejection.
 	IncludeInfeasible bool `json:"includeInfeasible,omitempty"`
@@ -333,7 +339,57 @@ func (c Campaign) Generate(i int) Scenario {
 	for k := rng.Intn(c.MaxInjectors + 1); k > 0; k-- {
 		sc.Injectors = append(sc.Injectors, c.generateInjector(rng, gp, sc.Faults))
 	}
+
+	// Crash schedule: victims drawn from fault-free non-sender nodes, kept
+	// within the remaining u budget so the expectation stays judgeable. The
+	// extra rng draws happen only when the knob is on, so crash-free
+	// campaigns replay their historical scenario streams unchanged.
+	if c.Crashes > 0 {
+		sc.Crashes = c.generateCrashes(rng, gp, sc)
+	}
 	return sc
+}
+
+// generateCrashes draws scenario sc's crash schedule.
+func (c Campaign) generateCrashes(rng *rand.Rand, gp GridPoint, sc Scenario) []CrashSpec {
+	depth := gp.M + 1
+	armed := sc.Faulty()
+	var pool []types.NodeID
+	for _, n := range rng.Perm(gp.N) {
+		id := types.NodeID(n)
+		if id == sc.Sender || armed.Contains(id) {
+			continue
+		}
+		pool = append(pool, id)
+	}
+	want := rng.Intn(c.Crashes + 1)
+	if budget := gp.U - len(sc.Faults); want > budget {
+		want = budget
+	}
+	if want > len(pool) {
+		want = len(pool)
+	}
+	var crashes []CrashSpec
+	for i := 0; i < want; i++ {
+		cr := CrashSpec{Node: pool[i], Round: 1 + rng.Intn(depth), Phase: CrashPhaseSent}
+		if rng.Intn(2) == 0 {
+			cr.Phase = CrashPhaseClosed
+		}
+		switch rng.Intn(6) {
+		case 0:
+			cr.Corrupt = CorruptBitFlip
+		case 1:
+			cr.Corrupt = CorruptTruncate
+		case 2:
+			if cr.Round >= 2 {
+				cr.Corrupt = CorruptStale
+			}
+		case 3:
+			cr.NoRestart = true
+		}
+		crashes = append(crashes, cr)
+	}
+	return crashes
 }
 
 // generateInjector draws one injector layer.

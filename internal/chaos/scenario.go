@@ -76,6 +76,12 @@ type Scenario struct {
 	SenderValue types.Value `json:"senderValue,omitempty"`
 	Faults      []FaultSpec `json:"faults,omitempty"`
 	Injectors   []Injector  `json:"injectors,omitempty"`
+	// Crashes schedules mid-round kill (and usually restart) events; see
+	// CrashSpec. Victims count toward the fault budget like Byzantine nodes
+	// — their silence is the detectable absence of §4 assumption (b) — and
+	// their recovery is additionally judged by the convergence taxonomy when
+	// the executor can observe it.
+	Crashes []CrashSpec `json:"crashes,omitempty"`
 	// Seed drives every injector coin flip of the run.
 	Seed   int64       `json:"seed"`
 	Expect Expectation `json:"expect,omitempty"`
@@ -88,7 +94,11 @@ type Scenario struct {
 	// its deterministic in-process surrogate (the judged semantics are
 	// identical when round deadlines cause no false absences) — replay
 	// across real processes goes through internal/cluster's Executor, as
-	// cmd/chaos -replay does when the driver field says "cluster".
+	// cmd/chaos -replay does when the driver field says "cluster". Crash
+	// schedules replay under the surrogate as adversary.Crash strategies
+	// (honest through the kill round, silent after): the judged verdict
+	// matches the cluster's because victims count as faulty either way,
+	// while the recovery taxonomy is only observable across real processes.
 	Driver string `json:"driver,omitempty"`
 }
 
@@ -103,14 +113,18 @@ const (
 // Alpha so rendered reproductions look like the rest of the repo.
 const harnessValue types.Value = 1001
 
-// F returns the node-fault count.
-func (sc Scenario) F() int { return len(sc.Faults) }
+// F returns the node-fault count: armed Byzantine nodes plus crash victims
+// (validation keeps the two sets disjoint).
+func (sc Scenario) F() int { return len(sc.Faults) + len(sc.Crashes) }
 
-// Faulty returns the armed fault set.
+// Faulty returns the armed fault set, crash victims included.
 func (sc Scenario) Faulty() types.NodeSet {
 	var s types.NodeSet
 	for _, f := range sc.Faults {
 		s = s.Add(f.Node)
+	}
+	for _, cr := range sc.Crashes {
+		s = s.Add(cr.Node)
 	}
 	return s
 }
@@ -219,6 +233,14 @@ type Outcome struct {
 	// Messages and Delivered are the engine's traffic counts.
 	Messages  int `json:"messages"`
 	Delivered int `json:"delivered"`
+	// Recovery reports the crash-recovery observations when the executor
+	// could make them (the cluster driver; the in-process surrogate leaves
+	// it nil).
+	Recovery *RecoveryInfo `json:"recovery,omitempty"`
+	// Convergence is the crash-recovery taxonomy label —
+	// "Converged-in-k-rounds" or "NeverConverged" — alongside the D.1–D.4
+	// verdict. Empty when no recovery was observable.
+	Convergence string `json:"convergence,omitempty"`
 
 	class Class
 }
@@ -236,6 +258,9 @@ type ExecOutcome struct {
 	Messages  int
 	Delivered int
 	Counters  Counters
+	// Recovery carries crash-recovery observations from executors that can
+	// kill and respawn real processes; in-process drivers leave it nil.
+	Recovery *RecoveryInfo
 }
 
 // Executor runs a (validated, feasible) scenario's agreement instance and
@@ -276,6 +301,9 @@ func (sc Scenario) RunWith(exec Executor) (*Outcome, error) {
 	if err := sc.validateFaults(); err != nil {
 		return nil, err
 	}
+	if err := sc.ValidateCrashes(); err != nil {
+		return nil, err
+	}
 	if exec == nil {
 		exec = inProcess
 	}
@@ -300,6 +328,10 @@ func (sc Scenario) RunWith(exec Executor) (*Outcome, error) {
 	out.Messages = eo.Messages
 	out.Delivered = eo.Delivered
 	out.Counters = eo.Counters
+	if eo.Recovery != nil {
+		out.Recovery = eo.Recovery
+		out.Convergence = eo.Recovery.Label()
+	}
 	out.class = classify(verdict, sc.F(), sc.U)
 	out.Class = out.class.String()
 	out.ExpectationMet, out.ExpectReason = sc.judge(out, execution)
@@ -333,6 +365,12 @@ func inProcess(sc Scenario) (*ExecOutcome, error) {
 			return nil, err
 		}
 		strategies[f.Node] = s
+	}
+	// Crash victims: honest through the kill round's sends, silent after —
+	// the in-process surrogate for a SIGKILLed process whose recovery the
+	// surrogate cannot observe (see Scenario.Driver).
+	for _, cr := range sc.Crashes {
+		strategies[cr.Node] = adversary.Crash{After: cr.Round}
 	}
 	eo := &ExecOutcome{}
 	in := runner.Instance{
@@ -386,6 +424,9 @@ func (sc Scenario) judge(out *Outcome, exec spec.Execution) (bool, string) {
 		if !ok {
 			return false, fmt.Sprintf("pinned condition %s failed: %s", sc.Expect.Condition, reason)
 		}
+	}
+	if ok, reason := sc.judgeRecovery(out.Recovery); !ok {
+		return false, reason
 	}
 	switch sc.ResolveLevel() {
 	case LevelFull:

@@ -63,7 +63,22 @@ func Shrink(sc Scenario) (*Outcome, int, error) {
 		if improved {
 			continue
 		}
-		// 2. Drop faults, last first.
+		// 2. Drop crash events, last first (like injectors, they are more
+		// dispensable than the Byzantine faults that usually carry the
+		// failure).
+		for i := len(out.Scenario.Crashes) - 1; i >= 0; i-- {
+			cand := out.Scenario
+			cand.Crashes = deleteAt(cand.Crashes, i)
+			if o, ok := fails(cand); ok {
+				out, improved = o, true
+				steps++
+				break
+			}
+		}
+		if improved {
+			continue
+		}
+		// 3. Drop faults, last first.
 		for i := len(out.Scenario.Faults) - 1; i >= 0; i-- {
 			cand := out.Scenario
 			cand.Faults = deleteAt(cand.Faults, i)
@@ -76,7 +91,7 @@ func Shrink(sc Scenario) (*Outcome, int, error) {
 		if improved {
 			continue
 		}
-		// 3. Shave the highest node toward N = 2m+u+1.
+		// 4. Shave the highest node toward N = 2m+u+1.
 		if cand, ok := shaveNode(out.Scenario); ok {
 			if o, ok := fails(cand); ok {
 				out, improved = o, true
@@ -95,8 +110,9 @@ func deleteAt[T any](s []T, i int) []T {
 }
 
 // shaveNode removes the highest-numbered node from the scenario if it is
-// fault-free, not the sender, and the system stays at or above the
-// Theorem-2 minimum. Partition groups are rewritten to exclude it.
+// fault-free, not the sender, not a crash victim, and the system stays at
+// or above the Theorem-2 minimum. Partition groups are rewritten to exclude
+// it.
 func shaveNode(sc Scenario) (Scenario, bool) {
 	last := types.NodeID(sc.N - 1)
 	if sc.N-1 < 2*sc.M+sc.U+1 || sc.Sender == last {
@@ -104,6 +120,11 @@ func shaveNode(sc Scenario) (Scenario, bool) {
 	}
 	for _, f := range sc.Faults {
 		if f.Node == last {
+			return sc, false
+		}
+	}
+	for _, cr := range sc.Crashes {
+		if cr.Node == last {
 			return sc, false
 		}
 	}
@@ -152,7 +173,7 @@ func ReproGo(sc Scenario) string {
 		fmt.Fprintf(&b, ", Sender: %d", int(sc.Sender))
 	}
 	b.WriteString("}\n")
-	if len(sc.Injectors) == 0 {
+	if len(sc.Injectors) == 0 && len(sc.Crashes) == 0 {
 		fmt.Fprintf(&b, "res, err := degradable.Agree(cfg, %d", int64(sc.SenderValue))
 		for _, f := range sc.Faults {
 			b.WriteString(",\n\t" + faultLiteral(f))

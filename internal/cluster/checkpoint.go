@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"degradable/internal/chaos"
+	"degradable/internal/types"
+)
+
+// Checkpoint file format: the node's crash-recovery snapshot, written
+// atomically at every round boundary and read back once on restart.
+//
+//	magic "DGC1" (4 bytes) | body length uint32 | JSON body | crc32 uint32
+//
+// The CRC (IEEE, big-endian, over magic + length + body) makes corruption
+// detectable: a restore must either load the exact recorded state or reject
+// the file and fall back to the V_d-safe re-initialization, never import
+// damaged bytes silently. The body is JSON for debuggability — the security
+// of the format is the checksum and the strict shape checks on restore, not
+// obscurity — and embeds the node's EIG tree as an internal/eig snapshot,
+// which carries its own independent checksum and per-path validation.
+const (
+	ckptMagic   = "DGC1"
+	ckptHeader  = 4 + 4 // magic + body length
+	ckptTrailer = 4     // crc32
+	// ckptMaxBody bounds a readable checkpoint body: a hard stop against a
+	// corrupted length field allocating gigabytes before the CRC can veto.
+	ckptMaxBody = 64 << 20
+)
+
+// checkpointBody is one node's serialized round state.
+type checkpointBody struct {
+	ID     types.NodeID `json:"id"`
+	N      int          `json:"n"`
+	M      int          `json:"m"`
+	U      int          `json:"u"`
+	Sender types.NodeID `json:"sender"`
+	// Round and Phase are the boundary the snapshot was taken at:
+	// (r, "sent") after round r's batches left, (r, "closed") after round
+	// r's delivery completed.
+	Round int    `json:"round"`
+	Phase string `json:"phase"`
+	// Tree is the node's EIG state as an internal/eig snapshot.
+	Tree []byte `json:"tree"`
+	// Inbox is round Round's delivered messages ("closed" phase only): they
+	// are absorbed at Step(Round+1), so at the boundary they live outside
+	// the tree and must ride along.
+	Inbox []types.Message `json:"inbox,omitempty"`
+	// Held is the hold-back buffer: future-round batches that completed
+	// before the boundary, replayed into the hold-back on restore.
+	Held []heldRound `json:"held,omitempty"`
+}
+
+// heldRound is one future round's buffered state inside a checkpoint.
+type heldRound struct {
+	Round int             `json:"round"`
+	Peers []types.NodeID  `json:"peers"`
+	Msgs  []types.Message `json:"msgs,omitempty"`
+}
+
+// CheckpointPath returns the checkpoint file for a node in dir.
+func CheckpointPath(dir string, id types.NodeID) string {
+	return filepath.Join(dir, fmt.Sprintf("node-%d.ckpt", int(id)))
+}
+
+// writeCheckpoint atomically replaces path with the framed, checksummed
+// body, returning the file size. Atomicity (write-temp + rename) means a
+// crash mid-write leaves the previous checkpoint intact rather than a torn
+// file — a torn file would be rejected by CRC anyway, but the previous
+// round's state is strictly more useful than none.
+func writeCheckpoint(path string, body *checkpointBody) (int, error) {
+	enc, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 0, ckptHeader+len(enc)+ckptTrailer)
+	buf = append(buf, ckptMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(enc)))
+	buf = append(buf, enc...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return len(buf), nil
+}
+
+// readCheckpoint loads and fully validates a checkpoint file. Any framing,
+// checksum, or decoding defect is an error; the caller decides whether that
+// means "corrupt" (file exists but is damaged) or "missing" via os.IsNotExist.
+func readCheckpoint(path string) (*checkpointBody, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < ckptHeader+ckptTrailer {
+		return nil, fmt.Errorf("cluster: checkpoint of %d bytes is truncated", len(raw))
+	}
+	if string(raw[:4]) != ckptMagic {
+		return nil, fmt.Errorf("cluster: bad checkpoint magic %q", raw[:4])
+	}
+	blen := int(binary.BigEndian.Uint32(raw[4:8]))
+	if blen > ckptMaxBody || len(raw) != ckptHeader+blen+ckptTrailer {
+		return nil, fmt.Errorf("cluster: checkpoint length %d does not match %d file bytes", blen, len(raw))
+	}
+	sum := binary.BigEndian.Uint32(raw[len(raw)-ckptTrailer:])
+	if want := crc32.ChecksumIEEE(raw[:len(raw)-ckptTrailer]); sum != want {
+		return nil, fmt.Errorf("cluster: checkpoint checksum %08x, want %08x", sum, want)
+	}
+	var body checkpointBody
+	if err := json.Unmarshal(raw[ckptHeader:ckptHeader+blen], &body); err != nil {
+		return nil, fmt.Errorf("cluster: checkpoint body: %w", err)
+	}
+	switch body.Phase {
+	case chaos.CrashPhaseSent, chaos.CrashPhaseClosed:
+	default:
+		return nil, fmt.Errorf("cluster: checkpoint phase %q", body.Phase)
+	}
+	return &body, nil
+}
+
+// CorruptCheckpoint damages the checkpoint at path per the chaos corruption
+// mode — the launcher's boot-with-corrupted-state campaigns. bitflip XORs a
+// byte in the middle of the file (caught by CRC), truncate cuts the file in
+// half (caught by framing), and stale rewrites the body's recorded round to
+// staleRound with a valid checksum (caught only by the restore-coordinate
+// check — the adversarial case where the bytes are intact but the state is
+// from the wrong point in time).
+func CorruptCheckpoint(path, mode string, staleRound int) error {
+	switch mode {
+	case chaos.CorruptBitFlip:
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		raw[len(raw)/2] ^= 0x40
+		return os.WriteFile(path, raw, 0o644)
+	case chaos.CorruptTruncate:
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, raw[:len(raw)/2], 0o644)
+	case chaos.CorruptStale:
+		body, err := readCheckpoint(path)
+		if err != nil {
+			return err
+		}
+		body.Round = staleRound
+		body.Phase = chaos.CrashPhaseClosed
+		body.Inbox = nil
+		body.Held = nil
+		_, err = writeCheckpoint(path, body)
+		return err
+	default:
+		return fmt.Errorf("cluster: unknown checkpoint corruption %q", mode)
+	}
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -40,6 +41,19 @@ type Config struct {
 	// Trace captures every node's structured round-event stream in the
 	// report.
 	Trace bool
+	// Crashes schedules mid-round kill/restart events: each victim's
+	// process is SIGKILLed at its round-phase mark and (unless NoRestart)
+	// respawned to recover from its checkpoint. Victims count toward the
+	// fault budget like any benign fault.
+	Crashes []chaos.CrashSpec
+	// CheckpointDir is where nodes write their crash-recovery snapshots.
+	// Empty with a crash schedule means a temporary directory, removed
+	// after the run.
+	CheckpointDir string
+	// RecoveryGrace bounds how long a respawned victim may take to rejoin
+	// and report before it is written off as unrecovered. Zero means
+	// Deadline*(depth+2)+5s.
+	RecoveryGrace time.Duration
 	// Command overrides how a node process is spawned (argv). Empty means
 	// re-exec the current binary, which must call Hijack first thing; the
 	// NodeEnv variable is set either way.
@@ -55,14 +69,26 @@ type Report struct {
 	// Counters aggregates every node's egress injector tallies.
 	Counters chaos.Counters
 	// Obs merges every node's telemetry snapshot: counters summed,
-	// round-wait histograms merged bucket-wise.
+	// round-wait histograms merged bucket-wise. Crash runs add the
+	// launcher's own convergence_time histogram (kill-to-report wall time
+	// per recovered victim).
 	Obs obs.Snapshot
 	// RoundWait summarizes every node's per-round hold-back waits in
 	// nanoseconds (mean/min/max/p50/p95/p99 via internal/stats).
 	RoundWait stats.Summary
-	// Nodes holds the raw per-node reports, indexed by node ID.
+	// Nodes holds the raw per-node reports, indexed by node ID. An
+	// unrecovered crash victim's entry is nil.
 	Nodes []*NodeReport
+	// Recovery aggregates the crash-recovery observations (nil when no
+	// crash was scheduled), and Convergence renders its taxonomy label:
+	// "Converged-in-k-rounds" or "NeverConverged".
+	Recovery    *chaos.RecoveryInfo
+	Convergence string
 }
+
+// ConvergenceHist is the snapshot name of the launcher's kill-to-report
+// convergence-time histogram.
+const ConvergenceHist = "convergence_time"
 
 // Late sums batches that missed their round deadline across nodes.
 func (r *Report) Late() int { return int(r.Obs.Counter(nodeStatNames[nodeStatLate])) }
@@ -84,16 +110,22 @@ func (r *Report) RoundWaitTotal() time.Duration {
 func (r *Report) Events() []obs.Event {
 	var events []obs.Event
 	for _, nr := range r.Nodes {
-		events = append(events, nr.Events...)
+		if nr != nil {
+			events = append(events, nr.Events...)
+		}
 	}
 	return events
 }
 
-// Faulty returns the configured fault set.
+// Faulty returns the configured fault set: Byzantine nodes plus crash
+// victims (a crash is a benign fault within the budget).
 func (c Config) Faulty() types.NodeSet {
 	var s types.NodeSet
 	for _, f := range c.Faults {
 		s = s.Add(f.Node)
+	}
+	for _, cr := range c.Crashes {
+		s = s.Add(cr.Node)
 	}
 	return s
 }
@@ -110,7 +142,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		cfg.Deadline = 2 * time.Second
 	}
 	faultBy := make(map[types.NodeID]*chaos.FaultSpec, len(cfg.Faults))
-	faulty := make([]types.NodeID, 0, len(cfg.Faults))
+	faulty := make([]types.NodeID, 0, len(cfg.Faults)+len(cfg.Crashes))
 	for i := range cfg.Faults {
 		f := cfg.Faults[i]
 		if f.Node < 0 || int(f.Node) >= cfg.N {
@@ -121,6 +153,30 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		faultBy[f.Node] = &cfg.Faults[i]
 		faulty = append(faulty, f.Node)
+	}
+	crashBy := make(map[types.NodeID]*chaos.CrashSpec, len(cfg.Crashes))
+	if len(cfg.Crashes) > 0 {
+		// Reuse the scenario-level validation so every executor rejects the
+		// same malformed schedules.
+		vsc := chaos.Scenario{N: cfg.N, M: cfg.M, U: cfg.U, Sender: cfg.Sender,
+			Faults: cfg.Faults, Crashes: cfg.Crashes}
+		if err := vsc.ValidateCrashes(); err != nil {
+			return nil, err
+		}
+		for i := range cfg.Crashes {
+			cr := &cfg.Crashes[i]
+			crashBy[cr.Node] = cr
+			faulty = append(faulty, cr.Node)
+		}
+	}
+	ckptDir := cfg.CheckpointDir
+	if ckptDir == "" && len(cfg.Crashes) > 0 {
+		dir, err := os.MkdirTemp("", "degradable-ckpt-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		ckptDir = dir
 	}
 
 	argv := cfg.Command
@@ -147,7 +203,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			Fault: faultBy[types.NodeID(i)], Faulty: faulty,
 			Injectors: cfg.Injectors, Seed: cfg.Seed,
 			Deadline: cfg.Deadline, RecordViews: cfg.RecordViews,
-			Trace: cfg.Trace,
+			Trace: cfg.Trace, Checkpoint: ckptDir,
+			Progress: crashBy[types.NodeID(i)] != nil,
 		}
 		pr, err := spawnNode(ctx, argv, nc)
 		if err != nil {
@@ -171,6 +228,37 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 	}
 
+	// Launch the per-victim crash controllers. Each takes ownership of its
+	// victim's process: lands the kill at the scheduled round-phase mark,
+	// corrupts the checkpoint if scheduled, respawns, and delivers the
+	// final incarnation's report. Non-victims keep the plain sequential
+	// collection below — when no crash is scheduled this path is byte-for-
+	// byte the crash-free launcher.
+	victims := make(map[types.NodeID]chan crashResult, len(crashBy))
+	if len(crashBy) > 0 {
+		grace := cfg.RecoveryGrace
+		if grace <= 0 {
+			grace = cfg.Deadline*time.Duration(p.Depth()+2) + 5*time.Second
+		}
+		for id, cr := range crashBy {
+			ch := make(chan crashResult, 1)
+			victims[id] = ch
+			nc := NodeConfig{
+				ID: id, N: cfg.N, M: cfg.M, U: cfg.U,
+				Sender: cfg.Sender, SenderValue: cfg.SenderValue,
+				Faulty:    faulty,
+				Injectors: cfg.Injectors, Seed: cfg.Seed,
+				Deadline: cfg.Deadline, RecordViews: cfg.RecordViews,
+				Trace: cfg.Trace, Checkpoint: ckptDir,
+			}
+			pr := procs[int(id)]
+			procs[int(id)] = nil // the controller owns the process now
+			go func(cr *chaos.CrashSpec, pr *nodeProc, nc NodeConfig) {
+				ch <- crashVictim(ctx, argv, cr, pr, nc, ros, ckptDir, grace)
+			}(cr, pr, nc)
+		}
+	}
+
 	rep := &Report{
 		Result: &round.Result{
 			Decisions: make(map[types.NodeID]types.Value, cfg.N),
@@ -181,19 +269,43 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.RecordViews {
 		rep.Result.Views = make(map[types.NodeID][]types.Message, cfg.N)
 	}
+	var ri *chaos.RecoveryInfo
+	var convHist *obs.Histogram
+	if len(crashBy) > 0 {
+		ri = &chaos.RecoveryInfo{}
+		convHist = obs.NewHistogram()
+	}
 	for i, pr := range procs {
-		var nr NodeReport
-		if err := readLine(pr.out, &nr); err != nil {
-			return nil, fmt.Errorf("cluster: node %d report: %w", i, err)
+		var nr *NodeReport
+		if ch, ok := victims[types.NodeID(i)]; ok {
+			res := <-ch
+			if res.err != nil {
+				return nil, fmt.Errorf("cluster: crash victim %d: %w", i, res.err)
+			}
+			if res.rep == nil {
+				ri.Unrecovered++
+				continue
+			}
+			ri.Restarts++
+			convHist.Observe(res.converge)
+			if rec := res.rep.Recovery; rec != nil && rec.LostRounds > ri.LostRounds {
+				ri.LostRounds = rec.LostRounds
+			}
+			nr = res.rep
+		} else {
+			nr = new(NodeReport)
+			if err := readLine(pr.out, nr); err != nil {
+				return nil, fmt.Errorf("cluster: node %d report: %w", i, err)
+			}
+			if err := pr.wait(); err != nil {
+				return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+			}
+			procs[i] = nil
 		}
-		if err := pr.wait(); err != nil {
-			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
-		}
-		procs[i] = nil
 		if int(nr.ID) != i {
 			return nil, fmt.Errorf("cluster: node %d reported as %d", i, int(nr.ID))
 		}
-		rep.Nodes[i] = &nr
+		rep.Nodes[i] = nr
 		rep.Result.Decisions[nr.ID] = nr.Decision
 		rep.Result.Messages += nr.Messages
 		rep.Result.Delivered += nr.Delivered
@@ -211,11 +323,21 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	waits := make([]float64, 0, len(rep.Nodes)*p.Depth())
 	for _, nr := range rep.Nodes {
+		if nr == nil {
+			continue
+		}
 		for _, w := range nr.RoundWaitsNs {
 			waits = append(waits, float64(w))
 		}
 	}
 	rep.RoundWait = stats.Summarize(waits)
+	if ri != nil {
+		ri.CorruptRejected = int64(rep.Obs.Counter(nodeStatNames[nodeStatCkptCorrupt]))
+		ri.StaleRejected = int64(rep.Obs.Counter(nodeStatNames[nodeStatCkptStale]))
+		rep.Obs.SetHistogram(ConvergenceHist, convHist.Snapshot())
+		rep.Recovery = ri
+		rep.Convergence = ri.Label()
+	}
 	rep.Verdict = spec.Check(spec.Execution{
 		M: cfg.M, U: cfg.U,
 		Sender:      cfg.Sender,
@@ -224,6 +346,89 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Decisions:   rep.Result.Decisions,
 	})
 	return rep, nil
+}
+
+// crashResult is one victim controller's outcome: the final incarnation's
+// report (nil when the victim stayed down — NoRestart, or the respawn
+// missed the recovery grace), and the kill-to-report convergence time.
+type crashResult struct {
+	rep      *NodeReport
+	converge time.Duration
+	err      error
+}
+
+// crashVictim drives one scheduled crash end to end: watch the victim's
+// progress marks for the scheduled round-phase boundary, SIGKILL it there,
+// damage its checkpoint if scheduled, respawn it bound to its original
+// roster address, and collect the restarted incarnation's report.
+func crashVictim(ctx context.Context, argv []string, cr *chaos.CrashSpec, pr *nodeProc, nc NodeConfig, ros roster, ckptDir string, grace time.Duration) crashResult {
+	phase := cr.EffectivePhase()
+	for {
+		raw, err := pr.out.ReadBytes('\n')
+		if len(raw) == 0 && err != nil {
+			pr.kill()
+			return crashResult{err: fmt.Errorf("died before its round %d %q mark: %w", cr.Round, phase, err)}
+		}
+		var probe struct {
+			Progress *int   `json:"progress"`
+			Phase    string `json:"phase"`
+		}
+		if json.Unmarshal(raw, &probe) != nil || probe.Progress == nil {
+			// The report line: the victim finished before its mark, which the
+			// marks' placement makes impossible; surface it as an error.
+			pr.kill()
+			return crashResult{err: fmt.Errorf("reported before its round %d %q mark", cr.Round, phase)}
+		}
+		if *probe.Progress == cr.Round && probe.Phase == phase {
+			break
+		}
+	}
+	// The mark means the boundary's checkpoint is on disk: kill here and the
+	// victim's recovery story starts exactly at (round, phase).
+	pr.kill()
+	killedAt := time.Now()
+	if cr.Corrupt != "" {
+		if err := CorruptCheckpoint(CheckpointPath(ckptDir, cr.Node), cr.Corrupt, cr.Round-1); err != nil {
+			return crashResult{err: fmt.Errorf("corrupt checkpoint: %w", err)}
+		}
+	}
+	if cr.NoRestart {
+		return crashResult{} // permanent: NeverConverged by construction
+	}
+	nc.Restart = 1
+	nc.Resume = cr.Round
+	nc.ResumePhase = phase
+	nc.Listen = ros.Peers[int(cr.Node)]
+	pr2, err := spawnNode(ctx, argv, nc)
+	if err != nil {
+		return crashResult{err: fmt.Errorf("respawn: %w", err)}
+	}
+	// The grace timer only ever kills the process; the pipe reads below then
+	// fail and the victim is written off as unrecovered.
+	timer := time.AfterFunc(grace, func() {
+		if pr2.cmd.Process != nil {
+			pr2.cmd.Process.Kill()
+		}
+	})
+	defer timer.Stop()
+	var ll listenLine
+	if err := readLine(pr2.out, &ll); err != nil {
+		pr2.kill()
+		return crashResult{}
+	}
+	if err := writeLine(pr2.in, ros); err != nil {
+		pr2.kill()
+		return crashResult{}
+	}
+	var nr NodeReport
+	if err := readLine(pr2.out, &nr); err != nil {
+		pr2.kill()
+		return crashResult{}
+	}
+	if err := pr2.wait(); err != nil {
+		return crashResult{}
+	}
+	return crashResult{rep: &nr, converge: time.Since(killedAt)}
 }
 
 // nodeProc is one spawned node process and its stdio.
@@ -285,9 +490,10 @@ func spawnNode(ctx context.Context, argv []string, nc NodeConfig) (*nodeProc, er
 }
 
 // Executor adapts the cluster launcher to the chaos campaign engine: the
-// returned Executor runs every scenario as one process per node, so a
-// campaign's generation, classification, and shrink-repro machinery judges
-// real cross-process executions. deadline overrides the per-round hold-back
+// returned Executor runs every scenario as one process per node — crash
+// schedules included, as real SIGKILLs and respawns — so a campaign's
+// generation, classification, and shrink-repro machinery judges real
+// cross-process executions. deadline overrides the per-round hold-back
 // bound (zero keeps the default).
 func Executor(ctx context.Context, deadline time.Duration) chaos.Executor {
 	return func(sc chaos.Scenario) (*chaos.ExecOutcome, error) {
@@ -295,7 +501,8 @@ func Executor(ctx context.Context, deadline time.Duration) chaos.Executor {
 			N: sc.N, M: sc.M, U: sc.U,
 			Sender: sc.Sender, SenderValue: sc.SenderValue,
 			Faults: sc.Faults, Injectors: sc.Injectors,
-			Seed: sc.Seed, Deadline: deadline,
+			Crashes: sc.Crashes,
+			Seed:    sc.Seed, Deadline: deadline,
 		})
 		if err != nil {
 			return nil, err
@@ -305,6 +512,7 @@ func Executor(ctx context.Context, deadline time.Duration) chaos.Executor {
 			Messages:  rep.Result.Messages,
 			Delivered: rep.Result.Delivered,
 			Counters:  rep.Counters,
+			Recovery:  rep.Recovery,
 		}, nil
 	}
 }

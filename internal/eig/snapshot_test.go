@@ -1,0 +1,231 @@
+package eig
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"degradable/internal/types"
+)
+
+// fillRandom stores a random subset of valid paths with random values,
+// identically into every given tree.
+func fillRandom(t testing.TB, rng *rand.Rand, trees ...*Tree) int {
+	t.Helper()
+	stored := 0
+	ref := trees[0]
+	for length := 1; length <= ref.Depth(); length++ {
+		ref.ForEachPath(length, -1, func(p types.Path) bool {
+			if rng.Intn(3) != 0 {
+				return true
+			}
+			v := types.Value(rng.Int63())
+			q := p.Clone()
+			for _, tr := range trees {
+				if err := tr.Set(q, v); err != nil {
+					t.Fatalf("Set(%s): %v", q, err)
+				}
+			}
+			stored++
+			return true
+		})
+	}
+	return stored
+}
+
+// assertTreesEqual compares every valid path's Has/Get across two trees.
+func assertTreesEqual(t *testing.T, got, want *Tree) {
+	t.Helper()
+	if got.Stored() != want.Stored() {
+		t.Fatalf("Stored() = %d, want %d", got.Stored(), want.Stored())
+	}
+	for length := 1; length <= want.Depth(); length++ {
+		want.ForEachPath(length, -1, func(p types.Path) bool {
+			if got.Has(p) != want.Has(p) {
+				t.Fatalf("Has(%s) = %v, want %v", p, got.Has(p), want.Has(p))
+			}
+			if got.Get(p) != want.Get(p) {
+				t.Fatalf("Get(%s) = %v, want %v", p, got.Get(p), want.Get(p))
+			}
+			return true
+		})
+	}
+}
+
+// TestSnapshotRoundTrip exports from each engine and imports into the other:
+// the snapshot format is the bridge the cluster checkpoints cross between
+// the flat engine and the map-engine oracle.
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, shape := range []struct{ n, depth, sender int }{
+		{4, 2, 0}, {5, 2, 3}, {7, 3, 1}, {6, 1, 5},
+	} {
+		flat, err := New(shape.n, shape.depth, types.NodeID(shape.sender))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := newMapTree(shape.n, shape.depth, types.NodeID(shape.sender))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillRandom(t, rng, flat, oracle)
+
+		flatSnap, err := flat.Export(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracleSnap, err := oracle.Export(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(flatSnap, oracleSnap) {
+			t.Fatalf("n=%d: flat and map engines export different snapshots", shape.n)
+		}
+
+		// Cross-engine import: flat snapshot into a fresh oracle and back.
+		fresh, _ := newMapTree(shape.n, shape.depth, types.NodeID(shape.sender))
+		if err := fresh.Import(flatSnap); err != nil {
+			t.Fatalf("map import of flat snapshot: %v", err)
+		}
+		assertTreesEqual(t, fresh, oracle)
+		freshFlat, _ := New(shape.n, shape.depth, types.NodeID(shape.sender))
+		if err := freshFlat.Import(oracleSnap); err != nil {
+			t.Fatalf("flat import of map snapshot: %v", err)
+		}
+		assertTreesEqual(t, freshFlat, flat)
+	}
+}
+
+// TestSnapshotEmptyTree round-trips a tree with no recorded claims.
+func TestSnapshotEmptyTree(t *testing.T) {
+	tr, _ := New(5, 2, 0)
+	snap, err := tr.Export(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := New(5, 2, 0)
+	if err := fresh.Import(snap); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Stored() != 0 {
+		t.Fatalf("empty snapshot imported %d claims", fresh.Stored())
+	}
+}
+
+// TestSnapshotRejectsShapeMismatch checks a snapshot only imports into a
+// tree of the exact shape it was exported from.
+func TestSnapshotRejectsShapeMismatch(t *testing.T) {
+	tr, _ := New(5, 2, 0)
+	tr.Set(types.Path{0}, 42)
+	snap, err := tr.Export(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shape := range []struct{ n, depth, sender int }{
+		{6, 2, 0}, {5, 3, 0}, {5, 2, 1},
+	} {
+		other, _ := New(shape.n, shape.depth, types.NodeID(shape.sender))
+		if err := other.Import(snap); err == nil {
+			t.Errorf("shape n=%d depth=%d sender=%d accepted a 5/2/0 snapshot",
+				shape.n, shape.depth, shape.sender)
+		}
+		if other.Stored() != 0 {
+			t.Errorf("rejected import still stored %d claims", other.Stored())
+		}
+	}
+}
+
+// TestSnapshotRejectsTruncation checks every strict prefix of a valid
+// snapshot fails to import (and mutates nothing).
+func TestSnapshotRejectsTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr, _ := New(5, 2, 1)
+	fillRandom(t, rng, tr)
+	snap, err := tr.Export(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(snap); cut++ {
+		fresh, _ := New(5, 2, 1)
+		if err := fresh.Import(snap[:cut]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes imported silently", cut, len(snap))
+		}
+		if fresh.Stored() != 0 {
+			t.Fatalf("truncation to %d bytes partially imported %d claims", cut, fresh.Stored())
+		}
+	}
+}
+
+// TestSnapshotRejectsBitFlips flips every bit of a valid snapshot in turn:
+// CRC32 detects any burst of at most 32 bits, so every single-bit
+// corruption must surface as an error, never a silent import.
+func TestSnapshotRejectsBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr, _ := New(5, 2, 0)
+	fillRandom(t, rng, tr)
+	snap, err := tr.Export(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(snap)*8; i++ {
+		mut := append([]byte(nil), snap...)
+		mut[i/8] ^= 1 << (i % 8)
+		fresh, _ := New(5, 2, 0)
+		if err := fresh.Import(mut); err == nil {
+			t.Fatalf("bit flip at %d imported silently", i)
+		}
+		if fresh.Stored() != 0 {
+			t.Fatalf("bit flip at %d partially imported %d claims", i, fresh.Stored())
+		}
+	}
+}
+
+// FuzzSnapshotImport fuzzes Import against the map-engine differential
+// oracle: arbitrary mutations of a valid snapshot must either error or —
+// only when the mutation reconstructs a byte-identical snapshot — import
+// the exact original claims.
+func FuzzSnapshotImport(f *testing.F) {
+	base, _ := New(5, 2, 0)
+	rng := rand.New(rand.NewSource(17))
+	fillRandom(f, rng, base)
+	seed, err := base.Export(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed, uint16(0), byte(0))
+	f.Add(seed, uint16(7), byte(0xFF))
+	f.Add([]byte("EIGS"), uint16(0), byte(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, pos uint16, mask byte) {
+		mut := append([]byte(nil), data...)
+		if len(mut) > 0 {
+			mut[int(pos)%len(mut)] ^= mask
+		}
+		flat, _ := New(5, 2, 0)
+		oracle, _ := newMapTree(5, 2, 0)
+		flatErr := flat.Import(mut)
+		oracleErr := oracle.Import(mut)
+		if (flatErr == nil) != (oracleErr == nil) {
+			t.Fatalf("engines disagree: flat=%v oracle=%v", flatErr, oracleErr)
+		}
+		if flatErr != nil {
+			if flat.Stored() != 0 || oracle.Stored() != 0 {
+				t.Fatalf("failed import mutated the tree (flat=%d oracle=%d claims)",
+					flat.Stored(), oracle.Stored())
+			}
+			return
+		}
+		// Both engines must agree claim-for-claim on anything accepted, and
+		// an accepted import must survive a full re-export/re-import cycle.
+		assertTreesEqual(t, flat, oracle)
+		re, err := flat.Export(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, _ := newMapTree(5, 2, 0)
+		if err := again.Import(re); err != nil {
+			t.Fatalf("re-import of re-export: %v", err)
+		}
+		assertTreesEqual(t, again, flat)
+	})
+}

@@ -36,6 +36,30 @@ const (
 	// (1..4 for D.1..D.4, 0 for "none"), B = a bitmask of VerdictOK and
 	// VerdictGraceful.
 	EvVerdict
+	// EvCheckpoint: a cluster node snapshotted its round state at a round
+	// boundary. Node = the node, Round = the checkpointed round,
+	// A = the checkpoint size in bytes.
+	EvCheckpoint
+	// EvRestart: a killed cluster node process came back up. Node = the
+	// node, Round = the round it resumes at, A = its incarnation (1 for
+	// the first respawn).
+	EvRestart
+	// EvRestore: a restarted node evaluated its checkpoint. Node = the
+	// node, Round = the round it resumes at, A = a RestoreSource code,
+	// B = the checkpoint's recorded round (-1 when none was readable). A
+	// rejected checkpoint (corrupt, stale, missing) falls back to the
+	// V_d-safe re-init: an empty tree whose missed rounds read as the
+	// default value, §4 assumption (b) applied to the node's own past.
+	EvRestore
+)
+
+// RestoreSource codes for EvRestore's A field, mirroring the cluster
+// NodeReport's recovery source strings.
+const (
+	RestoreCheckpoint = iota // checkpoint verified and imported
+	RestoreCorrupt           // checksum/shape rejection → V_d-safe re-init
+	RestoreStale             // wrong-round checkpoint → V_d-safe re-init
+	RestoreMissing           // no checkpoint on disk → V_d-safe re-init
 )
 
 // Verdict-event B-field bits.
@@ -59,6 +83,12 @@ func (k EventKind) String() string {
 		return "vdSub"
 	case EvVerdict:
 		return "verdict"
+	case EvCheckpoint:
+		return "checkpoint"
+	case EvRestart:
+		return "restart"
+	case EvRestore:
+		return "restore"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -69,6 +99,7 @@ var kindByName = map[string]EventKind{
 	"roundOpen": EvRoundOpen, "roundClose": EvRoundClose,
 	"deadlineMiss": EvDeadlineMiss, "lateBatch": EvLateBatch,
 	"vdSub": EvVdSub, "verdict": EvVerdict,
+	"checkpoint": EvCheckpoint, "restart": EvRestart, "restore": EvRestore,
 }
 
 // ConditionIndex maps a spec condition name ("D.1".."D.4", anything else =

@@ -35,25 +35,50 @@ const batchLast = 1
 // header plus flags (1) and message count (2).
 const batchOverhead = 10 + 1 + 2
 
-// AppendHello appends a hello frame identifying the dialing node.
+// AppendHello appends a hello frame identifying the dialing node. It is
+// AppendHelloInc at incarnation zero: the compact single-byte body every
+// first-launch connection uses.
 func AppendHello(buf []byte, node types.NodeID) ([]byte, error) {
+	return AppendHelloInc(buf, node, 0)
+}
+
+// AppendHelloInc appends a hello carrying the dialing node's incarnation: 0
+// for a process's first launch, k > 0 for its k-th restart after a crash. A
+// nonzero incarnation is how a restarted node re-enters the mesh — the
+// accepting peer rebinds its connection for that identity when (and only
+// when) the incarnation is newer than the one currently bound, so a stale
+// duplicate Hello can never hijack a live connection. Incarnation zero
+// encodes as the 1-byte legacy body, so first-launch frames are unchanged.
+func AppendHelloInc(buf []byte, node types.NodeID, inc int) ([]byte, error) {
 	if node < 0 || node > 255 {
 		return nil, fmt.Errorf("wire: hello node %d out of byte range", int(node))
 	}
-	buf = appendHeader(buf, 10+1, TypeHello, 0)
-	return append(buf, byte(node)), nil
+	if inc < 0 || inc > 255 {
+		return nil, fmt.Errorf("wire: hello incarnation %d out of byte range", inc)
+	}
+	if inc == 0 {
+		buf = appendHeader(buf, 10+1, TypeHello, 0)
+		return append(buf, byte(node)), nil
+	}
+	buf = appendHeader(buf, 10+2, TypeHello, 0)
+	return append(buf, byte(node), byte(inc)), nil
 }
 
-// DecodeHello decodes a hello payload.
-func DecodeHello(payload []byte) (types.NodeID, error) {
+// DecodeHello decodes a hello payload, accepting both the 1-byte legacy
+// body (incarnation zero) and the 2-byte restart form.
+func DecodeHello(payload []byte) (types.NodeID, int, error) {
 	_, b, err := header(payload, TypeHello)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	if len(b) != 1 {
-		return 0, fmt.Errorf("wire: hello body of %d bytes, want 1", len(b))
+	switch len(b) {
+	case 1:
+		return types.NodeID(b[0]), 0, nil
+	case 2:
+		return types.NodeID(b[0]), int(b[1]), nil
+	default:
+		return 0, 0, fmt.Errorf("wire: hello body of %d bytes, want 1 or 2", len(b))
 	}
-	return types.NodeID(b[0]), nil
 }
 
 // batchMessageSize returns the encoded size of one batch message:

@@ -12,7 +12,8 @@ import (
 	"degradable/internal/types"
 )
 
-// TestHelloRoundTrip round-trips the cluster hello frame.
+// TestHelloRoundTrip round-trips the cluster hello frame, in both the
+// 1-byte first-launch form and the 2-byte restart form.
 func TestHelloRoundTrip(t *testing.T) {
 	buf, err := AppendHello(nil, 13)
 	if err != nil {
@@ -22,15 +23,46 @@ func TestHelloRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := DecodeHello(payload)
+	id, inc, err := DecodeHello(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if id != 13 {
-		t.Fatalf("hello node %d, want 13", int(id))
+	if id != 13 || inc != 0 {
+		t.Fatalf("hello node %d incarnation %d, want 13/0", int(id), inc)
 	}
 	if _, err := AppendHello(nil, 300); err == nil {
 		t.Fatal("out-of-range node accepted")
+	}
+}
+
+// TestHelloIncarnationRoundTrip checks a restarted node's hello carries its
+// incarnation, and that incarnation zero keeps the legacy 1-byte body.
+func TestHelloIncarnationRoundTrip(t *testing.T) {
+	buf, err := AppendHelloInc(nil, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, inc, err := DecodeHello(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 4 || inc != 2 {
+		t.Fatalf("hello node %d incarnation %d, want 4/2", int(id), inc)
+	}
+	zero, err := AppendHelloInc(nil, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, _ := AppendHello(nil, 4)
+	if !bytes.Equal(zero, legacy) {
+		t.Fatal("incarnation-zero hello differs from the legacy encoding")
+	}
+	if _, err := AppendHelloInc(nil, 4, 256); err == nil {
+		t.Fatal("out-of-range incarnation accepted")
 	}
 }
 

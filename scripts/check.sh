@@ -55,6 +55,18 @@ echo "== cluster mode smoke (one OS process per node) =="
 go run ./cmd/cluster -n 7 -m 1 -u 2 -faults 2:twofaced:999,5:silent -deadline 10s -trace TRACE_cluster.jsonl >/dev/null
 go run ./cmd/cluster -n 7 -m 1 -u 2 -campaign 10 -seed 7 -deadline 10s -bench BENCH_cluster.json >/dev/null
 
+echo "== crash-recovery smoke (mid-round SIGKILL + checkpoint restore) =="
+# The paper's running example again, but node 2 is SIGKILLed right after its
+# round-2 send, restarts from its checkpoint, and rejoins. The grep is the
+# gate: the run must land in the Converged-in-k taxonomy with k <= m+1 (= 2)
+# and a clean verdict — cmd/cluster already exits non-zero on any spec
+# violation. Writes the convergence histogram + restart counters to
+# BENCH_recovery.json and the recovery round-event stream to
+# TRACE_recovery.jsonl at the repo root.
+go run ./cmd/cluster -n 7 -m 1 -u 2 -kill 2:2:sent -deadline 10s \
+  -bench BENCH_recovery.json -trace TRACE_recovery.jsonl |
+  grep -E 'recovery: Converged-in-[0-2]-rounds'
+
 echo "== telemetry artifact comparison (non-failing report) =="
 # Diffs the unified obs snapshots embedded in BENCH_service.json and
 # BENCH_cluster.json against kept baselines, so a cluster round-latency
