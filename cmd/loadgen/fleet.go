@@ -1,0 +1,444 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"degradable/internal/fleet"
+	"degradable/internal/obs"
+	"degradable/internal/service"
+	"degradable/internal/stats"
+	"degradable/internal/types"
+	"degradable/internal/wire"
+)
+
+// E2EHist is the BENCH_fleet.json snapshot name of the client→router
+// latency tier (scheduled-start to completion, coordinated-omission safe);
+// the router→backend tier rides along under the router's own
+// fleet_backend_latency name. Both tiers share the obs snapshot schema.
+const E2EHist = "fleet_e2e_latency"
+
+// WireHist is the send-to-completion variant of the same tier: the wall
+// time a request actually spent on the wire and in servers, without the
+// open loop's scheduling lateness. The CO-safe E2EHist is the headline
+// (queueing delay included); this one isolates what the infrastructure
+// itself costs, which is what the router-overhead fraction must be
+// computed from — timer wakeup jitter is the generator's, not the
+// router's.
+const WireHist = "fleet_e2e_wire_latency"
+
+// tierStats is one latency tier's percentile summary in microseconds,
+// derived from its obs histogram.
+type tierStats struct {
+	Count  uint64  `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+}
+
+func tierFromHist(h obs.HistSnapshot) tierStats {
+	const us = float64(time.Microsecond)
+	return tierStats{
+		Count:  h.Count,
+		MeanUs: float64(h.Mean()) / us,
+		P50Us:  float64(h.Quantile(0.50)) / us,
+		P95Us:  float64(h.Quantile(0.95)) / us,
+		P99Us:  float64(h.Quantile(0.99)) / us,
+	}
+}
+
+// tenantStats is one tenant's slice of the run: how much it offered, how
+// much completed, and how much the router shed with the explicit quota
+// status. A quota-capped tenant sheds here while the others' numbers stay
+// at their baseline — that separation is what the fleet smoke asserts.
+type tenantStats struct {
+	Tenant    uint32  `json:"tenant"`
+	Requests  uint64  `json:"requests"`
+	Completed uint64  `json:"completed"`
+	QuotaShed uint64  `json:"quota_shed"`
+	Rejected  uint64  `json:"rejected"`
+	Errors    uint64  `json:"errors"`
+	P50Us     float64 `json:"latency_p50_us"`
+}
+
+// fleetReport is the BENCH_fleet.json document.
+type fleetReport struct {
+	Mode     string  `json:"mode"` // "fleet"
+	Daemons  int     `json:"daemons"`
+	Workers  int     `json:"workers"`
+	Tenants  int     `json:"tenants"`
+	N        int     `json:"n"`
+	M        int     `json:"m"`
+	U        int     `json:"u"`
+	RatePerS float64 `json:"rate_per_s"`
+	// CPUs is the host's logical CPU count: the context for the speedup
+	// number, since daemons, router, and generator share these cores.
+	CPUs int `json:"cpus"`
+
+	DurationS float64 `json:"duration_s"`
+	Requests  uint64  `json:"requests"`
+	Completed uint64  `json:"completed"`
+	QuotaShed uint64  `json:"quota_shed"`
+	Rejected  uint64  `json:"rejected"`
+	Errors    uint64  `json:"errors"`
+
+	Throughput     float64 `json:"throughput_per_s"`
+	SpecChecked    uint64  `json:"spec_checked"`
+	SpecViolations uint64  `json:"spec_violations"`
+	// SendLagMaxUs is the worst scheduled-send lateness: how far behind its
+	// schedule the open loop ever fired. Lateness is already credited to
+	// the affected requests' latencies; this is the honesty metric that
+	// shows the generator itself kept up.
+	SendLagMaxUs float64 `json:"send_lag_max_us"`
+
+	// Tiers breaks the end-to-end latency into its hops:
+	// "client_router" is the full client→router→backend→client path from
+	// the *scheduled* start (CO-safe: send lateness included);
+	// "client_router_wire" is the same path from the actual send;
+	// "router_backend" is the router's own forward hop, scraped from its
+	// fleet_backend_latency histogram.
+	Tiers map[string]tierStats `json:"tiers"`
+	// RouterOverheadFrac is (wire e2e p50 − router→backend p50) / wire e2e
+	// p50: the fraction of median on-the-wire latency spent on the
+	// client↔router hop and the router's own queueing. Computed from the
+	// wire tier, not the scheduled one, so the generator's timer jitter is
+	// not billed to the router.
+	RouterOverheadFrac float64 `json:"router_overhead_frac"`
+
+	// SingleThroughput is the same open-loop workload driven at one daemon
+	// directly (no router). SpeedupVsSingle compares only tenants without
+	// a quota: the baseline has no router to enforce quotas, so counting a
+	// capped tenant's shed requests would misread admission policy as lost
+	// capacity.
+	SingleThroughput float64 `json:"single_throughput_per_s"`
+	SpeedupVsSingle  float64 `json:"speedup_vs_single"`
+	// Note explains the speedup number when the host pins it (a one-core
+	// runner cannot scale out); the per-tier breakdown is the evidence.
+	Note string `json:"note,omitempty"`
+
+	PerTenant []tenantStats `json:"per_tenant"`
+
+	// Obs carries both tiers in the shared snapshot schema (the same one
+	// BENCH_service.json and BENCH_cluster.json use): the client-side
+	// fleet_e2e_latency histogram merged over the router's scraped
+	// snapshot (fleet_backend_latency, routing counters, per-tenant sheds,
+	// health gauges).
+	Obs obs.Snapshot `json:"obs"`
+}
+
+// measured is one completed open-loop request, as seen by the collector.
+type measured struct {
+	tenant  uint32
+	status  wire.Status
+	lat     time.Duration // from the scheduled start (CO-safe)
+	latSend time.Duration // from the actual send (wire + servers only)
+	lost    bool          // connection died before the response
+	checked bool
+	specOK  bool
+}
+
+// openLoop drives addr with a coordinated-omission-safe open loop: every
+// request has a scheduled send time fixed up front (start + i·interval),
+// the sender never waits for responses, and a send that falls behind
+// schedule is sent late rather than skipped — with its latency measured
+// from the *scheduled* start, so the lateness is charged to the server
+// that caused it, not silently dropped. Worker w owns every i ≡ w (mod
+// workers) slot on its own connection and tags its requests with tenant
+// w mod tenants.
+func openLoop(ctx context.Context, addr string, workers, tenants int, gcfg genConfig, hist, wireHist *obs.Histogram) (rep fleetReport, perTenantLats map[uint32][]float64, err error) {
+	clients := make([]*wire.Client, workers)
+	for i := range clients {
+		c, derr := wire.Dial(addr)
+		if derr != nil {
+			err = fmt.Errorf("dial %s: %w", addr, derr)
+			return
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	interval := time.Duration(float64(time.Second) / gcfg.rate)
+	results := make(chan measured, 8192)
+	var sendWG, inflightWG sync.WaitGroup
+	var lagMu sync.Mutex
+	var maxLag time.Duration
+
+	start := time.Now()
+	deadline := start.Add(gcfg.duration)
+	for w := 0; w < workers; w++ {
+		sendWG.Add(1)
+		go func(w int) {
+			defer sendWG.Done()
+			c := clients[w]
+			tenant := fleet.TenantOf(w, tenants)
+			rng := rand.New(rand.NewSource(gcfg.seed + int64(w)*7919))
+			next := start.Add(time.Duration(w) * interval)
+			stride := interval * time.Duration(workers)
+			var worstLag time.Duration
+			for next.Before(deadline) && ctx.Err() == nil {
+				if d := time.Until(next); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return
+					}
+				} else if lag := -d; lag > worstLag {
+					worstLag = lag
+				}
+				t0 := next
+				next = next.Add(stride)
+				req := service.Request{
+					N: gcfg.n, M: gcfg.m, U: gcfg.u,
+					Value:  types.Value(rng.Int63n(1 << 30)),
+					Tenant: tenant,
+				}
+				sentAt := time.Now()
+				ch, serr := c.SendTagged(req, wire.Tag{Tenant: tenant})
+				if serr != nil {
+					results <- measured{tenant: tenant, lost: true}
+					continue
+				}
+				inflightWG.Add(1)
+				go func(t0, sentAt time.Time) {
+					defer inflightWG.Done()
+					r, ok := <-ch
+					if !ok {
+						results <- measured{tenant: tenant, lost: true}
+						return
+					}
+					now := time.Now()
+					results <- measured{
+						tenant:  tenant,
+						status:  r.Status,
+						lat:     now.Sub(t0),
+						latSend: now.Sub(sentAt),
+						checked: r.Resp.Checked,
+						specOK:  r.Resp.OK,
+					}
+				}(t0, sentAt)
+			}
+			lagMu.Lock()
+			if worstLag > maxLag {
+				maxLag = worstLag
+			}
+			lagMu.Unlock()
+		}(w)
+	}
+	go func() {
+		sendWG.Wait()
+		inflightWG.Wait()
+		close(results)
+	}()
+
+	perTenant := make(map[uint32]*tenantStats)
+	perTenantLats = make(map[uint32][]float64)
+	for m := range results {
+		ts := perTenant[m.tenant]
+		if ts == nil {
+			ts = &tenantStats{Tenant: m.tenant}
+			perTenant[m.tenant] = ts
+		}
+		ts.Requests++
+		rep.Requests++
+		switch {
+		case m.lost:
+			ts.Errors++
+			rep.Errors++
+		case m.status == wire.StatusOK:
+			ts.Completed++
+			rep.Completed++
+			hist.Observe(m.lat)
+			wireHist.Observe(m.latSend)
+			perTenantLats[m.tenant] = append(perTenantLats[m.tenant],
+				float64(m.lat)/float64(time.Microsecond))
+			if m.checked {
+				rep.SpecChecked++
+				if !m.specOK {
+					rep.SpecViolations++
+				}
+			}
+		case m.status == wire.StatusQuota:
+			ts.QuotaShed++
+			rep.QuotaShed++
+		case m.status == wire.StatusOverloaded || m.status == wire.StatusClosed:
+			ts.Rejected++
+			rep.Rejected++
+		default:
+			ts.Errors++
+			rep.Errors++
+		}
+	}
+	elapsed := time.Since(start)
+	rep.DurationS = elapsed.Seconds()
+	rep.Throughput = float64(rep.Completed) / elapsed.Seconds()
+	rep.SendLagMaxUs = float64(maxLag) / float64(time.Microsecond)
+	for t, ts := range perTenant {
+		ts.P50Us = stats.Summarize(perTenantLats[t]).P50
+		rep.PerTenant = append(rep.PerTenant, *ts)
+	}
+	for i := range rep.PerTenant {
+		for j := i + 1; j < len(rep.PerTenant); j++ {
+			if rep.PerTenant[j].Tenant < rep.PerTenant[i].Tenant {
+				rep.PerTenant[i], rep.PerTenant[j] = rep.PerTenant[j], rep.PerTenant[i]
+			}
+		}
+	}
+	return rep, perTenantLats, nil
+}
+
+// fleetOpts parameterizes one -fleet benchmark run.
+type fleetOpts struct {
+	daemons   int
+	workers   int
+	tenants   int
+	quota     string
+	serveBin  []string
+	routerBin []string
+	gcfg      genConfig
+	baseline  bool // also measure the single-daemon, router-less baseline
+}
+
+// runFleet spawns daemons+router as real processes, drives the CO-safe
+// open loop through the router, scrapes the router's telemetry for the
+// router→backend tier, then (baseline) repeats the workload against one
+// daemon directly and reports the speedup.
+func runFleet(opts fleetOpts, out io.Writer) (fleetReport, error) {
+	ctx, cancel := context.WithTimeout(context.Background(),
+		4*opts.gcfg.duration+60*time.Second)
+	defer cancel()
+
+	routerArgs := []string{"-conns-per-backend", "2"}
+	if opts.quota != "" {
+		routerArgs = append(routerArgs, "-quota", opts.quota)
+	}
+	fl, err := fleet.Launch(ctx, fleet.LaunchConfig{
+		Daemons:    opts.daemons,
+		RouterArgs: routerArgs,
+		ServeBin:   opts.serveBin,
+		RouterBin:  opts.routerBin,
+	})
+	if err != nil {
+		return fleetReport{}, err
+	}
+	defer fl.Stop()
+	for _, p := range fl.Daemons {
+		p.DrainOutput()
+	}
+	fl.Router.DrainOutput()
+	fmt.Fprintf(out, "loadgen: fleet up — %d daemons behind router %s\n",
+		len(fl.Daemons), fl.RouterAddr)
+
+	e2e, e2eWire := obs.NewHistogram(), obs.NewHistogram()
+	rep, _, err := openLoop(ctx, fl.RouterAddr, opts.workers, opts.tenants, opts.gcfg, e2e, e2eWire)
+	if err != nil {
+		return rep, err
+	}
+	rep.Mode = "fleet"
+	rep.Daemons = opts.daemons
+	rep.Workers = opts.workers
+	rep.Tenants = opts.tenants
+	rep.N, rep.M, rep.U = opts.gcfg.n, opts.gcfg.m, opts.gcfg.u
+	rep.RatePerS = opts.gcfg.rate
+	rep.CPUs = runtime.NumCPU()
+
+	snap, err := fl.ScrapeRouter()
+	if err != nil {
+		return rep, fmt.Errorf("scrape router: %w", err)
+	}
+	rep.Obs = snap
+	rep.Obs.SetHistogram(E2EHist, e2e.Snapshot())
+	rep.Obs.SetHistogram(WireHist, e2eWire.Snapshot())
+	rep.Tiers = map[string]tierStats{
+		"client_router":      tierFromHist(rep.Obs.Histograms[E2EHist]),
+		"client_router_wire": tierFromHist(rep.Obs.Histograms[WireHist]),
+		"router_backend":     tierFromHist(rep.Obs.Histograms["fleet_backend_latency"]),
+	}
+	if p50 := rep.Tiers["client_router_wire"].P50Us; p50 > 0 {
+		rep.RouterOverheadFrac = (p50 - rep.Tiers["router_backend"].P50Us) / p50
+	}
+
+	if opts.baseline {
+		single, err := fleet.StartDaemons(ctx, 1, opts.serveBin, nil)
+		if err != nil {
+			return rep, fmt.Errorf("baseline daemon: %w", err)
+		}
+		single[0].DrainOutput()
+		fmt.Fprintf(out, "loadgen: baseline — same workload at single daemon %s\n", single[0].Addr)
+		base, _, berr := openLoop(ctx, single[0].Addr, opts.workers, opts.tenants, opts.gcfg,
+			obs.NewHistogram(), obs.NewHistogram())
+		single[0].Terminate()
+		if berr != nil {
+			return rep, berr
+		}
+		capped, _ := fleet.ParseQuotas(opts.quota)
+		fleetRate := uncappedRate(rep, capped)
+		baseRate := uncappedRate(base, capped)
+		rep.SingleThroughput = base.Throughput
+		if baseRate > 0 {
+			rep.SpeedupVsSingle = fleetRate / baseRate
+		}
+		if rep.SpeedupVsSingle < 1.5 {
+			rep.Note = fmt.Sprintf(
+				"speedup %.2fx on a %d-CPU host (daemons, router, and generator share the cores): "+
+					"the offered load fits a single daemon here, so scale-out cannot show; the per-tier "+
+					"breakdown bounds the router's added cost instead (router overhead %.1f%% of wire e2e p50)",
+				rep.SpeedupVsSingle, rep.CPUs, 100*rep.RouterOverheadFrac)
+		}
+	}
+	return rep, nil
+}
+
+// uncappedRate is a run's completed-requests-per-second over the tenants
+// that have no quota configured — the portion of the workload both the
+// fleet and the router-less baseline admit in full.
+func uncappedRate(rep fleetReport, capped map[uint32]fleet.Quota) float64 {
+	if rep.DurationS <= 0 {
+		return 0
+	}
+	var completed uint64
+	for _, ts := range rep.PerTenant {
+		if _, isCapped := capped[ts.Tenant]; !isCapped {
+			completed += ts.Completed
+		}
+	}
+	return float64(completed) / rep.DurationS
+}
+
+// printFleet renders the fleet report table.
+func printFleet(rep fleetReport, out io.Writer) {
+	tb := stats.NewTable(fmt.Sprintf(
+		"loadgen: fleet daemons=%d workers=%d tenants=%d N=%d m=%d u=%d rate=%g/s (%.1fs)",
+		rep.Daemons, rep.Workers, rep.Tenants, rep.N, rep.M, rep.U, rep.RatePerS, rep.DurationS),
+		"metric", "value")
+	tb.AddRow("throughput (inst/s)", rep.Throughput)
+	tb.AddRow("completed", rep.Completed)
+	tb.AddRow("quota shed", rep.QuotaShed)
+	tb.AddRow("rejected", rep.Rejected)
+	tb.AddRow("errors", rep.Errors)
+	tb.AddRow("e2e P50 (us)", rep.Tiers["client_router"].P50Us)
+	tb.AddRow("e2e P99 (us)", rep.Tiers["client_router"].P99Us)
+	tb.AddRow("wire e2e P50 (us)", rep.Tiers["client_router_wire"].P50Us)
+	tb.AddRow("router->backend P50 (us)", rep.Tiers["router_backend"].P50Us)
+	tb.AddRow("router->backend P99 (us)", rep.Tiers["router_backend"].P99Us)
+	tb.AddRow("router overhead frac", rep.RouterOverheadFrac)
+	tb.AddRow("max send lag (us)", rep.SendLagMaxUs)
+	tb.AddRow("spec violations", rep.SpecViolations)
+	if rep.SingleThroughput > 0 {
+		tb.AddRow("single-daemon inst/s", rep.SingleThroughput)
+		tb.AddRow("speedup vs single", rep.SpeedupVsSingle)
+	}
+	fmt.Fprint(out, tb.String())
+	for _, ts := range rep.PerTenant {
+		fmt.Fprintf(out, "loadgen: tenant %d  requests=%d completed=%d quota_shed=%d rejected=%d errors=%d p50=%.0fus\n",
+			ts.Tenant, ts.Requests, ts.Completed, ts.QuotaShed, ts.Rejected, ts.Errors, ts.P50Us)
+	}
+	if rep.Note != "" {
+		fmt.Fprintf(out, "loadgen: note: %s\n", rep.Note)
+	}
+}

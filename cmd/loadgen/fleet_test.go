@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"degradable/internal/fleet"
+)
+
+// TestMain hijacks re-executed copies of this test binary into the fleet
+// roles, so -fleet tests spawn real daemon and router processes.
+func TestMain(m *testing.M) {
+	fleet.Hijack()
+	os.Exit(m.Run())
+}
+
+// TestLoadgenHelpListsEveryFlag checks -h documents the generator's full
+// flag surface, including the shared cliflags ones and the fleet mode.
+func TestLoadgenHelpListsEveryFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-h"}, &out)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: got %v, want flag.ErrHelp", err)
+	}
+	for _, name := range []string{
+		"inproc", "addr", "duration", "conns", "rate", "n", "m", "u",
+		"fault-prob", "seed", "shards", "queue", "batch", "spec-sample",
+		"shard-sweep", "json", "fleet", "tenants", "quota",
+		"serve-bin", "router-bin", "no-baseline",
+	} {
+		if !strings.Contains(out.String(), "-"+name) {
+			t.Errorf("-h output missing flag -%s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestFleetModeExcludesInproc checks the mode guards fire.
+func TestFleetModeExcludesInproc(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fleet", "2", "-inproc"}, &out); err == nil {
+		t.Fatal("-fleet -inproc accepted")
+	}
+	if err := run([]string{"-fleet", "2", "-shard-sweep", "1,2"}, &out); err == nil {
+		t.Fatal("-fleet -shard-sweep accepted")
+	}
+	if err := run([]string{"-fleet", "2", "-tenants", "0"}, &out); err == nil {
+		t.Fatal("-fleet -tenants 0 accepted")
+	}
+}
+
+// TestFleetMode runs the full fleet benchmark small: two real daemon
+// processes behind a real router process, a CO-safe open-loop burst with
+// one quota-capped tenant, the single-daemon baseline, and the JSON
+// artifact with both latency tiers.
+func TestFleetMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-fleet", "2", "-conns", "4", "-tenants", "2",
+		"-rate", "300", "-duration", "700ms",
+		"-n", "5", "-m", "1", "-u", "2",
+		"-quota", "1:20:5",
+		"-json", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep fleetReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "fleet" || rep.Daemons != 2 || rep.Tenants != 2 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.Completed == 0 || rep.Throughput <= 0 {
+		t.Fatalf("no work completed: completed=%d", rep.Completed)
+	}
+	if rep.Errors != 0 || rep.SpecViolations != 0 {
+		t.Fatalf("errors=%d violations=%d", rep.Errors, rep.SpecViolations)
+	}
+	// Both latency tiers must be populated, and the router→backend hop is
+	// a strict subset of the end-to-end path.
+	e2e, rb := rep.Tiers["client_router"], rep.Tiers["router_backend"]
+	if e2e.Count == 0 || rb.Count == 0 {
+		t.Fatalf("empty tier: e2e=%+v rb=%+v", e2e, rb)
+	}
+	if e2e.P50Us <= 0 || rb.P50Us <= 0 || e2e.P50Us < rb.P50Us {
+		t.Errorf("tier p50s implausible: e2e=%g rb=%g", e2e.P50Us, rb.P50Us)
+	}
+	// Tenant 1 is capped at 20/s against a ~150/s offered share: it must
+	// shed with the explicit quota status, while tenant 0 stays clean.
+	var t0, t1 *tenantStats
+	for i := range rep.PerTenant {
+		switch rep.PerTenant[i].Tenant {
+		case 0:
+			t0 = &rep.PerTenant[i]
+		case 1:
+			t1 = &rep.PerTenant[i]
+		}
+	}
+	if t0 == nil || t1 == nil {
+		t.Fatalf("per-tenant stats missing: %+v", rep.PerTenant)
+	}
+	if t1.QuotaShed == 0 {
+		t.Errorf("capped tenant never shed: %+v", t1)
+	}
+	if t0.QuotaShed != 0 {
+		t.Errorf("uncapped tenant shed: %+v", t0)
+	}
+	if t0.Completed == 0 || t1.Completed == 0 {
+		t.Errorf("tenants starved: t0=%+v t1=%+v", t0, t1)
+	}
+	// The router's scraped snapshot rides along in the obs schema.
+	if rep.Obs.Counter("fleet_routed_total") == 0 {
+		t.Error("router snapshot missing routed counter")
+	}
+	if rep.Obs.Counter(`fleet_admission_shed_total{tenant="1"}`) == 0 {
+		t.Error("router snapshot missing the per-tenant shed series")
+	}
+	if rep.SingleThroughput <= 0 {
+		t.Errorf("baseline missing: %+v", rep.SingleThroughput)
+	}
+	if rep.SpeedupVsSingle < 1.5 && rep.Note == "" {
+		t.Error("sub-1.5x speedup without the explanatory note")
+	}
+	if rep.SendLagMaxUs < 0 {
+		t.Errorf("negative send lag %g", rep.SendLagMaxUs)
+	}
+}

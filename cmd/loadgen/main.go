@@ -8,6 +8,7 @@
 //	loadgen -addr 127.0.0.1:7001 -conns 4        # TCP daemon, 4 connections
 //	loadgen -inproc -rate 20000 -json bench.json # paced (open-loop) load, JSON report
 //	loadgen -inproc -shard-sweep 1,2,4,8         # shard-scaling matrix
+//	loadgen -fleet 3 -rate 2000 -tenants 4 -quota 3:50 -json BENCH_fleet.json
 //
 // Closed loop (the default) keeps -conns workers each with one request in
 // flight. -rate N paces the workers to N requests/sec total instead,
@@ -19,6 +20,16 @@
 // fresh in-process service each time and reports the scaling matrix
 // (throughput, latency, speedup over the 1-shard baseline). Scaling is
 // hardware-dependent: a run confined to one core cannot exceed 1×.
+//
+// -fleet K spawns K real serve daemon processes behind a cmd/router
+// process and drives a fully coordinated-omission-safe open loop through
+// the router: every request's send time is fixed by schedule before the
+// run, senders never wait on responses, and a late send is sent late (its
+// latency still counts from the scheduled start) rather than skipped. The
+// report (BENCH_fleet.json with -json) breaks latency into the
+// client→router and router→backend tiers, tallies per-tenant completions
+// and quota sheds, and compares throughput against a router-less
+// single-daemon baseline at the same offered load.
 package main
 
 import (
@@ -37,6 +48,8 @@ import (
 	"time"
 
 	"degradable/internal/adversary"
+	"degradable/internal/cliflags"
+	"degradable/internal/fleet"
 	"degradable/internal/obs"
 	"degradable/internal/service"
 	"degradable/internal/stats"
@@ -45,6 +58,7 @@ import (
 )
 
 func main() {
+	fleet.Hijack() // -fleet mode re-executes this binary as daemons and router
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
@@ -275,6 +289,7 @@ func generate(doers []doer, cfg genConfig, out io.Writer) report {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
 		inproc     = fs.Bool("inproc", false, "drive an in-process service instead of a daemon")
 		addr       = fs.String("addr", "127.0.0.1:7001", "daemon address (ignored with -inproc)")
@@ -292,6 +307,12 @@ func run(args []string, out io.Writer) error {
 		specSample = fs.Int("spec-sample", 0, "in-process spec-sample rate (default 8)")
 		sweep      = fs.String("shard-sweep", "", "comma-separated shard counts to sweep (e.g. 1,2,4,8); implies -inproc semantics, workers scale to 2x the shard count")
 		jsonPath   = fs.String("json", "", "write the report as JSON to this path")
+		fleetK     = fs.Int("fleet", 0, "spawn this many serve daemons behind a router (process per member) and drive the CO-safe open loop through it (0 = off)")
+		tenants    = fs.Int("tenants", 2, "tenant count in -fleet mode; worker w sends as tenant w mod tenants")
+		quota      = cliflags.Quota(fs)
+		serveBin   = fs.String("serve-bin", "", "-fleet: daemon binary to spawn (default: re-exec this binary)")
+		routerBin  = fs.String("router-bin", "", "-fleet: router binary to spawn (default: re-exec this binary)")
+		noBaseline = fs.Bool("no-baseline", false, "-fleet: skip the single-daemon baseline run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -306,6 +327,45 @@ func run(args []string, out io.Writer) error {
 	gcfg := genConfig{
 		n: *n, m: *m, u: *u,
 		rate: *rate, faultProb: *faultProb, seed: *seed, duration: *duration,
+	}
+
+	if *fleetK > 0 {
+		if *inproc || *sweep != "" {
+			return fmt.Errorf("-fleet is a process-per-daemon mode; it excludes -inproc and -shard-sweep")
+		}
+		if *tenants < 1 {
+			return fmt.Errorf("-fleet needs at least one tenant")
+		}
+		if gcfg.rate <= 0 {
+			gcfg.rate = 500 // the open loop needs a schedule; a closed loop would hide queueing
+		}
+		frep, err := runFleet(fleetOpts{
+			daemons: *fleetK, workers: *conns, tenants: *tenants,
+			quota:    *quota,
+			serveBin: binArgv(*serveBin), routerBin: binArgv(*routerBin),
+			gcfg: gcfg, baseline: !*noBaseline,
+		}, out)
+		if err != nil {
+			return err
+		}
+		printFleet(frep, out)
+		if *jsonPath != "" {
+			blob, err := json.MarshalIndent(frep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "loadgen: wrote %s\n", *jsonPath)
+		}
+		if frep.SpecViolations > 0 {
+			return fmt.Errorf("%d spec violations", frep.SpecViolations)
+		}
+		if frep.Errors > 0 {
+			return fmt.Errorf("%d request errors", frep.Errors)
+		}
+		return nil
 	}
 
 	var rep report
@@ -461,6 +521,15 @@ func parseSweep(s string) ([]int, error) {
 		return nil, fmt.Errorf("-shard-sweep needs at least one count")
 	}
 	return counts, nil
+}
+
+// binArgv turns an override-binary flag value into the launcher's argv
+// form (empty → nil, meaning re-exec the current binary).
+func binArgv(path string) []string {
+	if path == "" {
+		return nil
+	}
+	return []string{path}
 }
 
 // isRetryable reports whether err is admission backpressure rather than a

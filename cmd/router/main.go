@@ -1,0 +1,30 @@
+// Command router is the fleet tier's stateless L7 front: it speaks the
+// length-prefixed wire protocol on both sides, places each request on one
+// of a set of cmd/serve backends by consistent hashing over the request
+// shape (bounded-load, with rendezvous fallback), multiplexes many client
+// connections onto a few pipelined backend connections, sheds per-tenant
+// overload with an explicit resource_exhausted status, and keeps the
+// backend set health-checked with jittered-backoff redial.
+//
+// Usage:
+//
+//	router -addr :7100 -backends 127.0.0.1:7001,127.0.0.1:7002 -quota 7:50:100
+//
+// SIGTERM or SIGINT triggers a graceful shutdown: the listener closes,
+// in-flight calls are answered, backends drain, and the final routing
+// counters are printed.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"degradable/internal/fleet"
+)
+
+func main() {
+	if err := fleet.RouterMain(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "router:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Quota is one tenant's token-bucket admission budget.
+type Quota struct {
+	// Rate is the sustained admission rate in requests per second.
+	Rate float64
+	// Burst is the bucket capacity (defaults to Rate when zero): how far
+	// above the sustained rate a tenant may momentarily spike.
+	Burst float64
+}
+
+// bucket is a lazily-refilled token bucket: tokens accrue at Rate per
+// second up to Burst, computed from elapsed time on each Admit — no
+// background refill goroutine, no timer.
+type bucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// Admission is per-tenant token-bucket admission control. Tenants without
+// a configured quota are admitted unconditionally — quotas are an explicit
+// opt-in cap, not a default ration.
+type Admission struct {
+	mu      sync.Mutex
+	buckets map[uint32]*bucket
+	now     func() time.Time // test hook
+}
+
+// NewAdmission returns admission control with no quotas configured.
+func NewAdmission() *Admission {
+	return &Admission{buckets: make(map[uint32]*bucket), now: time.Now}
+}
+
+// SetQuota caps a tenant. The bucket starts full (a fresh tenant may burst
+// immediately).
+func (a *Admission) SetQuota(tenant uint32, q Quota) {
+	if q.Burst <= 0 {
+		q.Burst = q.Rate
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.buckets[tenant] = &bucket{rate: q.Rate, burst: q.Burst, tokens: q.Burst, last: a.now()}
+}
+
+// Admit spends one token of the tenant's bucket, reporting false (shed)
+// when the bucket is empty. Unconfigured tenants always admit.
+func (a *Admission) Admit(tenant uint32) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.buckets[tenant]
+	if b == nil {
+		return true
+	}
+	now := a.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// ParseQuotas parses the -quota flag syntax:
+// tenant:rate[:burst][,tenant:rate[:burst]...]. An empty string means no
+// quotas.
+func ParseQuotas(s string) (map[uint32]Quota, error) {
+	quotas := make(map[uint32]Quota)
+	if strings.TrimSpace(s) == "" {
+		return quotas, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("fleet: quota %q, want tenant:rate[:burst]", part)
+		}
+		tenant, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: quota tenant %q: %w", fields[0], err)
+		}
+		rate, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || rate <= 0 {
+			return nil, fmt.Errorf("fleet: quota rate %q: must be a positive number", fields[1])
+		}
+		q := Quota{Rate: rate}
+		if len(fields) == 3 {
+			burst, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || burst <= 0 {
+				return nil, fmt.Errorf("fleet: quota burst %q: must be a positive number", fields[2])
+			}
+			q.Burst = burst
+		}
+		quotas[uint32(tenant)] = q
+	}
+	return quotas, nil
+}

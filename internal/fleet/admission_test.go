@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdmissionUnconfiguredTenantUnlimited(t *testing.T) {
+	a := NewAdmission()
+	for i := 0; i < 10000; i++ {
+		if !a.Admit(5) {
+			t.Fatal("unconfigured tenant shed")
+		}
+	}
+}
+
+func TestAdmissionTokenBucket(t *testing.T) {
+	a := NewAdmission()
+	now := time.Unix(1000, 0)
+	a.now = func() time.Time { return now }
+	a.SetQuota(1, Quota{Rate: 10, Burst: 3})
+
+	// The bucket starts full: exactly Burst admissions, then sheds.
+	for i := 0; i < 3; i++ {
+		if !a.Admit(1) {
+			t.Fatalf("burst admission %d shed", i)
+		}
+	}
+	if a.Admit(1) {
+		t.Fatal("empty bucket admitted")
+	}
+	// 250ms at 10/s refills 2.5 tokens → two more admissions.
+	now = now.Add(250 * time.Millisecond)
+	if !a.Admit(1) || !a.Admit(1) {
+		t.Fatal("refilled tokens not admitted")
+	}
+	if a.Admit(1) {
+		t.Fatal("admitted past the refill")
+	}
+	// A long quiet period caps at Burst, not elapsed·rate.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for a.Admit(1) {
+		admitted++
+	}
+	if admitted != 3 {
+		t.Fatalf("after idle: %d admissions, want Burst=3", admitted)
+	}
+	// Other tenants are unaffected throughout.
+	if !a.Admit(2) {
+		t.Fatal("unconfigured tenant shed")
+	}
+}
+
+func TestAdmissionBurstDefaultsToRate(t *testing.T) {
+	a := NewAdmission()
+	now := time.Unix(0, 0)
+	a.now = func() time.Time { return now }
+	a.SetQuota(1, Quota{Rate: 5})
+	admitted := 0
+	for a.Admit(1) {
+		admitted++
+	}
+	if admitted != 5 {
+		t.Fatalf("%d admissions, want burst=rate=5", admitted)
+	}
+}
+
+func TestParseQuotas(t *testing.T) {
+	q, err := ParseQuotas("1:200,7:50:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[1] != (Quota{Rate: 200}) || q[7] != (Quota{Rate: 50, Burst: 10}) {
+		t.Fatalf("parsed %+v", q)
+	}
+	if q, err := ParseQuotas(""); err != nil || len(q) != 0 {
+		t.Fatalf("empty: %v %v", q, err)
+	}
+	for _, bad := range []string{"1", "x:5", "1:-3", "1:0", "1:2:0", "1:2:3:4"} {
+		if _, err := ParseQuotas(bad); err == nil {
+			t.Fatalf("%q parsed", bad)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"degradable/internal/service"
+)
+
+func ringMembers(n int) []string {
+	members := make([]string, n)
+	for i := range members {
+		members[i] = fmt.Sprintf("10.0.0.%d:9000", i+1)
+	}
+	return members
+}
+
+func buildRing(members []string) *Ring {
+	r := NewRing(128)
+	for _, m := range members {
+		r.Add(m)
+	}
+	return r
+}
+
+func seededKeys(seed int64, n int) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	return keys
+}
+
+func mapping(r *Ring, keys []uint64) map[uint64]string {
+	m := make(map[uint64]string, len(keys))
+	for _, k := range keys {
+		member, ok := r.Lookup(k)
+		if !ok {
+			panic("empty ring")
+		}
+		m[k] = member
+	}
+	return m
+}
+
+// TestRingStabilityOnAdd pins the consistent-hashing contract: adding one
+// backend to B remaps at most (keys/(B+1))·(1+ε) keys, every remapped key
+// moves TO the new backend, and untouched keys keep their placement.
+func TestRingStabilityOnAdd(t *testing.T) {
+	const nKeys, nMembers = 10000, 8
+	members := ringMembers(nMembers)
+	keys := seededKeys(42, nKeys)
+	before := mapping(buildRing(members), keys)
+
+	grown := buildRing(members)
+	newcomer := "10.0.0.99:9000"
+	grown.Add(newcomer)
+	after := mapping(grown, keys)
+
+	remapped := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			remapped++
+			if after[k] != newcomer {
+				t.Fatalf("key %d moved %s → %s, not to the new member", k, before[k], after[k])
+			}
+		}
+	}
+	bound := nKeys * 3 / (2 * (nMembers + 1))
+	if remapped > bound {
+		t.Fatalf("adding one member remapped %d/%d keys, bound %d", remapped, nKeys, bound)
+	}
+	if remapped == 0 {
+		t.Fatal("new member received no keys")
+	}
+}
+
+// TestRingStabilityOnRemove: removing one backend remaps exactly the keys
+// it owned — at most (keys/B)·(1+ε) — and nobody else's.
+func TestRingStabilityOnRemove(t *testing.T) {
+	const nKeys, nMembers = 10000, 8
+	members := ringMembers(nMembers)
+	keys := seededKeys(43, nKeys)
+	r := buildRing(members)
+	before := mapping(r, keys)
+
+	victim := members[3]
+	r.Remove(victim)
+	after := mapping(r, keys)
+
+	remapped := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			remapped++
+			if before[k] != victim {
+				t.Fatalf("key %d moved off surviving member %s", k, before[k])
+			}
+		}
+		if after[k] == victim {
+			t.Fatalf("key %d still placed on the removed member", k)
+		}
+	}
+	bound := nKeys * 3 / (2 * nMembers)
+	if remapped > bound {
+		t.Fatalf("removing one member remapped %d/%d keys, bound %d", remapped, nKeys, bound)
+	}
+}
+
+// TestRingDeterministic: two independently-built rings over the same
+// member set place every seeded key identically (no per-process salt).
+func TestRingDeterministic(t *testing.T) {
+	members := ringMembers(5)
+	keys := seededKeys(7, 2000)
+	a := mapping(buildRing(members), keys)
+	b := mapping(buildRing(members), keys)
+	for _, k := range keys {
+		if a[k] != b[k] {
+			t.Fatalf("key %d: %s vs %s across identical rings", k, a[k], b[k])
+		}
+	}
+}
+
+// TestRingSpread sanity-checks the vnode smoothing: no member owns more
+// than 2.5× its fair share of seeded keys.
+func TestRingSpread(t *testing.T) {
+	members := ringMembers(4)
+	keys := seededKeys(11, 8000)
+	counts := make(map[string]int)
+	for m, member := range mapping(buildRing(members), keys) {
+		_ = m
+		counts[member]++
+	}
+	fair := len(keys) / len(members)
+	for member, n := range counts {
+		if n > fair*5/2 {
+			t.Fatalf("member %s owns %d keys, fair share %d", member, n, fair)
+		}
+		if n == 0 {
+			t.Fatalf("member %s owns no keys", member)
+		}
+	}
+}
+
+// TestWalkFallsThrough: when accept rejects the primary, Walk yields the
+// next distinct member, and rejects-everything yields nothing.
+func TestWalkFallsThrough(t *testing.T) {
+	r := buildRing(ringMembers(3))
+	key := uint64(0xABCDEF)
+	primary, ok := r.Lookup(key)
+	if !ok {
+		t.Fatal("empty ring")
+	}
+	second, ok := r.Walk(key, func(m string) bool { return m != primary })
+	if !ok || second == primary {
+		t.Fatalf("walk past primary: ok=%v member=%s", ok, second)
+	}
+	if _, ok := r.Walk(key, func(string) bool { return false }); ok {
+		t.Fatal("walk accepted with an always-false filter")
+	}
+}
+
+// TestRendezvousProperties: deterministic, member-order-independent, and
+// only keys on a removed member move.
+func TestRendezvousProperties(t *testing.T) {
+	members := ringMembers(6)
+	keys := seededKeys(13, 4000)
+	place := func(ms []string) map[uint64]string {
+		got := make(map[uint64]string, len(keys))
+		for _, k := range keys {
+			m, ok := Rendezvous(ms, k)
+			if !ok {
+				t.Fatal("empty member set")
+			}
+			got[k] = m
+		}
+		return got
+	}
+	before := place(members)
+	reversed := make([]string, len(members))
+	for i, m := range members {
+		reversed[len(members)-1-i] = m
+	}
+	if fmt.Sprint(place(reversed)) != fmt.Sprint(before) {
+		t.Fatal("rendezvous depends on member order")
+	}
+	survivors := append([]string(nil), members[:5]...)
+	after := place(survivors)
+	for _, k := range keys {
+		if before[k] != members[5] && after[k] != before[k] {
+			t.Fatalf("key %d moved off surviving member %s", k, before[k])
+		}
+	}
+}
+
+// TestShapeKeyGroupsShapes: equal shapes share a key; tenant and value do
+// not perturb placement (only the batching shape does).
+func TestShapeKeyGroupsShapes(t *testing.T) {
+	a := service.Request{N: 7, M: 1, U: 2, Value: 1, Tenant: 3}
+	b := service.Request{N: 7, M: 1, U: 2, Value: 99, Tenant: 8}
+	if ShapeKey(a) != ShapeKey(b) {
+		t.Fatal("value/tenant perturbed the placement key")
+	}
+	c := service.Request{N: 7, M: 2, U: 1, Value: 1}
+	if ShapeKey(a) == ShapeKey(c) {
+		t.Fatal("distinct shapes collided (FNV should separate these)")
+	}
+}

@@ -1,0 +1,311 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"degradable/internal/obs"
+)
+
+// LaunchConfig describes a fleet to spawn as real OS processes: K serve
+// daemons on ephemeral loopback ports behind one router. The benchmark
+// path uses it so BENCH_fleet.json measures genuine cross-process hops,
+// not in-process shortcuts.
+type LaunchConfig struct {
+	// Daemons is how many cmd/serve processes to spawn (default 2).
+	Daemons int
+	// DaemonArgs are extra argv entries for each daemon (e.g. -shards 1).
+	DaemonArgs []string
+	// RouterArgs are extra argv entries for the router (e.g. -quota 7:50).
+	RouterArgs []string
+	// ServeBin / RouterBin override the spawned argv. Empty means re-exec
+	// the current binary with RoleEnv set ("daemon"/"router"), which
+	// requires main() to call Hijack. check.sh passes the real ./bin/serve
+	// and ./bin/router here so the smoke exercises the shipped binaries.
+	ServeBin  []string
+	RouterBin []string
+}
+
+// Proc is one spawned fleet member.
+type Proc struct {
+	cmd     *exec.Cmd
+	out     *bufio.Reader
+	outPipe *os.File
+	// Addr is the member's wire listen address, parsed from its stdout.
+	Addr string
+	// Debug is the member's debug/metrics address ("" if it has none).
+	Debug string
+}
+
+// Fleet is a running set of daemon processes behind a router process.
+type Fleet struct {
+	Daemons []*Proc
+	Router  *Proc
+	// RouterAddr is the router's client-facing wire address.
+	RouterAddr string
+}
+
+// StartDaemons spawns count serve daemons on ephemeral loopback ports and
+// waits for each to report its address. bin overrides the argv (empty
+// re-execs the current binary in the daemon role). The benchmark's
+// single-daemon baseline uses it directly, without a router in front.
+func StartDaemons(ctx context.Context, count int, bin, extraArgs []string) ([]*Proc, error) {
+	self := ""
+	if len(bin) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		self = exe
+	}
+	var procs []*Proc
+	ok := false
+	defer func() {
+		if !ok {
+			for _, p := range procs {
+				p.kill()
+			}
+		}
+	}()
+	for i := 0; i < count; i++ {
+		argv := append([]string{}, bin...)
+		role := ""
+		if len(argv) == 0 {
+			argv = []string{self}
+			role = "daemon"
+		}
+		argv = append(argv, "-addr", "127.0.0.1:0")
+		argv = append(argv, extraArgs...)
+		p, err := spawnProc(ctx, argv, role)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: daemon %d: %w", i, err)
+		}
+		procs = append(procs, p)
+		if err := p.awaitListen(); err != nil {
+			return nil, fmt.Errorf("fleet: daemon %d: %w", i, err)
+		}
+	}
+	ok = true
+	return procs, nil
+}
+
+// Launch spawns cfg.Daemons serve processes on ephemeral ports, waits for
+// each to report its address, then spawns the router pointed at all of
+// them with a debug listener for scraping. ctx bounds the spawn sequence
+// and, via exec.CommandContext, the processes' lifetime.
+func Launch(ctx context.Context, cfg LaunchConfig) (*Fleet, error) {
+	if cfg.Daemons <= 0 {
+		cfg.Daemons = 2
+	}
+	self := ""
+	if len(cfg.RouterBin) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		self = exe
+	}
+	fl := &Fleet{}
+	ok := false
+	defer func() {
+		if !ok {
+			fl.kill()
+		}
+	}()
+
+	daemons, err := StartDaemons(ctx, cfg.Daemons, cfg.ServeBin, cfg.DaemonArgs)
+	if err != nil {
+		return nil, err
+	}
+	fl.Daemons = daemons
+
+	backends := make([]string, len(fl.Daemons))
+	for i, p := range fl.Daemons {
+		backends[i] = p.Addr
+	}
+	argv := append([]string{}, cfg.RouterBin...)
+	role := ""
+	if len(argv) == 0 {
+		argv = []string{self}
+		role = "router"
+	}
+	argv = append(argv,
+		"-addr", "127.0.0.1:0",
+		"-backends", strings.Join(backends, ","),
+		"-pprof", "127.0.0.1:0",
+	)
+	argv = append(argv, cfg.RouterArgs...)
+	p, err := spawnProc(ctx, argv, role)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: router: %w", err)
+	}
+	fl.Router = p
+	if err := p.awaitListen(); err != nil {
+		return nil, fmt.Errorf("fleet: router: %w", err)
+	}
+	fl.RouterAddr = p.Addr
+	ok = true
+	return fl, nil
+}
+
+// ScrapeRouter fetches the router's /debug/vars JSON snapshot — the
+// router→backend latency histogram, health gauges, and shed counters —
+// for the benchmark's per-tier breakdown.
+func (fl *Fleet) ScrapeRouter() (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	if fl.Router == nil || fl.Router.Debug == "" {
+		return snap, fmt.Errorf("fleet: router has no debug listener")
+	}
+	resp, err := http.Get("http://" + fl.Router.Debug + "/debug/vars")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("fleet: scrape: %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	return snap, err
+}
+
+// Stop terminates the fleet gracefully: SIGTERM to the router first (it
+// drains in-flight calls), then the daemons, waiting for each to exit.
+func (fl *Fleet) Stop() error {
+	var firstErr error
+	procs := append([]*Proc{fl.Router}, fl.Daemons...)
+	for _, p := range procs {
+		if p == nil {
+			continue
+		}
+		if p.cmd.Process != nil {
+			p.cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	for _, p := range procs {
+		if p == nil {
+			continue
+		}
+		if err := p.cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		p.outPipe.Close()
+	}
+	return firstErr
+}
+
+// Terminate stops one member gracefully (SIGTERM, wait).
+func (p *Proc) Terminate() error {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	err := p.cmd.Wait()
+	p.outPipe.Close()
+	return err
+}
+
+// kill force-stops everything (spawn-failure cleanup).
+func (fl *Fleet) kill() {
+	procs := append([]*Proc{fl.Router}, fl.Daemons...)
+	for _, p := range procs {
+		if p != nil {
+			p.kill()
+		}
+	}
+}
+
+// kill force-stops one member.
+func (p *Proc) kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+	p.cmd.Wait()
+	p.outPipe.Close()
+}
+
+// spawnProc starts one member process. role, when non-empty, is exported
+// as RoleEnv so a re-exec'd binary diverts into Hijack.
+func spawnProc(ctx context.Context, argv []string, role string) (*Proc, error) {
+	outR, outW, err := os.Pipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	cmd.Stdout = outW
+	cmd.Stderr = os.Stderr
+	cmd.Env = os.Environ()
+	if role != "" {
+		cmd.Env = append(cmd.Env, RoleEnv+"="+role)
+	}
+	if err := cmd.Start(); err != nil {
+		outR.Close()
+		outW.Close()
+		return nil, err
+	}
+	outW.Close()
+	return &Proc{cmd: cmd, out: bufio.NewReader(outR), outPipe: outR}, nil
+}
+
+// awaitListen scans the member's stdout for its startup lines: an optional
+// "debug on http://ADDR/" line, then the "listening on ADDR (...)" line.
+// Both cmd/serve and cmd/router print this contract.
+func (p *Proc) awaitListen() error {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		line, err := p.out.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("startup output ended: %w (last %q)", err, line)
+		}
+		if _, after, found := strings.Cut(line, "debug on http://"); found {
+			if i := strings.IndexByte(after, '/'); i > 0 {
+				p.Debug = after[:i]
+			}
+			continue
+		}
+		if _, after, found := strings.Cut(line, "listening on "); found {
+			if i := strings.IndexByte(after, ' '); i > 0 {
+				p.Addr = after[:i]
+			} else {
+				p.Addr = strings.TrimSpace(after)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("no listening line within 10s")
+}
+
+// DrainOutput keeps reading a member's stdout in the background so the
+// process never blocks on a full pipe; call after awaitListen when the
+// launcher no longer cares about the member's output.
+func (p *Proc) DrainOutput() {
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := p.outPipe.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// TenantOf maps a load-generator worker index to its tenant ID, shared by
+// the benchmark and check.sh smoke so "worker w is tenant w mod T" holds
+// everywhere.
+func TenantOf(worker, tenants int) uint32 {
+	if tenants <= 0 {
+		return 0
+	}
+	return uint32(worker % tenants)
+}
+
+// FormatTenant renders a tenant ID the way service.TenantKey does, for
+// snapshot series lookups from launcher-side code.
+func FormatTenant(t uint32) string { return strconv.FormatUint(uint64(t), 10) }

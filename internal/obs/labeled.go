@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Labeled is a counter family keyed by a single label value (e.g. one
+// counter per tenant). Series are created on first use and never removed;
+// Get on an existing series is a read-locked map lookup, so hot paths that
+// cache the *Counter pay nothing and even uncached callers only contend on
+// series creation. The label *name* is fixed at construction so every
+// consumer (registry exposition, snapshots) renders the same key syntax.
+type Labeled struct {
+	label string
+	mu    sync.RWMutex
+	m     map[string]*Counter
+}
+
+// NewLabeled returns an empty counter family whose series are keyed by the
+// given label name.
+func NewLabeled(label string) *Labeled {
+	return &Labeled{label: label, m: make(map[string]*Counter)}
+}
+
+// Label returns the family's label name.
+func (l *Labeled) Label() string { return l.label }
+
+// Get returns the counter for the given label value, creating it on first
+// use. The returned counter may be cached and incremented without further
+// map lookups.
+func (l *Labeled) Get(value string) *Counter {
+	l.mu.RLock()
+	c := l.m[value]
+	l.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if c = l.m[value]; c == nil {
+		c = &Counter{}
+		l.m[value] = c
+	}
+	return c
+}
+
+// Total sums every series in the family.
+func (l *Labeled) Total() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var sum uint64
+	for _, c := range l.m {
+		sum += c.Load()
+	}
+	return sum
+}
+
+// Each visits every series in ascending label-value order.
+func (l *Labeled) Each(fn func(value string, count uint64)) {
+	l.mu.RLock()
+	values := make([]string, 0, len(l.m))
+	for v := range l.m {
+		values = append(values, v)
+	}
+	counts := make(map[string]uint64, len(l.m))
+	for v, c := range l.m {
+		counts[v] = c.Load()
+	}
+	l.mu.RUnlock()
+	sort.Strings(values)
+	for _, v := range values {
+		fn(v, counts[v])
+	}
+}
+
+// SeriesKey renders the canonical exposition key for one series of a
+// family: name{label="value"}. Snapshots and the Prometheus text format
+// both use this syntax so artifact diffs line up with scrapes.
+func SeriesKey(name, label, value string) string {
+	return name + "{" + label + `="` + value + `"}`
+}

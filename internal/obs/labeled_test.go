@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLabeledGetAndTotal(t *testing.T) {
+	l := NewLabeled("tenant")
+	l.Get("1").Add(3)
+	l.Get("2").Inc()
+	l.Get("1").Inc() // same series again
+	if got := l.Get("1").Load(); got != 4 {
+		t.Fatalf("tenant 1 = %d, want 4", got)
+	}
+	if got := l.Total(); got != 5 {
+		t.Fatalf("Total = %d, want 5", got)
+	}
+	if l.Label() != "tenant" {
+		t.Fatalf("Label = %q", l.Label())
+	}
+}
+
+func TestLabeledEachSorted(t *testing.T) {
+	l := NewLabeled("tenant")
+	for _, v := range []string{"b", "a", "c"} {
+		l.Get(v).Inc()
+	}
+	var order []string
+	l.Each(func(value string, count uint64) {
+		order = append(order, value)
+		if count != 1 {
+			t.Fatalf("series %q = %d, want 1", value, count)
+		}
+	})
+	if strings.Join(order, ",") != "a,b,c" {
+		t.Fatalf("Each order = %v, want sorted", order)
+	}
+}
+
+func TestLabeledConcurrent(t *testing.T) {
+	l := NewLabeled("tenant")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := string(rune('a' + g%4))
+			for i := 0; i < 1000; i++ {
+				l.Get(key).Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := l.Total(); got != 8000 {
+		t.Fatalf("Total = %d, want 8000", got)
+	}
+}
+
+func TestRegistryLabeledExposition(t *testing.T) {
+	r := NewRegistry()
+	l := NewLabeled("tenant")
+	l.Get("7").Add(2)
+	l.Get("9").Add(5)
+	r.Labeled("fleet_admission_shed_total", "sheds per tenant", l)
+	r.LabeledGauge("fleet_backend_healthy", "backend", "1 if healthy", func() map[string]float64 {
+		return map[string]float64{"127.0.0.1:9000": 1, "127.0.0.1:9001": 0}
+	})
+
+	var b strings.Builder
+	r.WriteMetrics(&b)
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE fleet_admission_shed_total counter",
+		`fleet_admission_shed_total{tenant="7"} 2`,
+		`fleet_admission_shed_total{tenant="9"} 5`,
+		"# TYPE fleet_backend_healthy gauge",
+		`fleet_backend_healthy{backend="127.0.0.1:9000"} 1`,
+		`fleet_backend_healthy{backend="127.0.0.1:9001"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	// One TYPE line per family, not per series.
+	if n := strings.Count(text, "# TYPE fleet_admission_shed_total"); n != 1 {
+		t.Fatalf("family TYPE lines = %d, want 1", n)
+	}
+
+	snap := r.Snapshot()
+	if snap.Counters["fleet_admission_shed_total"] != 7 {
+		t.Fatalf("snapshot total = %d, want 7", snap.Counters["fleet_admission_shed_total"])
+	}
+	if snap.Counters[`fleet_admission_shed_total{tenant="9"}`] != 5 {
+		t.Fatalf("snapshot series = %v", snap.Counters)
+	}
+	if snap.Gauges[`fleet_backend_healthy{backend="127.0.0.1:9001"}`] != 0 {
+		t.Fatalf("snapshot gauge series missing: %v", snap.Gauges)
+	}
+	if _, ok := snap.Gauges[`fleet_backend_healthy{backend="127.0.0.1:9001"}`]; !ok {
+		t.Fatalf("snapshot gauge series absent: %v", snap.Gauges)
+	}
+}

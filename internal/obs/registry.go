@@ -20,7 +20,16 @@ type Registry struct {
 	counters map[string]func() uint64
 	gauges   map[string]func() (float64, bool)
 	hists    map[string]func() HistSnapshot
+	labeled  map[string]*Labeled
+	lgauges  map[string]labeledGauge
 	help     map[string]string
+}
+
+// labeledGauge is a gauge family read as a label-value → gauge map at
+// scrape time (e.g. backend_healthy{backend="127.0.0.1:9000"}).
+type labeledGauge struct {
+	label string
+	fn    func() map[string]float64
 }
 
 // NewRegistry returns an empty registry.
@@ -29,6 +38,8 @@ func NewRegistry() *Registry {
 		counters: make(map[string]func() uint64),
 		gauges:   make(map[string]func() (float64, bool)),
 		hists:    make(map[string]func() HistSnapshot),
+		labeled:  make(map[string]*Labeled),
+		lgauges:  make(map[string]labeledGauge),
 		help:     make(map[string]string),
 	}
 }
@@ -75,6 +86,26 @@ func (r *Registry) Sharded(prefix, help string, s *Sharded) {
 	}
 }
 
+// Labeled registers a counter family: each series is exposed as
+// name{label="value"} and the family total as a plain counter under name
+// in snapshots (the text format carries only the labeled series, one
+// HELP/TYPE per family, per the Prometheus data model).
+func (r *Registry) Labeled(name, help string, l *Labeled) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.labeled[name] = l
+	r.help[name] = help
+}
+
+// LabeledGauge registers a gauge family read as a label-value → value map
+// at scrape time.
+func (r *Registry) LabeledGauge(name, label, help string, fn func() map[string]float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lgauges[name] = labeledGauge{label: label, fn: fn}
+	r.help[name] = help
+}
+
 // Snapshot captures every registered metric as the unified schema.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
@@ -90,6 +121,17 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, fn := range r.hists {
 		snap.SetHistogram(name, fn())
+	}
+	for name, l := range r.labeled {
+		snap.SetCounter(name, l.Total())
+		l.Each(func(value string, count uint64) {
+			snap.SetCounter(SeriesKey(name, l.Label(), value), count)
+		})
+	}
+	for name, lg := range r.lgauges {
+		for value, v := range lg.fn() {
+			snap.SetGauge(SeriesKey(name, lg.label, value), v)
+		}
 	}
 	return snap
 }
@@ -114,6 +156,16 @@ func (r *Registry) WriteMetrics(w *strings.Builder) {
 		}
 		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.counters[name]())
 	}
+	for _, name := range sortedKeys(r.labeled) {
+		l := r.labeled[name]
+		if h := r.help[name]; h != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, h)
+		}
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		l.Each(func(value string, count uint64) {
+			fmt.Fprintf(w, "%s %d\n", SeriesKey(name, l.Label(), value), count)
+		})
+	}
 	for _, name := range sortedKeys(r.gauges) {
 		v, ok := r.gauges[name]()
 		if !ok {
@@ -124,6 +176,21 @@ func (r *Registry) WriteMetrics(w *strings.Builder) {
 		}
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name,
 			strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	for _, name := range sortedKeys(r.lgauges) {
+		lg := r.lgauges[name]
+		vals := lg.fn()
+		if len(vals) == 0 {
+			continue
+		}
+		if h := r.help[name]; h != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, h)
+		}
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		for _, value := range sortedKeys(vals) {
+			fmt.Fprintf(w, "%s %s\n", SeriesKey(name, lg.label, value),
+				strconv.FormatFloat(vals[value], 'g', -1, 64))
+		}
 	}
 	for _, name := range sortedKeys(r.hists) {
 		s := r.hists[name]()

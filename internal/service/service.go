@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -43,6 +44,12 @@ var (
 	ErrClosed = errors.New("service: closed")
 	// ErrInvalid wraps request-validation failures rejected at admission.
 	ErrInvalid = errors.New("service: invalid request")
+	// ErrQuota marks a request shed by per-tenant admission control: the
+	// tenant's token bucket was empty. Produced by the fleet router (the
+	// service itself imposes no quotas) and mapped to the wire protocol's
+	// RESOURCE_EXHAUSTED-style status; shared here so every layer speaks
+	// the same error vocabulary.
+	ErrQuota = errors.New("service: per-tenant quota exhausted")
 )
 
 // Config parameterizes a Service.
@@ -107,6 +114,10 @@ type Request struct {
 	Value types.Value
 	// Faults arms the fault set.
 	Faults []FaultSpec
+	// Tenant bills the request to an admission-control tenant (0 =
+	// untenanted). Carried by tagged wire frames; does not affect
+	// execution or batching, only accounting.
+	Tenant uint32
 }
 
 // shape is the batching key: requests with equal shapes run on the same
@@ -245,6 +256,10 @@ type Service struct {
 	// spec-checked instances: largest fault-free agreement class minus
 	// (m+1). Negative would mean the Observation's guarantee was violated.
 	floor *obs.MinGauge
+	// sheds counts queue-full admission rejections per tenant, so overload
+	// is never a silent drop: the wire layer reports it with an explicit
+	// status and this family says who was shedding.
+	sheds *obs.Labeled
 }
 
 // New starts a service with the given configuration.
@@ -262,6 +277,7 @@ func newUnstarted(cfg Config) *Service {
 	s.shards = make([]*shard, cfg.Shards)
 	s.stats = obs.NewSharded(cfg.Shards, statNames...)
 	s.floor = obs.NewMinGauge()
+	s.sheds = obs.NewLabeled("tenant")
 	for i := range s.shards {
 		s.shards[i] = &shard{
 			svc:   s,
@@ -314,10 +330,23 @@ func (s *Service) VdDeciderFraction() (float64, bool) {
 // spec-checked instances, and whether any instance was checked yet.
 func (s *Service) FloorMargin() (int64, bool) { return s.floor.Load() }
 
+// TenantKey renders a tenant ID as the label value used by every
+// per-tenant counter family.
+func TenantKey(tenant uint32) string {
+	return strconv.FormatUint(uint64(tenant), 10)
+}
+
+// Sheds returns the per-tenant queue-full rejection counters.
+func (s *Service) Sheds() *obs.Labeled { return s.sheds }
+
 // Telemetry returns all service counters and degradation gauges as the
 // unified snapshot schema.
 func (s *Service) Telemetry() obs.Snapshot {
 	snap := s.stats.Snapshot()
+	snap.SetCounter("admission_shed_total", s.sheds.Total())
+	s.sheds.Each(func(value string, count uint64) {
+		snap.SetCounter(obs.SeriesKey("admission_shed_total", "tenant", value), count)
+	})
 	if frac, ok := s.VdDeciderFraction(); ok {
 		snap.SetGauge("vd_decider_fraction", frac)
 	}
@@ -333,6 +362,8 @@ func (s *Service) Telemetry() obs.Snapshot {
 // m+1-floor margin).
 func (s *Service) Register(r *obs.Registry) {
 	r.Sharded("service", "service counter (summed across shards)", s.stats)
+	r.Labeled("service_admission_shed_total",
+		"queue-full admission rejections per tenant", s.sheds)
 	r.Gauge("service_vd_decider_fraction",
 		"fraction of fault-free receivers that decided the default value V_d",
 		s.VdDeciderFraction)
@@ -363,6 +394,7 @@ func (s *Service) Submit(req Request) (<-chan Outcome, error) {
 		return t.done, nil
 	default:
 		sh.stats.Inc(statRejected)
+		s.sheds.Get(TenantKey(req.Tenant)).Inc()
 		return nil, ErrOverloaded
 	}
 }

@@ -342,3 +342,40 @@ func TestDoContextCancel(t *testing.T) {
 		t.Fatalf("cancelled Do: %v, want context.Canceled", err)
 	}
 }
+
+// TestPerTenantShedAccounting pins satellite contract: queue-full
+// rejections are counted per tenant (never a silent drop) and surface in
+// both the telemetry snapshot and the Sheds family.
+func TestPerTenantShedAccounting(t *testing.T) {
+	svc := newUnstarted(Config{Shards: 1, QueueDepth: 2, Batch: 2})
+	req := Request{N: 5, M: 1, U: 2, Value: 7}
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Submit(req); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	for _, tenant := range []uint32{9, 9, 3} {
+		r := req
+		r.Tenant = tenant
+		if _, err := svc.Submit(r); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("tenant %d: err=%v, want ErrOverloaded", tenant, err)
+		}
+	}
+	if got := svc.Sheds().Get(TenantKey(9)).Load(); got != 2 {
+		t.Fatalf("tenant 9 sheds = %d, want 2", got)
+	}
+	snap := svc.Telemetry()
+	if snap.Counters["admission_shed_total"] != 3 {
+		t.Fatalf("admission_shed_total = %d, want 3", snap.Counters["admission_shed_total"])
+	}
+	if snap.Counters[`admission_shed_total{tenant="3"}`] != 1 {
+		t.Fatalf("per-tenant series missing: %v", snap.Counters)
+	}
+
+	// Drain so the admitted requests are answered and goroutines exit.
+	svc.closed.Store(true)
+	close(svc.shards[0].stop)
+	svc.start()
+	svc.wg.Wait()
+	close(svc.term)
+}

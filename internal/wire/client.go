@@ -18,6 +18,10 @@ type Result struct {
 	Resp service.Response
 	// Errmsg carries the server's error text for non-OK statuses.
 	Errmsg string
+	// Tag is the echoed routing tag and Tagged whether the response frame
+	// carried one (responses to SendTagged requests do).
+	Tag    Tag
+	Tagged bool
 }
 
 // Client is a pipelining TCP client for the agreement service: many
@@ -72,7 +76,7 @@ func (c *Client) readLoop() {
 			break
 		}
 		frame = payload
-		id, st, resp, errmsg, derr := DecodeResponse(payload)
+		id, tag, tagged, st, resp, errmsg, derr := DecodeAnyResponse(payload)
 		if derr != nil {
 			err = derr
 			break
@@ -82,7 +86,7 @@ func (c *Client) readLoop() {
 		delete(c.pending, id)
 		c.mu.Unlock()
 		if ok {
-			ch <- Result{Status: st, Resp: resp, Errmsg: errmsg}
+			ch <- Result{Status: st, Resp: resp, Errmsg: errmsg, Tag: tag, Tagged: tagged}
 		}
 	}
 	c.mu.Lock()
@@ -97,6 +101,16 @@ func (c *Client) readLoop() {
 // Send submits one request and returns a channel carrying its Result. The
 // channel is closed without a value if the connection dies first.
 func (c *Client) Send(req service.Request) (<-chan Result, error) {
+	return c.send(req, Tag{}, false)
+}
+
+// SendTagged is Send over a tagged frame: the request carries tag, and the
+// server echoes it back on the response.
+func (c *Client) SendTagged(req service.Request, tag Tag) (<-chan Result, error) {
+	return c.send(req, tag, true)
+}
+
+func (c *Client) send(req service.Request, tag Tag, tagged bool) (<-chan Result, error) {
 	ch := make(chan Result, 1)
 	c.mu.Lock()
 	if c.err != nil {
@@ -109,7 +123,13 @@ func (c *Client) Send(req service.Request) (<-chan Result, error) {
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	buf, err := AppendRequest(nil, id, req)
+	var buf []byte
+	var err error
+	if tagged {
+		buf, err = AppendTaggedRequest(nil, id, tag, req)
+	} else {
+		buf, err = AppendRequest(nil, id, req)
+	}
 	if err != nil {
 		c.forget(id)
 		return nil, err

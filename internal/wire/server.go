@@ -68,6 +68,9 @@ func (c *connDeadline) shutdown(grace time.Duration) {
 // waits are short).
 type pendingResp struct {
 	id uint64
+	// tag is echoed back on the response when the request was tagged.
+	tag    Tag
+	tagged bool
 	// done carries the outcome for admitted requests; nil when admission
 	// refused the request, in which case err holds the refusal.
 	done <-chan service.Outcome
@@ -168,10 +171,14 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			buf = buf[:0]
 			var err error
+			st, errmsg := StatusOK, ""
 			if out.Err != nil {
-				buf, err = AppendResponse(buf, p.id, errStatus(out.Err), service.Response{}, out.Err.Error())
+				st, errmsg = errStatus(out.Err), out.Err.Error()
+			}
+			if p.tagged {
+				buf, err = AppendTaggedResponse(buf, p.id, p.tag, st, out.Resp, errmsg)
 			} else {
-				buf, err = AppendResponse(buf, p.id, StatusOK, out.Resp, "")
+				buf, err = AppendResponse(buf, p.id, st, out.Resp, errmsg)
 			}
 			if err != nil {
 				continue // unencodable response; drop rather than desync the stream
@@ -222,12 +229,12 @@ func (s *Server) handle(conn net.Conn) {
 			break
 		}
 		frame = payload
-		id, req, err := DecodeRequest(payload)
+		id, tag, tagged, req, err := DecodeAnyRequest(payload)
 		if err != nil {
 			break // framing is lost; the deferred close severs the conn
 		}
 		done, err := s.svc.Submit(req)
-		pend <- pendingResp{id: id, done: done, err: err}
+		pend <- pendingResp{id: id, tag: tag, tagged: tagged, done: done, err: err}
 	}
 	close(stopWatch)
 	close(pend)
@@ -243,6 +250,8 @@ func errStatus(err error) Status {
 		return StatusClosed
 	case errors.Is(err, service.ErrInvalid):
 		return StatusInvalid
+	case errors.Is(err, service.ErrQuota):
+		return StatusQuota
 	default:
 		return StatusError
 	}

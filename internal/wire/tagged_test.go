@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"reflect"
+	"testing"
+
+	"degradable/internal/service"
+	"degradable/internal/types"
+)
+
+func TestTaggedRequestRoundTrip(t *testing.T) {
+	req := service.Request{N: 5, M: 1, U: 2, Value: 42}
+	tag := Tag{Tenant: 7, Corr: 0xDEADBEEF}
+	buf, err := AppendTaggedRequest(nil, 31, tag, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, gotTag, tagged, got, err := DecodeAnyRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 31 || !tagged || gotTag != tag {
+		t.Fatalf("id=%d tagged=%v tag=%+v", id, tagged, gotTag)
+	}
+	if got.Tenant != 7 {
+		t.Fatalf("req.Tenant = %d, want 7", got.Tenant)
+	}
+	got.Tenant = 0 // the tag is the only place the tenant travels
+	if !reflect.DeepEqual(got, req) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, req)
+	}
+	// Plain decoder must refuse the tagged type.
+	if _, _, err := DecodeRequest(payload); err == nil {
+		t.Fatal("DecodeRequest accepted a tagged frame")
+	}
+}
+
+func TestTaggedResponseRoundTrip(t *testing.T) {
+	resp := service.Response{Decisions: []types.Value{7, 7, 7}, Condition: "D.1", OK: true}
+	tag := Tag{Tenant: 3, Corr: 12}
+	for _, tc := range []struct {
+		st     Status
+		errmsg string
+	}{
+		{StatusOK, ""},
+		{StatusQuota, "tenant 3 out of tokens"},
+	} {
+		var want service.Response
+		if tc.st == StatusOK {
+			want = resp
+		}
+		buf, err := AppendTaggedResponse(nil, 9, tag, tc.st, want, tc.errmsg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := ReadFrame(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, gotTag, tagged, st, got, errmsg, err := DecodeAnyResponse(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != 9 || !tagged || gotTag != tag || st != tc.st || errmsg != tc.errmsg {
+			t.Fatalf("id=%d tagged=%v tag=%+v st=%v errmsg=%q", id, tagged, gotTag, st, errmsg)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestDecodeAnyAcceptsPlain(t *testing.T) {
+	req := service.Request{N: 5, M: 1, U: 2, Value: 1}
+	buf, err := AppendRequest(nil, 5, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, tag, tagged, got, err := DecodeAnyRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 5 || tagged || tag != (Tag{}) || got.Tenant != 0 {
+		t.Fatalf("plain decode: id=%d tagged=%v tag=%+v tenant=%d", id, tagged, tag, got.Tenant)
+	}
+}
+
+func TestStatusQuotaString(t *testing.T) {
+	if StatusQuota.String() != "resource_exhausted" {
+		t.Fatalf("StatusQuota = %q", StatusQuota.String())
+	}
+}
+
+// TestServerEchoesTag proves the end-to-end tag contract: a tagged request
+// over a real server comes back on a tagged response with the same tag,
+// and the tenant reaches the service request.
+func TestServerEchoesTag(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{Shards: 1, SpecSample: 1})
+	srv := NewServer(ln, svc)
+	go srv.Serve()
+	defer srv.Shutdown(context.Background())
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tag := Tag{Tenant: 42, Corr: 1 << 30}
+	ch, err := c.SendTagged(service.Request{N: 5, M: 1, U: 2, Value: 77}, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := <-ch
+	if !ok {
+		t.Fatal("connection lost")
+	}
+	if r.Status != StatusOK {
+		t.Fatalf("status %v errmsg %q", r.Status, r.Errmsg)
+	}
+	if !r.Tagged || r.Tag != tag {
+		t.Fatalf("tag not echoed: tagged=%v tag=%+v want %+v", r.Tagged, r.Tag, tag)
+	}
+	// Plain sends on the same connection still get plain responses.
+	ch2, err := c.Send(service.Request{N: 5, M: 1, U: 2, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 := <-ch2; r2.Tagged {
+		t.Fatal("plain request answered with a tagged response")
+	}
+}

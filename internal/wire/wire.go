@@ -12,10 +12,20 @@
 //	ok-body  := condition flags ndec value*
 //	errmsg   := len(uint16) bytes
 //
+// Tagged frames (types 3 and 4) carry an 8-byte routing tag — a 4-byte
+// tenant ID and a 4-byte correlation value — between the request ID and
+// the body; the body encoding is otherwise identical. The fleet router
+// uses tags to bill admission per tenant and to multiplex many client
+// connections onto a few pipelined backend connections; servers echo the
+// tag of a tagged request back verbatim on its response.
+//
+//	tagged-request  := ver type id tenant corr <request body>
+//	tagged-response := ver type id tenant corr <response body>
+//
 // All multi-byte integers are big-endian; n, m, u, sender, node, kind,
 // condition, ndec, status, and flags are single bytes (the node-set limit
-// caps N at 64, far below the byte ceiling); agreement values and seeds are
-// 8 bytes.
+// caps N at 64, far below the byte ceiling); tenant and corr are 4 bytes;
+// agreement values and seeds are 8 bytes.
 package wire
 
 import (
@@ -42,7 +52,21 @@ const (
 	TypeRequest = 1
 	// TypeResponse frames a service.Response or an error status.
 	TypeResponse = 2
+	// TypeTaggedRequest frames a service.Request preceded by a routing Tag.
+	TypeTaggedRequest = 3
+	// TypeTaggedResponse frames a response preceded by the echoed Tag.
+	TypeTaggedResponse = 4
 )
+
+// Tag is the per-frame routing metadata carried by tagged frames. Tenant
+// bills the request to an admission-control tenant (0 = untenanted); Corr
+// is an opaque correlation value the server echoes back verbatim — the
+// router stamps it with the client-connection identity so a multiplexed
+// response can be proven to route back to the connection that sent it.
+type Tag struct {
+	Tenant uint32
+	Corr   uint32
+}
 
 // Status codes carried by response frames.
 type Status uint8
@@ -59,6 +83,12 @@ const (
 	StatusInvalid Status = 3
 	// StatusError reports an internal execution error.
 	StatusError Status = 4
+	// StatusQuota reports a per-tenant admission-control shed: the tenant's
+	// token bucket is empty (RESOURCE_EXHAUSTED). Distinct from
+	// StatusOverloaded, which reports a full server queue regardless of
+	// tenant; both are retryable, but only quota sheds are the client's own
+	// doing.
+	StatusQuota Status = 5
 )
 
 // String implements fmt.Stringer.
@@ -74,6 +104,8 @@ func (s Status) String() string {
 		return "invalid"
 	case StatusError:
 		return "error"
+	case StatusQuota:
+		return "resource_exhausted"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -93,6 +125,15 @@ var condNames = [...]string{"none", "D.1", "D.2", "D.3", "D.4"}
 
 // AppendRequest appends a request frame (length prefix included) to buf.
 func AppendRequest(buf []byte, id uint64, req service.Request) ([]byte, error) {
+	return appendRequest(buf, id, TypeRequest, Tag{}, req)
+}
+
+// AppendTaggedRequest appends a tagged request frame carrying tag.
+func AppendTaggedRequest(buf []byte, id uint64, tag Tag, req service.Request) ([]byte, error) {
+	return appendRequest(buf, id, TypeTaggedRequest, tag, req)
+}
+
+func appendRequest(buf []byte, id uint64, typ uint8, tag Tag, req service.Request) ([]byte, error) {
 	if req.N < 2 || req.N > 255 || req.M < 0 || req.M > 255 || req.U < 0 || req.U > 255 {
 		return nil, fmt.Errorf("wire: parameters out of byte range: N=%d M=%d U=%d", req.N, req.M, req.U)
 	}
@@ -103,7 +144,13 @@ func AppendRequest(buf []byte, id uint64, req service.Request) ([]byte, error) {
 		return nil, fmt.Errorf("wire: %d faults exceed the frame limit", len(req.Faults))
 	}
 	body := 2 + 8 + 4 + 8 + 1 + len(req.Faults)*18
-	buf = appendHeader(buf, body, TypeRequest, id)
+	if typ == TypeTaggedRequest {
+		body += 8
+	}
+	buf = appendHeader(buf, body, typ, id)
+	if typ == TypeTaggedRequest {
+		buf = appendTag(buf, tag)
+	}
 	buf = append(buf, byte(req.N), byte(req.M), byte(req.U), byte(req.Sender))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(req.Value))
 	buf = append(buf, byte(len(req.Faults)))
@@ -124,12 +171,28 @@ func AppendRequest(buf []byte, id uint64, req service.Request) ([]byte, error) {
 // AppendResponse appends a response frame to buf. For StatusOK the response
 // body is encoded; for every other status errmsg is carried instead.
 func AppendResponse(buf []byte, id uint64, st Status, resp service.Response, errmsg string) ([]byte, error) {
+	return appendResponse(buf, id, TypeResponse, Tag{}, st, resp, errmsg)
+}
+
+// AppendTaggedResponse appends a tagged response frame echoing tag.
+func AppendTaggedResponse(buf []byte, id uint64, tag Tag, st Status, resp service.Response, errmsg string) ([]byte, error) {
+	return appendResponse(buf, id, TypeTaggedResponse, tag, st, resp, errmsg)
+}
+
+func appendResponse(buf []byte, id uint64, typ uint8, tag Tag, st Status, resp service.Response, errmsg string) ([]byte, error) {
+	tagLen := 0
+	if typ == TypeTaggedResponse {
+		tagLen = 8
+	}
 	if st != StatusOK {
 		if len(errmsg) > 0xFFFF {
 			errmsg = errmsg[:0xFFFF]
 		}
-		body := 2 + 8 + 1 + 2 + len(errmsg)
-		buf = appendHeader(buf, body, TypeResponse, id)
+		body := 2 + 8 + tagLen + 1 + 2 + len(errmsg)
+		buf = appendHeader(buf, body, typ, id)
+		if tagLen > 0 {
+			buf = appendTag(buf, tag)
+		}
 		buf = append(buf, byte(st))
 		buf = binary.BigEndian.AppendUint16(buf, uint16(len(errmsg)))
 		return append(buf, errmsg...), nil
@@ -154,8 +217,11 @@ func AppendResponse(buf []byte, id uint64, st Status, resp service.Response, err
 	if resp.Graceful {
 		flags |= flagGraceful
 	}
-	body := 2 + 8 + 1 + 1 + 1 + 1 + len(resp.Decisions)*8
-	buf = appendHeader(buf, body, TypeResponse, id)
+	body := 2 + 8 + tagLen + 1 + 1 + 1 + 1 + len(resp.Decisions)*8
+	buf = appendHeader(buf, body, typ, id)
+	if tagLen > 0 {
+		buf = appendTag(buf, tag)
+	}
 	buf = append(buf, byte(st), code, flags, byte(len(resp.Decisions)))
 	for _, d := range resp.Decisions {
 		buf = binary.BigEndian.AppendUint64(buf, uint64(d))
@@ -168,6 +234,12 @@ func appendHeader(buf []byte, body int, typ uint8, id uint64) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(body))
 	buf = append(buf, Version, typ)
 	return binary.BigEndian.AppendUint64(buf, id)
+}
+
+// appendTag appends the 8-byte routing tag of a tagged frame.
+func appendTag(buf []byte, tag Tag) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, tag.Tenant)
+	return binary.BigEndian.AppendUint32(buf, tag.Corr)
 }
 
 // ReadFrame reads one length-prefixed payload from r. It returns io.EOF
@@ -247,14 +319,57 @@ func header(payload []byte, wantType uint8) (id uint64, rest []byte, err error) 
 	return binary.BigEndian.Uint64(payload[2:10]), payload[10:], nil
 }
 
+// headerAny decodes the common prefix of a frame that may be plain or
+// tagged, returning the tag when present.
+func headerAny(payload []byte, plainType, taggedType uint8) (id uint64, tag Tag, tagged bool, rest []byte, err error) {
+	if len(payload) < 10 {
+		return 0, tag, false, nil, fmt.Errorf("wire: truncated header (%d bytes)", len(payload))
+	}
+	if payload[0] != Version {
+		return 0, tag, false, nil, fmt.Errorf("wire: version %d, want %d", payload[0], Version)
+	}
+	id = binary.BigEndian.Uint64(payload[2:10])
+	switch payload[1] {
+	case plainType:
+		return id, tag, false, payload[10:], nil
+	case taggedType:
+		if len(payload) < 18 {
+			return 0, tag, false, nil, fmt.Errorf("wire: truncated tag (%d bytes)", len(payload))
+		}
+		tag.Tenant = binary.BigEndian.Uint32(payload[10:14])
+		tag.Corr = binary.BigEndian.Uint32(payload[14:18])
+		return id, tag, true, payload[18:], nil
+	default:
+		return 0, tag, false, nil, fmt.Errorf("wire: frame type %d, want %d or %d", payload[1], plainType, taggedType)
+	}
+}
+
 // DecodeRequest decodes a request payload (as returned by ReadFrame).
 func DecodeRequest(payload []byte) (id uint64, req service.Request, err error) {
 	id, b, err := header(payload, TypeRequest)
 	if err != nil {
 		return 0, req, err
 	}
+	req, err = decodeRequestBody(b)
+	return id, req, err
+}
+
+// DecodeAnyRequest decodes a request payload of either frame type. For
+// tagged requests req.Tenant carries the tag's tenant so admission
+// accounting flows through the service untouched.
+func DecodeAnyRequest(payload []byte) (id uint64, tag Tag, tagged bool, req service.Request, err error) {
+	id, tag, tagged, b, err := headerAny(payload, TypeRequest, TypeTaggedRequest)
+	if err != nil {
+		return 0, tag, false, req, err
+	}
+	req, err = decodeRequestBody(b)
+	req.Tenant = tag.Tenant
+	return id, tag, tagged, req, err
+}
+
+func decodeRequestBody(b []byte) (req service.Request, err error) {
 	if len(b) < 13 {
-		return id, req, fmt.Errorf("wire: truncated request body (%d bytes)", len(b))
+		return req, fmt.Errorf("wire: truncated request body (%d bytes)", len(b))
 	}
 	req.N = int(b[0])
 	req.M = int(b[1])
@@ -264,7 +379,7 @@ func DecodeRequest(payload []byte) (id uint64, req service.Request, err error) {
 	nf := int(b[12])
 	b = b[13:]
 	if len(b) != nf*18 {
-		return id, req, fmt.Errorf("wire: %d fault bytes, want %d", len(b), nf*18)
+		return req, fmt.Errorf("wire: %d fault bytes, want %d", len(b), nf*18)
 	}
 	if nf > 0 {
 		req.Faults = make([]service.FaultSpec, nf)
@@ -278,7 +393,7 @@ func DecodeRequest(payload []byte) (id uint64, req service.Request, err error) {
 			}
 		}
 	}
-	return id, req, nil
+	return req, nil
 }
 
 // DecodeResponse decodes a response payload (as returned by ReadFrame).
@@ -288,27 +403,43 @@ func DecodeResponse(payload []byte) (id uint64, st Status, resp service.Response
 	if err != nil {
 		return 0, 0, resp, "", err
 	}
+	st, resp, errmsg, err = decodeResponseBody(b)
+	return id, st, resp, errmsg, err
+}
+
+// DecodeAnyResponse decodes a response payload of either frame type,
+// returning the echoed tag when the frame is tagged.
+func DecodeAnyResponse(payload []byte) (id uint64, tag Tag, tagged bool, st Status, resp service.Response, errmsg string, err error) {
+	id, tag, tagged, b, err := headerAny(payload, TypeResponse, TypeTaggedResponse)
+	if err != nil {
+		return 0, tag, false, 0, resp, "", err
+	}
+	st, resp, errmsg, err = decodeResponseBody(b)
+	return id, tag, tagged, st, resp, errmsg, err
+}
+
+func decodeResponseBody(b []byte) (st Status, resp service.Response, errmsg string, err error) {
 	if len(b) < 1 {
-		return id, 0, resp, "", fmt.Errorf("wire: empty response body")
+		return 0, resp, "", fmt.Errorf("wire: empty response body")
 	}
 	st = Status(b[0])
 	b = b[1:]
 	if st != StatusOK {
 		if len(b) < 2 {
-			return id, st, resp, "", fmt.Errorf("wire: truncated error message")
+			return st, resp, "", fmt.Errorf("wire: truncated error message")
 		}
 		n := int(binary.BigEndian.Uint16(b[:2]))
 		if len(b) != 2+n {
-			return id, st, resp, "", fmt.Errorf("wire: error message of %d bytes, want %d", len(b)-2, n)
+			return st, resp, "", fmt.Errorf("wire: error message of %d bytes, want %d", len(b)-2, n)
 		}
-		return id, st, resp, string(b[2:]), nil
+		return st, resp, string(b[2:]), nil
 	}
 	if len(b) < 3 {
-		return id, st, resp, "", fmt.Errorf("wire: truncated response body (%d bytes)", len(b))
+		return st, resp, "", fmt.Errorf("wire: truncated response body (%d bytes)", len(b))
 	}
 	code, flags, ndec := b[0], b[1], int(b[2])
 	if int(code) >= len(condNames) {
-		return id, st, resp, "", fmt.Errorf("wire: unknown condition code %d", code)
+		return st, resp, "", fmt.Errorf("wire: unknown condition code %d", code)
 	}
 	resp.Condition = condNames[code]
 	resp.Degraded = flags&flagDegraded != 0
@@ -317,7 +448,7 @@ func DecodeResponse(payload []byte) (id uint64, st Status, resp service.Response
 	resp.Graceful = flags&flagGraceful != 0
 	b = b[3:]
 	if len(b) != ndec*8 {
-		return id, st, resp, "", fmt.Errorf("wire: %d decision bytes, want %d", len(b), ndec*8)
+		return st, resp, "", fmt.Errorf("wire: %d decision bytes, want %d", len(b), ndec*8)
 	}
 	if ndec > 0 {
 		resp.Decisions = make([]types.Value, ndec)
@@ -325,5 +456,5 @@ func DecodeResponse(payload []byte) (id uint64, st Status, resp service.Response
 			resp.Decisions[i] = types.Value(binary.BigEndian.Uint64(b[i*8 : (i+1)*8]))
 		}
 	}
-	return id, st, resp, "", nil
+	return st, resp, "", nil
 }

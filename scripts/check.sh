@@ -20,8 +20,8 @@ go test ./...
 echo "== go test -race (short) =="
 go test -race -short ./...
 
-echo "== go test -race (full, service + wire + cluster) =="
-go test -race ./internal/service/... ./internal/wire/... ./internal/cluster/...
+echo "== go test -race (full, service + wire + cluster + fleet) =="
+go test -race ./internal/service/... ./internal/wire/... ./internal/cluster/... ./internal/fleet/...
 
 echo "== benchmark smoke =="
 # The output is the point of a smoke pass: a benchmark that silently stops
@@ -66,6 +66,26 @@ echo "== crash-recovery smoke (mid-round SIGKILL + checkpoint restore) =="
 go run ./cmd/cluster -n 7 -m 1 -u 2 -kill 2:2:sent -deadline 10s \
   -bench BENCH_recovery.json -trace TRACE_recovery.jsonl |
   grep -E 'recovery: Converged-in-[0-2]-rounds'
+
+echo "== fleet smoke (router + 2 daemons, CO-safe open loop) =="
+# Builds the real serve and router binaries, spawns two daemons behind the
+# router, and drives a short coordinated-omission-safe open-loop burst with
+# tenant 1 quota-capped at 8/s. loadgen exits non-zero on any spec
+# violation or request error; the greps gate the admission story — the
+# capped tenant must shed with the explicit resource_exhausted status, and
+# the uncapped tenant must not shed at all. The depth-4 shape keeps
+# backend work dominant so the per-tier breakdown stays meaningful on a
+# one-core runner. Writes the per-tier latency artifact BENCH_fleet.json
+# at the repo root.
+mkdir -p bin
+go build -o bin/serve ./cmd/serve
+go build -o bin/router ./cmd/router
+go run ./cmd/loadgen -fleet 2 -conns 4 -tenants 2 -rate 40 -duration 3s \
+  -n 11 -m 3 -u 3 -quota 1:8:3 \
+  -serve-bin bin/serve -router-bin bin/router -json BENCH_fleet.json |
+  tee /tmp/fleet_smoke.out
+grep -Eq 'tenant 1 +requests=.* quota_shed=[1-9]' /tmp/fleet_smoke.out
+grep -Eq 'tenant 0 +requests=.* quota_shed=0 ' /tmp/fleet_smoke.out
 
 echo "== telemetry artifact comparison (non-failing report) =="
 # Diffs the unified obs snapshots embedded in BENCH_service.json and
