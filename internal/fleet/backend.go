@@ -189,7 +189,9 @@ func (b *backend) send(c *call, req service.Request) error {
 
 	buf, err := wire.AppendTaggedRequest(nil, id, wire.Tag{Tenant: req.Tenant, Corr: c.cc.id}, req)
 	if err != nil {
-		bc.forget(id)
+		if !bc.forget(id) {
+			return nil // fail() already completed the call
+		}
 		return err
 	}
 	bc.wmu.Lock()
@@ -199,16 +201,27 @@ func (b *backend) send(c *call, req service.Request) error {
 	}
 	bc.wmu.Unlock()
 	if werr != nil {
-		bc.forget(id)
+		// A write error races the readLoop noticing the same conn death:
+		// fail() may have drained pending and completed this call already.
+		// Only report the error (and let the caller complete the call) if
+		// the call was still ours to forget — otherwise completing it twice
+		// would double-Done the client conn's WaitGroup.
+		if !bc.forget(id) {
+			return nil
+		}
 		return werr
 	}
 	return nil
 }
 
-func (bc *beConn) forget(id uint64) {
+// forget withdraws a registered call before it was answered, reporting
+// whether it was still pending (false means fail() already completed it).
+func (bc *beConn) forget(id uint64) bool {
 	bc.mu.Lock()
+	_, ok := bc.pending[id]
 	delete(bc.pending, id)
 	bc.mu.Unlock()
+	return ok
 }
 
 // readLoop demultiplexes backend responses to their calls until the

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -34,6 +35,10 @@ type LaunchConfig struct {
 	ServeBin  []string
 	RouterBin []string
 }
+
+// listenWait bounds how long awaitListen waits for a member's startup
+// lines (a var so tests can shorten it).
+var listenWait = 10 * time.Second
 
 // Proc is one spawned fleet member.
 type Proc struct {
@@ -177,27 +182,22 @@ func (fl *Fleet) ScrapeRouter() (obs.Snapshot, error) {
 	return snap, err
 }
 
-// Stop terminates the fleet gracefully: SIGTERM to the router first (it
-// drains in-flight calls), then the daemons, waiting for each to exit.
+// Stop terminates the fleet gracefully: SIGTERM to the router first and
+// wait for it to exit (it drains in-flight calls, which needs the daemons
+// still up), then SIGTERM and wait on the daemons.
 func (fl *Fleet) Stop() error {
 	var firstErr error
-	procs := append([]*Proc{fl.Router}, fl.Daemons...)
-	for _, p := range procs {
+	stop := func(p *Proc) {
 		if p == nil {
-			continue
+			return
 		}
-		if p.cmd.Process != nil {
-			p.cmd.Process.Signal(syscall.SIGTERM)
-		}
-	}
-	for _, p := range procs {
-		if p == nil {
-			continue
-		}
-		if err := p.cmd.Wait(); err != nil && firstErr == nil {
+		if err := p.Terminate(); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		p.outPipe.Close()
+	}
+	stop(fl.Router)
+	for _, p := range fl.Daemons {
+		stop(p)
 	}
 	return firstErr
 }
@@ -256,12 +256,19 @@ func spawnProc(ctx context.Context, argv []string, role string) (*Proc, error) {
 
 // awaitListen scans the member's stdout for its startup lines: an optional
 // "debug on http://ADDR/" line, then the "listening on ADDR (...)" line.
-// Both cmd/serve and cmd/router print this contract.
+// Both cmd/serve and cmd/router print this contract. The deadline is set
+// on the pipe itself, so a spawned process that prints nothing and stays
+// alive fails the launch after 10s instead of blocking the reader forever.
 func (p *Proc) awaitListen() error {
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
+	wait := listenWait
+	p.outPipe.SetReadDeadline(time.Now().Add(wait))
+	defer p.outPipe.SetReadDeadline(time.Time{})
+	for {
 		line, err := p.out.ReadString('\n')
 		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				return fmt.Errorf("no listening line within %v", wait)
+			}
 			return fmt.Errorf("startup output ended: %w (last %q)", err, line)
 		}
 		if _, after, found := strings.Cut(line, "debug on http://"); found {
@@ -279,7 +286,6 @@ func (p *Proc) awaitListen() error {
 			return nil
 		}
 	}
-	return fmt.Errorf("no listening line within 10s")
 }
 
 // DrainOutput keeps reading a member's stdout in the background so the

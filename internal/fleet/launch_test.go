@@ -17,6 +17,28 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
+// TestAwaitListenTimesOut: a spawned process that prints nothing and
+// stays alive must fail the launch at the deadline instead of blocking
+// the launcher until the outer context kills it.
+func TestAwaitListenTimesOut(t *testing.T) {
+	defer func(old time.Duration) { listenWait = old }(listenWait)
+	listenWait = 200 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	p, err := spawnProc(ctx, []string{"sleep", "30"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.kill()
+	start := time.Now()
+	if err := p.awaitListen(); err == nil {
+		t.Fatal("awaitListen succeeded on a silent process")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("awaitListen blocked %v on a silent process, want ~%v", elapsed, listenWait)
+	}
+}
+
 // TestLaunchFleet spawns a real 2-daemon fleet behind a router (process
 // per member, re-exec'd from this binary), routes a request through it
 // over TCP, scrapes the router's telemetry, and stops everything.

@@ -176,26 +176,29 @@ func (rt *Router) Backends() []string {
 	return addrs
 }
 
-func (rt *Router) lookup(addr string) *backend {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.backends[addr]
-}
-
 // pick places a key: the bounded-load consistent-hash walk first, then
 // rendezvous hashing over the healthy set when every preferred member is
 // at capacity. Returns nil when no backend is healthy.
+//
+// The backend map is snapshotted up front so the Walk accept closure runs
+// without rt.mu: Walk holds ring.mu, and AddBackend/RemoveBackend take
+// rt.mu before ring.mu — touching rt.mu from inside the walk would make
+// routing concurrent with a live drain an ABBA deadlock.
 func (rt *Router) pick(key uint64) *backend {
 	rt.mu.Lock()
-	healthy := make([]string, 0, len(rt.backends))
-	var total int64
+	snap := make(map[string]*backend, len(rt.backends))
 	for addr, b := range rt.backends {
+		snap[addr] = b
+	}
+	rt.mu.Unlock()
+	healthy := make([]string, 0, len(snap))
+	var total int64
+	for addr, b := range snap {
 		if b.healthy.Load() {
 			healthy = append(healthy, addr)
 			total += b.inflight.Load()
 		}
 	}
-	rt.mu.Unlock()
 	if len(healthy) == 0 {
 		return nil
 	}
@@ -204,7 +207,7 @@ func (rt *Router) pick(key uint64) *backend {
 		capacity = 1
 	}
 	member, ok := rt.ring.Walk(key, func(m string) bool {
-		b := rt.lookup(m)
+		b := snap[m]
 		return b != nil && b.healthy.Load() && b.inflight.Load() < capacity
 	})
 	if !ok {
@@ -213,7 +216,7 @@ func (rt *Router) pick(key uint64) *backend {
 			return nil
 		}
 	}
-	return rt.lookup(member)
+	return snap[member]
 }
 
 // Serve accepts connections until Shutdown. It always returns a non-nil

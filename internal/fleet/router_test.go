@@ -339,6 +339,99 @@ func TestDrainOnRemove(t *testing.T) {
 	}
 }
 
+// TestForgetAfterFail pins the double-completion guard: when a backend
+// conn dies, readLoop's fail() completes everything pending on it, so a
+// send() racing with the death must see forget() report the call already
+// gone and swallow its write error — otherwise the caller would complete
+// the call a second time and double-Done the client conn's WaitGroup.
+func TestForgetAfterFail(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouter(ln, Config{})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		rt.Shutdown(ctx)
+	})
+	b := &backend{rt: rt, addr: "dead", kick: make(chan struct{}, 1), done: make(chan struct{})}
+	close(b.done) // no maintain goroutine for this hand-built backend
+	cli, srv := net.Pipe()
+	srv.Close()
+	bc := &beConn{b: b, conn: cli, bw: nil, pending: make(map[uint64]*call)}
+	b.conns = []*beConn{bc}
+
+	cc := &clientConn{rt: rt, id: 9, out: make(chan outFrame, 2)}
+	c := &call{cc: cc, clientID: 42, start: time.Now()}
+	cc.wg.Add(1)
+	b.inflight.Add(1)
+	bc.pending[7] = c // as send() registers before writing
+
+	bc.fail() // the conn-death path: must complete the pending call
+
+	if got := b.inflight.Load(); got != 0 {
+		t.Fatalf("inflight after fail = %d, want 0", got)
+	}
+	f := <-cc.out
+	if f.id != 42 || f.st != wire.StatusError {
+		t.Fatalf("completion frame = %+v, want client id 42 with error status", f)
+	}
+	if bc.forget(7) {
+		t.Fatal("forget reported a call fail() already completed — send would double-complete it")
+	}
+	cc.wg.Wait() // balances only if the call was Done'd exactly once
+}
+
+// TestRoutingConcurrentWithChurn: request placement must not deadlock
+// against live membership changes. AddBackend/RemoveBackend take rt.mu
+// and then the ring lock; the placement walk holds the ring lock, so it
+// must never reach back for rt.mu (lock-order inversion).
+func TestRoutingConcurrentWithChurn(t *testing.T) {
+	a, stopA := startDaemon(t)
+	defer stopA()
+	b, stopB := startDaemon(t)
+	defer stopB()
+	churn, stopC := startDaemon(t)
+	defer stopC()
+	rt, _ := startRouter(t, Config{Backends: []string{a, b}})
+	waitHealthy(t, rt, 2)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rt.pick(uint64(g*1_000_000 + i))
+			}
+		}(g)
+	}
+	churned := make(chan struct{})
+	go func() {
+		defer close(churned)
+		for i := 0; i < 40; i++ {
+			rt.AddBackend(churn)
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			rt.RemoveBackend(ctx, churn)
+			cancel()
+		}
+	}()
+	select {
+	case <-churned:
+	case <-time.After(20 * time.Second):
+		t.Fatal("membership churn deadlocked against routing")
+	}
+	close(stop)
+	wg.Wait()
+}
+
 // TestNoBackendsSheds: with nothing healthy the router answers explicitly
 // instead of hanging or dropping.
 func TestNoBackendsSheds(t *testing.T) {
