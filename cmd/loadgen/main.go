@@ -8,6 +8,7 @@
 //	loadgen -addr 127.0.0.1:7001 -conns 4        # TCP daemon, 4 connections
 //	loadgen -inproc -rate 20000 -json bench.json # paced (open-loop) load, JSON report
 //	loadgen -inproc -shard-sweep 1,2,4,8         # shard-scaling matrix
+//	loadgen -inproc -fault-prob-sweep 0,0.25,0.5 # fault-mix matrix (fast-path hit rate)
 //	loadgen -fleet 3 -rate 2000 -tenants 4 -quota 3:50 -json BENCH_fleet.json
 //
 // Closed loop (the default) keeps -conns workers each with one request in
@@ -92,9 +93,20 @@ type report struct {
 	SpecChecked      uint64  `json:"spec_checked"`
 	SpecViolations   uint64  `json:"spec_violations"`
 
+	// FastHits/FastFallbacks split completed instances by execution path
+	// (in-process modes only; a daemon exposes the same counters on
+	// /metrics). FastpathHitFrac is hits over hits+fallbacks.
+	FastHits        uint64  `json:"fastpath_hits"`
+	FastFallbacks   uint64  `json:"fastpath_fallbacks"`
+	FastpathHitFrac float64 `json:"fastpath_hit_frac"`
+
 	// ShardSweep is populated by -shard-sweep: one point per shard count,
 	// same workload, fresh service each.
 	ShardSweep []sweepPoint `json:"shard_sweep,omitempty"`
+
+	// FaultProbSweep is populated by -fault-prob-sweep: one point per fault
+	// probability, same workload otherwise, fresh service each.
+	FaultProbSweep []faultPoint `json:"fault_prob_sweep,omitempty"`
 
 	// Obs is the service-side telemetry snapshot (in-process modes only; a
 	// TCP daemon exposes the same numbers on its /metrics endpoint). The
@@ -114,7 +126,19 @@ type sweepPoint struct {
 	SpecViolations uint64  `json:"spec_violations"`
 	// SpeedupVs1 is this point's throughput over the first (lowest shard
 	// count) point's.
-	SpeedupVs1 float64 `json:"speedup_vs_1"`
+	SpeedupVs1      float64 `json:"speedup_vs_1"`
+	FastpathHitFrac float64 `json:"fastpath_hit_frac"`
+}
+
+// faultPoint is one fault probability's measurement in a -fault-prob-sweep
+// run: the fast-path speedup as a function of fault mix.
+type faultPoint struct {
+	FaultProb       float64 `json:"fault_prob"`
+	Throughput      float64 `json:"throughput_per_s"`
+	LatencyP50Us    float64 `json:"latency_p50_us"`
+	LatencyP99Us    float64 `json:"latency_p99_us"`
+	FastpathHitFrac float64 `json:"fastpath_hit_frac"`
+	SpecViolations  uint64  `json:"spec_violations"`
 }
 
 // doer abstracts the two transports: the in-process service and a TCP
@@ -124,12 +148,15 @@ type doer interface {
 	close()
 }
 
-type inprocDoer struct{ svc *service.Service }
+// slotDoer drives the in-process service through a reusable submission
+// slot — one per worker, so the steady-state closed loop allocates nothing
+// on the client side either.
+type slotDoer struct{ sl *service.Slot }
 
-func (d inprocDoer) do(ctx context.Context, req service.Request) (service.Response, error) {
-	return d.svc.Do(ctx, req)
+func (d *slotDoer) do(ctx context.Context, req service.Request) (service.Response, error) {
+	return d.sl.Do(ctx, req)
 }
-func (d inprocDoer) close() {}
+func (d *slotDoer) close() {}
 
 type tcpDoer struct{ c *wire.Client }
 
@@ -197,6 +224,10 @@ func generate(doers []doer, cfg genConfig, out io.Writer) report {
 				adversary.KindCrash, adversary.KindSilent, adversary.KindLie,
 				adversary.KindTwoFaced, adversary.KindRandom,
 			}
+			// Per-worker fault scratch: Slot.Submit copies the fault slice
+			// and the wire client encodes it before returning, so one array
+			// serves every iteration without allocating.
+			var fault [1]service.FaultSpec
 			for ctx.Err() == nil {
 				var t0 time.Time
 				if interval > 0 {
@@ -216,12 +247,13 @@ func generate(doers []doer, cfg genConfig, out io.Writer) report {
 				}
 				req := service.Request{N: cfg.n, M: cfg.m, U: cfg.u, Value: types.Value(rng.Int63n(1 << 30))}
 				if rng.Float64() < cfg.faultProb {
-					req.Faults = []service.FaultSpec{{
+					fault[0] = service.FaultSpec{
 						Node:  types.NodeID(rng.Intn(cfg.n)),
 						Kind:  kinds[rng.Intn(len(kinds))],
 						Value: types.Value(rng.Int63n(1 << 30)),
 						Seed:  int64(inFault.Add(1)),
-					}}
+					}
+					req.Faults = fault[:]
 				}
 				ty.requests++
 				resp, err := doers[w].do(ctx, req)
@@ -306,6 +338,7 @@ func run(args []string, out io.Writer) error {
 		batch      = fs.Int("batch", 0, "in-process batch bound")
 		specSample = fs.Int("spec-sample", 0, "in-process spec-sample rate (default 8)")
 		sweep      = fs.String("shard-sweep", "", "comma-separated shard counts to sweep (e.g. 1,2,4,8); implies -inproc semantics, workers scale to 2x the shard count")
+		faultSweep = fs.String("fault-prob-sweep", "", "comma-separated fault probabilities to sweep (e.g. 0,0.25,0.5); requires -inproc, fresh service per point")
 		jsonPath   = fs.String("json", "", "write the report as JSON to this path")
 		fleetK     = fs.Int("fleet", 0, "spawn this many serve daemons behind a router (process per member) and drive the CO-safe open loop through it (0 = off)")
 		tenants    = fs.Int("tenants", 2, "tenant count in -fleet mode; worker w sends as tenant w mod tenants")
@@ -330,8 +363,8 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *fleetK > 0 {
-		if *inproc || *sweep != "" {
-			return fmt.Errorf("-fleet is a process-per-daemon mode; it excludes -inproc and -shard-sweep")
+		if *inproc || *sweep != "" || *faultSweep != "" {
+			return fmt.Errorf("-fleet is a process-per-daemon mode; it excludes -inproc and the sweep flags")
 		}
 		if *tenants < 1 {
 			return fmt.Errorf("-fleet needs at least one tenant")
@@ -369,6 +402,21 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var rep report
+	var faultPts []faultPoint
+	if *faultSweep != "" {
+		if !*inproc {
+			return fmt.Errorf("-fault-prob-sweep requires -inproc (it constructs one service per point)")
+		}
+		probs, err := parseProbs(*faultSweep)
+		if err != nil {
+			return err
+		}
+		rep, err = runFaultSweep(probs, gcfg, *conns, *shards, *queue, *batch, *specSample, out)
+		if err != nil {
+			return err
+		}
+		faultPts = rep.FaultProbSweep
+	}
 	if *sweep != "" {
 		if !*inproc {
 			return fmt.Errorf("-shard-sweep requires -inproc (it constructs one service per point)")
@@ -382,7 +430,8 @@ func run(args []string, out io.Writer) error {
 		if err2 != nil {
 			return err2
 		}
-	} else {
+		rep.FaultProbSweep = faultPts
+	} else if *faultSweep == "" {
 		// One doer per worker: TCP mode opens -conns connections;
 		// in-process mode shares one service.
 		doers := make([]doer, *conns)
@@ -395,7 +444,7 @@ func run(args []string, out io.Writer) error {
 			})
 			defer svc.Close()
 			for i := range doers {
-				doers[i] = inprocDoer{svc: svc}
+				doers[i] = &slotDoer{sl: svc.NewSlot()}
 			}
 		} else {
 			for i := range doers {
@@ -411,6 +460,7 @@ func run(args []string, out io.Writer) error {
 		rep.Mode = mode
 		if svc != nil {
 			rep.Obs = svc.Telemetry()
+			fillFast(&rep, svc.Stats())
 		}
 
 		tb := stats.NewTable(fmt.Sprintf("loadgen: %s N=%d m=%d u=%d conns=%d fault-prob=%g (%.1fs)",
@@ -425,6 +475,9 @@ func run(args []string, out io.Writer) error {
 		tb.AddRow("latency P95 (us)", rep.LatencyP95Us)
 		tb.AddRow("latency P99 (us)", rep.LatencyP99Us)
 		tb.AddRow("degraded fraction", rep.DegradedFraction)
+		if svc != nil {
+			tb.AddRow("fastpath hit frac", rep.FastpathHitFrac)
+		}
 		tb.AddRow("spec checked", rep.SpecChecked)
 		tb.AddRow("spec violations", rep.SpecViolations)
 		fmt.Fprint(out, tb.String())
@@ -468,21 +521,23 @@ func runSweep(counts []int, gcfg genConfig, conns, queue, batch, specSample int,
 		})
 		doers := make([]doer, workers)
 		for i := range doers {
-			doers[i] = inprocDoer{svc: svc}
+			doers[i] = &slotDoer{sl: svc.NewSlot()}
 		}
 		rep = generate(doers, gcfg, out)
 		rep.Obs = svc.Telemetry()
+		fillFast(&rep, svc.Stats())
 		svc.Close()
 		rep.Mode = "inproc"
 		pt := sweepPoint{
-			Shards:         sc,
-			Conns:          workers,
-			Throughput:     rep.Throughput,
-			LatencyP50Us:   rep.LatencyP50Us,
-			LatencyP99Us:   rep.LatencyP99Us,
-			RejectionRate:  rep.RejectionRate,
-			SpecViolations: rep.SpecViolations,
-			SpeedupVs1:     1,
+			Shards:          sc,
+			Conns:           workers,
+			Throughput:      rep.Throughput,
+			LatencyP50Us:    rep.LatencyP50Us,
+			LatencyP99Us:    rep.LatencyP99Us,
+			RejectionRate:   rep.RejectionRate,
+			SpecViolations:  rep.SpecViolations,
+			SpeedupVs1:      1,
+			FastpathHitFrac: rep.FastpathHitFrac,
 		}
 		if len(points) > 0 && points[0].Throughput > 0 {
 			pt.SpeedupVs1 = pt.Throughput / points[0].Throughput
@@ -504,6 +559,78 @@ func runSweep(counts []int, gcfg genConfig, conns, queue, batch, specSample int,
 	}
 	fmt.Fprint(out, tb.String())
 	return rep, nil
+}
+
+// runFaultSweep executes the workload once per fault probability on a fresh
+// in-process service each time, holding everything else fixed — the
+// fast-path speedup as a function of fault mix. The returned report is the
+// last point's with the matrix attached.
+func runFaultSweep(probs []float64, gcfg genConfig, conns, shards, queue, batch, specSample int, out io.Writer) (report, error) {
+	var rep report
+	points := make([]faultPoint, 0, len(probs))
+	for _, fp := range probs {
+		cfg := gcfg
+		cfg.faultProb = fp
+		svc := service.New(service.Config{
+			Shards: shards, QueueDepth: queue, Batch: batch, SpecSample: specSample,
+		})
+		doers := make([]doer, conns)
+		for i := range doers {
+			doers[i] = &slotDoer{sl: svc.NewSlot()}
+		}
+		rep = generate(doers, cfg, out)
+		rep.Obs = svc.Telemetry()
+		fillFast(&rep, svc.Stats())
+		svc.Close()
+		rep.Mode = "inproc"
+		points = append(points, faultPoint{
+			FaultProb:       fp,
+			Throughput:      rep.Throughput,
+			LatencyP50Us:    rep.LatencyP50Us,
+			LatencyP99Us:    rep.LatencyP99Us,
+			FastpathHitFrac: rep.FastpathHitFrac,
+			SpecViolations:  rep.SpecViolations,
+		})
+		if rep.Errors > 0 {
+			break
+		}
+	}
+	rep.FaultProbSweep = points
+
+	tb := stats.NewTable(fmt.Sprintf("loadgen: fault-prob sweep N=%d m=%d u=%d conns=%d (%.1fs per point)",
+		gcfg.n, gcfg.m, gcfg.u, conns, gcfg.duration.Seconds()),
+		"fault-prob", "inst/s", "P50 us", "P99 us", "hit frac")
+	for _, pt := range points {
+		tb.AddRow(pt.FaultProb, pt.Throughput, pt.LatencyP50Us, pt.LatencyP99Us, pt.FastpathHitFrac)
+	}
+	fmt.Fprint(out, tb.String())
+	return rep, nil
+}
+
+// fillFast copies the fast-path counters from a service stats snapshot into
+// the report and derives the hit fraction.
+func fillFast(rep *report, st service.Stats) {
+	rep.FastHits, rep.FastFallbacks = st.FastHits, st.FastFallbacks
+	if total := st.FastHits + st.FastFallbacks; total > 0 {
+		rep.FastpathHitFrac = float64(st.FastHits) / float64(total)
+	}
+}
+
+// parseProbs parses the -fault-prob-sweep list.
+func parseProbs(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	probs := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 || v > 1 {
+			return nil, fmt.Errorf("bad fault probability %q in -fault-prob-sweep", p)
+		}
+		probs = append(probs, v)
+	}
+	if len(probs) == 0 {
+		return nil, fmt.Errorf("-fault-prob-sweep needs at least one probability")
+	}
+	return probs, nil
 }
 
 // parseSweep parses the -shard-sweep list.

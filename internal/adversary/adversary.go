@@ -47,6 +47,10 @@ type Observer interface {
 type Node struct {
 	honest *relay.Node
 	strat  Strategy
+	// outBuf is the reused egress buffer: Step filters the honest schedule
+	// into it, and the engine copies the Message structs on Collect, so the
+	// buffer is free again by the node's next Step.
+	outBuf []types.Message
 }
 
 var _ round.Node = (*Node)(nil)
@@ -84,7 +88,10 @@ func (b *Node) Step(round int, inbox []types.Message) []types.Message {
 	if obs, ok := b.strat.(Observer); ok {
 		obs.Observe(round, b.honest.Tree())
 	}
-	out := make([]types.Message, 0, len(scheduled))
+	if cap(b.outBuf) < len(scheduled) {
+		b.outBuf = make([]types.Message, 0, len(scheduled))
+	}
+	out := b.outBuf[:0]
 	for _, m := range scheduled {
 		v, ok := b.strat.Corrupt(b.ID(), m)
 		if !ok {

@@ -131,7 +131,15 @@ func (p Params) NewNode(id types.NodeID, value types.Value) (*relay.Node, error)
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return relay.New(p.N, p.Depth(), p.Sender, id, value, p.Rule())
+	nd, err := relay.New(p.N, p.Depth(), p.Sender, id, value, p.Rule())
+	if err != nil {
+		return nil, err
+	}
+	// VOTE is unanimity-respecting (its threshold n_σ−1−m never exceeds the
+	// vote-vector length n_σ−1), so the tree's O(1) unanimity shortcut is
+	// sound for the degradable rule.
+	nd.EnableFastResolve()
+	return nd, nil
 }
 
 // Nodes returns the full complement of honest nodes for the instance, with

@@ -65,6 +65,17 @@ type Tree struct {
 	// concurrency-safe).
 	pbuf    types.Path
 	scratch []types.Value
+
+	// Unanimity tracking for the optimistic fast path: uni stays true while
+	// every stored value equals uniVal (vacuously true when nothing is
+	// stored yet), maintained incrementally on each first-write Set so
+	// FastDecision is O(1). selfFree is the number of valid paths that avoid
+	// any one fixed non-sender node — the same for every such node, so one
+	// count serves all receivers.
+	uni      bool
+	uniSeen  bool
+	uniVal   types.Value
+	selfFree int
 }
 
 // maxFastDepth is the deepest path a pathKey can encode. Protocol depth is
@@ -113,7 +124,7 @@ func newTree(n, depth int, sender types.NodeID, allowFlat bool) (*Tree, error) {
 	if sender < 0 || int(sender) >= n {
 		return nil, fmt.Errorf("eig: sender %d out of range", int(sender))
 	}
-	t := &Tree{n: n, depth: depth, sender: sender}
+	t := &Tree{n: n, depth: depth, sender: sender, uni: true, uniVal: types.Default}
 	if allowFlat {
 		t.flat = newFlatStore(n, depth, sender)
 	}
@@ -123,6 +134,14 @@ func newTree(n, depth int, sender types.NodeID, allowFlat bool) (*Tree, error) {
 		} else {
 			t.vals = make(map[string]types.Value)
 		}
+	}
+	// Paths of length ℓ avoiding one fixed non-sender node: the sender is
+	// pinned at position 0 and the remaining ℓ−1 relayers are drawn, without
+	// repetition, from the n−2 other nodes — P(n−2, ℓ−1).
+	perm := 1
+	for l := 1; l <= depth; l++ {
+		t.selfFree += perm
+		perm *= n - 1 - l
 	}
 	return t, nil
 }
@@ -139,6 +158,7 @@ func (t *Tree) Reset() {
 	default:
 		clear(t.vals)
 	}
+	t.uni, t.uniSeen, t.uniVal = true, false, types.Default
 }
 
 // N returns the number of nodes in the top-level system.
@@ -172,7 +192,9 @@ func (t *Tree) Set(p types.Path, v types.Value) error {
 			return fmt.Errorf("eig: invalid path %s for n=%d depth=%d sender=%d",
 				p, t.n, t.depth, int(t.sender))
 		}
-		t.flat.set(idx, v)
+		if t.flat.set(idx, v) {
+			t.noteStore(v)
+		}
 		return nil
 	}
 	if !t.ValidPath(p) {
@@ -185,6 +207,7 @@ func (t *Tree) Set(p types.Path, v types.Value) error {
 			return nil
 		}
 		t.fast[k] = v
+		t.noteStore(v)
 		return nil
 	}
 	k := p.Key()
@@ -192,7 +215,19 @@ func (t *Tree) Set(p types.Path, v types.Value) error {
 		return nil
 	}
 	t.vals[k] = v
+	t.noteStore(v)
 	return nil
+}
+
+// noteStore folds one first-write store into the unanimity tracker.
+func (t *Tree) noteStore(v types.Value) {
+	if !t.uniSeen {
+		t.uniSeen, t.uniVal = true, v
+		return
+	}
+	if v != t.uniVal {
+		t.uni = false
+	}
 }
 
 // Get returns the value recorded for p, or types.Default when the message
@@ -240,6 +275,43 @@ func (t *Tree) Stored() int {
 		return len(t.fast)
 	}
 	return len(t.vals)
+}
+
+// FastDecision attempts to decide receiver self's value in O(1) from the
+// incremental unanimity tracking, without sweeping the tree. It returns
+// (decision, true) when the shortcut applies and (Default, false) when the
+// caller must run the full Resolve.
+//
+// The shortcut relies on the tree holding only claims whose path excludes
+// self — which is exactly what a receiver's tree contains, since relay
+// absorption rejects self-containing paths. Under that invariant:
+//
+//   - If every stored value equals one value v ≠ V_d and every self-free slot
+//     is stored, then each leaf reads v and each internal gather step sees an
+//     all-v vector, so any unanimity-respecting rule (VOTE with its threshold
+//     clamped to ≥ 1, Majority, Unanimous) resolves every path — and the
+//     root — to v.
+//   - If nothing non-default was stored (uniVal == V_d, or no stores at all),
+//     every slot reads V_d — stored or absent — and the same argument gives
+//     V_d regardless of completeness.
+//
+// Mixed values, or a non-default unanimous value with missing slots, fall
+// back to the full resolve. The sender's own tree does not participate (the
+// sender decides its own value directly).
+func (t *Tree) FastDecision(self types.NodeID) (types.Value, bool) {
+	if self == t.sender {
+		return types.Default, false
+	}
+	if !t.uni {
+		return types.Default, false
+	}
+	if !t.uniSeen || t.uniVal == types.Default {
+		return types.Default, true
+	}
+	if t.Stored() == t.selfFree {
+		return t.uniVal, true
+	}
+	return types.Default, false
 }
 
 // Resolve computes the decision of receiver self by resolving the tree

@@ -2,6 +2,7 @@ package eig
 
 import (
 	"math/bits"
+	"sync"
 
 	"degradable/internal/types"
 )
@@ -39,11 +40,39 @@ type flatStore struct {
 	odo    []int
 }
 
+// rankerCache shares PathRanker tables across trees of the same shape. A
+// ranker is immutable after construction, and the serving runtime builds 2n
+// trees per pooled shape (one per honest node plus one per Byzantine
+// wrapper) across every shard — one set of mixed-radix tables serves them
+// all. Keyed by the full shape because the sender offset is baked into the
+// ranking.
+var rankerCache sync.Map // rankerKey -> *types.PathRanker
+
+type rankerKey struct {
+	n, depth int
+	sender   types.NodeID
+}
+
+// sharedRanker returns the cached ranker for the shape, constructing it on
+// first use. Construction races build duplicates; LoadOrStore keeps one.
+func sharedRanker(n, depth int, sender types.NodeID) (*types.PathRanker, error) {
+	key := rankerKey{n: n, depth: depth, sender: sender}
+	if rk, ok := rankerCache.Load(key); ok {
+		return rk.(*types.PathRanker), nil
+	}
+	rk, err := types.NewPathRanker(n, depth, sender)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := rankerCache.LoadOrStore(key, rk)
+	return actual.(*types.PathRanker), nil
+}
+
 // newFlatStore builds the dense engine, or returns nil when the universe
 // is out of the ranker's range or too large to materialize — the caller
 // then falls back to a map engine.
 func newFlatStore(n, depth int, sender types.NodeID) *flatStore {
-	rk, err := types.NewPathRanker(n, depth, sender)
+	rk, err := sharedRanker(n, depth, sender)
 	if err != nil {
 		return nil
 	}
@@ -61,15 +90,17 @@ func newFlatStore(n, depth int, sender types.NodeID) *flatStore {
 }
 
 // set records v at idx unless a value is already present (first write
-// wins, matching the tree contract).
-func (f *flatStore) set(idx int, v types.Value) {
+// wins, matching the tree contract), reporting whether the value was
+// stored — the tree's unanimity tracking only counts actual stores.
+func (f *flatStore) set(idx int, v types.Value) bool {
 	w, b := idx>>6, uint(idx&63)
 	if f.present[w]&(1<<b) != 0 {
-		return
+		return false
 	}
 	f.present[w] |= 1 << b
 	f.vals[idx] = v
 	f.stored++
+	return true
 }
 
 // has reports whether idx holds a recorded value.

@@ -109,6 +109,15 @@ func (s *CounterSet) Get(i int) uint64 { return s.vals[i].Load() }
 // Len returns the number of counters.
 func (s *CounterSet) Len() int { return len(s.names) }
 
+// Reset zeroes every counter. Counters are monotonic within a run; Reset is
+// for pooled owners (e.g. a restarted round engine) that begin a new run on
+// recycled state and must not be observed concurrently while resetting.
+func (s *CounterSet) Reset() {
+	for i := range s.vals {
+		s.vals[i].v.Store(0)
+	}
+}
+
 // Name returns counter i's name.
 func (s *CounterSet) Name(i int) string { return s.names[i] }
 

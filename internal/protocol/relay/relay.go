@@ -35,6 +35,19 @@ type Node struct {
 	rule     eig.Rule
 	decision types.Value
 	decided  bool
+
+	// fastResolve lets Finish take the tree's O(1) unanimity shortcut. Only
+	// sound for unanimity-respecting rules; see EnableFastResolve.
+	fastResolve bool
+
+	// tmpl caches per-round outbox templates, indexed by round. A round's
+	// relay schedule is value-independent: the (To, Round, Path) triples are
+	// a pure function of (n, depth, sender, id, round), so the template is
+	// built once and only the Value fields are rewritten on each Outbox call.
+	// Safe to hand to callers because the engine copies Message structs on
+	// Collect and nothing mutates the shared Path backing arrays. Survives
+	// Reset — pooled nodes re-run the same shape.
+	tmpl [][]types.Message
 }
 
 var _ round.Node = (*Node)(nil)
@@ -73,6 +86,14 @@ func (nd *Node) Reset(value types.Value) {
 // adversary's schedule generator).
 func (nd *Node) Tree() *eig.Tree { return nd.tree }
 
+// EnableFastResolve lets Finish decide via the tree's O(1) unanimity
+// shortcut (eig.Tree.FastDecision) before falling back to the full resolve.
+// The shortcut is only sound for unanimity-respecting rules — rules that map
+// an all-v vote vector to v — which holds for the paper's VOTE (the
+// threshold never exceeds the vector length) and for Majority, but not for
+// an arbitrary Rule; hence opt-in rather than default.
+func (nd *Node) EnableFastResolve() { nd.fastResolve = true }
+
 // Step implements round.Node.
 func (nd *Node) Step(round int, inbox []types.Message) []types.Message {
 	nd.absorb(round, inbox)
@@ -83,10 +104,44 @@ func (nd *Node) Step(round int, inbox []types.Message) []types.Message {
 // current tree. It is exported so the Byzantine wrapper in the adversary
 // package can obtain the honest schedule and corrupt it.
 func (nd *Node) Outbox(round int) []types.Message {
+	if round < 1 || round > nd.tree.Depth() {
+		return nil
+	}
+	if round == 1 && nd.id != nd.sender {
+		return nil
+	}
+	if nd.tmpl == nil {
+		nd.tmpl = make([][]types.Message, nd.tree.Depth()+1)
+	}
+	out := nd.tmpl[round]
+	if out == nil {
+		out = nd.buildTemplate(round)
+		nd.tmpl[round] = out
+	}
+	// Rewrite only the values: each claim occupies a contiguous block of
+	// n−1 template messages (one per recipient) sharing one path.
 	if round == 1 {
-		if nd.id != nd.sender {
-			return nil
+		for i := range out {
+			out[i].Value = nd.value
 		}
+		return out
+	}
+	for i := 0; i < len(out); i += nd.n - 1 {
+		lbl := out[i].Path
+		v := nd.tree.Get(lbl[:len(lbl)-1]) // Default when the claim never arrived
+		for k := 0; k < nd.n-1; k++ {
+			out[i+k].Value = v
+		}
+	}
+	return out
+}
+
+// buildTemplate materializes the value-independent (To, Round, Path) frame
+// of the round's schedule: round 1 is the sender's value to all, round r ≥ 2
+// relays every claim of length r−1 that does not involve self, labelled with
+// self appended.
+func (nd *Node) buildTemplate(round int) []types.Message {
+	if round == 1 {
 		out := make([]types.Message, 0, nd.n-1)
 		for j := 0; j < nd.n; j++ {
 			if types.NodeID(j) == nd.id {
@@ -96,27 +151,21 @@ func (nd *Node) Outbox(round int) []types.Message {
 				To:    types.NodeID(j),
 				Round: round,
 				Path:  types.Path{nd.sender},
-				Value: nd.value,
 			})
 		}
 		return out
 	}
-	if round > nd.tree.Depth() {
-		return nil
-	}
-	// Relay every claim of length round-1 that does not involve self,
-	// labelled with self appended. PathCount bounds the fan-out (it counts
-	// the paths through self too, so this slightly over-reserves), which
-	// keeps the builder to a single allocation instead of log₂ growths.
+	// PathCount bounds the fan-out (it counts the paths through self too, so
+	// this slightly over-reserves), which keeps the builder to a single
+	// allocation instead of log₂ growths.
 	out := make([]types.Message, 0, nd.tree.PathCount(round-1)*(nd.n-1))
 	nd.tree.ForEachPath(round-1, nd.id, func(p types.Path) bool {
-		v := nd.tree.Get(p) // Default when the claim never arrived
 		lbl := p.Append(nd.id)
 		for j := 0; j < nd.n; j++ {
 			if types.NodeID(j) == nd.id {
 				continue
 			}
-			out = append(out, types.Message{To: types.NodeID(j), Round: round, Path: lbl, Value: v})
+			out = append(out, types.Message{To: types.NodeID(j), Round: round, Path: lbl})
 		}
 		return true
 	})
@@ -159,9 +208,16 @@ func (nd *Node) absorb(round int, inbox []types.Message) {
 // resolves the tree.
 func (nd *Node) Finish(inbox []types.Message) {
 	nd.absorb(nd.tree.Depth()+1, inbox)
-	if nd.id == nd.sender {
+	switch {
+	case nd.id == nd.sender:
 		nd.decision = nd.value
-	} else {
+	case nd.fastResolve:
+		if v, ok := nd.tree.FastDecision(nd.id); ok {
+			nd.decision = v
+		} else {
+			nd.decision = nd.tree.Resolve(nd.id, nd.rule)
+		}
+	default:
 		nd.decision = nd.tree.Resolve(nd.id, nd.rule)
 	}
 	nd.decided = true

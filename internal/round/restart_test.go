@@ -1,0 +1,75 @@
+package round
+
+import (
+	"reflect"
+	"testing"
+
+	"degradable/internal/types"
+)
+
+// TestEngineRestart verifies the pooling contract: a Restarted engine
+// driven over a fresh complement produces a Result identical to a freshly
+// constructed engine's — decisions, message accounting, and per-round
+// counts all reset.
+func TestEngineRestart(t *testing.T) {
+	mk := func() []Node {
+		return []Node{
+			&echoNode{id: 0, sends: []types.Message{msg(1, 5), msg(2, 6)}},
+			&echoNode{id: 1, sends: []types.Message{msg(0, 7)}},
+			&echoNode{id: 2},
+		}
+	}
+	want, err := Run(mk(), Config{Rounds: 2}, Reference{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := NewEngine(mk(), Config{Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (Reference{}).Drive(eng); err != nil {
+		t.Fatal(err)
+	}
+	eng.Finalize()
+
+	for pass := 0; pass < 3; pass++ {
+		if err := eng.Restart(mk()); err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if err := (Reference{}).Drive(eng); err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		got := eng.Finalize()
+		if !reflect.DeepEqual(got.Decisions, want.Decisions) {
+			t.Fatalf("pass %d: decisions %v, want %v", pass, got.Decisions, want.Decisions)
+		}
+		if got.Messages != want.Messages || got.Delivered != want.Delivered || got.Bytes != want.Bytes {
+			t.Fatalf("pass %d: accounting (%d,%d,%d), want (%d,%d,%d)", pass,
+				got.Messages, got.Delivered, got.Bytes,
+				want.Messages, want.Delivered, want.Bytes)
+		}
+		if !reflect.DeepEqual(got.PerRound, want.PerRound) {
+			t.Fatalf("pass %d: per-round %v, want %v", pass, got.PerRound, want.PerRound)
+		}
+	}
+}
+
+// TestEngineRestartRejects verifies the complement validation: wrong count,
+// out-of-range IDs, and duplicates are all refused.
+func TestEngineRestartRejects(t *testing.T) {
+	eng, err := NewEngine([]Node{&echoNode{id: 0}, &echoNode{id: 1}, &echoNode{id: 2}},
+		Config{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Restart([]Node{&echoNode{id: 0}, &echoNode{id: 1}}); err == nil {
+		t.Error("wrong node count accepted")
+	}
+	if err := eng.Restart([]Node{&echoNode{id: 0}, &echoNode{id: 1}, &echoNode{id: 7}}); err == nil {
+		t.Error("out-of-range ID accepted")
+	}
+	if err := eng.Restart([]Node{&echoNode{id: 0}, &echoNode{id: 1}, &echoNode{id: 1}}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+}

@@ -225,6 +225,49 @@ func NewEngine(nodes []Node, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// Restart rearms the engine for a fresh run on the same configuration,
+// retaining every allocated buffer (inboxes, pending queue, result maps).
+// nodes replaces the complement — it must have the same count, since the
+// shape (and Rounds) is fixed at construction; entries may differ from the
+// previous run (the serving runtime swaps honest nodes for Byzantine
+// wrappers per instance). A restarted engine is observationally identical
+// to a newly constructed one, which is what lets the batch hot loop run
+// instance after instance without allocating.
+func (e *Engine) Restart(nodes []Node) error {
+	n := len(e.byID)
+	if len(nodes) != n {
+		return fmt.Errorf("round: restart with %d nodes, engine built for %d", len(nodes), n)
+	}
+	for i := range e.byID {
+		e.byID[i] = nil
+	}
+	for _, nd := range nodes {
+		id := nd.ID()
+		if id < 0 || int(id) >= n {
+			return fmt.Errorf("round: node ID %d out of range [0,%d)", int(id), n)
+		}
+		if e.byID[int(id)] != nil {
+			return fmt.Errorf("round: duplicate node ID %d", int(id))
+		}
+		e.byID[int(id)] = nd
+	}
+	clear(e.res.Decisions)
+	e.res.Messages, e.res.Delivered, e.res.Bytes = 0, 0, 0
+	for i := range e.res.PerRound {
+		e.res.PerRound[i] = 0
+	}
+	if e.res.Views != nil {
+		clear(e.res.Views)
+	}
+	e.counters.Reset()
+	e.curRound = 0
+	for i := range e.inboxes {
+		e.inboxes[i] = e.inboxes[i][:0]
+	}
+	e.pending = e.pending[:0]
+	return nil
+}
+
 // N returns the node count.
 func (e *Engine) N() int { return len(e.byID) }
 

@@ -3,18 +3,21 @@ package service
 import (
 	"degradable/internal/adversary"
 	"degradable/internal/core"
-	"degradable/internal/netsim"
 	"degradable/internal/obs"
 	"degradable/internal/protocol/relay"
+	"degradable/internal/round"
 	"degradable/internal/spec"
 	"degradable/internal/types"
+	"degradable/internal/vote"
 )
 
 // pool is the reusable per-shape instance: one honest node complement, one
-// Byzantine wrapper per node, and the arming scratch, all owned by a single
-// shard. Resetting a pooled node is a map clear; constructing one is a tree
-// allocation — amortizing the latter across a batch is the point of
-// grouping identically-shaped requests.
+// Byzantine wrapper per node, a pooled round engine, and the arming and
+// response scratch, all owned by a single shard. Resetting a pooled node is
+// an O(stored) tree sweep; constructing one is a tree allocation — and the
+// engine, outbox templates, and path-ranker tables are likewise built once
+// per shape and recycled, so a warm pool executes an instance with zero
+// allocations.
 type pool struct {
 	params core.Params
 	depth  int
@@ -23,9 +26,15 @@ type pool struct {
 	honest []*relay.Node
 	byz    []*adversary.Node
 	// nodes is the arming scratch passed to the engine each run.
-	nodes []netsim.Node
-	// decisions is the response scratch; each run copies out of it.
-	decisions []types.Value
+	nodes []round.Node
+	// eng is the pooled round engine, built on the first full run and
+	// Restarted for every one after.
+	eng *round.Engine
+	// recv is the fast path's round-1 receipt vector: one slot per
+	// non-sender receiver, absences mapped to V_d per §4.
+	recv []types.Value
+	// decMap is the reusable spec.Execution decision map for sampled checks.
+	decMap map[types.NodeID]types.Value
 }
 
 // newPool builds the reusable instance for one shape. The shape was
@@ -37,12 +46,12 @@ func newPool(k shape) (*pool, error) {
 		return nil, err
 	}
 	p := &pool{
-		params:    params,
-		depth:     params.Depth(),
-		honest:    make([]*relay.Node, k.n),
-		byz:       make([]*adversary.Node, k.n),
-		nodes:     make([]netsim.Node, k.n),
-		decisions: make([]types.Value, k.n),
+		params: params,
+		depth:  params.Depth(),
+		honest: make([]*relay.Node, k.n),
+		byz:    make([]*adversary.Node, k.n),
+		nodes:  make([]round.Node, k.n),
+		recv:   make([]types.Value, k.n-1),
 	}
 	for i := 0; i < k.n; i++ {
 		nd, err := params.NewNode(types.NodeID(i), types.Default)
@@ -59,10 +68,10 @@ func newPool(k shape) (*pool, error) {
 	return p, nil
 }
 
-// runOne executes one request on the shard's pooled instance for its shape,
+// runOne executes one task on the shard's pooled instance for its shape,
 // creating the pool on first use.
-func (sh *shard) runOne(req Request) (Response, error) {
-	k := req.shape()
+func (sh *shard) runOne(t *task) (Response, error) {
+	k := t.req.shape()
 	p, ok := sh.pools[k]
 	if !ok {
 		var err error
@@ -72,7 +81,7 @@ func (sh *shard) runOne(req Request) (Response, error) {
 		}
 		sh.pools[k] = p
 	}
-	resp, err := p.run(req, sh)
+	resp, err := p.run(t, sh)
 	if err == nil {
 		sh.stats.Inc(statCompleted)
 		if resp.Degraded {
@@ -99,39 +108,67 @@ func conditionStat(condition string) int {
 	}
 }
 
-// run resets the pooled complement, arms the request's fault set, executes
-// the instance on the sequential engine, and classifies the outcome.
-func (p *pool) run(req Request, sh *shard) (Response, error) {
+// run executes one instance on the pooled complement and classifies the
+// outcome into the task's decision buffer.
+//
+// The optimistic fast path decides without materializing the EIG exchange
+// when the decision vector is forced:
+//
+//   - No armed fault: every node is honest, so the sender distributes
+//     req.Value, every tree is unanimous and complete, and every node —
+//     sender included — decides req.Value.
+//   - Only the sender armed: the sender is the only node that ever deviates
+//     (a faulty sender has no relay schedule — every valid path starts with
+//     it, so its outbox past round 1 is empty), which means the entire run
+//     is determined by its round-1 egress. Probe exactly that egress; if the
+//     receipt vector (absences mapped to V_d per §4) is unanimous, every
+//     receiver's tree ends unanimous-and-complete (or all-default) and
+//     resolves to the common value w: receivers decide w, the faulty sender
+//     reports V_d.
+//
+// Any other configuration — a non-sender fault that can still act in rounds
+// ≥ 2, or an equivocating sender — falls back to the full VOTE path, which
+// also serves as the differential oracle in the equivalence tests. The
+// fallback rebuilds the strategy from the request (Kind.Build is
+// deterministic per seed), so a probed-then-fallen-back run is
+// byte-identical to one that never probed.
+func (p *pool) run(t *task, sh *shard) (Response, error) {
+	req := &t.req
 	n := p.params.N
-	var faulty types.NodeSet
-	for i := 0; i < n; i++ {
-		p.honest[i].Reset(req.Value)
-		p.nodes[i] = p.honest[i]
+	if cap(t.dec) < n {
+		t.dec = make([]types.Value, n)
 	}
+	dec := t.dec[:n]
+
+	var faulty types.NodeSet
 	for _, f := range req.Faults {
-		strat, err := f.Kind.Build(n, f.Value, f.Seed)
-		if err != nil {
-			return Response{}, err
-		}
-		bn := p.byz[int(f.Node)]
-		bn.Reset(req.Value, strat)
-		p.nodes[int(f.Node)] = bn
 		faulty = faulty.Add(f.Node)
 	}
 
-	res, err := netsim.Run(p.nodes, netsim.Config{Rounds: p.depth, Sequential: true})
-	if err != nil {
-		return Response{}, err
+	fast := false
+	switch {
+	case len(req.Faults) == 0:
+		for i := range dec {
+			dec[i] = req.Value
+		}
+		fast = true
+	case len(req.Faults) == 1 && req.Faults[0].Node == req.Sender:
+		fast = p.probeSender(req, dec)
 	}
-	for i := 0; i < n; i++ {
-		p.decisions[i] = res.Decisions[types.NodeID(i)]
+	if fast {
+		sh.stats.Inc(statFastHit)
+	} else {
+		sh.stats.Inc(statFastFallback)
+		if err := p.runFull(req, dec); err != nil {
+			return Response{}, err
+		}
 	}
 
-	deciders, vdDeciders, degraded := receiverTally(p.decisions, req.Sender, faulty)
+	deciders, vdDeciders, degraded := receiverTally(dec, req.Sender, faulty)
 	sh.stats.Add(statDeciders, uint64(deciders))
 	sh.stats.Add(statVdDeciders, uint64(vdDeciders))
 	resp := Response{
-		Decisions: append([]types.Value(nil), p.decisions...),
+		Decisions: dec,
 		Condition: condition(req.M, req.U, len(req.Faults), faulty.Contains(req.Sender)),
 		Degraded:  degraded,
 		OK:        true,
@@ -139,17 +176,25 @@ func (p *pool) run(req Request, sh *shard) (Response, error) {
 
 	// Sampling mode: every SpecSample-th instance per shard goes through
 	// the full executable spec, so serving never drifts from D.1–D.4
-	// unnoticed.
+	// unnoticed — fast-path decisions included.
 	if rate := sh.svc.cfg.SpecSample; rate > 0 {
 		sh.sinceCheck++
 		if sh.sinceCheck >= rate {
 			sh.sinceCheck = 0
+			if p.decMap == nil {
+				p.decMap = make(map[types.NodeID]types.Value, n)
+			} else {
+				clear(p.decMap)
+			}
+			for i := 0; i < n; i++ {
+				p.decMap[types.NodeID(i)] = dec[i]
+			}
 			v := spec.Check(spec.Execution{
 				M: req.M, U: req.U,
 				Sender:      req.Sender,
 				SenderValue: req.Value,
 				Faulty:      faulty,
-				Decisions:   res.Decisions,
+				Decisions:   p.decMap,
 			})
 			resp.Checked = true
 			resp.OK = v.OK
@@ -168,6 +213,85 @@ func (p *pool) run(req Request, sh *shard) (Response, error) {
 		}
 	}
 	return resp, nil
+}
+
+// probeSender runs the armed sender's round-1 egress and, when the receipt
+// vector is unanimous, fills dec with the forced decisions and reports a
+// fast-path hit. A non-unanimous vector (equivocation or partial omission)
+// leaves dec untouched and sends the caller down the full path, which
+// re-arms the node with a freshly built strategy.
+func (p *pool) probeSender(req *Request, dec []types.Value) bool {
+	f := req.Faults[0]
+	n := p.params.N
+	strat, err := f.Kind.Build(n, f.Value, f.Seed)
+	if err != nil {
+		return false // the full path surfaces the same error to the caller
+	}
+	bn := p.byz[int(f.Node)]
+	bn.Reset(req.Value, strat)
+
+	// Receipt vector: one slot per non-sender receiver in ID order,
+	// initialized to V_d so omissions read as absence per §4.
+	recv := p.recv[:n-1]
+	for i := range recv {
+		recv[i] = types.Default
+	}
+	for _, m := range bn.Step(1, nil) {
+		j := int(m.To)
+		if j < 0 || j >= n || m.To == req.Sender || len(m.Path) != 1 {
+			continue
+		}
+		if m.To > req.Sender {
+			j--
+		}
+		recv[j] = m.Value
+	}
+	w, uni := vote.UnanimousSlots(recv)
+	if !uni {
+		return false
+	}
+	for i := range dec {
+		dec[i] = w
+	}
+	dec[int(req.Sender)] = types.Default // a faulty node's decision is V_d
+	return true
+}
+
+// runFull resets the pooled complement, arms the request's fault set, and
+// executes the instance on the pooled engine under the reference schedule,
+// reading each node's decision directly into dec.
+func (p *pool) runFull(req *Request, dec []types.Value) error {
+	n := p.params.N
+	for i := 0; i < n; i++ {
+		p.honest[i].Reset(req.Value)
+		p.nodes[i] = p.honest[i]
+	}
+	for _, f := range req.Faults {
+		strat, err := f.Kind.Build(n, f.Value, f.Seed)
+		if err != nil {
+			return err
+		}
+		bn := p.byz[int(f.Node)]
+		bn.Reset(req.Value, strat)
+		p.nodes[int(f.Node)] = bn
+	}
+
+	if p.eng == nil {
+		eng, err := round.NewEngine(p.nodes, round.Config{Rounds: p.depth})
+		if err != nil {
+			return err
+		}
+		p.eng = eng
+	} else if err := p.eng.Restart(p.nodes); err != nil {
+		return err
+	}
+	if err := (round.Reference{}).Drive(p.eng); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		dec[i] = p.nodes[i].Decide()
+	}
+	return nil
 }
 
 // floorMargin computes the §2 Observation slack of a checked verdict: the

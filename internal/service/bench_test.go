@@ -61,6 +61,60 @@ func BenchmarkDoSpecEveryInstance(b *testing.B) {
 	}
 }
 
+// BenchmarkSlotDoFast is the zero-alloc hot loop: a reusable Slot driving
+// fault-free requests, decided entirely by the optimistic fast path.
+func BenchmarkSlotDoFast(b *testing.B) {
+	svc := New(Config{Shards: 1, SpecSample: -1})
+	defer svc.Close()
+	ctx := context.Background()
+	sl := svc.NewSlot()
+	req := Request{N: 7, M: 1, U: 2, Value: 42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sl.Do(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSlotDoSenderProbe prices the sender-only fast path: one armed
+// crash fault on the sender, decided by probing its round-1 egress.
+func BenchmarkSlotDoSenderProbe(b *testing.B) {
+	svc := New(Config{Shards: 1, SpecSample: -1})
+	defer svc.Close()
+	ctx := context.Background()
+	sl := svc.NewSlot()
+	req := Request{N: 7, M: 1, U: 2, Value: 42,
+		Faults: []FaultSpec{{Node: 0, Kind: adversary.KindCrash}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sl.Do(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSlotDoFallback prices the pooled full path the fast path falls
+// back to: one non-sender two-faced fault forces the complete EIG exchange
+// on the recycled engine.
+func BenchmarkSlotDoFallback(b *testing.B) {
+	svc := New(Config{Shards: 1, SpecSample: -1})
+	defer svc.Close()
+	ctx := context.Background()
+	sl := svc.NewSlot()
+	req := Request{N: 7, M: 1, U: 2, Value: 42,
+		Faults: []FaultSpec{{Node: 3, Kind: adversary.KindTwoFaced, Value: 99}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sl.Do(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDoPipelined keeps a window of requests in flight through Submit,
 // letting the shard batch instead of ping-ponging one request at a time.
 func BenchmarkDoPipelined(b *testing.B) {

@@ -126,6 +126,15 @@ func TestMetricsEndpointUnderFaults(t *testing.T) {
 		t.Errorf("service_completed_total = %d, want %d", got, len(reqs))
 	}
 
+	// Fast-path accounting: the fault-free request and the lying-sender
+	// request (unanimous probe) hit; the multi-fault ones must fall back.
+	if got := uint64(samples["service_fastpath_hit_total"]); got != 2 {
+		t.Errorf("service_fastpath_hit_total = %d, want 2", got)
+	}
+	if got := uint64(samples["service_fastpath_fallback_total"]); got != 3 {
+		t.Errorf("service_fastpath_fallback_total = %d, want 3", got)
+	}
+
 	// The unified snapshot view must agree with the scrape.
 	snap := svc.Telemetry()
 	if snap.Counter("vd_deciders_total") != vdDeciders {
@@ -133,5 +142,8 @@ func TestMetricsEndpointUnderFaults(t *testing.T) {
 	}
 	if snap.Gauges["vd_decider_fraction"] != wantFrac {
 		t.Errorf("telemetry vd_decider_fraction = %g, want %g", snap.Gauges["vd_decider_fraction"], wantFrac)
+	}
+	if st := svc.Stats(); st.FastHits != 2 || st.FastFallbacks != 3 {
+		t.Errorf("Stats fast path = (%d, %d), want (2, 3)", st.FastHits, st.FastFallbacks)
 	}
 }

@@ -156,7 +156,9 @@ func (r Request) Validate() error {
 // Response reports one executed instance.
 type Response struct {
 	// Decisions is every node's decision, indexed by node ID. Faulty nodes
-	// report V_d.
+	// report V_d. The slice aliases the completed request's task buffer: it
+	// is valid until the Slot that produced it is submitted again (responses
+	// from Submit/Do are backed by a per-call task and never invalidated).
 	Decisions []types.Value
 	// Condition is the paper condition that applied ("D.1".."D.4", or
 	// "none" beyond u faults), selected from the request's fault count.
@@ -191,12 +193,21 @@ type Stats struct {
 	// SpecViolations counts sampled instances whose verdict failed. Always
 	// zero unless the protocol or runtime is broken.
 	SpecViolations uint64
+	// FastHits counts instances decided by the optimistic unanimity fast
+	// path without materializing the EIG exchange.
+	FastHits uint64
+	// FastFallbacks counts instances that ran the full VOTE path.
+	FastFallbacks uint64
 }
 
-// task is one queued request with its completion slot.
+// task is one queued request with its completion slot. dec is the
+// task-owned decision buffer the executing shard fills; Response.Decisions
+// aliases it, which is what lets a reused Slot serve a request without a
+// single allocation.
 type task struct {
 	req  Request
 	done chan Outcome
+	dec  []types.Value
 }
 
 // Outcome is one answered request: the response, or the error that stopped
@@ -224,6 +235,8 @@ const (
 	statCondD3
 	statCondD4
 	statCondNone
+	statFastHit      // instances decided by the optimistic fast path
+	statFastFallback // instances that ran the full VOTE path
 	numStats
 )
 
@@ -235,6 +248,7 @@ var statNames = []string{
 	"deciders_total", "vd_deciders_total",
 	"condition_d1_total", "condition_d2_total", "condition_d3_total",
 	"condition_d4_total", "condition_none_total",
+	"fastpath_hit_total", "fastpath_fallback_total",
 }
 
 // Service is the sharded agreement-serving runtime. Construct with New,
@@ -313,6 +327,8 @@ func (s *Service) Stats() Stats {
 		Degraded:       s.stats.Sum(statDegraded),
 		SpecChecked:    s.stats.Sum(statSpecChecked),
 		SpecViolations: s.stats.Sum(statSpecViolations),
+		FastHits:       s.stats.Sum(statFastHit),
+		FastFallbacks:  s.stats.Sum(statFastFallback),
 	}
 }
 
@@ -387,16 +403,98 @@ func (s *Service) Submit(req Request) (<-chan Outcome, error) {
 		return nil, fmt.Errorf("%w: %w", ErrInvalid, err)
 	}
 	t := &task{req: req, done: make(chan Outcome, 1)}
+	if err := s.enqueue(t); err != nil {
+		return nil, err
+	}
+	return t.done, nil
+}
+
+// enqueue places a validated task on the next shard's queue, non-blocking.
+func (s *Service) enqueue(t *task) error {
 	sh := s.shards[(s.next.Add(1)-1)%uint64(len(s.shards))]
 	select {
 	case sh.in <- t:
 		sh.stats.Inc(statAccepted)
-		return t.done, nil
+		return nil
 	default:
 		sh.stats.Inc(statRejected)
-		s.sheds.Get(TenantKey(req.Tenant)).Inc()
-		return nil, ErrOverloaded
+		s.sheds.Get(TenantKey(t.req.Tenant)).Inc()
+		return ErrOverloaded
 	}
+}
+
+// Slot is a reusable submission handle: one pre-allocated task, completion
+// channel, decision buffer, and fault scratch, recycled across requests so a
+// steady-state caller (the wire server's per-connection loop, a load-test
+// worker) submits without allocating. A Slot serves one request at a time —
+// Submit again only after the previous outcome was received — and is not
+// safe for concurrent use.
+type Slot struct {
+	svc    *Service
+	t      *task
+	faults []FaultSpec
+}
+
+// NewSlot returns a reusable submission handle bound to the service.
+func (s *Service) NewSlot() *Slot {
+	return &Slot{svc: s, t: &task{done: make(chan Outcome, 1)}}
+}
+
+// Submit validates and enqueues req on the slot's recycled task. The slot
+// copies req.Faults into its own scratch, so callers may reuse their fault
+// buffer immediately. Exactly one outcome will arrive on Outcome() unless an
+// error is returned.
+func (sl *Slot) Submit(req Request) error {
+	if sl.svc.closed.Load() {
+		return ErrClosed
+	}
+	if err := req.Validate(); err != nil {
+		return fmt.Errorf("%w: %w", ErrInvalid, err)
+	}
+	sl.faults = append(sl.faults[:0], req.Faults...)
+	req.Faults = sl.faults
+	sl.t.req = req
+	return sl.svc.enqueue(sl.t)
+}
+
+// Outcome returns the channel carrying the slot's next completion. The
+// channel identity changes after an abandoned Do, so re-read it per wait
+// rather than caching it across Submits.
+func (sl *Slot) Outcome() <-chan Outcome { return sl.t.done }
+
+// Do submits one request on the slot and waits for its response — the
+// allocation-free form of Service.Do.
+func (sl *Slot) Do(ctx context.Context, req Request) (Response, error) {
+	if err := sl.Submit(req); err != nil {
+		return Response{}, err
+	}
+	select {
+	case out := <-sl.t.done:
+		return out.Resp, out.Err
+	case <-ctx.Done():
+		// The admitted task still runs; the shard will complete it into the
+		// old channel. Abandon the task so the slot's next request cannot
+		// race with that late completion.
+		sl.abandon()
+		return Response{}, ctx.Err()
+	case <-sl.svc.term:
+		// Close raced the enqueue; one final non-blocking read settles it.
+		select {
+		case out := <-sl.t.done:
+			return out.Resp, out.Err
+		default:
+			sl.abandon()
+			return Response{}, ErrClosed
+		}
+	}
+}
+
+// abandon detaches the slot from an in-flight task it no longer waits for.
+// The fault scratch goes with it: the abandoned task's request still aliases
+// it, and the shard may yet read it.
+func (sl *Slot) abandon() {
+	sl.t = &task{done: make(chan Outcome, 1)}
+	sl.faults = nil
 }
 
 // Do submits one request and waits for its response. ctx cancels the wait
@@ -498,7 +596,7 @@ func (sh *shard) execute() {
 	if len(sh.batch) == 1 {
 		// The common uncontended case: skip group bookkeeping entirely.
 		t := sh.batch[0]
-		resp, err := sh.runOne(t.req)
+		resp, err := sh.runOne(t)
 		t.done <- Outcome{Resp: resp, Err: err}
 		return
 	}
@@ -509,11 +607,17 @@ func (sh *shard) execute() {
 		k := t.req.shape()
 		sh.groups[k] = append(sh.groups[k], t)
 	}
+	// Groups are truncated, not deleted, so their backing arrays are reused
+	// by the next batch (the map stays bounded by the distinct shapes seen,
+	// exactly like the instance pools).
 	for k, group := range sh.groups {
+		if len(group) == 0 {
+			continue
+		}
 		for _, t := range group {
-			resp, err := sh.runOne(t.req)
+			resp, err := sh.runOne(t)
 			t.done <- Outcome{Resp: resp, Err: err}
 		}
-		delete(sh.groups, k)
+		sh.groups[k] = group[:0]
 	}
 }

@@ -9,7 +9,7 @@ package types
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -180,16 +180,29 @@ func (m Message) String() string {
 }
 
 // SortMessages orders messages deterministically (by From, then Path key,
-// then To). Engines sort inboxes so runs are reproducible.
+// then To). Engines sort inboxes so runs are reproducible. slices.SortFunc
+// with a package-level comparator keeps the sort allocation-free, which the
+// serving hot loop's zero-alloc guarantee depends on.
 func SortMessages(ms []Message) {
-	sort.Slice(ms, func(i, j int) bool {
-		a, b := ms[i], ms[j]
-		if a.From != b.From {
-			return a.From < b.From
+	slices.SortFunc(ms, compareMessages)
+}
+
+func compareMessages(a, b Message) int {
+	if a.From != b.From {
+		if a.From < b.From {
+			return -1
 		}
-		if c := a.Path.Compare(b.Path); c != 0 {
-			return c < 0
-		}
-		return a.To < b.To
-	})
+		return 1
+	}
+	if c := a.Path.Compare(b.Path); c != 0 {
+		return c
+	}
+	switch {
+	case a.To < b.To:
+		return -1
+	case a.To > b.To:
+		return 1
+	default:
+		return 0
+	}
 }

@@ -1,0 +1,51 @@
+package vote
+
+import (
+	"testing"
+
+	"degradable/internal/types"
+)
+
+func TestUnanimousSlots(t *testing.T) {
+	cases := []struct {
+		name   string
+		vals   []types.Value
+		want   types.Value
+		wantOK bool
+	}{
+		{"empty", nil, types.Default, false},
+		{"single", []types.Value{5}, 5, true},
+		{"all equal", []types.Value{5, 5, 5, 5}, 5, true},
+		{"all default", []types.Value{types.Default, types.Default}, types.Default, true},
+		{"split", []types.Value{5, 6}, types.Default, false},
+		{"late divergence", []types.Value{5, 5, 5, 6}, types.Default, false},
+		{"default among values", []types.Value{5, types.Default, 5}, types.Default, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, ok := UnanimousSlots(tc.vals)
+			if v != tc.want || ok != tc.wantOK {
+				t.Errorf("UnanimousSlots(%v) = (%s, %v), want (%s, %v)",
+					tc.vals, v, ok, tc.want, tc.wantOK)
+			}
+			// The copying wrapper agrees: the unanimous value when ok, V_d
+			// otherwise.
+			if got := Unanimous(tc.vals); (tc.wantOK && got != tc.want) || (!tc.wantOK && got != types.Default) {
+				t.Errorf("Unanimous(%v) = %s, inconsistent with UnanimousSlots", tc.vals, got)
+			}
+		})
+	}
+}
+
+// TestUnanimousSlotsNoAlloc pins the reason the slot variant exists: it
+// must inspect the raw slot array without copying it.
+func TestUnanimousSlotsNoAlloc(t *testing.T) {
+	vals := []types.Value{7, 7, 7, 7, 7, 7}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if v, ok := UnanimousSlots(vals); !ok || v != 7 {
+			t.Fatal("unexpected verdict")
+		}
+	}); allocs != 0 {
+		t.Errorf("UnanimousSlots allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -137,7 +137,30 @@ func KOfN(k int, vals []types.Value) (types.Value, error) {
 // Unanimous returns v if every value equals v, else types.Default. It is
 // VOTE(β, β), the resolution rule of the m = 0 degradable algorithm.
 func Unanimous(vals []types.Value) types.Value {
-	return Vote(len(vals), vals)
+	if v, ok := UnanimousSlots(vals); ok {
+		return v
+	}
+	return types.Default
+}
+
+// UnanimousSlots reports whether vals is non-empty and holds a single
+// distinct value, and which. It is the allocation-free single-pass primitive
+// behind Unanimous and the optimistic fast path: the serving runtime calls
+// it directly on raw value-slot arrays (a flat EIG value segment, a round-1
+// receipt vector with absences already mapped to types.Default) without
+// building an intermediate copy or a tally. ok distinguishes an empty input
+// (false) from a genuine unanimous types.Default (true).
+func UnanimousSlots(vals []types.Value) (types.Value, bool) {
+	if len(vals) == 0 {
+		return types.Default, false
+	}
+	v := vals[0]
+	for _, w := range vals[1:] {
+		if w != v {
+			return types.Default, false
+		}
+	}
+	return v, true
 }
 
 // Count returns the number of occurrences of v in vals.

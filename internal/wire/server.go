@@ -71,9 +71,10 @@ type pendingResp struct {
 	// tag is echoed back on the response when the request was tagged.
 	tag    Tag
 	tagged bool
-	// done carries the outcome for admitted requests; nil when admission
-	// refused the request, in which case err holds the refusal.
-	done <-chan service.Outcome
+	// slot carries the request's submission handle. When err is nil the
+	// writer awaits the slot's outcome; either way the writer recycles the
+	// slot once the response has been encoded.
+	slot *service.Slot
 	err  error
 }
 
@@ -150,6 +151,12 @@ func (s *Server) handle(conn net.Conn) {
 	cfg := s.svc.Config()
 	timeouts := s.timeouts
 	pend := make(chan pendingResp, cfg.Shards*cfg.QueueDepth+1)
+	// free recycles submission slots between the writer (which releases a
+	// slot once its response is encoded) and the reader (which prefers a
+	// recycled slot over allocating). Steady state holds a handful of slots
+	// — one per pipelined in-flight request — and the read-submit-respond
+	// loop stops allocating entirely.
+	free := make(chan *service.Slot, cfg.Shards*cfg.QueueDepth+1)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() { // writer
@@ -167,7 +174,7 @@ func (s *Server) handle(conn net.Conn) {
 			if p.err != nil {
 				out.Err = p.err
 			} else {
-				out = <-p.done
+				out = <-p.slot.Outcome()
 			}
 			buf = buf[:0]
 			var err error
@@ -179,6 +186,13 @@ func (s *Server) handle(conn net.Conn) {
 				buf, err = AppendTaggedResponse(buf, p.id, p.tag, st, out.Resp, errmsg)
 			} else {
 				buf, err = AppendResponse(buf, p.id, st, out.Resp, errmsg)
+			}
+			// The response is encoded (out.Resp.Decisions aliases the slot's
+			// task buffer, so encode-before-recycle is load-bearing); the slot
+			// is free for the reader's next frame.
+			select {
+			case free <- p.slot:
+			default:
 			}
 			if err != nil {
 				continue // unencodable response; drop rather than desync the stream
@@ -212,7 +226,8 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 
 	br := bufio.NewReader(conn)
-	var frame []byte // reused across frames; DecodeRequest copies what it keeps
+	var frame []byte                 // reused across frames
+	var fscratch []service.FaultSpec // reused fault decode buffer; Slot.Submit copies
 	for {
 		// Idle bounds the wait for the next frame to begin; once its length
 		// prefix has arrived, Read bounds the payload.
@@ -229,12 +244,19 @@ func (s *Server) handle(conn net.Conn) {
 			break
 		}
 		frame = payload
-		id, tag, tagged, req, err := DecodeAnyRequest(payload)
+		id, tag, tagged, req, fb, err := DecodeAnyRequestInto(payload, fscratch)
+		fscratch = fb
 		if err != nil {
 			break // framing is lost; the deferred close severs the conn
 		}
-		done, err := s.svc.Submit(req)
-		pend <- pendingResp{id: id, tag: tag, tagged: tagged, done: done, err: err}
+		var sl *service.Slot
+		select {
+		case sl = <-free:
+		default:
+			sl = s.svc.NewSlot()
+		}
+		err = sl.Submit(req)
+		pend <- pendingResp{id: id, tag: tag, tagged: tagged, slot: sl, err: err}
 	}
 	close(stopWatch)
 	close(pend)

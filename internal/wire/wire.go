@@ -350,7 +350,7 @@ func DecodeRequest(payload []byte) (id uint64, req service.Request, err error) {
 	if err != nil {
 		return 0, req, err
 	}
-	req, err = decodeRequestBody(b)
+	req, _, err = decodeRequestBody(b, nil)
 	return id, req, err
 }
 
@@ -358,18 +358,31 @@ func DecodeRequest(payload []byte) (id uint64, req service.Request, err error) {
 // tagged requests req.Tenant carries the tag's tenant so admission
 // accounting flows through the service untouched.
 func DecodeAnyRequest(payload []byte) (id uint64, tag Tag, tagged bool, req service.Request, err error) {
-	id, tag, tagged, b, err := headerAny(payload, TypeRequest, TypeTaggedRequest)
-	if err != nil {
-		return 0, tag, false, req, err
-	}
-	req, err = decodeRequestBody(b)
-	req.Tenant = tag.Tenant
+	id, tag, tagged, req, _, err = DecodeAnyRequestInto(payload, nil)
 	return id, tag, tagged, req, err
 }
 
-func decodeRequestBody(b []byte) (req service.Request, err error) {
+// DecodeAnyRequestInto is DecodeAnyRequest with a caller-supplied fault
+// buffer: the fault list is decoded into buf when its capacity suffices
+// (a larger buffer is allocated otherwise), and the possibly-grown buffer
+// is returned for the next call. req.Faults aliases it, so the request is
+// only valid until the buffer is reused — callers that retain the request
+// past the next decode must copy the faults first (service.Slot.Submit
+// already does). With a warm buffer the request read path performs zero
+// allocations per frame.
+func DecodeAnyRequestInto(payload []byte, buf []service.FaultSpec) (id uint64, tag Tag, tagged bool, req service.Request, faultBuf []service.FaultSpec, err error) {
+	id, tag, tagged, b, err := headerAny(payload, TypeRequest, TypeTaggedRequest)
+	if err != nil {
+		return 0, tag, false, req, buf, err
+	}
+	req, buf, err = decodeRequestBody(b, buf)
+	req.Tenant = tag.Tenant
+	return id, tag, tagged, req, buf, err
+}
+
+func decodeRequestBody(b []byte, buf []service.FaultSpec) (req service.Request, _ []service.FaultSpec, err error) {
 	if len(b) < 13 {
-		return req, fmt.Errorf("wire: truncated request body (%d bytes)", len(b))
+		return req, buf, fmt.Errorf("wire: truncated request body (%d bytes)", len(b))
 	}
 	req.N = int(b[0])
 	req.M = int(b[1])
@@ -379,21 +392,25 @@ func decodeRequestBody(b []byte) (req service.Request, err error) {
 	nf := int(b[12])
 	b = b[13:]
 	if len(b) != nf*18 {
-		return req, fmt.Errorf("wire: %d fault bytes, want %d", len(b), nf*18)
+		return req, buf, fmt.Errorf("wire: %d fault bytes, want %d", len(b), nf*18)
 	}
 	if nf > 0 {
-		req.Faults = make([]service.FaultSpec, nf)
+		if cap(buf) < nf {
+			buf = make([]service.FaultSpec, nf)
+		}
+		buf = buf[:nf]
 		for i := 0; i < nf; i++ {
 			f := b[i*18 : (i+1)*18]
-			req.Faults[i] = service.FaultSpec{
+			buf[i] = service.FaultSpec{
 				Node:  types.NodeID(f[0]),
 				Kind:  adversary.Kind(f[1]),
 				Value: types.Value(binary.BigEndian.Uint64(f[2:10])),
 				Seed:  int64(binary.BigEndian.Uint64(f[10:18])),
 			}
 		}
+		req.Faults = buf
 	}
-	return req, nil
+	return req, buf, nil
 }
 
 // DecodeResponse decodes a response payload (as returned by ReadFrame).

@@ -44,7 +44,7 @@ BASELINE="${1:-BENCH_baseline.txt}"
 # names stable across BENCH_service.json and BENCH_cluster.json).
 artifact_keys() {
   awk '
-    match($0, /"(roundWaitP50Ms|roundWaitP99Ms|roundWaitMaxMs|lateBatches|late_batches_total|deadline_misses_total|vd_subs_total|throughput_per_s|latency_p50_us|latency_p99_us|degraded_fraction|spec_violations|vd_decider_fraction|floor_margin_min|degraded_total|completed_total|restarts|checkpointsTotal|corruptRejected|staleRejected|missingReinits|convergeCount|convergeMeanMs|convergeMaxMs|restart_total|checkpoint_corrupt_total|checkpoint_stale_total|checkpoint_missing_total|p50_us|p95_us|p99_us|quota_shed|router_overhead_frac|speedup_vs_single|single_throughput_per_s|send_lag_max_us)":[ ]*-?[0-9.eE+-]+/) {
+    match($0, /"(roundWaitP50Ms|roundWaitP99Ms|roundWaitMaxMs|lateBatches|late_batches_total|deadline_misses_total|vd_subs_total|throughput_per_s|latency_p50_us|latency_p99_us|degraded_fraction|spec_violations|vd_decider_fraction|floor_margin_min|degraded_total|completed_total|fastpath_hit_total|fastpath_fallback_total|fastpath_hits|fastpath_fallbacks|fastpath_hit_frac|restarts|checkpointsTotal|corruptRejected|staleRejected|missingReinits|convergeCount|convergeMeanMs|convergeMaxMs|restart_total|checkpoint_corrupt_total|checkpoint_stale_total|checkpoint_missing_total|p50_us|p95_us|p99_us|quota_shed|router_overhead_frac|speedup_vs_single|single_throughput_per_s|send_lag_max_us)":[ ]*-?[0-9.eE+-]+/) {
       s = substr($0, RSTART, RLENGTH)
       split(s, kv, /":[ ]*/)
       key = substr(kv[1], 2)

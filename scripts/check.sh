@@ -35,13 +35,14 @@ echo "== benchmark comparison (non-failing report) =="
 # A report, not a gate — it never fails the check.
 BENCHTIME=1x scripts/bench_compare.sh
 
-echo "== service load benchmark (shard matrix) =="
-# Short in-process shard sweep; writes the BENCH_service.json artifact at
-# the repo root (throughput, latency percentiles, rejection rate, and the
-# shard-scaling matrix). Exits non-zero on any spec-sample violation.
-# Scaling is hardware-dependent: on a single-core runner every point
-# lands near 1x.
-go run ./cmd/loadgen -inproc -shard-sweep 1,2,4,8 -duration 2s -n 7 -m 1 -u 2 -json BENCH_service.json
+echo "== service load benchmark (fault matrix + shard matrix) =="
+# Short in-process fault-probability sweep (the fast-path speedup as a
+# function of fault mix) followed by the shard sweep; writes the
+# BENCH_service.json artifact at the repo root (throughput, latency
+# percentiles, rejection rate, fastpath_hit_frac, and both matrices).
+# Exits non-zero on any spec-sample violation. Scaling is
+# hardware-dependent: on a single-core runner every point lands near 1x.
+go run ./cmd/loadgen -inproc -fault-prob-sweep 0,0.25,0.5 -shard-sweep 1,2,4,8 -duration 2s -n 7 -m 1 -u 2 -json BENCH_service.json
 
 echo "== chaos campaign smoke =="
 go run ./cmd/chaos -seed 42 -runs 250 >/dev/null
