@@ -28,7 +28,29 @@ type (
 	// ChaosCrash schedules one mid-round kill (and optional checkpoint
 	// corruption) for a cluster-driver scenario.
 	ChaosCrash = chaos.CrashSpec
+	// ChaosTopoAxis switches a campaign's topology dimension on: scenarios
+	// run over sparse graphs drawn from it instead of the complete wire.
+	ChaosTopoAxis = chaos.TopoAxis
+	// ChaosTopoSpec pins one scenario's communication graph, channel mode,
+	// and fault placement; it round-trips through the scenario's JSON.
+	ChaosTopoSpec = chaos.TopoSpec
+	// ChaosTopoBench is the Theorem 3 connectivity-boundary table, the
+	// BENCH_topology.json artifact.
+	ChaosTopoBench = chaos.TopoBench
+	// ChaosGridPoint is one (N, M, U) sweep point of a campaign grid.
+	ChaosGridPoint = chaos.GridPoint
+	// ChaosMarginTally is one connectivity-margin row of a campaign report.
+	ChaosMarginTally = chaos.MarginTally
 )
+
+// ChaosTopologySweep runs the Theorem 3 boundary table: every golden graph
+// family × fault placement × fault count, seeded and deterministic, with the
+// channel mode alternating between compressed transport and hop-by-hop
+// routing. The returned bench reports zero BoundViolations when every cell
+// at connectivity margin ≥ 0 with f ≤ u held the degradable spec.
+func ChaosTopologySweep(seed int64, runsPerCell int) (*ChaosTopoBench, error) {
+	return chaos.TopologySweep(seed, runsPerCell)
+}
 
 // Chaos runs a seeded fault-injection campaign. cfg seeds the sweep grid:
 // when the campaign does not name its own grid, the campaign hammers cfg's

@@ -8,6 +8,8 @@
 //	chaos -seed 42 -runs 1000                # sweep the default grid
 //	chaos -seed 42 -grid 5:1:2,7:2:2 -json   # pinned grid, JSON report
 //	chaos -replay '<scenario json>'          # re-run one counterexample
+//	chaos -graph harary:4:9 -placement cutset # campaign over a sparse graph
+//	chaos -topo-sweep BENCH_topology.json    # Theorem 3 boundary table
 //
 // Grid syntax: comma-separated n:m:u triples. With -shrink, every scenario
 // that misses its expected verdict is delta-debugged to a locally minimal
@@ -51,6 +53,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
 		seed       = fs.Int64("seed", 1, "campaign seed (drives every scenario and coin flip)")
 		runs       = fs.Int("runs", 1000, "number of scenarios to generate")
@@ -60,6 +63,10 @@ func run(args []string, out io.Writer) error {
 		shrink     = fs.Bool("shrink", true, "shrink expectation failures to minimal counterexamples")
 		asJSON     = fs.Bool("json", false, "emit the full report as JSON")
 		replay     = fs.String("replay", "", "replay one scenario (JSON) instead of running a campaign")
+		graphDef   = cliflags.Graph(fs)
+		placement  = cliflags.Placement(fs)
+		topoSweep  = fs.String("topo-sweep", "", "write the Theorem 3 topology boundary table (BENCH_topology.json) to this path and exit")
+		topoRuns   = fs.Int("topo-runs", 4, "seeded runs per topology-sweep cell")
 		tracePath  = cliflags.Trace(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +74,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *replay != "" {
 		return replayScenario(out, *replay, *asJSON, *shrink)
+	}
+	if *topoSweep != "" {
+		return runTopoSweep(out, *topoSweep, *seed, *topoRuns)
 	}
 
 	c := degradable.ChaosCampaign{
@@ -77,6 +87,9 @@ func run(args []string, out io.Writer) error {
 	}
 	var err error
 	if c.Grid, err = parseGrid(*grid); err != nil {
+		return err
+	}
+	if c.Topology, err = parseTopoAxis(*graphDef, *placement); err != nil {
 		return err
 	}
 	var tracer *obs.Tracer
@@ -147,6 +160,14 @@ func replayScenario(out io.Writer, encoded string, asJSON bool, shrink bool) err
 	} else {
 		fmt.Fprintf(out, "scenario: N=%d m=%d u=%d f=%d injectors=%d seed=%d\n",
 			sc.N, sc.M, sc.U, sc.F(), len(sc.Injectors), sc.Seed)
+		if tp := o.Topo; tp != nil {
+			pl := tp.Placement
+			if pl == "" {
+				pl = "-"
+			}
+			fmt.Fprintf(out, "topology: %s mode=%s placement=%s kappa=%d margin=%+d classicBA=%v\n",
+				tp.Graph, tp.Mode, pl, tp.Kappa, tp.Margin, tp.ClassicBAOK)
+		}
 		cond := o.Condition
 		if cond == "" {
 			cond = "-"
@@ -190,6 +211,10 @@ func writeReport(out io.Writer, rep *degradable.ChaosReport) {
 	i := rep.Injections
 	fmt.Fprintf(out, "injections: %d messages inspected, %d dropped, %d delayed-to-absence, %d duplicated, %d corrupted, %d severed\n",
 		i.Inspected, i.Dropped, i.Delayed, i.Duplicated, i.Corrupted, i.Severed)
+	for _, mt := range rep.TopoMargins {
+		fmt.Fprintf(out, "topology margin=%+d: scenarios=%d specHeld=%d gracefulOnly=%d violated=%d\n",
+			mt.Margin, mt.Scenarios, mt.SpecHeld, mt.GracefulOnly, mt.Violated)
+	}
 	if w := rep.Worst; w != nil {
 		fmt.Fprintf(out, "worst scenario: class %s in %s regime (N=%d m=%d u=%d f=%d)\n",
 			w.Class, w.Regime, w.Scenario.N, w.Scenario.M, w.Scenario.U, w.Scenario.F())
@@ -222,6 +247,55 @@ func dumpTrace(path string, t *obs.Tracer) error {
 		return err
 	}
 	return f.Close()
+}
+
+// parseTopoAxis turns the -graph/-placement pair into a campaign topology
+// axis. One family:params definition pins every scenario to that graph; a
+// comma-separated list becomes the seeded per-scenario draw pool; the
+// literal "families" draws from the built-in pool. -placement without
+// -graph is an error: placement only means something on a sparse graph.
+func parseTopoAxis(graphDef, placement string) (*chaos.TopoAxis, error) {
+	if graphDef == "" {
+		if placement != "" {
+			return nil, fmt.Errorf("-placement %q requires -graph", placement)
+		}
+		return nil, nil
+	}
+	axis := &chaos.TopoAxis{Placement: placement}
+	switch defs := strings.Split(graphDef, ","); {
+	case graphDef == "families":
+		// Draw from the built-in pool (axis.Families left nil).
+	case len(defs) == 1:
+		axis.Graph = defs[0]
+	default:
+		axis.Families = defs
+	}
+	return axis, nil
+}
+
+// runTopoSweep executes the Theorem 3 boundary table and writes it as the
+// BENCH_topology.json artifact. A violation in any at-or-above-bound cell
+// with f ≤ u makes the run exit non-zero: Theorem 3 predicts exactly zero.
+func runTopoSweep(out io.Writer, path string, seed int64, runsPerCell int) error {
+	bench, err := degradable.ChaosTopologySweep(seed, runsPerCell)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "topology sweep: seed=%d cells=%d held=%d degraded=%d failed=%d classic_refused_degradable_ok=%d bound_violations=%d\n",
+		bench.Seed, bench.CellsTotal, bench.CellsHeld, bench.CellsDegraded,
+		bench.CellsFailed, bench.ClassicRefused, bench.BoundViolations)
+	fmt.Fprintf(out, "wrote %s\n", path)
+	if bench.BoundViolations > 0 {
+		return fmt.Errorf("topology sweep: %d spec violations above the Theorem 3 bound", bench.BoundViolations)
+	}
+	return nil
 }
 
 // parseGrid parses comma-separated n:m:u triples.

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
@@ -171,6 +172,165 @@ func TestParseGridErrors(t *testing.T) {
 	}
 	if len(gps) != 2 || gps[1].N != 7 || gps[1].M != 2 || gps[1].U != 2 {
 		t.Errorf("parseGrid = %+v", gps)
+	}
+}
+
+// TestChaosHelpListsEveryFlag checks -h documents the binary's full flag
+// surface, topology axis included.
+func TestChaosHelpListsEveryFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-h"}, &buf)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: got %v, want flag.ErrHelp", err)
+	}
+	for _, name := range []string{
+		"seed", "runs", "grid", "max-injectors", "infeasible", "shrink",
+		"json", "replay", "graph", "placement", "topo-sweep", "topo-runs",
+		"trace",
+	} {
+		if !strings.Contains(buf.String(), "-"+name) {
+			t.Errorf("-h output missing flag -%s:\n%s", name, buf.String())
+		}
+	}
+}
+
+// TestTopologyFlagErrors covers the -graph/-placement surface's rejection
+// paths: placement without a graph, unknown families, unknown placements.
+func TestTopologyFlagErrors(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-placement", "cutset"}, "requires -graph"},
+		{[]string{"-graph", "nosuch:3", "-runs", "1"}, "nosuch"},
+		{[]string{"-graph", "harary:4:9", "-placement", "corners", "-runs", "1"}, "placement"},
+	} {
+		var buf bytes.Buffer
+		err := run(tc.args, &buf)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestTopologyCampaignDeterministic runs the same sparse-graph campaign
+// twice and checks byte-identical JSON plus the per-margin breakdown, then
+// checks the human summary carries the greppable margin lines.
+func TestTopologyCampaignDeterministic(t *testing.T) {
+	args := []string{"-seed", "5", "-runs", "50", "-graph", "harary:4:9", "-placement", "cutset", "-json"}
+	emit := func() string {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("%v\n%s", err, buf.String())
+		}
+		return buf.String()
+	}
+	a, b := emit(), emit()
+	if a != b {
+		t.Fatal("same seed, different sparse-campaign reports")
+	}
+	var rep struct {
+		TopoMargins []degradable.ChaosMarginTally `json:"topoMargins"`
+	}
+	if err := json.Unmarshal([]byte(a), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.TopoMargins) == 0 {
+		t.Fatalf("sparse campaign report has no topoMargins:\n%s", a)
+	}
+	for _, mt := range rep.TopoMargins {
+		if mt.Margin < 0 {
+			t.Errorf("strict axis produced margin %d", mt.Margin)
+		}
+		if mt.Violated != 0 {
+			t.Errorf("margin %+d: %d violations above the Theorem 3 bound", mt.Margin, mt.Violated)
+		}
+	}
+	var human bytes.Buffer
+	if err := run([]string{"-seed", "5", "-runs", "50", "-graph", "harary:4:9"}, &human); err != nil {
+		t.Fatalf("%v\n%s", err, human.String())
+	}
+	if !strings.Contains(human.String(), "topology margin=+0:") {
+		t.Errorf("human summary missing topology margin line:\n%s", human.String())
+	}
+}
+
+// TestReplayTopologyScenario is the PR's acceptance check at the CLI layer:
+// a scenario recorded by a sparse-topology campaign replays through -replay
+// from its JSON string alone — graph, mode, and placement ride inside the
+// scenario, no other flags needed.
+func TestReplayTopologyScenario(t *testing.T) {
+	c := degradable.ChaosCampaign{
+		Seed: 77, Runs: 1, Grid: parseMust(t, "9:1:2"),
+		Probs: []float64{0.1}, MaxInjectors: 2,
+		Topology: &degradable.ChaosTopoAxis{Graph: "harary:4:9", Placement: "cutset"},
+	}
+	sc := c.Generate(3)
+	if sc.Topology == nil {
+		t.Fatal("generated scenario carries no topology")
+	}
+	enc, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-replay", string(enc)}, &buf); err != nil {
+		t.Fatalf("topology replay: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "topology: harary:4:9") {
+		t.Errorf("replay output missing topology line:\n%s", out)
+	}
+	if !strings.Contains(out, "kappa=4 margin=+0") {
+		t.Errorf("replay output missing connectivity report:\n%s", out)
+	}
+	if !strings.Contains(out, "expectation met") {
+		t.Errorf("recorded sparse scenario missed its expectation:\n%s", out)
+	}
+}
+
+func parseMust(t *testing.T, s string) []degradable.ChaosGridPoint {
+	t.Helper()
+	gps, err := parseGrid(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gps
+}
+
+// TestTopoSweepWritesBench runs the boundary-table mode and checks the
+// artifact: ≥ 4 graph families, zero violations above the bound, and at
+// least one cell where classic BA's connectivity bound refuses the graph
+// while degradable agreement still delivers.
+func TestTopoSweepWritesBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_topology.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", "9", "-topo-sweep", path, "-topo-runs", "2"}, &buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench degradable.ChaosTopoBench
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatal(err)
+	}
+	families := map[string]bool{}
+	for _, cell := range bench.Cells {
+		families[cell.Graph] = true
+	}
+	if len(families) < 4 {
+		t.Errorf("sweep covered %d graph families, want >= 4", len(families))
+	}
+	if bench.BoundViolations != 0 {
+		t.Errorf("%d violations above the Theorem 3 bound", bench.BoundViolations)
+	}
+	if bench.ClassicRefused < 1 {
+		t.Error("no classic-BA-refused-but-degradable-held cell in the sweep")
+	}
+	if !strings.Contains(buf.String(), "bound_violations=0") {
+		t.Errorf("sweep summary:\n%s", buf.String())
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"degradable/internal/adversary"
 	"degradable/internal/obs"
@@ -67,6 +68,12 @@ type Campaign struct {
 	// default — generates no crashes and leaves the scenario stream of
 	// crash-free campaigns byte-identical to earlier releases.
 	Crashes int `json:"crashes,omitempty"`
+	// Topology, when non-nil, adds the sparse-graph axis: every generated
+	// scenario runs over a graph drawn from this axis (see TopoAxis), with
+	// the grid's N replaced by the graph's order and u clamped to the
+	// Theorem 3 boundary κ = m+u+1. Nil — the default — keeps the scenario
+	// stream of flat campaigns byte-identical to earlier releases.
+	Topology *TopoAxis `json:"topology,omitempty"`
 	// IncludeInfeasible, when set, makes roughly one scenario in twenty
 	// deliberately undersized (N = 2m+u) to exercise parameter rejection.
 	IncludeInfeasible bool `json:"includeInfeasible,omitempty"`
@@ -149,6 +156,10 @@ type Report struct {
 	Regimes []RegimeTally `json:"regimes"`
 	// Injections aggregates the injector counters across all scenarios.
 	Injections Counters `json:"injections"`
+	// TopoMargins breaks the counts down by connectivity margin κ − (m+u+1)
+	// when the campaign sweeps a topology axis — the Theorem 3 boundary
+	// table: zero Violated is expected at every margin ≥ 0.
+	TopoMargins []MarginTally `json:"topoMargins,omitempty"`
 	// Worst retains the most severe outcome (Violated before GracefulOnly
 	// before SpecHeld; earliest wins ties), for post-mortems even when the
 	// campaign is healthy.
@@ -199,9 +210,15 @@ func (c Campaign) RunContextWith(ctx context.Context, exec Executor) (*Report, e
 			return nil, fmt.Errorf("chaos: grid point N=%d exceeds the node-set limit", gp.N)
 		}
 	}
+	if c.Topology != nil {
+		if err := c.Topology.validate(); err != nil {
+			return nil, err
+		}
+	}
 
 	rep := &Report{Seed: c.Seed, Runs: c.Runs, Grid: c.Grid}
 	set := obs.NewCounterSet(campStatNames...)
+	margins := map[int]*MarginTally{}
 	tallies := map[string]*RegimeTally{}
 	order := []string{"classic", "degraded", "beyond-u", "invalid"}
 	for _, r := range order {
@@ -239,6 +256,22 @@ func (c Campaign) RunContextWith(ctx context.Context, exec Executor) (*Report, e
 			set.Inc(campInfeasible)
 			t.Infeasible++
 		}
+		if out.Topo != nil {
+			mt, ok := margins[out.Topo.Margin]
+			if !ok {
+				mt = &MarginTally{Margin: out.Topo.Margin}
+				margins[out.Topo.Margin] = mt
+			}
+			mt.Scenarios++
+			switch out.ClassValue() {
+			case SpecHeld:
+				mt.SpecHeld++
+			case GracefulOnly:
+				mt.GracefulOnly++
+			case Violated:
+				mt.Violated++
+			}
+		}
 		if c.Sink != nil {
 			e := obs.VerdictEvent(out.Condition, out.OK, out.Graceful)
 			e.Round = int32(i)
@@ -259,6 +292,12 @@ func (c Campaign) RunContextWith(ctx context.Context, exec Executor) (*Report, e
 			rep.Regimes = append(rep.Regimes, *t)
 		}
 	}
+	for _, mt := range margins {
+		rep.TopoMargins = append(rep.TopoMargins, *mt)
+	}
+	sort.Slice(rep.TopoMargins, func(i, j int) bool {
+		return rep.TopoMargins[i].Margin < rep.TopoMargins[j].Margin
+	})
 	// Materialize the obs-backed tallies into the report's view fields.
 	rep.Obs = set.Snapshot()
 	rep.SpecHeld = int(set.Get(campSpecHeld))
@@ -300,6 +339,13 @@ func worse(a, b *Outcome) bool {
 func (c Campaign) Generate(i int) Scenario {
 	rng := rand.New(rand.NewSource(mix(c.Seed, int64(i)+0x10001)))
 	gp := c.Grid[rng.Intn(len(c.Grid))]
+	// Topology draw (only when the axis is on, so flat campaigns replay
+	// their historical scenario streams unchanged): may replace gp.N with
+	// the graph's order and clamp gp.U to the Theorem 3 boundary.
+	var tp *topoPick
+	if c.Topology != nil {
+		tp = c.Topology.pick(rng, &gp)
+	}
 	sc := Scenario{
 		N: gp.N, M: gp.M, U: gp.U,
 		SenderValue: harnessValue,
@@ -313,12 +359,17 @@ func (c Campaign) Generate(i int) Scenario {
 
 	// Fault count and placement: f ≤ u+1 spans classic, degraded, and one
 	// step beyond the promised bounds; the sender is as arming-eligible as
-	// any receiver.
+	// any receiver. Cut-set placement reorders the permutation so the fault
+	// draws hit the graph's minimum vertex cut first.
 	f := rng.Intn(gp.U + 2)
 	if f > gp.N {
 		f = gp.N
 	}
-	for _, node := range rng.Perm(gp.N)[:f] {
+	perm := rng.Perm(gp.N)
+	if tp != nil && tp.placement == PlacementCutset && len(tp.cut) > 0 {
+		perm = cutFirst(perm, tp.cut)
+	}
+	for _, node := range perm[:f] {
 		fault := FaultSpec{
 			Node: types.NodeID(node),
 			Kind: faultKinds[rng.Intn(len(faultKinds))],
@@ -346,6 +397,14 @@ func (c Campaign) Generate(i int) Scenario {
 	// campaigns replay their historical scenario streams unchanged.
 	if c.Crashes > 0 {
 		sc.Crashes = c.generateCrashes(rng, gp, sc)
+	}
+	if tp != nil {
+		sc.Topology = &TopoSpec{
+			Graph:     tp.def,
+			Mode:      tp.mode,
+			Placement: tp.placement,
+			Loose:     tp.loose,
+		}
 	}
 	return sc
 }

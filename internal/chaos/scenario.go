@@ -6,6 +6,7 @@ import (
 
 	"degradable/internal/adversary"
 	"degradable/internal/core"
+	"degradable/internal/round"
 	"degradable/internal/runner"
 	"degradable/internal/spec"
 	"degradable/internal/types"
@@ -82,6 +83,13 @@ type Scenario struct {
 	// their recovery is additionally judged by the convergence taxonomy when
 	// the executor can observe it.
 	Crashes []CrashSpec `json:"crashes,omitempty"`
+	// Topology, when non-nil, runs the scenario over a sparse physical
+	// graph: every delivery is carried by a disjoint-path channel
+	// (compressed transport or true hop-by-hop routing per TopoSpec.Mode)
+	// instead of the perfect complete-graph wire, with the scenario's own
+	// Byzantine nodes doubling as corrupt relays. Nil preserves the
+	// historical complete-graph behaviour exactly.
+	Topology *TopoSpec `json:"topology,omitempty"`
 	// Seed drives every injector coin flip of the run.
 	Seed   int64       `json:"seed"`
 	Expect Expectation `json:"expect,omitempty"`
@@ -146,6 +154,14 @@ func (sc Scenario) relaxed() bool {
 func (sc Scenario) ResolveLevel() Level {
 	if sc.Expect.Level != LevelAuto {
 		return sc.Expect.Level
+	}
+	if sc.Topology != nil && sc.Topology.Loose {
+		// Below the Theorem 3 bound κ ≥ m+u+1, faulty relays can forge
+		// values between fault-free nodes — outside every assumption the
+		// paper's conditions rest on, so nothing is promised.
+		if _, kappa, err := sc.Topology.analyze(); err == nil && kappa < sc.M+sc.U+1 {
+			return LevelNone
+		}
 	}
 	f := sc.F()
 	switch {
@@ -241,6 +257,9 @@ type Outcome struct {
 	// "Converged-in-k-rounds" or "NeverConverged" — alongside the D.1–D.4
 	// verdict. Empty when no recovery was observable.
 	Convergence string `json:"convergence,omitempty"`
+	// Topo reports the topology analysis (connectivity margin, classic-BA
+	// baseline, channel traffic) when the scenario ran over a sparse graph.
+	Topo *TopoReport `json:"topo,omitempty"`
 
 	class Class
 }
@@ -304,6 +323,13 @@ func (sc Scenario) RunWith(exec Executor) (*Outcome, error) {
 	if err := sc.ValidateCrashes(); err != nil {
 		return nil, err
 	}
+	if sc.Topology != nil {
+		rep, err := sc.Topology.Report(sc.N, sc.M, sc.U, sc.F())
+		if err != nil {
+			return nil, err
+		}
+		out.Topo = rep
+	}
 	if exec == nil {
 		exec = inProcess
 	}
@@ -328,6 +354,14 @@ func (sc Scenario) RunWith(exec Executor) (*Outcome, error) {
 	out.Messages = eo.Messages
 	out.Delivered = eo.Delivered
 	out.Counters = eo.Counters
+	if out.Topo != nil {
+		out.Topo.Degraded = eo.Counters.Degraded
+		out.Topo.Forwarded = eo.Counters.Forwarded
+		out.Topo.Hops = eo.Counters.Hops
+		if traffic := eo.Counters.Hops + eo.Counters.Forwarded; traffic > 0 && eo.Messages > 0 {
+			out.Topo.HopsPerLogical = float64(traffic) / float64(eo.Messages)
+		}
+	}
 	if eo.Recovery != nil {
 		out.Recovery = eo.Recovery
 		out.Convergence = eo.Recovery.Label()
@@ -385,12 +419,31 @@ func inProcess(sc Scenario) (*ExecOutcome, error) {
 	default:
 		return nil, fmt.Errorf("chaos: unknown driver %q", sc.Driver)
 	}
-	if len(sc.Injectors) > 0 {
-		ch, err := buildChannel(sc.Injectors, sc.Faulty(), sc.Seed, &eo.Counters)
+	var topo TopoChannel
+	if sc.Topology != nil {
+		var err error
+		topo, err = sc.Topology.NewChannel(sc.N, sc.M, sc.U, sc.Faults, sc.Faulty())
 		if err != nil {
 			return nil, err
 		}
-		in.Channel = ch
+	}
+	if len(sc.Injectors) > 0 || topo != nil {
+		var inj round.Expander
+		if len(sc.Injectors) > 0 {
+			ch, err := buildChannel(sc.Injectors, sc.Faulty(), sc.Seed, &eo.Counters)
+			if err != nil {
+				return nil, err
+			}
+			inj = ch
+		}
+		if topo != nil {
+			// Injectors first (a node's own egress faults), then the sparse
+			// network — the same composition the cluster driver applies per
+			// node process.
+			in.Channel = ComposeEgress(inj, topo)
+		} else {
+			in.Channel = inj
+		}
 	}
 	res, _, err := in.Run()
 	if err != nil {
@@ -399,6 +452,9 @@ func inProcess(sc Scenario) (*ExecOutcome, error) {
 	eo.Decisions = res.Decisions
 	eo.Messages = res.Messages
 	eo.Delivered = res.Delivered
+	if topo != nil {
+		AddTopoStats(&eo.Counters, topo.Stats())
+	}
 	return eo, nil
 }
 

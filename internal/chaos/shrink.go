@@ -91,11 +91,35 @@ func Shrink(sc Scenario) (*Outcome, int, error) {
 		if improved {
 			continue
 		}
-		// 4. Shave the highest node toward N = 2m+u+1.
-		if cand, ok := shaveNode(out.Scenario); ok {
-			if o, ok := fails(cand); ok {
-				out, improved = o, true
-				steps++
+		// 4. Remove physical edges toward a minimal failing topology.
+		// Strict-mode candidates whose connectivity falls below m+u+1 fail
+		// to validate (Run errors), so fails() rejects them and the
+		// scenario stays inside Theorem 3's feasible region unless it was
+		// loose to begin with.
+		if ts := out.Scenario.Topology; ts != nil {
+			for _, e := range ts.edgeCandidates() {
+				cand := out.Scenario
+				nt := *ts
+				nt.Removed = append(append([][2]int{}, ts.Removed...), e)
+				cand.Topology = &nt
+				if o, ok := fails(cand); ok {
+					out, improved = o, true
+					steps++
+					break
+				}
+			}
+		}
+		if improved {
+			continue
+		}
+		// 5. Shave the highest node toward N = 2m+u+1 (flat scenarios only:
+		// a topology spec pins the node count to the graph's order).
+		if out.Scenario.Topology == nil {
+			if cand, ok := shaveNode(out.Scenario); ok {
+				if o, ok := fails(cand); ok {
+					out, improved = o, true
+					steps++
+				}
 			}
 		}
 	}
@@ -173,7 +197,7 @@ func ReproGo(sc Scenario) string {
 		fmt.Fprintf(&b, ", Sender: %d", int(sc.Sender))
 	}
 	b.WriteString("}\n")
-	if len(sc.Injectors) == 0 && len(sc.Crashes) == 0 {
+	if len(sc.Injectors) == 0 && len(sc.Crashes) == 0 && sc.Topology == nil {
 		fmt.Fprintf(&b, "res, err := degradable.Agree(cfg, %d", int64(sc.SenderValue))
 		for _, f := range sc.Faults {
 			b.WriteString(",\n\t" + faultLiteral(f))

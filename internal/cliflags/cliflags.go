@@ -44,6 +44,26 @@ func Trace(fs *flag.FlagSet) *string {
 	return fs.String("trace", "", "dump the structured round-event stream to this JSONL file; empty disables")
 }
 
+// Graph registers the sparse-topology flag: scenarios run over this
+// communication graph instead of the perfect complete-graph wire. A single
+// family:params definition pins every scenario to one graph; a
+// comma-separated list becomes a seeded per-scenario draw pool.
+func Graph(fs *flag.FlagSet) *string {
+	return fs.String("graph", "",
+		"communication graph as family:params (complete:n, ring:n, hypercube:dim, harary:k:n, "+
+			"bridge:n1:cut:n2, cliquering:cliques:size, gnp:n:p:seed); comma-separate for a draw pool; "+
+			"empty keeps the complete-graph wire")
+}
+
+// Placement registers the fault-placement flag that accompanies -graph:
+// where the adversary sits on a sparse graph decides whether Theorem 3's
+// disjoint-path machinery is actually stressed.
+func Placement(fs *flag.FlagSet) *string {
+	return fs.String("placement", "",
+		"fault placement on sparse graphs: uniform, cutset (pin liars on a minimum vertex cut), "+
+			"or mixed; requires -graph")
+}
+
 // WireTimeouts registers the per-connection deadline flags and returns a
 // getter for the parsed wire.Timeouts.
 func WireTimeouts(fs *flag.FlagSet) func() wire.Timeouts {

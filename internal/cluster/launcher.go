@@ -33,7 +33,12 @@ type Config struct {
 	// Injectors is the scenario injector stack, applied at each node's
 	// egress with a per-node seed derived from Seed.
 	Injectors []chaos.Injector
-	Seed      int64
+	// Topology pins the run to a sparse physical graph: every node routes
+	// its egress over the disjoint-path channel (Faults doubling as corrupt
+	// relays), so cluster executions sweep the same Theorem 3 boundary the
+	// in-process drivers do.
+	Topology *chaos.TopoSpec
+	Seed     int64
 	// Deadline bounds each round's hold-back wait per node (default 2s).
 	Deadline time.Duration
 	// RecordViews captures per-node transcripts in the report.
@@ -202,6 +207,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			Sender: cfg.Sender, SenderValue: cfg.SenderValue,
 			Fault: faultBy[types.NodeID(i)], Faulty: faulty,
 			Injectors: cfg.Injectors, Seed: cfg.Seed,
+			Topology: cfg.Topology, TopoFaults: cfg.Faults,
 			Deadline: cfg.Deadline, RecordViews: cfg.RecordViews,
 			Trace: cfg.Trace, Checkpoint: ckptDir,
 			Progress: crashBy[types.NodeID(i)] != nil,
@@ -248,6 +254,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				Sender: cfg.Sender, SenderValue: cfg.SenderValue,
 				Faulty:    faulty,
 				Injectors: cfg.Injectors, Seed: cfg.Seed,
+				Topology: cfg.Topology, TopoFaults: cfg.Faults,
 				Deadline: cfg.Deadline, RecordViews: cfg.RecordViews,
 				Trace: cfg.Trace, Checkpoint: ckptDir,
 			}
@@ -501,8 +508,9 @@ func Executor(ctx context.Context, deadline time.Duration) chaos.Executor {
 			N: sc.N, M: sc.M, U: sc.U,
 			Sender: sc.Sender, SenderValue: sc.SenderValue,
 			Faults: sc.Faults, Injectors: sc.Injectors,
-			Crashes: sc.Crashes,
-			Seed:    sc.Seed, Deadline: deadline,
+			Crashes:  sc.Crashes,
+			Topology: sc.Topology,
+			Seed:     sc.Seed, Deadline: deadline,
 		})
 		if err != nil {
 			return nil, err

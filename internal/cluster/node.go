@@ -84,7 +84,17 @@ type NodeConfig struct {
 	// Injectors is the scenario's injector stack; this node applies it to
 	// its own egress with a seed derived from Seed and ID.
 	Injectors []chaos.Injector `json:"injectors,omitempty"`
-	Seed      int64            `json:"seed,omitempty"`
+	// Topology pins the run to a sparse physical graph: the node routes its
+	// own egress over the disjoint-path channel (after the injector stack,
+	// matching the in-process composition). The channels are deterministic
+	// per message, so per-node egress routing reproduces exactly what one
+	// global channel would do.
+	Topology *chaos.TopoSpec `json:"topology,omitempty"`
+	// TopoFaults is the scenario's full fault list — the topology channel
+	// derives every node's relay-corruption behaviour from it, which this
+	// node's single Fault field cannot carry.
+	TopoFaults []chaos.FaultSpec `json:"topoFaults,omitempty"`
+	Seed       int64             `json:"seed,omitempty"`
 	// Deadline bounds each round's hold-back wait (§4 assumption b).
 	Deadline time.Duration `json:"deadline"`
 	// RecordViews captures the node's delivered transcript in its report.
@@ -372,15 +382,25 @@ func runNode(cfg NodeConfig, ln net.Listener, peers []string, progress io.Writer
 	rep := &NodeReport{ID: cfg.ID, PerRound: make([]int, rounds)}
 	no := newNodeObs(rounds, cfg.Trace)
 	var egress round.Expander
+	var faulty types.NodeSet
+	for _, id := range cfg.Faulty {
+		faulty = faulty.Add(id)
+	}
 	if len(cfg.Injectors) > 0 {
-		var faulty types.NodeSet
-		for _, id := range cfg.Faulty {
-			faulty = faulty.Add(id)
-		}
 		egress, err = chaos.NewChannel(cfg.Injectors, faulty, chaos.DeriveSeed(cfg.Seed, int64(cfg.ID)+1), &rep.Counters)
 		if err != nil {
 			return nil, err
 		}
+	}
+	var topo chaos.TopoChannel
+	if cfg.Topology != nil {
+		topo, err = cfg.Topology.NewChannel(cfg.N, cfg.M, cfg.U, cfg.TopoFaults, faulty)
+		if err != nil {
+			return nil, err
+		}
+		// Injectors first (this node's own egress faults), then the sparse
+		// network — the same order the in-process executor composes.
+		egress = chaos.ComposeEgress(egress, topo)
 	}
 
 	st := restoreNode(cfg, node, no, rep, rounds)
@@ -425,6 +445,9 @@ func runNode(cfg NodeConfig, ln net.Listener, peers []string, progress io.Writer
 	}
 	node.Finish(inbox)
 	rep.Decision = node.Decide()
+	if topo != nil {
+		chaos.AddTopoStats(&rep.Counters, topo.Stats())
+	}
 	no.report(rep)
 	return rep, nil
 }

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"degradable/internal/adversary"
+	"degradable/internal/chaos"
+)
+
+// TestTopologyScenarioAcrossDrivers runs one sparse-graph scenario through
+// the in-process executor and through real per-node OS processes and checks
+// they agree: same verdict, same degradation count, same physical-traffic
+// totals. The topology channels are deterministic per message, so per-node
+// egress routing (cluster) must reproduce exactly what the single global
+// channel (in-process) does.
+func TestTopologyScenarioAcrossDrivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	for _, mode := range []string{chaos.TopoModeTransport, chaos.TopoModeRouted} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			t.Parallel()
+			sc := chaos.Scenario{
+				N: 9, M: 1, U: 2, Seed: 13,
+				Faults: []chaos.FaultSpec{
+					{Node: 3, Kind: adversary.KindLie, Value: 2002},
+					{Node: 5, Kind: adversary.KindSilent},
+				},
+				Topology: &chaos.TopoSpec{Graph: "harary:4:9", Mode: mode},
+			}
+			inOut, err := sc.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cluSC := sc
+			cluSC.Driver = chaos.DriverCluster
+			cluOut, err := cluSC.RunWith(Executor(ctx, 30*time.Second))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inOut.Class != cluOut.Class || inOut.ExpectationMet != cluOut.ExpectationMet {
+				t.Fatalf("verdicts differ: in-process %s/%v cluster %s/%v",
+					inOut.Class, inOut.ExpectationMet, cluOut.Class, cluOut.ExpectationMet)
+			}
+			if inOut.Counters.Degraded != cluOut.Counters.Degraded ||
+				inOut.Counters.Forwarded != cluOut.Counters.Forwarded ||
+				inOut.Counters.Hops != cluOut.Counters.Hops {
+				t.Fatalf("topology counters differ: in-process %+v cluster %+v",
+					inOut.Counters, cluOut.Counters)
+			}
+			if inOut.Messages != cluOut.Messages {
+				t.Fatalf("messages differ: %d vs %d", inOut.Messages, cluOut.Messages)
+			}
+			if cluOut.Topo == nil || cluOut.Topo.Kappa != 4 {
+				t.Fatalf("cluster outcome topo report: %+v", cluOut.Topo)
+			}
+			if cluOut.ClassValue() != chaos.SpecHeld {
+				t.Fatalf("sparse cluster run: %s (%s)", cluOut.Class, cluOut.Reason)
+			}
+		})
+	}
+}

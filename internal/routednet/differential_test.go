@@ -1,0 +1,132 @@
+package routednet_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"degradable/internal/adversary"
+	"degradable/internal/core"
+	"degradable/internal/netsim"
+	"degradable/internal/routednet"
+	"degradable/internal/spec"
+	"degradable/internal/topology"
+	"degradable/internal/transport"
+	"degradable/internal/types"
+)
+
+// diffTransportVsRouted runs one seeded random configuration — a G(n,p)
+// graph and a seeded draw of corrupted relays with matching protocol-level
+// strategies — through the compressed transport channel and the hop-by-hop
+// router and requires identical decision vectors. The two implementations
+// factor the same Theorem 3 machinery differently (per-message path
+// quorums vs physical token forwarding), so any divergence is a bug in one
+// of them.
+func diffTransportVsRouted(t *testing.T, seed int64, faultCount int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const n = 9
+	p := core.Params{N: n, M: 1, U: 2}
+	g, err := topology.Gnp(n, 0.4+rng.Float64()*0.5, rng.Int63())
+	if err != nil {
+		// Disconnected after every conditioning attempt: nothing to compare.
+		t.Skipf("gnp: %v", err)
+	}
+	if faultCount > p.U {
+		faultCount = p.U
+	}
+	strategies := make(map[types.NodeID]adversary.Strategy)
+	corrupt := make(map[types.NodeID]transport.RelayCorruptor)
+	var faulty []types.NodeID
+	for _, v := range rng.Perm(n)[:faultCount] {
+		id := types.NodeID(v)
+		faulty = append(faulty, id)
+		switch rng.Intn(3) {
+		case 0:
+			strategies[id] = adversary.Lie{Value: beta}
+			corrupt[id] = transport.FlipTo(beta)
+		case 1:
+			strategies[id] = adversary.Crash{After: 1}
+			corrupt[id] = transport.DropAll()
+		default:
+			strategies[id] = adversary.Lie{Value: beta + 1}
+			corrupt[id] = transport.FlipTo(beta + 1)
+		}
+	}
+
+	// Compressed: netsim + transport channel. Strictness follows the drawn
+	// graph — below the Theorem 3 bound both sides run loose, and the
+	// equivalence must hold there too (forged outcomes included).
+	nodesA, err := p.Nodes(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adversary.Wrap(nodesA, p.N, p.Depth(), 0, alpha, strategies); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := transport.New(g, p.M, p.U, corrupt)
+	strict := err == nil
+	if !strict {
+		if ch, err = transport.NewLoose(g, p.M, p.U, corrupt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resA, err := netsim.Run(nodesA, netsim.Config{Rounds: p.Depth(), Channel: ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uncompressed: hop-by-hop routing over the same graph and relay set.
+	nodesB, err := p.Nodes(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adversary.Wrap(nodesB, p.N, p.Depth(), 0, alpha, strategies); err != nil {
+		t.Fatal(err)
+	}
+	resB, err := routednet.Run(nodesB, routednet.Config{
+		Graph: g, M: p.M, U: p.U, Rounds: p.Depth(), Strict: strict,
+		Faulty: corrupt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(resA.Decisions, resB.Decisions) {
+		t.Errorf("seed %d (strict=%v, faulty %v): decisions differ:\ncompressed %v\nhop-by-hop %v",
+			seed, strict, faulty, resA.Decisions, resB.Decisions)
+	}
+	if strict {
+		// At or above κ = m+u+1 with f ≤ u the agreed decisions must also
+		// satisfy the degradable spec — Theorem 3's sufficiency direction.
+		verdict := spec.Check(spec.Execution{
+			M: p.M, U: p.U, Sender: 0, SenderValue: alpha,
+			Faulty:    types.NewNodeSet(faulty...),
+			Decisions: resB.Decisions,
+		})
+		if !verdict.OK {
+			t.Errorf("seed %d: strict run violated %s: %s", seed, verdict.Condition, verdict.Reason)
+		}
+	}
+}
+
+// TestDifferentialTransportVsRouted sweeps the fuzz property over a fixed
+// seed range so the differential runs on every plain `go test`, not only
+// under the fuzzer.
+func TestDifferentialTransportVsRouted(t *testing.T) {
+	for seed := int64(0); seed < 48; seed++ {
+		diffTransportVsRouted(t, seed, int(seed%3))
+	}
+}
+
+// FuzzTransportVsRouted fuzzes the differential: random graphs, random
+// relay corruption, both channel implementations must agree byte-for-byte
+// on every node's decision.
+func FuzzTransportVsRouted(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(7), uint8(1))
+	f.Add(int64(42), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, faults uint8) {
+		diffTransportVsRouted(t, seed, int(faults%3))
+	})
+}

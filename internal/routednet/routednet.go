@@ -13,16 +13,22 @@
 // identical instances both ways and comparing every decision. The
 // uncompressed engine also reports true link-level traffic (hop count),
 // which the compressed channel can only estimate.
+//
+// The forwarding machinery lives in Channel, a round.Channel: any
+// round.Driver can run over it (the chaos engine selects it per scenario as
+// the "routed" topology mode). Run is the one-call wrapper that drives the
+// reference schedule through internal/round.
 package routednet
 
 import (
 	"fmt"
 
 	"degradable/internal/netsim"
+	"degradable/internal/obs"
+	"degradable/internal/round"
 	"degradable/internal/topology"
 	"degradable/internal/transport"
 	"degradable/internal/types"
-	"degradable/internal/vote"
 )
 
 // Config describes a routed execution.
@@ -48,11 +54,20 @@ type Result struct {
 	Decisions map[types.NodeID]types.Value
 	// LogicalMessages counts protocol-level sends.
 	LogicalMessages int
-	// Hops counts physical link traversals (every copy, every hop).
+	// Hops mirrors the routed_hops_total counter: physical link traversals
+	// (every copy, every hop).
+	//
+	// Deprecated: read Obs instead; the int views predate the obs spine
+	// and are kept one release for EXPERIMENTS.md flows.
 	Hops int
-	// Degraded counts logical deliveries replaced by V_d by the
-	// acceptance rule.
+	// Degraded mirrors the routed_degraded_total counter: logical
+	// deliveries replaced by V_d (or worse) by the acceptance rule.
+	//
+	// Deprecated: read Obs instead.
 	Degraded int
+	// Obs is the channel's accounting in the unified snapshot schema
+	// (routed_hops_total, routed_degraded_total).
+	Obs obs.Snapshot
 }
 
 // token is one in-flight copy of a logical message.
@@ -64,138 +79,33 @@ type token struct {
 	dead  bool
 }
 
-// Run executes the protocol with hop-by-hop forwarding.
+// Run executes the protocol with hop-by-hop forwarding: a Channel under the
+// round engine's reference schedule. Every delivery, inbox sort, and
+// decision read goes through internal/round — the same path every other
+// driver uses — so routed executions stay comparable with the rest of the
+// repo's instrumentation.
 func Run(nodes []netsim.Node, cfg Config) (*Result, error) {
-	if cfg.Graph == nil {
-		return nil, fmt.Errorf("routednet: nil graph")
-	}
 	n := len(nodes)
-	if n != cfg.Graph.N() {
+	if cfg.Graph != nil && n != cfg.Graph.N() {
 		return nil, fmt.Errorf("routednet: %d nodes on a %d-vertex graph", n, cfg.Graph.N())
 	}
 	if cfg.Rounds < 1 {
 		return nil, fmt.Errorf("routednet: rounds must be >= 1")
 	}
-	if cfg.M < 0 || cfg.U < cfg.M || cfg.U < 1 {
-		return nil, fmt.Errorf("routednet: infeasible m=%d u=%d", cfg.M, cfg.U)
+	ch, err := NewChannel(cfg.Graph, cfg.M, cfg.U, cfg.Faulty, cfg.Strict)
+	if err != nil {
+		return nil, err
 	}
-	need := cfg.M + cfg.U + 1
-	// Precompute routes for every ordered non-adjacent pair.
-	routes := make(map[[2]types.NodeID][][]types.NodeID)
-	for a := 0; a < n; a++ {
-		for b := 0; b < n; b++ {
-			if a == b {
-				continue
-			}
-			s, t := types.NodeID(a), types.NodeID(b)
-			if cfg.Graph.HasEdge(s, t) {
-				continue
-			}
-			ps, err := cfg.Graph.DisjointPaths(s, t, need)
-			if err != nil {
-				return nil, err
-			}
-			if cfg.Strict && len(ps) < need {
-				return nil, fmt.Errorf("routednet: only %d paths for %d→%d, need %d", len(ps), a, b, need)
-			}
-			routes[[2]types.NodeID{s, t}] = ps
-		}
+	rres, err := round.Run(nodes, round.Config{Rounds: cfg.Rounds, Channel: ch}, round.Reference{})
+	if err != nil {
+		return nil, err
 	}
-
-	byID := make(map[types.NodeID]netsim.Node, n)
-	for _, nd := range nodes {
-		if _, dup := byID[nd.ID()]; dup {
-			return nil, fmt.Errorf("routednet: duplicate node %d", int(nd.ID()))
-		}
-		byID[nd.ID()] = nd
-	}
-
-	res := &Result{Decisions: make(map[types.NodeID]types.Value, n)}
-	deliverRound := func(pending []types.Message) [][]types.Message {
-		inboxes := make([][]types.Message, n)
-		for _, m := range pending {
-			if cfg.Graph.HasEdge(m.From, m.To) {
-				res.Hops++
-				inboxes[int(m.To)] = append(inboxes[int(m.To)], m)
-				continue
-			}
-			ps := routes[[2]types.NodeID{m.From, m.To}]
-			if len(ps) == 0 {
-				continue // unroutable
-			}
-			// Launch one token per path and forward to completion.
-			tokens := make([]*token, 0, len(ps))
-			for _, route := range ps {
-				tokens = append(tokens, &token{route: route, value: m.Value, orig: m})
-			}
-			inFlight := len(tokens)
-			for inFlight > 0 {
-				inFlight = 0
-				for _, tk := range tokens {
-					if tk.dead || tk.pos == len(tk.route)-1 {
-						continue
-					}
-					// Advance one hop.
-					tk.pos++
-					res.Hops++
-					hop := tk.route[tk.pos]
-					if tk.pos < len(tk.route)-1 {
-						if corrupt, bad := cfg.Faulty[hop]; bad {
-							v, keep := corrupt(hop, tk.orig, tk.value)
-							if !keep {
-								tk.dead = true
-								continue
-							}
-							tk.value = v
-						}
-						inFlight++
-					}
-				}
-			}
-			// Acceptance at the destination.
-			copies := make([]types.Value, 0, len(tokens))
-			for _, tk := range tokens {
-				if !tk.dead {
-					copies = append(copies, tk.value)
-				}
-			}
-			accepted := vote.Vote(cfg.M+1, copies)
-			if accepted != m.Value {
-				res.Degraded++
-			}
-			dm := m
-			dm.Value = accepted
-			inboxes[int(dm.To)] = append(inboxes[int(dm.To)], dm)
-		}
-		for i := range inboxes {
-			types.SortMessages(inboxes[i])
-		}
-		return inboxes
-	}
-
-	var pending []types.Message
-	for round := 1; round <= cfg.Rounds; round++ {
-		inboxes := deliverRound(pending)
-		pending = pending[:0]
-		for i := 0; i < n; i++ {
-			id := types.NodeID(i)
-			out := byID[id].Step(round, inboxes[i])
-			for _, m := range out {
-				m.From = id
-				m.Round = round
-				if m.To < 0 || int(m.To) >= n || m.To == m.From {
-					continue
-				}
-				res.LogicalMessages++
-				pending = append(pending, m)
-			}
-		}
-	}
-	inboxes := deliverRound(pending)
-	for i := 0; i < n; i++ {
-		id := types.NodeID(i)
-		byID[id].Finish(inboxes[i])
-		res.Decisions[id] = byID[id].Decide()
-	}
-	return res, nil
+	snap := ch.Stats()
+	return &Result{
+		Decisions:       rres.Decisions,
+		LogicalMessages: rres.Messages,
+		Hops:            int(snap.Counter(CounterNames[CounterHops])),
+		Degraded:        int(snap.Counter(CounterNames[CounterDegraded])),
+		Obs:             snap,
+	}, nil
 }

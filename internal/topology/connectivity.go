@@ -39,6 +39,84 @@ func (g *Graph) VertexConnectivity() int {
 	return best
 }
 
+// MinVertexCut returns one minimum vertex cut: a smallest set of vertices
+// whose removal disconnects the graph, extracted from the max-flow residual
+// graph of the κ-achieving pair (a vertex v is in the cut when its split
+// arc v_in→v_out is saturated with v_in residually reachable from the
+// source and v_out not). Complete graphs have no cut and return nil; a
+// disconnected graph's cut is the empty (non-nil) set. The cut-set-targeted
+// fault placement of the chaos engine arms exactly these nodes, realizing
+// the Theorem 3 necessity adversary on arbitrary graphs.
+func (g *Graph) MinVertexCut() []types.NodeID {
+	if g.n == 1 {
+		return nil
+	}
+	if !g.Connected() {
+		return []types.NodeID{}
+	}
+	best := g.n - 1
+	var bs, bt types.NodeID
+	found := false
+	for s := 0; s < g.n; s++ {
+		for t := s + 1; t < g.n; t++ {
+			a, b := types.NodeID(s), types.NodeID(t)
+			if g.HasEdge(a, b) {
+				continue
+			}
+			f := newFlow(g, a, b)
+			k := 0
+			for k <= best && f.augment() {
+				k++
+			}
+			if k < best || !found {
+				best, bs, bt, found = k, a, b, true
+			}
+		}
+	}
+	if !found {
+		return nil // complete graph: every pair is adjacent
+	}
+	// Re-run the flow with effectively infinite edge-arc capacities: the
+	// flow value is unchanged (internal split arcs still constrain each
+	// vertex to one path) but the min cut is then made of split arcs only,
+	// so the residual boundary reads off a true vertex cut.
+	f := newFlowCap(g, bs, bt, g.n)
+	for f.augment() {
+	}
+	reach := f.reachable()
+	var cut []types.NodeID
+	for v := 0; v < g.n; v++ {
+		id := types.NodeID(v)
+		if id == bs || id == bt {
+			continue
+		}
+		if reach[vin(id)] && !reach[vout(id)] {
+			cut = append(cut, id)
+		}
+	}
+	return cut
+}
+
+// reachable marks the residual-graph vertices reachable from the source
+// after the flow has been saturated.
+func (f *flow) reachable() []bool {
+	seen := make([]bool, f.size)
+	src := vout(f.s)
+	seen[src] = true
+	queue := []int{src}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for y := 0; y < f.size; y++ {
+			if f.res[x][y] > 0 && !seen[y] {
+				seen[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return seen
+}
+
 // DisjointPaths returns up to limit internally-vertex-disjoint paths from s
 // to t, each of the form [s, ..., t]. If {s,t} is an edge, the direct
 // two-node path can be among them. The number of returned paths is
@@ -75,7 +153,12 @@ type flow struct {
 func vin(v types.NodeID) int  { return 2 * int(v) }
 func vout(v types.NodeID) int { return 2*int(v) + 1 }
 
-func newFlow(g *Graph, s, t types.NodeID) *flow {
+func newFlow(g *Graph, s, t types.NodeID) *flow { return newFlowCap(g, s, t, 1) }
+
+// newFlowCap is newFlow with a configurable edge-arc capacity. Unit
+// capacity keeps path decomposition trivial; MinVertexCut uses capacity n
+// so the min cut lands on split arcs only.
+func newFlowCap(g *Graph, s, t types.NodeID, edgeCap int) *flow {
 	size := 2 * g.n
 	f := &flow{g: g, s: s, t: t, size: size}
 	f.cap = make([][]int, size)
@@ -98,7 +181,7 @@ func newFlow(g *Graph, s, t types.NodeID) *flow {
 	}
 	for v := 0; v < g.n; v++ {
 		for _, w := range g.Neighbors(types.NodeID(v)) {
-			set(vout(types.NodeID(v)), vin(w), 1)
+			set(vout(types.NodeID(v)), vin(w), edgeCap)
 		}
 	}
 	return f

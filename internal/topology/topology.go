@@ -42,6 +42,31 @@ func (g *Graph) AddEdge(a, b types.NodeID) error {
 	return nil
 }
 
+// RemoveEdge deletes the undirected edge {a, b}; absent edges and
+// out-of-range nodes are a no-op. The delta-debugging shrinker uses it to
+// shave a failing scenario's graph toward a minimal counterexample.
+func (g *Graph) RemoveEdge(a, b types.NodeID) {
+	if !g.valid(a) || !g.valid(b) {
+		return
+	}
+	g.adj[a] = g.adj[a].Remove(b)
+	g.adj[b] = g.adj[b].Remove(a)
+}
+
+// EdgeList returns every edge as an ascending [a, b] pair (a < b), in
+// deterministic order.
+func (g *Graph) EdgeList() [][2]types.NodeID {
+	var edges [][2]types.NodeID
+	for a := 0; a < g.n; a++ {
+		for _, b := range g.adj[a].IDs() {
+			if types.NodeID(a) < b {
+				edges = append(edges, [2]types.NodeID{types.NodeID(a), b})
+			}
+		}
+	}
+	return edges
+}
+
 // HasEdge reports whether {a, b} is an edge.
 func (g *Graph) HasEdge(a, b types.NodeID) bool {
 	return g.valid(a) && g.valid(b) && g.adj[a].Contains(b)

@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"degradable/internal/netsim"
+	"degradable/internal/obs"
 	"degradable/internal/topology"
 	"degradable/internal/types"
 	"degradable/internal/vote"
@@ -37,21 +38,44 @@ import (
 // drop the copy.
 type RelayCorruptor func(relay types.NodeID, m types.Message, v types.Value) (types.Value, bool)
 
+// Names of the channel's obs counters, in index order.
+const (
+	// CounterDegraded counts deliveries whose accepted value differed from
+	// the sent one (degraded to V_d — or, below the Theorem 3 bound, to a
+	// forged value).
+	CounterDegraded = iota
+	// CounterForwarded counts path-copy relay transmissions.
+	CounterForwarded
+	numCounters
+)
+
+// CounterNames are the unified-snapshot names of the channel's counters.
+var CounterNames = []string{"transport_degraded_total", "transport_forwarded_total"}
+
 // Channel is a netsim.Channel that routes every delivery over vertex-
 // disjoint paths of the given graph with Byzantine relays interposed.
 type Channel struct {
-	g      *topology.Graph
-	m      int
-	paths  map[[2]types.NodeID][][]types.NodeID
-	faulty map[types.NodeID]RelayCorruptor
-	// Degraded counts deliveries that were replaced by V_d by the
-	// acceptance rule (diagnostics for the experiments).
+	g        *topology.Graph
+	m        int
+	paths    map[[2]types.NodeID][][]types.NodeID
+	faulty   map[types.NodeID]RelayCorruptor
+	counters *obs.CounterSet
+
+	// Degraded mirrors the transport_degraded_total counter.
+	//
+	// Deprecated: read Stats() instead; the mutable int view predates the
+	// obs spine and is kept one release for EXPERIMENTS.md flows.
 	Degraded int
-	// Forwarded counts total path-copy transmissions (cost diagnostics).
+	// Forwarded mirrors the transport_forwarded_total counter.
+	//
+	// Deprecated: read Stats() instead.
 	Forwarded int
 }
 
 var _ netsim.Channel = (*Channel)(nil)
+
+// Stats returns the channel's accounting in the unified snapshot schema.
+func (c *Channel) Stats() obs.Snapshot { return c.counters.Snapshot() }
 
 // New builds a disjoint-path channel for an m/u instance over g. It
 // precomputes m+u+1 disjoint paths for every ordered pair of nodes and fails
@@ -78,10 +102,11 @@ func build(g *topology.Graph, m, u int, faulty map[types.NodeID]RelayCorruptor, 
 	}
 	need := m + u + 1
 	c := &Channel{
-		g:      g,
-		m:      m,
-		paths:  make(map[[2]types.NodeID][][]types.NodeID),
-		faulty: faulty,
+		g:        g,
+		m:        m,
+		paths:    make(map[[2]types.NodeID][][]types.NodeID),
+		faulty:   faulty,
+		counters: obs.NewCounterSet(CounterNames...),
 	}
 	n := g.N()
 	for a := 0; a < n; a++ {
@@ -123,6 +148,7 @@ func (c *Channel) Deliver(m types.Message) (types.Message, bool) {
 		v := m.Value
 		dropped := false
 		for _, hop := range p[1 : len(p)-1] {
+			c.counters.Inc(CounterForwarded)
 			c.Forwarded++
 			corrupt, isFaulty := c.faulty[hop]
 			if !isFaulty {
@@ -141,6 +167,7 @@ func (c *Channel) Deliver(m types.Message) (types.Message, bool) {
 	}
 	accepted := vote.Vote(c.m+1, copies)
 	if accepted != m.Value {
+		c.counters.Inc(CounterDegraded)
 		c.Degraded++
 	}
 	m.Value = accepted
