@@ -41,6 +41,17 @@ type (
 	ChaosGridPoint = chaos.GridPoint
 	// ChaosMarginTally is one connectivity-margin row of a campaign report.
 	ChaosMarginTally = chaos.MarginTally
+	// ChaosAsyncAxis switches a campaign onto the asynchronous track:
+	// scenarios become A-Cast runs under drawn scheduling policies, judged by
+	// quorum-certificate safety with termination as a verdict.
+	ChaosAsyncAxis = chaos.AsyncAxis
+	// ChaosAsyncTally is the asynchronous block of a campaign report: the
+	// Terminated/NotTerminated verdict split, starvation count, and the
+	// safety-violation total (zero for any within-tolerance campaign).
+	ChaosAsyncTally = chaos.AsyncTally
+	// ChaosAsyncBench is the BENCH_async.json document: FIFO-versus-
+	// adversarial scheduling over identical seeded A-Cast workloads.
+	ChaosAsyncBench = chaos.AsyncBench
 )
 
 // ChaosTopologySweep runs the Theorem 3 boundary table: every golden graph
@@ -50,6 +61,15 @@ type (
 // at connectivity margin ≥ 0 with f ≤ u held the degradable spec.
 func ChaosTopologySweep(seed int64, runsPerCell int) (*ChaosTopoBench, error) {
 	return chaos.TopologySweep(seed, runsPerCell)
+}
+
+// ChaosAsyncSweep runs the asynchronous scheduling benchmark: identical
+// seeded fault-free A-Cast workloads under FIFO and adversarial scheduling,
+// reporting deliveries-to-decision percentiles and certificate-traffic
+// totals per scheduler. Safety violations in any row are a bug: the quorum
+// argument covers every schedule.
+func ChaosAsyncSweep(seed int64, runs int) (*ChaosAsyncBench, error) {
+	return chaos.AsyncSweep(seed, runs)
 }
 
 // Chaos runs a seeded fault-injection campaign. cfg seeds the sweep grid:

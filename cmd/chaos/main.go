@@ -10,6 +10,9 @@
 //	chaos -replay '<scenario json>'          # re-run one counterexample
 //	chaos -graph harary:4:9 -placement cutset # campaign over a sparse graph
 //	chaos -topo-sweep BENCH_topology.json    # Theorem 3 boundary table
+//	chaos -async -runs 500                   # asynchronous A-Cast campaign
+//	chaos -async -sched adversarial,starve   # pin the scheduler pool
+//	chaos -async-sweep BENCH_async.json      # FIFO vs adversarial benchmark
 //
 // Grid syntax: comma-separated n:m:u triples. With -shrink, every scenario
 // that misses its expected verdict is delta-debugged to a locally minimal
@@ -67,6 +70,10 @@ func run(args []string, out io.Writer) error {
 		placement  = cliflags.Placement(fs)
 		topoSweep  = fs.String("topo-sweep", "", "write the Theorem 3 topology boundary table (BENCH_topology.json) to this path and exit")
 		topoRuns   = fs.Int("topo-runs", 4, "seeded runs per topology-sweep cell")
+		async      = fs.Bool("async", false, "run the campaign on the asynchronous track: A-Cast under drawn scheduling policies, safety judged under every schedule")
+		sched      = fs.String("sched", "", "scheduling-policy pool for -async, comma separated (fifo, reorder, delay[:K], adversarial, starve; default: all)")
+		asyncSweep = fs.String("async-sweep", "", "write the FIFO-vs-adversarial scheduling benchmark (BENCH_async.json) to this path and exit")
+		asyncRuns  = fs.Int("async-runs", 200, "seeded runs per scheduler in the -async-sweep benchmark")
 		tracePath  = cliflags.Trace(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -77,6 +84,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *topoSweep != "" {
 		return runTopoSweep(out, *topoSweep, *seed, *topoRuns)
+	}
+	if *asyncSweep != "" {
+		return runAsyncSweep(out, *asyncSweep, *seed, *asyncRuns)
 	}
 
 	c := degradable.ChaosCampaign{
@@ -91,6 +101,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if c.Topology, err = parseTopoAxis(*graphDef, *placement); err != nil {
 		return err
+	}
+	if c.Async, err = parseAsyncAxis(*async, *sched); err != nil {
+		return err
+	}
+	if c.Async != nil && c.Topology != nil {
+		return fmt.Errorf("-async and -graph are mutually exclusive: the asynchronous track has no topology dimension")
 	}
 	var tracer *obs.Tracer
 	if *tracePath != "" {
@@ -215,6 +231,10 @@ func writeReport(out io.Writer, rep *degradable.ChaosReport) {
 		fmt.Fprintf(out, "topology margin=%+d: scenarios=%d specHeld=%d gracefulOnly=%d violated=%d\n",
 			mt.Margin, mt.Scenarios, mt.SpecHeld, mt.GracefulOnly, mt.Violated)
 	}
+	if a := rep.Async; a != nil {
+		fmt.Fprintf(out, "async: terminated=%d notTerminated=%d (starved=%d) certificates=%d safety_violations=%d\n",
+			a.Terminated, a.NotTerminated, a.Starved, a.CertTotal, a.SafetyViolations)
+	}
 	if w := rep.Worst; w != nil {
 		fmt.Fprintf(out, "worst scenario: class %s in %s regime (N=%d m=%d u=%d f=%d)\n",
 			w.Class, w.Regime, w.Scenario.N, w.Scenario.M, w.Scenario.U, w.Scenario.F())
@@ -294,6 +314,52 @@ func runTopoSweep(out io.Writer, path string, seed int64, runsPerCell int) error
 	fmt.Fprintf(out, "wrote %s\n", path)
 	if bench.BoundViolations > 0 {
 		return fmt.Errorf("topology sweep: %d spec violations above the Theorem 3 bound", bench.BoundViolations)
+	}
+	return nil
+}
+
+// parseAsyncAxis turns the -async/-sched pair into a campaign async axis.
+// -sched without -async is an error: scheduling policies only exist on the
+// asynchronous track (synchronous drivers close rounds by deadline).
+func parseAsyncAxis(async bool, sched string) (*chaos.AsyncAxis, error) {
+	if !async {
+		if sched != "" {
+			return nil, fmt.Errorf("-sched %q requires -async", sched)
+		}
+		return nil, nil
+	}
+	axis := &chaos.AsyncAxis{}
+	if sched != "" {
+		axis.Scheds = strings.Split(sched, ",")
+	}
+	return axis, nil
+}
+
+// runAsyncSweep executes the FIFO-versus-adversarial scheduling benchmark
+// and writes it as the BENCH_async.json artifact. Any safety violation makes
+// the run exit non-zero: quorum-certificate safety covers every schedule.
+func runAsyncSweep(out io.Writer, path string, seed int64, runs int) error {
+	bench, err := degradable.ChaosAsyncSweep(seed, runs)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	violations := 0
+	for _, row := range bench.Rows {
+		fmt.Fprintf(out, "async sweep %s: runs=%d dtd p50/p95/p99=%.0f/%.0f/%.0f certs=%d terminated=%d not_terminated=%d safety_violations=%d\n",
+			row.Sched, row.Runs, row.DTDp50, row.DTDp95, row.DTDp99,
+			row.CertTotal, row.Terminated, row.NotTerminated, row.SafetyViolations)
+		violations += row.SafetyViolations
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	if violations > 0 {
+		return fmt.Errorf("async sweep: %d safety violations (quorum safety must hold under every schedule)", violations)
 	}
 	return nil
 }

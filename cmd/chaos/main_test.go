@@ -186,7 +186,7 @@ func TestChaosHelpListsEveryFlag(t *testing.T) {
 	for _, name := range []string{
 		"seed", "runs", "grid", "max-injectors", "infeasible", "shrink",
 		"json", "replay", "graph", "placement", "topo-sweep", "topo-runs",
-		"trace",
+		"async", "sched", "async-sweep", "async-runs", "trace",
 	} {
 		if !strings.Contains(buf.String(), "-"+name) {
 			t.Errorf("-h output missing flag -%s:\n%s", name, buf.String())
@@ -330,6 +330,127 @@ func TestTopoSweepWritesBench(t *testing.T) {
 		t.Error("no classic-BA-refused-but-degradable-held cell in the sweep")
 	}
 	if !strings.Contains(buf.String(), "bound_violations=0") {
+		t.Errorf("sweep summary:\n%s", buf.String())
+	}
+}
+
+// TestAsyncCampaignCLI is the PR's acceptance check at the CLI layer: a
+// ≥200-scenario -async campaign under the full scheduler pool (adversarial
+// and starving schedules included) exits healthy with zero safety
+// violations, deterministically.
+func TestAsyncCampaignCLI(t *testing.T) {
+	args := []string{"-seed", "42", "-runs", "250", "-async", "-json"}
+	emit := func() string {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("%v\n%s", err, buf.String())
+		}
+		return buf.String()
+	}
+	a, b := emit(), emit()
+	if a != b {
+		t.Fatal("same seed, different -async reports")
+	}
+	var rep struct {
+		Completed int                         `json:"completed"`
+		Violated  int                         `json:"violated"`
+		Async     *degradable.ChaosAsyncTally `json:"async"`
+	}
+	if err := json.Unmarshal([]byte(a), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 250 || rep.Violated != 0 {
+		t.Fatalf("completed=%d violated=%d", rep.Completed, rep.Violated)
+	}
+	if rep.Async == nil || rep.Async.SafetyViolations != 0 {
+		t.Fatalf("async tally: %+v", rep.Async)
+	}
+	if rep.Async.Terminated == 0 || rep.Async.NotTerminated == 0 {
+		t.Errorf("verdict split %d/%d: scheduler pool should produce both", rep.Async.Terminated, rep.Async.NotTerminated)
+	}
+
+	var human bytes.Buffer
+	if err := run([]string{"-seed", "42", "-runs", "60", "-async", "-sched", "adversarial,starve"}, &human); err != nil {
+		t.Fatalf("%v\n%s", err, human.String())
+	}
+	if !strings.Contains(human.String(), "async: terminated=") {
+		t.Errorf("human summary missing async line:\n%s", human.String())
+	}
+}
+
+// TestReplayAsyncScenario: a scenario recorded by an -async campaign replays
+// through -replay from its JSON string alone — driver, scheduling policy,
+// and fault draw all ride inside the scenario.
+func TestReplayAsyncScenario(t *testing.T) {
+	c := degradable.ChaosCampaign{
+		Seed: 42, Runs: 1, Grid: parseMust(t, "7:2:2"),
+		Probs: []float64{0.1}, MaxInjectors: 1,
+		Async: &degradable.ChaosAsyncAxis{},
+	}
+	sc := c.Generate(2)
+	enc, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-replay", string(enc)}, &buf); err != nil {
+		t.Fatalf("async replay: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "regime async") {
+		t.Errorf("replay output missing async regime:\n%s", out)
+	}
+	if !strings.Contains(out, "expectation met") {
+		t.Errorf("recorded async scenario missed its expectation:\n%s", out)
+	}
+}
+
+func TestAsyncFlagErrors(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-sched", "adversarial"}, "requires -async"},
+		{[]string{"-async", "-sched", "lifo", "-runs", "1"}, "lifo"},
+		{[]string{"-async", "-graph", "harary:4:9", "-runs", "1"}, "mutually exclusive"},
+	} {
+		var buf bytes.Buffer
+		err := run(tc.args, &buf)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestAsyncSweepWritesBench runs the scheduling benchmark and checks the
+// BENCH_async.json artifact: one row per scheduler, zero safety violations,
+// adversarial scheduling costing at least as many deliveries as FIFO.
+func TestAsyncSweepWritesBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_async.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", "7", "-async-sweep", path, "-async-runs", "40"}, &buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench degradable.ChaosAsyncBench
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Rows) != 2 {
+		t.Fatalf("rows: %+v", bench.Rows)
+	}
+	for _, row := range bench.Rows {
+		if row.SafetyViolations != 0 {
+			t.Errorf("%s: %d safety violations", row.Sched, row.SafetyViolations)
+		}
+		if row.DTDp50 <= 0 {
+			t.Errorf("%s: empty dtd percentiles", row.Sched)
+		}
+	}
+	if !strings.Contains(buf.String(), "safety_violations=0") {
 		t.Errorf("sweep summary:\n%s", buf.String())
 	}
 }

@@ -1,0 +1,233 @@
+package acast
+
+import (
+	"degradable/internal/round"
+	"degradable/internal/types"
+)
+
+// ABA is asynchronous binary agreement (Mostéfaoui–Moumen–Raynal style)
+// over the scheduler core: nodes hold a binary estimate, exchange BVAL
+// proposals and AUX votes per internal round, and a deterministic seeded
+// common coin breaks symmetry. Safety — no two honest nodes decide
+// differently, and the decision is some honest node's input — holds under
+// ANY scheduling policy for f < n/3. Termination is probabilistic in the
+// adversarial model; an adversarial or starving scheduler can withhold it
+// indefinitely, which the chaos axis classifies as NotTerminated (never as
+// a safety violation).
+//
+// The protocol per internal round r, starting from estimate est:
+//
+//  1. broadcast BVAL_r(est);
+//  2. on BVAL_r(v) from f+1 distinct senders, relay BVAL_r(v) (at least
+//     one sender is honest, so relaying cannot launder a Byzantine-only
+//     value);
+//  3. on BVAL_r(v) from 2f+1 distinct senders, add v to bin_values_r; on
+//     the first such v, broadcast AUX_r(v);
+//  4. on AUX_r votes from n−f distinct senders whose values all lie in
+//     bin_values_r with value set vals: toss the round's common coin c. If
+//     vals = {v} and v = c, decide v; if vals = {v} and v ≠ c, keep est=v;
+//     if |vals| = 2, adopt est=c. Advance to round r+1.
+//
+// A decided node keeps participating (its BVAL/AUX keep laggards moving);
+// the run's WaitFor set decides when the schedule ends.
+type ABA struct {
+	id       types.NodeID
+	p        Params
+	coinSeed uint64
+	est      uint8
+	round    int
+	rounds   map[int]*abaRound
+	decided  bool
+	decision types.Value
+}
+
+// abaRound is one internal round's vote state.
+type abaRound struct {
+	sentBval  [2]bool
+	bval      [2]types.NodeSet
+	binValues [2]bool
+	sentAux   bool
+	aux       [2]types.NodeSet
+	done      bool
+}
+
+// NewABA builds a binary-agreement node with the given input bit. coinSeed
+// drives the deterministic common coin and must be shared by all nodes of
+// the instance (it models the paper-world common-coin oracle; the chaos
+// axis derives it from the scenario seed so runs replay exactly).
+func NewABA(id types.NodeID, p Params, input uint8, coinSeed uint64) *ABA {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &ABA{id: id, p: p, coinSeed: coinSeed, est: input & 1, round: 1, rounds: make(map[int]*abaRound)}
+}
+
+// ID implements round.AsyncNode.
+func (a *ABA) ID() types.NodeID { return a.id }
+
+// Decided implements round.AsyncNode.
+func (a *ABA) Decided() (types.Value, bool) { return a.decision, a.decided }
+
+// Start implements round.AsyncNode: broadcast the round-1 BVAL.
+func (a *ABA) Start() []types.Message {
+	return pump(a.id, a.p.N, a.handle, a.propose(a.round, a.est))
+}
+
+// OnDeliver implements round.AsyncNode.
+func (a *ABA) OnDeliver(m types.Message) []types.Message {
+	return pump(a.id, a.p.N, a.handle, a.handle(m))
+}
+
+// state returns round r's vote state, allocating it on first touch.
+func (a *ABA) state(r int) *abaRound {
+	st := a.rounds[r]
+	if st == nil {
+		st = &abaRound{}
+		a.rounds[r] = st
+	}
+	return st
+}
+
+// propose marks BVAL(v) sent for round r and broadcasts it.
+func (a *ABA) propose(r int, v uint8) []types.Message {
+	st := a.state(r)
+	if st.sentBval[v] {
+		return nil
+	}
+	st.sentBval[v] = true
+	return broadcast(a.p.N, types.Message{Round: r<<kindBits | KindBval, Value: types.Value(v)})
+}
+
+// coin is the round's deterministic common coin: a splitmix draw over
+// (coinSeed, r), identical at every node.
+func (a *ABA) coin(r int) uint8 {
+	return uint8(splitmix(a.coinSeed^(uint64(r)*0x9e3779b97f4a7c15)) & 1)
+}
+
+// handle ingests one ABA message and returns resulting broadcasts
+// (self-addressed copies included; pump applies them locally).
+func (a *ABA) handle(m types.Message) []types.Message {
+	if m.Value != 0 && m.Value != 1 {
+		return nil // Byzantine garbage: ABA values are bits
+	}
+	v := uint8(m.Value)
+	r := ABARound(m.Round)
+	if r < 1 {
+		return nil
+	}
+	st := a.state(r)
+	var out []types.Message
+	switch Kind(m.Round) {
+	case KindBval:
+		if st.bval[v].Contains(m.From) {
+			return nil
+		}
+		st.bval[v] = st.bval[v].Add(m.From)
+		n := st.bval[v].Len()
+		if n >= a.p.ReadyAmplify() && !st.sentBval[v] {
+			out = append(out, a.propose(r, v)...)
+		}
+		if n >= a.p.ReadyQuorum() && !st.binValues[v] {
+			st.binValues[v] = true
+			if !st.sentAux {
+				st.sentAux = true
+				out = append(out, broadcast(a.p.N, types.Message{Round: r<<kindBits | KindAux, Value: types.Value(v)})...)
+			}
+			out = append(out, a.tryAdvance(r)...)
+		}
+	case KindAux:
+		if st.aux[v].Contains(m.From) {
+			return nil
+		}
+		st.aux[v] = st.aux[v].Add(m.From)
+		out = append(out, a.tryAdvance(r)...)
+	}
+	return out
+}
+
+// tryAdvance checks round r's AUX condition — n−f votes whose values all
+// lie in bin_values — and on success applies the coin rule and opens round
+// r+1. It only ever fires for the node's current round: earlier rounds are
+// done, later rounds wait their turn.
+func (a *ABA) tryAdvance(r int) []types.Message {
+	if r != a.round {
+		return nil
+	}
+	st := a.state(r)
+	if st.done || (!st.binValues[0] && !st.binValues[1]) {
+		return nil
+	}
+	var voters types.NodeSet
+	var vals [2]bool
+	for v := 0; v < 2; v++ {
+		if !st.binValues[v] {
+			continue // votes for a non-bin value don't count (yet)
+		}
+		set := st.aux[v]
+		if set.Len() == 0 {
+			continue
+		}
+		vals[v] = true
+		for id := 0; id < a.p.N; id++ {
+			if set.Contains(types.NodeID(id)) {
+				voters = voters.Add(types.NodeID(id))
+			}
+		}
+	}
+	if voters.Len() < a.p.N-a.p.F {
+		return nil
+	}
+	st.done = true
+	c := a.coin(r)
+	switch {
+	case vals[0] != vals[1]: // vals = {v}
+		var v uint8
+		if vals[1] {
+			v = 1
+		}
+		if v == c && !a.decided {
+			a.decided = true
+			a.decision = types.Value(v)
+		}
+		a.est = v
+	default: // both values voted: adopt the coin
+		a.est = c
+	}
+	a.round = r + 1
+	out := a.propose(a.round, a.est)
+	// BVAL/AUX for the new round may already be buffered (a fast peer ran
+	// ahead); re-check its thresholds immediately.
+	return append(out, a.recheck(a.round)...)
+}
+
+// recheck re-evaluates round r's thresholds from already-ingested votes,
+// used when the node advances into a round its peers reached first.
+func (a *ABA) recheck(r int) []types.Message {
+	st := a.state(r)
+	var out []types.Message
+	for v := uint8(0); v < 2; v++ {
+		n := st.bval[v].Len()
+		if n >= a.p.ReadyAmplify() && !st.sentBval[v] {
+			out = append(out, a.propose(r, v)...)
+		}
+		if n >= a.p.ReadyQuorum() && !st.binValues[v] {
+			st.binValues[v] = true
+			if !st.sentAux {
+				st.sentAux = true
+				out = append(out, broadcast(a.p.N, types.Message{Round: r<<kindBits | KindAux, Value: types.Value(v)})...)
+			}
+		}
+	}
+	return append(out, a.tryAdvance(r)...)
+}
+
+// splitmix is the 64-bit splitmix finalizer (the same mix the scheduler
+// policies use for per-message draws).
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+var _ round.AsyncNode = (*ABA)(nil)

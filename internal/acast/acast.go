@@ -1,0 +1,338 @@
+// Package acast implements asynchronous reliable broadcast (Bracha-style
+// A-Cast) and asynchronous binary agreement (ABA) over the event-scheduler
+// core in internal/round.
+//
+// This is the repo's fourth execution mode and its asynchronous track: where
+// the synchronous protocols of §4 lean on deadline-closed rounds — absence
+// of a message is detectable and reads as V_d — the asynchronous model has
+// no deadlines at all. Messages may be delayed and reordered without bound
+// (the scheduler policy is the adversary), so absence is never detectable
+// and progress must come from quorum certificates instead:
+//
+//   - echo quorum  ⌈(n+f+1)/2⌉: enough echoes that two conflicting values
+//     cannot both reach it (any two quorums intersect in an honest node);
+//   - ready amplification f+1: at least one honest node attests the value,
+//     so joining the ready wave is safe without an echo quorum of one's own;
+//   - delivery certificate 2f+1 readies: at least f+1 honest readies, which
+//     guarantees every honest node eventually assembles the same
+//     certificate — totality without any deadline.
+//
+// Safety holds for f < n/3 under ANY scheduler, including adversarial
+// reordering and targeted starvation; only termination can be withheld.
+// This is the asymmetry the chaos async axis probes: a starved run ends
+// NotTerminated, never Violated. "Beyond One Third Byzantine Failures"
+// (PAPERS.md) frames what breaks past n/3 — the echo-quorum intersection
+// argument fails and split-brain delivery becomes possible, which the
+// beyond-tolerance tests demonstrate deliberately.
+//
+// Wire encoding: protocols reuse types.Message with the kind packed into
+// Round (protocol-owned in asynchronous mode) and the broadcaster identified
+// by Path — Path{b} is exactly the EIG reading "the claim originating at b".
+package acast
+
+import (
+	"fmt"
+
+	"degradable/internal/obs"
+	"degradable/internal/round"
+	"degradable/internal/types"
+)
+
+// Message kinds, carried in types.Message.Round. A-Cast kinds use the value
+// directly; ABA packs its internal round number above the kind bits
+// (abaRound<<3 | kind), so one Round int carries both.
+const (
+	KindInit  = 1 // broadcaster's initial send
+	KindEcho  = 2 // echo of a received init
+	KindReady = 3 // ready attestation (echo quorum or f+1 amplification)
+	KindBval  = 4 // ABA binary-value proposal
+	KindAux   = 5 // ABA auxiliary vote
+)
+
+// kindBits is the width of the kind field inside Message.Round.
+const kindBits = 3
+
+// Kind extracts the message kind from a Round value.
+func Kind(round int) int { return round & (1<<kindBits - 1) }
+
+// ABARound extracts the ABA round number from a Round value.
+func ABARound(round int) int { return round >> kindBits }
+
+// Params fixes the system size and fault tolerance for one asynchronous
+// protocol instance. Quorum thresholds derive from it.
+type Params struct {
+	N int // system size
+	F int // tolerated Byzantine faults; safety needs N > 3F
+}
+
+// Validate rejects parameter sets the quorum arithmetic cannot support.
+func (p Params) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("acast: n must be positive, got %d", p.N)
+	}
+	if p.F < 0 {
+		return fmt.Errorf("acast: f must be non-negative, got %d", p.F)
+	}
+	if p.N <= 3*p.F {
+		return fmt.Errorf("acast: need n > 3f for safety, got n=%d f=%d", p.N, p.F)
+	}
+	return nil
+}
+
+// EchoQuorum is ⌈(n+f+1)/2⌉ echoes: two conflicting values cannot both
+// reach it, because any two echo quorums share an honest node.
+func (p Params) EchoQuorum() int { return (p.N+p.F)/2 + 1 }
+
+// ReadyAmplify is f+1 readies: at least one is honest, so amplifying is
+// safe without an echo quorum of one's own.
+func (p Params) ReadyAmplify() int { return p.F + 1 }
+
+// ReadyQuorum is 2f+1 readies: the delivery certificate. It contains ≥ f+1
+// honest readies, whose amplification eventually brings every honest node
+// to the same certificate.
+func (p Params) ReadyQuorum() int { return 2*p.F + 1 }
+
+// CounterNames are the unified-snapshot names of the acast counter set, in
+// index order: echo broadcasts sent, ready broadcasts sent, delivery
+// certificates assembled (echo/ready measure certificate traffic, cert the
+// number of completed deliveries).
+var CounterNames = []string{"acast_echo_total", "acast_ready_total", "acast_cert_total"}
+
+// Indices into a CounterSet built from CounterNames.
+const (
+	CounterEcho = iota
+	CounterReady
+	CounterCert
+)
+
+// Config configures one A-Cast node.
+type Config struct {
+	ID     types.NodeID
+	Params Params
+	// Broadcasters is the set of nodes A-Casting a value in this run; the
+	// empty set means node 0 only. A node decides once it has delivered a
+	// value from every broadcaster.
+	Broadcasters types.NodeSet
+	// Input is this node's value, used only if it is a broadcaster.
+	Input types.Value
+	// Counters, when non-nil, receives acast_* increments; build it with
+	// obs.NewCounterSet(CounterNames...). Sink, when non-nil, receives
+	// EvEcho/EvReady/EvCertify quorum-certificate events.
+	Counters *obs.CounterSet
+	Sink     obs.Sink
+}
+
+// instance is one broadcaster's A-Cast state at one node.
+type instance struct {
+	initSeen  bool
+	echoed    bool
+	readied   bool
+	delivered bool
+	value     types.Value // delivered value, once delivered
+	// echoes and readies dedupe senders per claimed value. A Byzantine
+	// broadcaster may push two values; the maps keep both tallies and the
+	// quorum intersection argument picks at most one winner.
+	echoes  map[types.Value]types.NodeSet
+	readies map[types.Value]types.NodeSet
+}
+
+// Node is one A-Cast participant, implementing round.AsyncNode. It runs one
+// reliable-broadcast instance per broadcaster and decides when every
+// instance has delivered.
+type Node struct {
+	cfg  Config
+	inst []instance
+	// await counts broadcasters not yet delivered; decision folds once it
+	// reaches zero.
+	await    int
+	decided  bool
+	decision types.Value
+}
+
+// NewNode builds an A-Cast node. It panics on invalid Params — construction
+// happens before any scheduler runs, so a bad configuration is a
+// programming error, not a runtime fault.
+func NewNode(cfg Config) *Node {
+	if err := cfg.Params.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Broadcasters.Len() == 0 {
+		cfg.Broadcasters = types.NewNodeSet(0)
+	}
+	n := &Node{cfg: cfg, inst: make([]instance, cfg.Params.N), await: cfg.Broadcasters.Len()}
+	return n
+}
+
+// ID implements round.AsyncNode.
+func (n *Node) ID() types.NodeID { return n.cfg.ID }
+
+// Delivered returns the values A-Cast-delivered so far, keyed by
+// broadcaster: the asynchronous receipt vector.
+func (n *Node) Delivered() map[types.NodeID]types.Value {
+	out := make(map[types.NodeID]types.Value)
+	for b := range n.inst {
+		if n.inst[b].delivered {
+			out[types.NodeID(b)] = n.inst[b].value
+		}
+	}
+	return out
+}
+
+// Decided implements round.AsyncNode: true once every broadcaster's
+// instance delivered. The folded value is the lowest-ID broadcaster's
+// delivery (the full vector is available via Delivered).
+func (n *Node) Decided() (types.Value, bool) { return n.decision, n.decided }
+
+// Start implements round.AsyncNode: a broadcaster sends its init to
+// everyone (the self-addressed copy is applied locally — the engine drops
+// self-sends).
+func (n *Node) Start() []types.Message {
+	if !n.cfg.Broadcasters.Contains(n.cfg.ID) {
+		return nil
+	}
+	return pump(n.cfg.ID, n.cfg.Params.N, n.handle, broadcast(n.cfg.Params.N, types.Message{
+		Round: KindInit,
+		Path:  types.Path{n.cfg.ID},
+		Value: n.cfg.Input,
+	}))
+}
+
+// OnDeliver implements round.AsyncNode.
+func (n *Node) OnDeliver(m types.Message) []types.Message {
+	return pump(n.cfg.ID, n.cfg.Params.N, n.handle, n.handle(m))
+}
+
+// handle ingests one message and returns the resulting broadcasts,
+// including self-addressed copies (pump applies those locally).
+func (n *Node) handle(m types.Message) []types.Message {
+	if len(m.Path) != 1 {
+		return nil
+	}
+	b := m.Path[0]
+	if b < 0 || int(b) >= n.cfg.Params.N {
+		return nil
+	}
+	ins := &n.inst[int(b)]
+	switch Kind(m.Round) {
+	case KindInit:
+		// Only the broadcaster itself can originate its init: From is
+		// engine-stamped (§4 assumption (c)), so a Byzantine node cannot
+		// open someone else's instance. First init wins — a two-faced
+		// broadcaster splits the echo tallies instead.
+		if m.From != b || ins.initSeen {
+			return nil
+		}
+		ins.initSeen = true
+		return n.sendEcho(ins, b, m.Value)
+	case KindEcho:
+		if addDedup(&ins.echoes, m.Value, m.From) &&
+			ins.echoes[m.Value].Len() >= n.cfg.Params.EchoQuorum() && !ins.readied {
+			n.observe(obs.EvEcho, b, m.Value)
+			return n.sendReady(ins, b, m.Value)
+		}
+	case KindReady:
+		if !addDedup(&ins.readies, m.Value, m.From) {
+			return nil
+		}
+		count := ins.readies[m.Value].Len()
+		var out []types.Message
+		if count >= n.cfg.Params.ReadyAmplify() && !ins.readied {
+			n.observe(obs.EvReady, b, m.Value)
+			out = n.sendReady(ins, b, m.Value)
+		}
+		if count >= n.cfg.Params.ReadyQuorum() && !ins.delivered {
+			ins.delivered = true
+			ins.value = m.Value
+			if n.cfg.Counters != nil {
+				n.cfg.Counters.Inc(CounterCert)
+			}
+			n.observe(obs.EvCertify, b, m.Value)
+			n.await--
+			if n.await == 0 {
+				n.decided = true
+				for i := range n.inst {
+					if n.cfg.Broadcasters.Contains(types.NodeID(i)) {
+						n.decision = n.inst[i].value
+						break
+					}
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// sendEcho marks the instance echoed and broadcasts the echo.
+func (n *Node) sendEcho(ins *instance, b types.NodeID, v types.Value) []types.Message {
+	if ins.echoed {
+		return nil
+	}
+	ins.echoed = true
+	if n.cfg.Counters != nil {
+		n.cfg.Counters.Inc(CounterEcho)
+	}
+	return broadcast(n.cfg.Params.N, types.Message{Round: KindEcho, Path: types.Path{b}, Value: v})
+}
+
+// sendReady marks the instance readied and broadcasts the ready.
+func (n *Node) sendReady(ins *instance, b types.NodeID, v types.Value) []types.Message {
+	ins.readied = true
+	if n.cfg.Counters != nil {
+		n.cfg.Counters.Inc(CounterReady)
+	}
+	return broadcast(n.cfg.Params.N, types.Message{Round: KindReady, Path: types.Path{b}, Value: v})
+}
+
+// observe emits the quorum-certificate trace event.
+func (n *Node) observe(kind obs.EventKind, b types.NodeID, v types.Value) {
+	if n.cfg.Sink != nil {
+		n.cfg.Sink.Emit(obs.Event{Kind: kind, Node: int16(n.cfg.ID), A: int64(b), B: int64(v)})
+	}
+}
+
+// addDedup records sender in set[v], reporting whether it was new.
+func addDedup(sets *map[types.Value]types.NodeSet, v types.Value, sender types.NodeID) bool {
+	if *sets == nil {
+		*sets = make(map[types.Value]types.NodeSet)
+	}
+	s := (*sets)[v]
+	if s.Contains(sender) {
+		return false
+	}
+	(*sets)[v] = s.Add(sender)
+	return true
+}
+
+// broadcast fans m out to every node, self included; pump routes the self
+// copy through the local handler.
+func broadcast(n int, m types.Message) []types.Message {
+	out := make([]types.Message, n)
+	for i := range out {
+		out[i] = m
+		out[i].To = types.NodeID(i)
+	}
+	return out
+}
+
+// pump applies self-addressed sends locally until quiescence and returns
+// the external sends. Broadcast protocols count their own echo/ready toward
+// quorums; the scheduler core drops self-addressed messages, so that local
+// application happens here, synchronously and deterministically.
+func pump(self types.NodeID, n int, handle func(types.Message) []types.Message, ms []types.Message) []types.Message {
+	out := make([]types.Message, 0, len(ms))
+	queue := ms
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		if m.To != self {
+			out = append(out, m)
+			continue
+		}
+		m.From = self
+		queue = append(queue, handle(m)...)
+	}
+	return out
+}
+
+var _ round.AsyncNode = (*Node)(nil)

@@ -74,6 +74,13 @@ type Campaign struct {
 	// Theorem 3 boundary κ = m+u+1. Nil — the default — keeps the scenario
 	// stream of flat campaigns byte-identical to earlier releases.
 	Topology *TopoAxis `json:"topology,omitempty"`
+	// Async, when non-nil, switches the campaign onto the asynchronous
+	// track: every scenario becomes a DriverAsync A-Cast run under a drawn
+	// scheduling policy (see AsyncAxis), judged by quorum-certificate
+	// safety with termination as a verdict, not a requirement. Nil — the
+	// default — keeps the scenario stream of synchronous campaigns
+	// byte-identical to earlier releases.
+	Async *AsyncAxis `json:"async,omitempty"`
 	// IncludeInfeasible, when set, makes roughly one scenario in twenty
 	// deliberately undersized (N = 2m+u) to exercise parameter rejection.
 	IncludeInfeasible bool `json:"includeInfeasible,omitempty"`
@@ -160,6 +167,10 @@ type Report struct {
 	// when the campaign sweeps a topology axis — the Theorem 3 boundary
 	// table: zero Violated is expected at every margin ≥ 0.
 	TopoMargins []MarginTally `json:"topoMargins,omitempty"`
+	// Async aggregates the asynchronous-track verdicts (termination split,
+	// starvation count, safety-violation total) when the campaign ran the
+	// async axis; nil for synchronous campaigns.
+	Async *AsyncTally `json:"async,omitempty"`
 	// Worst retains the most severe outcome (Violated before GracefulOnly
 	// before SpecHeld; earliest wins ties), for post-mortems even when the
 	// campaign is healthy.
@@ -272,6 +283,21 @@ func (c Campaign) RunContextWith(ctx context.Context, exec Executor) (*Report, e
 				mt.Violated++
 			}
 		}
+		if out.Async != nil {
+			if rep.Async == nil {
+				rep.Async = &AsyncTally{}
+			}
+			if out.Async.Verdict == "NotTerminated" {
+				rep.Async.NotTerminated++
+				if out.Async.Starved {
+					rep.Async.Starved++
+				}
+			} else {
+				rep.Async.Terminated++
+			}
+			rep.Async.SafetyViolations += out.Async.SafetyViolations
+			rep.Async.CertTotal += out.Async.CertTotal
+		}
 		if c.Sink != nil {
 			e := obs.VerdictEvent(out.Condition, out.OK, out.Graceful)
 			e.Round = int32(i)
@@ -339,6 +365,14 @@ func worse(a, b *Outcome) bool {
 func (c Campaign) Generate(i int) Scenario {
 	rng := rand.New(rand.NewSource(mix(c.Seed, int64(i)+0x10001)))
 	gp := c.Grid[rng.Intn(len(c.Grid))]
+	// Async track: a wholly different scenario shape (no rounds, no
+	// injector stack). The branch sits after the grid draw so both tracks
+	// share the per-scenario rng discipline, and runs only when the axis
+	// is on, so synchronous campaigns replay their historical scenario
+	// streams unchanged.
+	if c.Async != nil {
+		return c.generateAsync(rng, gp)
+	}
 	// Topology draw (only when the axis is on, so flat campaigns replay
 	// their historical scenario streams unchanged): may replace gp.N with
 	// the graph's order and clamp gp.U to the Theorem 3 boundary.

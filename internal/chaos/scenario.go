@@ -93,10 +93,17 @@ type Scenario struct {
 	// Seed drives every injector coin flip of the run.
 	Seed   int64       `json:"seed"`
 	Expect Expectation `json:"expect,omitempty"`
+	// Sched names the asynchronous scheduling policy for DriverAsync
+	// scenarios (round.ParsePolicy grammar: fifo, reorder, delay[:K],
+	// adversarial, starve:ID), seeded by Seed. Empty means FIFO. Ignored —
+	// and left unset, keeping the scenario stream byte-identical — for the
+	// synchronous drivers, whose barrier makes intra-round order moot.
+	Sched string `json:"sched,omitempty"`
 	// Driver records how the scenario's instance was (or should be)
 	// executed: "" or "goroutine" (one goroutine per node), "sequential"
-	// (inline reference schedule), or "cluster" (one OS process per node
-	// over loopback TCP). The field makes shrinker reproductions
+	// (inline reference schedule), "cluster" (one OS process per node
+	// over loopback TCP), or "async" (the barrier-free A-Cast track under
+	// the Sched scheduling policy). The field makes shrinker reproductions
 	// self-describing. Run executes the in-process drivers directly; a
 	// "cluster" scenario replayed through Run uses the goroutine driver as
 	// its deterministic in-process surrogate (the judged semantics are
@@ -115,6 +122,7 @@ const (
 	DriverGoroutine  = "goroutine"
 	DriverSequential = "sequential"
 	DriverCluster    = "cluster"
+	DriverAsync      = "async"
 )
 
 // harnessValue is the default honest sender value, matching the harness's
@@ -260,6 +268,10 @@ type Outcome struct {
 	// Topo reports the topology analysis (connectivity margin, classic-BA
 	// baseline, channel traffic) when the scenario ran over a sparse graph.
 	Topo *TopoReport `json:"topo,omitempty"`
+	// Async reports the asynchronous-track observations (termination
+	// verdict, deliveries-to-decision, certificate traffic) for DriverAsync
+	// scenarios; nil for every synchronous driver.
+	Async *AsyncInfo `json:"async,omitempty"`
 
 	class Class
 }
@@ -302,6 +314,12 @@ func (sc Scenario) Run() (*Outcome, error) { return sc.RunWith(nil) }
 func (sc Scenario) RunWith(exec Executor) (*Outcome, error) {
 	if sc.SenderValue == 0 {
 		sc.SenderValue = harnessValue
+	}
+	if sc.Driver == DriverAsync {
+		// The asynchronous track has its own execution and judging path:
+		// no rounds, no deadline semantics, quorum-certificate safety
+		// judged under the n > 3f tolerance instead of the m/u ladder.
+		return sc.runAsync()
 	}
 	out := &Outcome{Scenario: sc, Level: sc.ResolveLevel().String()}
 	p := core.Params{N: sc.N, M: sc.M, U: sc.U, Sender: sc.Sender}

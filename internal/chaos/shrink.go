@@ -197,16 +197,16 @@ func ReproGo(sc Scenario) string {
 		fmt.Fprintf(&b, ", Sender: %d", int(sc.Sender))
 	}
 	b.WriteString("}\n")
-	if len(sc.Injectors) == 0 && len(sc.Crashes) == 0 && sc.Topology == nil {
+	if len(sc.Injectors) == 0 && len(sc.Crashes) == 0 && sc.Topology == nil && sc.Driver != DriverAsync {
 		fmt.Fprintf(&b, "res, err := degradable.Agree(cfg, %d", int64(sc.SenderValue))
 		for _, f := range sc.Faults {
 			b.WriteString(",\n\t" + faultLiteral(f))
 		}
 		b.WriteString(")\n")
 	} else {
-		// Channel interference is not expressible through Agree; replay the
-		// exact injector stack (same seed, same coin flips) via the chaos
-		// facade instead.
+		// Channel interference (or a barrier-free async schedule) is not
+		// expressible through Agree; replay the exact scenario (same seed,
+		// same coin flips) via the chaos facade instead.
 		enc, err := json.Marshal(sc)
 		if err != nil {
 			enc = []byte(fmt.Sprintf(`{"unencodable": %q}`, err.Error()))

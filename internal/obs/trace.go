@@ -51,6 +51,19 @@ const (
 	// V_d-safe re-init: an empty tree whose missed rounds read as the
 	// default value, §4 assumption (b) applied to the node's own past.
 	EvRestore
+	// EvEcho: an A-Cast instance reached its echo quorum and the node
+	// broadcast ready. Node = the observer, A = the broadcaster's ID,
+	// B = the echoed value. Asynchronous track only: quorum certificates
+	// replace §4's deadline-closed rounds as the progress signal.
+	EvEcho
+	// EvReady: an A-Cast instance reached the f+1 ready-amplification
+	// threshold and the node joined the ready wave without an echo quorum
+	// of its own. Node = the observer, A = the broadcaster, B = the value.
+	EvReady
+	// EvCertify: an A-Cast instance assembled its 2f+1-ready delivery
+	// certificate and the node A-Cast-delivered the value. Node = the
+	// observer, A = the broadcaster, B = the certified value.
+	EvCertify
 )
 
 // RestoreSource codes for EvRestore's A field, mirroring the cluster
@@ -89,6 +102,12 @@ func (k EventKind) String() string {
 		return "restart"
 	case EvRestore:
 		return "restore"
+	case EvEcho:
+		return "echo"
+	case EvReady:
+		return "ready"
+	case EvCertify:
+		return "certify"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -100,6 +119,7 @@ var kindByName = map[string]EventKind{
 	"deadlineMiss": EvDeadlineMiss, "lateBatch": EvLateBatch,
 	"vdSub": EvVdSub, "verdict": EvVerdict,
 	"checkpoint": EvCheckpoint, "restart": EvRestart, "restore": EvRestore,
+	"echo": EvEcho, "ready": EvReady, "certify": EvCertify,
 }
 
 // ConditionIndex maps a spec condition name ("D.1".."D.4", anything else =

@@ -1,0 +1,170 @@
+package round
+
+import (
+	"fmt"
+
+	"degradable/internal/types"
+)
+
+// AsyncNode is a message-driven protocol participant: the asynchronous
+// counterpart of Node, with no round structure at all. The run calls Start
+// once for the node's initial sends, then OnDeliver for every message the
+// scheduler delivers to it; returned messages are enqueued for future
+// policy-chosen delivery. Decided is polled after every delivery — a node
+// decides when its quorum certificates complete, never because a deadline
+// passed.
+//
+// Implementations need not be safe for concurrent use: the async run is a
+// single deterministic event loop, which is what makes every schedule
+// recordable and replayable from a seed. As in the synchronous mode, a
+// well-formed message may arrive more than once (duplication faults;
+// ingestion must be idempotent) and may never arrive — but unlike the
+// synchronous mode, absence is not detectable, so protocols must make
+// progress from quorums of what did arrive.
+type AsyncNode interface {
+	ID() types.NodeID
+	Start() []types.Message
+	OnDeliver(m types.Message) []types.Message
+	Decided() (types.Value, bool)
+}
+
+// AsyncConfig controls an asynchronous run.
+type AsyncConfig struct {
+	// Policy orders deliveries; nil means FIFO. Seeded policies make the
+	// whole run a deterministic function of (nodes, config).
+	Policy Policy
+	// Channel interposes on deliveries; nil means PerfectChannel.
+	Channel Channel
+	// MaxDeliveries bounds the run (asynchronous protocols have no round
+	// count to bound them). Zero means 64·n² — far above any terminating
+	// Bracha-broadcast or ABA schedule at these system sizes, so hitting
+	// the bound reads as non-termination, not truncation.
+	MaxDeliveries int
+	// WaitFor is the set of nodes whose decisions end the run (the honest
+	// complement, normally — Byzantine nodes may never decide). The empty
+	// set means every node.
+	WaitFor types.NodeSet
+	// Trace, when non-nil, observes every delivered message in schedule
+	// order — the replayable delivery transcript.
+	Trace func(types.Message)
+}
+
+// AsyncResult summarizes an asynchronous run.
+type AsyncResult struct {
+	// Decisions maps every node that decided to its decision. Undecided
+	// nodes are absent — asynchronous runs may legitimately end with
+	// partial decisions (a starved node, a withheld certificate).
+	Decisions map[types.NodeID]types.Value
+	// DeliveriesToDecision maps each decided node to the total number of
+	// deliveries the run had performed when it decided — the asynchronous
+	// latency measure (there are no rounds to count).
+	DeliveriesToDecision map[types.NodeID]int
+	// Messages is the number of sends accepted; Delivered the number of
+	// physical copies delivered; Bytes the approximate wire volume.
+	Messages  int
+	Delivered int
+	Bytes     int
+	// Terminated reports that every WaitFor node decided.
+	Terminated bool
+	// Starved reports that the run ended with the policy withholding
+	// queued sends (targeted starvation), as opposed to an empty queue or
+	// an exhausted delivery budget.
+	Starved bool
+}
+
+// RunAsync executes an asynchronous protocol under a seed-driven scheduler:
+// the fourth execution mode, with no round barrier — the policy picks one
+// queued send at a time, the recipient's handler runs, and its sends join
+// the queue. The run ends when every WaitFor node has decided, the queue
+// empties, the policy withholds everything left, or MaxDeliveries is
+// reached. Nodes must have distinct IDs in [0, len(nodes)).
+func RunAsync(nodes []AsyncNode, cfg AsyncConfig) (*AsyncResult, error) {
+	n := len(nodes)
+	if n == 0 {
+		return nil, fmt.Errorf("round: no nodes")
+	}
+	byID := make([]AsyncNode, n)
+	for _, nd := range nodes {
+		id := nd.ID()
+		if id < 0 || int(id) >= n {
+			return nil, fmt.Errorf("round: node ID %d out of range [0,%d)", int(id), n)
+		}
+		if byID[int(id)] != nil {
+			return nil, fmt.Errorf("round: duplicate node ID %d", int(id))
+		}
+		byID[int(id)] = nd
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = FIFO{}
+	}
+	max := cfg.MaxDeliveries
+	if max <= 0 {
+		max = 64 * n * n
+	}
+	waitFor := cfg.WaitFor
+	if waitFor.Len() == 0 {
+		for i := 0; i < n; i++ {
+			waitFor = waitFor.Add(types.NodeID(i))
+		}
+	}
+
+	sched := NewScheduler(policy, cfg.Channel)
+	res := &AsyncResult{
+		Decisions:            make(map[types.NodeID]types.Value, n),
+		DeliveriesToDecision: make(map[types.NodeID]int, n),
+	}
+	awaiting := waitFor.Len()
+	decided := make([]bool, n)
+
+	// collect stamps and validates sends exactly like the synchronous
+	// Collect — §4 assumption (c): the true source is stamped, a Byzantine
+	// node cannot spoof its identity. Round is protocol-owned in the
+	// asynchronous mode (internal/acast packs message kinds into it), so it
+	// is passed through untouched.
+	collect := func(id types.NodeID, out []types.Message) {
+		for _, m := range out {
+			m.From = id
+			if m.To < 0 || int(m.To) >= n || m.To == m.From {
+				continue // drop malformed or self-addressed sends
+			}
+			res.Messages++
+			sched.Enqueue(m)
+		}
+	}
+	note := func(id types.NodeID) {
+		if decided[id] {
+			return
+		}
+		if v, ok := byID[id].Decided(); ok {
+			decided[id] = true
+			res.Decisions[id] = v
+			res.DeliveriesToDecision[id] = res.Delivered
+			if waitFor.Contains(id) {
+				awaiting--
+			}
+		}
+	}
+
+	for i, nd := range byID {
+		collect(types.NodeID(i), nd.Start())
+		note(types.NodeID(i))
+	}
+	for awaiting > 0 && res.Delivered < max {
+		ok := sched.Next(func(dm types.Message) {
+			res.Delivered++
+			res.Bytes += MessageBytes(dm)
+			if cfg.Trace != nil {
+				cfg.Trace(dm)
+			}
+			collect(dm.To, byID[int(dm.To)].OnDeliver(dm))
+			note(dm.To)
+		})
+		if !ok {
+			res.Starved = sched.Starved()
+			break
+		}
+	}
+	res.Terminated = awaiting == 0
+	return res, nil
+}

@@ -1,0 +1,228 @@
+package round
+
+import (
+	"reflect"
+	"testing"
+
+	"degradable/internal/types"
+)
+
+// asyncEcho is a minimal async protocol: node 0 broadcasts its value, every
+// node decides the first value it hears (node 0 decides immediately).
+type asyncEcho struct {
+	id      types.NodeID
+	n       int
+	v       types.Value
+	decided bool
+	got     types.Value
+}
+
+func (a *asyncEcho) ID() types.NodeID { return a.id }
+
+func (a *asyncEcho) Start() []types.Message {
+	if a.id != 0 {
+		return nil
+	}
+	a.decided, a.got = true, a.v
+	out := make([]types.Message, 0, a.n-1)
+	for i := 1; i < a.n; i++ {
+		out = append(out, types.Message{To: types.NodeID(i), Value: a.v})
+	}
+	return out
+}
+
+func (a *asyncEcho) OnDeliver(m types.Message) []types.Message {
+	if !a.decided {
+		a.decided, a.got = true, m.Value
+	}
+	return nil
+}
+
+func (a *asyncEcho) Decided() (types.Value, bool) { return a.got, a.decided }
+
+func echoFleet(n int, v types.Value) []AsyncNode {
+	out := make([]AsyncNode, n)
+	for i := range out {
+		out[i] = &asyncEcho{id: types.NodeID(i), n: n, v: v}
+	}
+	return out
+}
+
+func TestRunAsyncValidation(t *testing.T) {
+	if _, err := RunAsync(nil, AsyncConfig{}); err == nil {
+		t.Error("no nodes: expected error")
+	}
+	if _, err := RunAsync([]AsyncNode{
+		&asyncEcho{id: 0, n: 2}, &asyncEcho{id: 0, n: 2},
+	}, AsyncConfig{}); err == nil {
+		t.Error("duplicate IDs: expected error")
+	}
+	if _, err := RunAsync([]AsyncNode{&asyncEcho{id: 5, n: 1}}, AsyncConfig{}); err == nil {
+		t.Error("out-of-range ID: expected error")
+	}
+}
+
+func TestRunAsyncEchoTerminates(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    Policy
+	}{
+		{"fifo", nil},
+		{"reorder", NewReorder(3)},
+		{"delay", NewDelay(3, 8)},
+		{"adversarial", NewAdversarial(3)},
+	} {
+		res, err := RunAsync(echoFleet(4, 7), AsyncConfig{Policy: tc.p})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !res.Terminated || res.Starved {
+			t.Errorf("%s: terminated=%v starved=%v, want true/false", tc.name, res.Terminated, res.Starved)
+		}
+		if len(res.Decisions) != 4 {
+			t.Fatalf("%s: %d decisions, want 4", tc.name, len(res.Decisions))
+		}
+		for id, v := range res.Decisions {
+			if v != 7 {
+				t.Errorf("%s: node %d decided %d, want 7", tc.name, id, v)
+			}
+		}
+		if res.Messages != 3 || res.Delivered != 3 {
+			t.Errorf("%s: messages/delivered = %d/%d, want 3/3", tc.name, res.Messages, res.Delivered)
+		}
+		if res.DeliveriesToDecision[0] != 0 {
+			t.Errorf("%s: broadcaster decided at delivery %d, want 0", tc.name, res.DeliveriesToDecision[0])
+		}
+	}
+}
+
+func TestRunAsyncStarvation(t *testing.T) {
+	res, err := RunAsync(echoFleet(4, 7), AsyncConfig{Policy: Starve{Target: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminated {
+		t.Error("starved run reported Terminated")
+	}
+	if !res.Starved {
+		t.Error("run ended with withheld sends but Starved=false")
+	}
+	if _, ok := res.Decisions[2]; ok {
+		t.Error("starved node decided")
+	}
+	if len(res.Decisions) != 3 {
+		t.Errorf("%d decisions, want 3 (everyone but the victim)", len(res.Decisions))
+	}
+}
+
+func TestRunAsyncWaitForSubset(t *testing.T) {
+	// Waiting only on the non-starved nodes: the run terminates even though
+	// node 2 never decides.
+	var wait types.NodeSet
+	wait = wait.Add(0).Add(1).Add(3)
+	res, err := RunAsync(echoFleet(4, 9), AsyncConfig{Policy: Starve{Target: 2}, WaitFor: wait})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated {
+		t.Error("run should terminate once every WaitFor node decided")
+	}
+}
+
+func TestRunAsyncMaxDeliveries(t *testing.T) {
+	// pingPong nodes bounce a message forever and never decide; the budget
+	// must end the run with Terminated=false and Starved=false.
+	res, err := RunAsync([]AsyncNode{
+		&pingPong{id: 0, peer: 1, kick: true},
+		&pingPong{id: 1, peer: 0},
+	}, AsyncConfig{MaxDeliveries: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminated || res.Starved {
+		t.Errorf("terminated=%v starved=%v, want false/false (budget exhausted)", res.Terminated, res.Starved)
+	}
+	if res.Delivered != 10 {
+		t.Errorf("delivered %d, want 10", res.Delivered)
+	}
+}
+
+type pingPong struct {
+	id, peer types.NodeID
+	kick     bool
+}
+
+func (p *pingPong) ID() types.NodeID { return p.id }
+
+func (p *pingPong) Start() []types.Message {
+	if !p.kick {
+		return nil
+	}
+	return []types.Message{{To: p.peer, Value: 1}}
+}
+
+func (p *pingPong) OnDeliver(m types.Message) []types.Message {
+	return []types.Message{{To: p.peer, Value: m.Value + 1}}
+}
+
+func (p *pingPong) Decided() (types.Value, bool) { return 0, false }
+
+func TestRunAsyncStampsFromAndDropsMalformed(t *testing.T) {
+	// spoofer tries to forge From and to send to itself and out of range;
+	// only the well-formed send (with From rewritten) must arrive.
+	res, err := RunAsync([]AsyncNode{
+		&spoofer{id: 0},
+		&asyncEcho{id: 1, n: 2},
+	}, AsyncConfig{Trace: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 1 || res.Delivered != 1 {
+		t.Fatalf("messages/delivered = %d/%d, want 1/1", res.Messages, res.Delivered)
+	}
+	if v, ok := res.Decisions[1]; !ok || v != 99 {
+		t.Fatalf("node 1 decided %v/%v, want 99/true", v, ok)
+	}
+}
+
+type spoofer struct{ id types.NodeID }
+
+func (s *spoofer) ID() types.NodeID { return s.id }
+
+func (s *spoofer) Start() []types.Message {
+	return []types.Message{
+		{From: 1, To: 1, Value: 99}, // From must be restamped to 0
+		{To: 0, Value: 1},           // self-addressed: dropped
+		{To: 7, Value: 2},           // out of range: dropped
+		{To: -1, Value: 3},          // out of range: dropped
+	}
+}
+
+func (s *spoofer) OnDeliver(m types.Message) []types.Message {
+	if m.From == 1 {
+		panic("engine delivered a self-addressed or unstamped message")
+	}
+	return nil
+}
+
+func (s *spoofer) Decided() (types.Value, bool) { return 0, true }
+
+func TestRunAsyncTraceMatchesSchedule(t *testing.T) {
+	var a, b []types.Message
+	for _, sink := range []*[]types.Message{&a, &b} {
+		s := sink
+		res, err := RunAsync(echoFleet(5, 3), AsyncConfig{
+			Policy: NewAdversarial(11),
+			Trace:  func(m types.Message) { *s = append(*s, m) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Terminated {
+			t.Fatal("echo run did not terminate")
+		}
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replay diverged:\n %v\n %v", a, b)
+	}
+}

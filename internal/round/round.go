@@ -1,24 +1,40 @@
-// Package round is the driver-agnostic core of the synchronous round
-// engine: the pure round semantics every driver shares, with no opinion on
-// *how* rounds are driven (goroutines, an inline loop, or one OS process
-// per node exchanging frames over TCP).
+// Package round is the event-scheduler core every execution mode of the
+// protocol shares: messages flow through a deterministic, seed-driven
+// Scheduler (a delivery queue ordered by a pluggable Policy, threaded
+// through the Channel/Expander interposition), and per-node step functions
+// consume what the scheduler delivers. The package has no opinion on *how*
+// the schedule is driven — goroutines, an inline loop, one OS process per
+// node exchanging frames over TCP, or a barrier-free asynchronous run.
 //
-// The package captures the three assumptions of the paper's §4 as
-// machine-checkable contracts:
+// The synchronous world of the paper's §4 is one scheduling policy, not
+// the engine's shape: an Engine drains the scheduler to quiescence under
+// Lockstep exactly once per round (deadline-closed rounds — sends still
+// queued when the barrier falls are discarded as absent), and a Driver
+// supplies the barrier placement and Step concurrency. The asynchronous
+// world is the same scheduler with no barrier: RunAsync pulls one
+// policy-chosen delivery at a time (FIFO, seeded reordering, unbounded
+// delay, targeted starvation) and message-driven AsyncNodes — quorum
+// certificates instead of deadlines (see internal/acast) — decide whenever
+// their certificates complete.
 //
-//	(a) messages between fault-free nodes are delivered correctly — a
-//	    driver delivers every collected message unless the configured
-//	    Channel drops it;
-//	(b) absence of a message is detectable — a message a driver cannot
-//	    deliver in time simply never enters the round's inbox, and
-//	    protocols substitute the default value V_d;
-//	(c) the source of a message is identified — Collect stamps every
-//	    message's From field with the true sender, so even Byzantine nodes
-//	    cannot spoof their identity.
+// Both modes capture the assumptions of the paper's §4 as
+// machine-checkable contracts, with (b) realized per mode:
 //
-// An Engine holds one run's state: the node complement, the interposing
-// Channel, per-node inboxes, and the accounting that becomes the Result. A
-// Driver walks the engine through its schedule:
+//	(a) messages between fault-free nodes are delivered correctly — every
+//	    collected message is delivered unless the configured Channel drops
+//	    it (or, asynchronously, the policy withholds it forever);
+//	(b) absence of a message is detectable — synchronously, a message not
+//	    delivered when its round closes never enters the inbox and
+//	    protocols substitute the default value V_d; asynchronously absence
+//	    is never detectable, which is exactly why the A-Cast track replaces
+//	    deadlines with quorum certificates;
+//	(c) the source of a message is identified — Collect (and the async
+//	    run's collect) stamps every message's From field with the true
+//	    sender, so even Byzantine nodes cannot spoof their identity.
+//
+// An Engine holds one synchronous run's state: the node complement, the
+// scheduler, per-node inboxes, and the accounting that becomes the Result.
+// A Driver walks the engine through its schedule:
 //
 //	for r := 1; r <= e.Rounds(); r++ {
 //		e.Deliver()                                  // round-(r-1) sends
@@ -33,9 +49,11 @@
 // Step calls may run concurrently (each node is only ever stepped by one
 // goroutine at a time); Deliver, Collect, and Finalize must be serialized
 // by the driver. The in-process drivers live in internal/netsim; the
-// distributed driver in internal/cluster reuses the same per-node
-// semantics (inbox sorting, sender stamping, byte accounting) against real
-// sockets.
+// distributed driver in internal/cluster realizes the same deadline-closed
+// rounds against real sockets (its per-round hold-back buffer and wall
+// clock deadline are the physical form of the Lockstep barrier, with the
+// same inbox sorting, sender stamping, and byte accounting); the fourth,
+// asynchronous driver is RunAsync under internal/acast's protocols.
 package round
 
 import (
@@ -104,6 +122,13 @@ type Config struct {
 	Rounds int
 	// Channel interposes on deliveries; nil means PerfectChannel.
 	Channel Channel
+	// Policy orders deliveries within each round's drain; nil means
+	// Lockstep (enqueue order). Because every inbox is sorted at the
+	// barrier, any non-withholding policy produces byte-identical results —
+	// the barrier, not the intra-round order, is what the synchronous
+	// semantics rest on; a withholding policy (Starve) turns into per-round
+	// message loss, i.e. detectable absence. Protocol callers leave it nil.
+	Policy Policy
 	// RecordViews captures each node's full delivered-message transcript in
 	// the result. Used by the lower-bound indistinguishability checks and
 	// the cross-driver differential tests.
@@ -150,30 +175,32 @@ type Result struct {
 // accounting: 8 bytes of value plus 4 per relay-path element.
 func MessageBytes(m types.Message) int { return 8 + 4*len(m.Path) }
 
-// Driver executes an engine's round schedule. Drive must follow the
-// contract documented in the package comment: R rounds of Deliver / Step /
-// Collect, a final Deliver, then Finish for every node. Run handles engine
-// construction and Finalize; a Driver only supplies the control flow (and
-// whatever concurrency it wants for the Step calls).
+// Driver executes an engine's synchronous schedule: it owns the placement
+// of the round barrier over the scheduler core. Drive must follow the
+// contract documented in the package comment — R iterations of Deliver
+// (drain the scheduler, close the round) / Step / Collect, a final
+// Deliver, then Finish for every node — and is free to choose whatever
+// concurrency it wants for the Step calls. Run handles engine construction
+// and Finalize; a Driver only supplies the control flow. The asynchronous
+// execution mode has no Driver because it has no barrier to place: RunAsync
+// pulls deliveries from the same scheduler one policy decision at a time.
 type Driver interface {
 	Drive(e *Engine) error
 }
 
-// Engine is one run's round state: nodes, channel interposition, inboxes,
-// and accounting. Methods are not safe for concurrent use except Node and
-// Inbox (immutable between Deliver calls); drivers serialize Deliver and
-// Collect.
+// Engine is one synchronous run's round state: nodes, the scheduler core
+// (delivery queue + channel interposition), inboxes, and accounting.
+// Methods are not safe for concurrent use except Node and Inbox (immutable
+// between Deliver calls); drivers serialize Deliver and Collect.
 type Engine struct {
-	cfg      Config
-	byID     []Node
-	ch       Channel
-	expander Expander
+	cfg  Config
+	byID []Node
 
+	sched    *Scheduler
 	res      *Result
 	counters *obs.CounterSet
 	curRound int
 	inboxes  [][]types.Message
-	pending  []types.Message
 }
 
 // NewEngine validates the node complement and builds a run's engine. Nodes
@@ -197,14 +224,13 @@ func NewEngine(nodes []Node, cfg Config) (*Engine, error) {
 		}
 		byID[int(id)] = nd
 	}
-	ch := cfg.Channel
-	if ch == nil {
-		ch = PerfectChannel{}
-	}
 	e := &Engine{
 		cfg:  cfg,
 		byID: byID,
-		ch:   ch,
+		// The scheduler is the shared event core; the engine's only policy
+		// freedom is intra-round order (see Config.Policy), with the round
+		// barrier supplied by the driver's Deliver calls.
+		sched: NewScheduler(cfg.Policy, cfg.Channel),
 		res: &Result{
 			Decisions: make(map[types.NodeID]types.Value, n),
 			PerRound:  make([]int, cfg.Rounds),
@@ -218,7 +244,6 @@ func NewEngine(nodes []Node, cfg Config) (*Engine, error) {
 		inboxes:  make([][]types.Message, n),
 		counters: obs.NewCounterSet(CounterNames...),
 	}
-	e.expander, _ = ch.(Expander)
 	if cfg.RecordViews {
 		e.res.Views = make(map[types.NodeID][]types.Message, n)
 	}
@@ -264,7 +289,7 @@ func (e *Engine) Restart(nodes []Node) error {
 	for i := range e.inboxes {
 		e.inboxes[i] = e.inboxes[i][:0]
 	}
-	e.pending = e.pending[:0]
+	e.sched.Reset()
 	return nil
 }
 
@@ -277,35 +302,29 @@ func (e *Engine) Rounds() int { return e.cfg.Rounds }
 // Node returns the participant with ID i.
 func (e *Engine) Node(i int) Node { return e.byID[i] }
 
-// Deliver moves the pending sends through the channel into the per-node
-// inboxes, sorting each inbox deterministically and recording views. It
-// must be called exactly once per round (before the round's Step calls) and
-// once more before the Finish calls.
+// Deliver closes the round: it drains the scheduler under the configured
+// policy into the per-node inboxes, discards whatever the policy withheld
+// (the deadline passed — those sends are now detectably absent), and sorts
+// each inbox deterministically, recording views. It must be called exactly
+// once per round (before the round's Step calls) and once more before the
+// Finish calls.
 func (e *Engine) Deliver() {
 	for i := range e.inboxes {
 		e.inboxes[i] = e.inboxes[i][:0]
 	}
 	delivered := 0
 	bytes := 0
-	for _, m := range e.pending {
-		var copies []types.Message
-		if e.expander != nil {
-			copies = e.expander.DeliverAll(m)
-		} else if dm, ok := e.ch.Deliver(m); ok {
-			copies = []types.Message{dm}
+	e.sched.Drain(func(dm types.Message) {
+		delivered++
+		bytes += MessageBytes(dm)
+		if e.cfg.Trace != nil {
+			e.cfg.Trace(dm)
 		}
-		for _, dm := range copies {
-			delivered++
-			bytes += MessageBytes(dm)
-			if e.cfg.Trace != nil {
-				e.cfg.Trace(dm)
-			}
-			e.inboxes[int(dm.To)] = append(e.inboxes[int(dm.To)], dm)
-		}
-	}
+		e.inboxes[int(dm.To)] = append(e.inboxes[int(dm.To)], dm)
+	})
 	e.counters.Add(CounterDelivered, uint64(delivered))
 	e.counters.Add(CounterBytes, uint64(bytes))
-	e.pending = e.pending[:0]
+	e.sched.Reset()
 	for i := range e.inboxes {
 		types.SortMessages(e.inboxes[i])
 		if e.cfg.RecordViews {
@@ -352,7 +371,7 @@ func (e *Engine) Collect(i, round int, out []types.Message) {
 		}
 		e.counters.Inc(CounterMessages)
 		e.res.PerRound[round-1]++
-		e.pending = append(e.pending, m)
+		e.sched.Enqueue(m)
 	}
 }
 

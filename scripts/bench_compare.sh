@@ -13,15 +13,19 @@
 #
 # It also diffs the unified telemetry artifacts (BENCH_service.json,
 # BENCH_cluster.json, BENCH_recovery.json, BENCH_fleet.json,
-# BENCH_topology.json — the first four embed the obs snapshot schema; the
-# recovery artifact adds the crash-recovery section: restarts, checkpoint
-# rejections, convergence-time stats; the fleet artifact adds the per-tier
-# latency breakdown, per-tenant quota sheds, and the single-daemon speedup;
-# the topology artifact is the Theorem 3 boundary table: per-cell spec
-# verdicts, connectivity margins, classic-BA baseline, and physical-traffic
-# cost) against kept baselines (BENCH_service_baseline.json,
-# BENCH_cluster_baseline.json, BENCH_recovery_baseline.json,
-# BENCH_fleet_baseline.json, BENCH_topology_baseline.json), so a cluster
+# BENCH_topology.json, BENCH_async.json — the first four embed the obs
+# snapshot schema; the recovery artifact adds the crash-recovery section:
+# restarts, checkpoint rejections, convergence-time stats; the fleet
+# artifact adds the per-tier latency breakdown, per-tenant quota sheds, and
+# the single-daemon speedup; the topology artifact is the Theorem 3
+# boundary table: per-cell spec verdicts, connectivity margins, classic-BA
+# baseline, and physical-traffic cost; the async artifact is the
+# FIFO-vs-adversarial scheduling benchmark: deliveries-to-decision
+# percentiles, certificate-traffic totals, and the always-zero
+# safety_violations gate) against kept baselines
+# (BENCH_service_baseline.json, BENCH_cluster_baseline.json,
+# BENCH_recovery_baseline.json, BENCH_fleet_baseline.json,
+# BENCH_topology_baseline.json, BENCH_async_baseline.json), so a cluster
 # round-latency or router-overhead regression shows up in a check.sh run
 # the same way a microbenchmark regression does.
 #
@@ -47,7 +51,7 @@ BASELINE="${1:-BENCH_baseline.txt}"
 # names stable across BENCH_service.json and BENCH_cluster.json).
 artifact_keys() {
   awk '
-    match($0, /"(roundWaitP50Ms|roundWaitP99Ms|roundWaitMaxMs|lateBatches|late_batches_total|deadline_misses_total|vd_subs_total|throughput_per_s|latency_p50_us|latency_p99_us|degraded_fraction|spec_violations|vd_decider_fraction|floor_margin_min|degraded_total|completed_total|fastpath_hit_total|fastpath_fallback_total|fastpath_hits|fastpath_fallbacks|fastpath_hit_frac|restarts|checkpointsTotal|corruptRejected|staleRejected|missingReinits|convergeCount|convergeMeanMs|convergeMaxMs|restart_total|checkpoint_corrupt_total|checkpoint_stale_total|checkpoint_missing_total|p50_us|p95_us|p99_us|quota_shed|router_overhead_frac|speedup_vs_single|single_throughput_per_s|send_lag_max_us|connectivity_margin|hops_per_logical_msg|forwarded_total|hops_total|cells_total|cells_held|cells_degraded|cells_failed|classic_refused_degradable_ok|bound_violations)":[ ]*-?[0-9.eE+-]+/) {
+    match($0, /"(roundWaitP50Ms|roundWaitP99Ms|roundWaitMaxMs|lateBatches|late_batches_total|deadline_misses_total|vd_subs_total|throughput_per_s|latency_p50_us|latency_p99_us|degraded_fraction|spec_violations|vd_decider_fraction|floor_margin_min|degraded_total|completed_total|fastpath_hit_total|fastpath_fallback_total|fastpath_hits|fastpath_fallbacks|fastpath_hit_frac|restarts|checkpointsTotal|corruptRejected|staleRejected|missingReinits|convergeCount|convergeMeanMs|convergeMaxMs|restart_total|checkpoint_corrupt_total|checkpoint_stale_total|checkpoint_missing_total|p50_us|p95_us|p99_us|quota_shed|router_overhead_frac|speedup_vs_single|single_throughput_per_s|send_lag_max_us|connectivity_margin|hops_per_logical_msg|forwarded_total|hops_total|cells_total|cells_held|cells_degraded|cells_failed|classic_refused_degradable_ok|bound_violations|dtd_p50|dtd_p95|dtd_p99|echo_total|ready_total|cert_total|terminated|not_terminated|safety_violations)":[ ]*-?[0-9.eE+-]+/) {
       s = substr($0, RSTART, RLENGTH)
       split(s, kv, /":[ ]*/)
       key = substr(kv[1], 2)
@@ -93,6 +97,7 @@ if [ "${1:-}" = "--artifacts-only" ]; then
   artifact_diff BENCH_recovery.json BENCH_recovery_baseline.json "crash-recovery snapshot"
   artifact_diff BENCH_fleet.json BENCH_fleet_baseline.json "fleet per-tier latency snapshot"
   artifact_diff BENCH_topology.json BENCH_topology_baseline.json "Theorem 3 topology boundary table"
+  artifact_diff BENCH_async.json BENCH_async_baseline.json "async scheduling benchmark (FIFO row)"
   exit 0
 fi
 
@@ -162,5 +167,6 @@ artifact_diff BENCH_cluster.json BENCH_cluster_baseline.json "cluster round-late
 artifact_diff BENCH_recovery.json BENCH_recovery_baseline.json "crash-recovery snapshot"
 artifact_diff BENCH_fleet.json BENCH_fleet_baseline.json "fleet per-tier latency snapshot"
 artifact_diff BENCH_topology.json BENCH_topology_baseline.json "Theorem 3 topology boundary table"
+artifact_diff BENCH_async.json BENCH_async_baseline.json "async scheduling benchmark (FIFO row)"
 
 exit 0

@@ -64,6 +64,20 @@ go run ./cmd/chaos -seed 12 -runs 150 -graph bridge:3:4:3 -placement mixed |
 go run ./cmd/chaos -seed 9 -topo-sweep BENCH_topology.json -topo-runs 2 |
   grep -E 'classic_refused_degradable_ok=[1-9][0-9]* bound_violations=0'
 
+echo "== async smoke (A-Cast + ABA under adversarial schedulers) =="
+# A ≥200-scenario asynchronous campaign over the full scheduler pool
+# (FIFO, reorder, unbounded delay, adversarial LIFO-bias, targeted
+# starvation): the binary exits non-zero on any agreement/validity
+# violation, and the grep gates that quorum safety held under every
+# schedule while starvation produced its NotTerminated verdicts. Then the
+# FIFO-vs-adversarial scheduling benchmark, which writes the
+# deliveries-to-decision percentile artifact BENCH_async.json at the repo
+# root and exits non-zero on any safety violation.
+go run ./cmd/chaos -seed 42 -runs 250 -async |
+  grep -E 'async: terminated=[1-9][0-9]* notTerminated=[1-9][0-9]* \(starved=[1-9][0-9]*\) certificates=[1-9][0-9]* safety_violations=0'
+go run ./cmd/chaos -seed 7 -async-sweep BENCH_async.json -async-runs 200 |
+  grep -E 'async sweep adversarial: .* safety_violations=0'
+
 echo "== cluster mode smoke (one OS process per node) =="
 # The paper's running example as 7 real processes over loopback TCP, then a
 # short chaos campaign where every scenario runs cross-process. Exits
