@@ -41,6 +41,15 @@ type ABA struct {
 	decision types.Value
 }
 
+// abaRoundWindow bounds how far ahead of the node's current round a
+// BVAL/AUX may claim to be before it is dropped. Round is protocol-owned and
+// arrives unvalidated in asynchronous mode, so without a bound a Byzantine
+// peer could grow the rounds map without limit by packing huge round numbers.
+// Honest peers can legitimately run ahead (the coin converges in a handful of
+// expected rounds), so the window is generous; dropping beyond it can only
+// delay termination, never violate safety.
+const abaRoundWindow = 32
+
 // abaRound is one internal round's vote state.
 type abaRound struct {
 	sentBval  [2]bool
@@ -112,7 +121,7 @@ func (a *ABA) handle(m types.Message) []types.Message {
 	}
 	v := uint8(m.Value)
 	r := ABARound(m.Round)
-	if r < 1 {
+	if r < 1 || r > a.round+abaRoundWindow {
 		return nil
 	}
 	st := a.state(r)

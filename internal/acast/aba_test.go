@@ -115,6 +115,33 @@ func TestABAStarvationSafety(t *testing.T) {
 	}
 }
 
+// TestABAFarFutureRoundsBounded: Round is protocol-owned and unvalidated in
+// async mode, so a Byzantine peer can pack arbitrary round numbers into
+// BVAL/AUX. State allocation must be bounded to a window above the node's
+// current round — not grow with whatever the attacker sends.
+func TestABAFarFutureRoundsBounded(t *testing.T) {
+	p := Params{N: 4, F: 1}
+	a := NewABA(0, p, 1, 7)
+	a.Start()
+	base := len(a.rounds)
+	for i := 0; i < 1000; i++ {
+		r := abaRoundWindow + 2 + i // every round beyond the window, distinct
+		kind := KindBval
+		if i%2 == 1 {
+			kind = KindAux
+		}
+		a.OnDeliver(types.Message{From: 2, To: 0, Round: r<<kindBits | kind, Value: 1})
+	}
+	if len(a.rounds) != base {
+		t.Errorf("rounds map grew from %d to %d on far-future Byzantine rounds", base, len(a.rounds))
+	}
+	// A legitimately fast peer inside the window must still be buffered.
+	a.OnDeliver(types.Message{From: 2, To: 0, Round: (a.round+abaRoundWindow)<<kindBits | KindBval, Value: 1})
+	if len(a.rounds) != base+1 {
+		t.Errorf("in-window round not buffered: rounds=%d, want %d", len(a.rounds), base+1)
+	}
+}
+
 func TestABABeyondToleranceRejected(t *testing.T) {
 	defer func() {
 		if recover() == nil {

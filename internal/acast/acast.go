@@ -76,6 +76,9 @@ func (p Params) Validate() error {
 	if p.N <= 3*p.F {
 		return fmt.Errorf("acast: need n > 3f for safety, got n=%d f=%d", p.N, p.F)
 	}
+	if p.N > types.MaxNodeSetID+1 {
+		return fmt.Errorf("acast: n must be at most %d (NodeSet quorum tallies), got %d", types.MaxNodeSetID+1, p.N)
+	}
 	return nil
 }
 
@@ -210,6 +213,13 @@ func (n *Node) handle(m types.Message) []types.Message {
 	}
 	b := m.Path[0]
 	if b < 0 || int(b) >= n.cfg.Params.N {
+		return nil
+	}
+	// Only configured broadcasters have instances. Traffic claiming any other
+	// origin is Byzantine by construction; tallying it would let a rogue
+	// node's self-originated instance deliver and decrement await, flipping
+	// decided before every real broadcaster's instance has delivered.
+	if !n.cfg.Broadcasters.Contains(b) {
 		return nil
 	}
 	ins := &n.inst[int(b)]

@@ -20,12 +20,14 @@ func fleet(p Params, bcasters types.NodeSet, inputs map[types.NodeID]types.Value
 }
 
 func TestParamsValidate(t *testing.T) {
-	for _, p := range []Params{{N: 4, F: 1}, {N: 1, F: 0}, {N: 7, F: 2}} {
+	for _, p := range []Params{{N: 4, F: 1}, {N: 1, F: 0}, {N: 7, F: 2}, {N: 64, F: 21}} {
 		if err := p.Validate(); err != nil {
 			t.Errorf("%+v: %v", p, err)
 		}
 	}
-	for _, p := range []Params{{N: 0, F: 0}, {N: 3, F: 1}, {N: 6, F: 2}, {N: 4, F: -1}} {
+	// N beyond the NodeSet tally width must be rejected: quorums over IDs
+	// > 63 could never assemble, so runs would silently never terminate.
+	for _, p := range []Params{{N: 0, F: 0}, {N: 3, F: 1}, {N: 6, F: 2}, {N: 4, F: -1}, {N: 65, F: 1}, {N: 100, F: 33}} {
 		if err := p.Validate(); err == nil {
 			t.Errorf("%+v: accepted", p)
 		}
@@ -269,6 +271,71 @@ func TestTwoFacedBroadcasterNeverSplits(t *testing.T) {
 		for _, v := range delivered {
 			if v != delivered[0] {
 				t.Fatalf("seed %d: split delivery %v (terminated=%v)", seed, delivered, res.Terminated)
+			}
+		}
+	}
+}
+
+// rogueBroadcaster is a Byzantine node that is NOT in the run's Broadcasters
+// set yet originates an init for its own instance (From is engine-stamped, so
+// Path{id} with From=id is the one forgery shape it can produce).
+type rogueBroadcaster struct {
+	id types.NodeID
+	n  int
+}
+
+func (r *rogueBroadcaster) ID() types.NodeID { return r.id }
+func (r *rogueBroadcaster) Start() []types.Message {
+	out := make([]types.Message, 0, 2*r.n)
+	for _, kind := range []int{KindInit, KindReady} {
+		for i := 0; i < r.n; i++ {
+			out = append(out, types.Message{To: types.NodeID(i), Round: kind, Path: types.Path{r.id}, Value: 99})
+		}
+	}
+	return out
+}
+func (r *rogueBroadcaster) OnDeliver(types.Message) []types.Message { return nil }
+func (r *rogueBroadcaster) Decided() (types.Value, bool)            { return 0, true }
+
+// TestRogueBroadcasterCannotForceEarlyDecision: a Byzantine node outside
+// cfg.Broadcasters self-originates an init (plus readies) for its own
+// instance. Honest nodes must ignore the whole instance — if they tallied
+// it, its 2f+1-ready certificate would decrement await and flip decided
+// before the real broadcaster's instance delivers, folding a zero value
+// (validity/agreement breach at n=4, f=1, within tolerance).
+func TestRogueBroadcasterCannotForceEarlyDecision(t *testing.T) {
+	p := Params{N: 4, F: 1}
+	for seed := int64(0); seed < 50; seed++ {
+		for _, tc := range []struct {
+			name string
+			pol  round.Policy
+		}{
+			{"fifo", nil},
+			{"adversarial", round.NewAdversarial(seed)},
+		} {
+			inputs := map[types.NodeID]types.Value{0: 7}
+			nodes := fleet(p, 0, inputs, nil)
+			nodes[3] = &rogueBroadcaster{id: 3, n: p.N}
+			honest := types.NewNodeSet(0, 1, 2)
+			res, err := round.RunAsync(nodes, round.AsyncConfig{Policy: tc.pol, WaitFor: honest})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Terminated {
+				t.Fatalf("%s seed=%d: honest complement did not terminate", tc.name, seed)
+			}
+			for _, id := range honest.IDs() {
+				nd := nodes[int(id)].(*Node)
+				if v, ok := nd.Decided(); !ok || v != 7 {
+					t.Fatalf("%s seed=%d: node %d decided %v/%v, want 7/true (rogue instance must not fold into the decision)", tc.name, seed, id, v, ok)
+				}
+				got := nd.Delivered()
+				if v, ok := got[0]; !ok || v != 7 {
+					t.Errorf("%s seed=%d: node %d delivered %v/%v from broadcaster 0, want 7/true", tc.name, seed, id, v, ok)
+				}
+				if _, ok := got[3]; ok {
+					t.Errorf("%s seed=%d: node %d delivered the rogue's self-originated instance", tc.name, seed, id)
+				}
 			}
 		}
 	}
